@@ -1,0 +1,123 @@
+//! Criterion benches for the SPEX pipeline.
+//!
+//! One group per evaluation artifact:
+//! * `frontend` — lexing/parsing/lowering throughput on generated systems;
+//! * `inference` — full constraint inference per system (Table 11's
+//!   workload);
+//! * `injection` — SPEX-INJ campaign over one system (Table 5's workload),
+//!   including the §3.1 optimization ablation (stop-at-first-failure and
+//!   shortest-test-first on/off);
+//! * `mapping` — the annotation toolkits alone.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spex_bench::make_target;
+use spex_core::{Annotation, Spex};
+use spex_dataflow::{AnalyzedModule, TaintEngine};
+use spex_inj::{genrule, standard_rules, CampaignOptions, InjectionCampaign};
+use spex_systems::BuiltSystem;
+
+fn bench_frontend(c: &mut Criterion) {
+    let spec = spex_systems::system_by_name("OpenLDAP").unwrap();
+    let gen = spex_systems::generate(&spec);
+    let mut g = c.benchmark_group("frontend");
+    g.bench_function("parse_openldap", |b| {
+        b.iter(|| spex_lang::parse_program(&gen.source).unwrap())
+    });
+    let program = spex_lang::parse_program(&gen.source).unwrap();
+    g.bench_function("lower_openldap", |b| {
+        b.iter(|| spex_ir::lower_program(&program).unwrap())
+    });
+    let module = spex_ir::lower_program(&program).unwrap();
+    g.bench_function("ssa_openldap", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |m| AnalyzedModule::build(m),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10);
+    for name in ["OpenLDAP", "Apache", "VSFTP"] {
+        let spec = spex_systems::system_by_name(name).unwrap();
+        let built = BuiltSystem::build(spec);
+        let anns = Annotation::parse(&built.gen.annotations).unwrap();
+        g.bench_function(format!("spex_analyze_{name}"), |b| {
+            b.iter_batched(
+                || built.module.clone(),
+                |m| Spex::analyze(m, &anns),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_taint(c: &mut Criterion) {
+    let spec = spex_systems::system_by_name("Apache").unwrap();
+    let built = BuiltSystem::build(spec);
+    let anns = Annotation::parse(&built.gen.annotations).unwrap();
+    let am = AnalyzedModule::build(built.module.clone());
+    let params = spex_core::mapping::extract_mappings(&am, &anns).unwrap();
+    let engine = TaintEngine::new(&am);
+    c.bench_function("taint_per_param_apache", |b| {
+        b.iter(|| {
+            for p in params.iter().take(16) {
+                criterion::black_box(engine.run(&p.roots));
+            }
+        })
+    });
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let spec = spex_systems::system_by_name("OpenLDAP").unwrap();
+    let built = BuiltSystem::build(spec);
+    let anns = Annotation::parse(&built.gen.annotations).unwrap();
+    let analysis = Spex::analyze(built.module.clone(), &anns);
+    let constraints: Vec<_> = analysis.all_constraints().cloned().collect();
+    let misconfigs = genrule::generate_all(&standard_rules(), &constraints);
+    let slice = &misconfigs[..misconfigs.len().min(40)];
+
+    let mut g = c.benchmark_group("injection");
+    g.sample_size(10);
+    // The §3.1 optimizations, individually ablated.
+    let variants = [
+        ("optimized", CampaignOptions { stop_at_first_failure: true, sort_tests_by_cost: true }),
+        ("no_early_stop", CampaignOptions { stop_at_first_failure: false, sort_tests_by_cost: true }),
+        ("no_sort", CampaignOptions { stop_at_first_failure: true, sort_tests_by_cost: false }),
+        ("naive", CampaignOptions { stop_at_first_failure: false, sort_tests_by_cost: false }),
+    ];
+    for (label, options) in variants {
+        g.bench_function(format!("campaign_openldap_{label}"), |b| {
+            b.iter(|| {
+                let campaign =
+                    InjectionCampaign::new(make_target(&built)).with_options(options);
+                criterion::black_box(campaign.run(slice))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let spec = spex_systems::system_by_name("Squid").unwrap();
+    let built = BuiltSystem::build(spec);
+    let anns = Annotation::parse(&built.gen.annotations).unwrap();
+    let am = AnalyzedModule::build(built.module.clone());
+    c.bench_function("mapping_extraction_squid", |b| {
+        b.iter(|| spex_core::mapping::extract_mappings(&am, &anns).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_inference,
+    bench_taint,
+    bench_injection,
+    bench_mapping
+);
+criterion_main!(benches);

@@ -1,0 +1,388 @@
+//! Evaluation driver shared by the `paper` binary and the Criterion
+//! benches.
+//!
+//! [`evaluate`] runs the full SPEX pipeline over one subject system:
+//! generate → lower → infer constraints → design detectors → generate
+//! misconfigurations → injection campaign → classify reactions → accuracy
+//! against ground truth. The table renderers turn a set of evaluations into
+//! the paper's Tables 4–12.
+
+use spex_core::accuracy::AccuracyReport;
+use spex_core::{evaluate_accuracy, Annotation, Spex, SpexAnalysis};
+use spex_design::{DesignReport, Manual};
+use spex_inj::{
+    genrule, standard_rules, CampaignReport, InjectionCampaign, Misconfig, RunOutcome,
+    TestTarget,
+};
+use spex_systems::{BuiltSystem, SystemSpec};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A fully evaluated system.
+pub struct Evaluated {
+    /// The built system (module, generated artifacts).
+    pub built: BuiltSystem,
+    /// SPEX constraint inference results.
+    pub analysis: SpexAnalysis,
+    /// Error-prone-design report.
+    pub design: DesignReport,
+    /// The generated misconfigurations.
+    pub misconfigs: Vec<Misconfig>,
+    /// Raw injection outcomes (empty when injection was skipped).
+    pub outcomes: Vec<RunOutcome>,
+    /// Aggregated campaign report.
+    pub report: CampaignReport,
+    /// Inference accuracy against ground truth.
+    pub accuracy: AccuracyReport,
+    /// Annotation line count (Table 4's LoA).
+    pub loa: usize,
+}
+
+/// Runs the pipeline over one system. `run_injection` can be disabled for
+/// inference-only workloads (it dominates the runtime).
+pub fn evaluate(spec: SystemSpec, run_injection: bool) -> Evaluated {
+    let built = BuiltSystem::build(spec);
+    let anns = Annotation::parse(&built.gen.annotations).expect("generated annotations parse");
+    let loa = Annotation::count_lines(&built.gen.annotations);
+    let analysis = Spex::analyze(built.module.clone(), &anns);
+    let design = DesignReport::analyze(&analysis, &built.gen.manual);
+    let constraints: Vec<_> = analysis.all_constraints().cloned().collect();
+    let accuracy = evaluate_accuracy(&constraints, &built.gen.truth);
+    let misconfigs = genrule::generate_all(&standard_rules(), &constraints);
+    let outcomes = if run_injection {
+        let campaign = InjectionCampaign::new(make_target(&built));
+        campaign.run(&misconfigs)
+    } else {
+        Vec::new()
+    };
+    let report = CampaignReport::from_outcomes(&outcomes);
+    Evaluated {
+        built,
+        analysis,
+        design,
+        misconfigs,
+        outcomes,
+        report,
+        accuracy,
+        loa,
+    }
+}
+
+/// Builds the injection target for a built system.
+pub fn make_target(built: &BuiltSystem) -> TestTarget<'_> {
+    let world_files = built.gen.world_files.clone();
+    let world_dirs = built.gen.world_dirs.clone();
+    TestTarget {
+        name: built.spec.name.to_string(),
+        module: &built.module,
+        dialect: built.gen.dialect,
+        template_conf: built.gen.template_conf.clone(),
+        config_entry: "handle_config".into(),
+        startup: "startup".into(),
+        tests: built.gen.tests.clone(),
+        world: Box::new(move || {
+            let mut w = spex_vm::World::default();
+            w.occupy_port(80);
+            for (f, c) in &world_files {
+                w.add_file(f, c);
+            }
+            for d in &world_dirs {
+                w.add_dir(d);
+            }
+            w
+        }),
+        param_globals: built.gen.param_globals.clone(),
+    }
+}
+
+/// The manual of a built system (convenience re-borrow).
+pub fn manual_of(built: &BuiltSystem) -> &Manual {
+    &built.gen.manual
+}
+
+// --- Table renderers ---------------------------------------------------------
+
+/// Renders Table 4: evaluated systems.
+pub fn render_table4(evals: &[Evaluated]) -> String {
+    let mut out = String::from(
+        "Table 4: Evaluated software systems\n\
+         Software     Mapping         LoC(gen)  #Parameter  LoA\n",
+    );
+    for e in evals {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<15} {:>8}  {:>10}  {:>3}",
+            e.built.spec.name,
+            format!("{:?}", e.built.spec.mapping),
+            e.built.loc(),
+            e.built.spec.param_count(),
+            e.loa
+        );
+    }
+    out
+}
+
+/// Renders Table 5: misconfiguration vulnerabilities and code locations.
+pub fn render_table5(evals: &[Evaluated]) -> String {
+    let mut out = String::from(
+        "Table 5(a): misconfiguration vulnerabilities (bad system reactions)\n\
+         Software     Crash/Hang  EarlyTerm  FuncFail  SilentViol  SilentIgn  Total\n",
+    );
+    let mut totals = [0usize; 6];
+    for e in evals {
+        let c = |k: &str| e.report.count(k);
+        let row = [
+            c("crash-hang"),
+            c("early-termination"),
+            c("functional-failure"),
+            c("silent-violation"),
+            c("silent-ignorance"),
+            e.report.total(),
+        ];
+        for (t, v) in totals.iter_mut().zip(row.iter()) {
+            *t += v;
+        }
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10}  {:>9}  {:>8}  {:>10}  {:>9}  {:>5}",
+            e.built.spec.name, row[0], row[1], row[2], row[3], row[4], row[5]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10}  {:>9}  {:>8}  {:>10}  {:>9}  {:>5}",
+        "Total", totals[0], totals[1], totals[2], totals[3], totals[4], totals[5]
+    );
+    out.push_str("\nTable 5(b): unique source-code locations\nSoftware     Locations\n");
+    let mut loc_total = 0;
+    for e in evals {
+        loc_total += e.report.locations.len();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9}",
+            e.built.spec.name,
+            e.report.locations.len()
+        );
+    }
+    let _ = writeln!(out, "{:<12} {:>9}", "Total", loc_total);
+    out
+}
+
+/// Renders Table 6: case-sensitivity requirements.
+pub fn render_table6(evals: &[Evaluated]) -> String {
+    let mut out = String::from(
+        "Table 6: case-sensitivity of string parameters\n\
+         Software     Sensitive      Insensitive\n",
+    );
+    for e in evals {
+        let s = e.design.case.sensitive.len();
+        let i = e.design.case.insensitive.len();
+        let total = (s + i).max(1);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>4} ({:>5.1}%)  {:>4} ({:>5.1}%)",
+            e.built.spec.name,
+            s,
+            100.0 * s as f64 / total as f64,
+            i,
+            100.0 * i as f64 / total as f64
+        );
+    }
+    out
+}
+
+/// Renders Table 7: units of size- and time-related parameters.
+pub fn render_table7(evals: &[Evaluated]) -> String {
+    use spex_core::constraint::{SizeUnit, TimeUnit};
+    let mut out = String::from(
+        "Table 7: units of size- and time-related parameters\n\
+         Software        B   KB   MB   GB |  us   ms    s    m    h\n",
+    );
+    for e in evals {
+        let u = &e.design.units;
+        let _ = writeln!(
+            out,
+            "{:<12} {:>4} {:>4} {:>4} {:>4} | {:>3} {:>4} {:>4} {:>4} {:>4}",
+            e.built.spec.name,
+            u.size_count(SizeUnit::B),
+            u.size_count(SizeUnit::KB),
+            u.size_count(SizeUnit::MB),
+            u.size_count(SizeUnit::GB),
+            u.time_count(TimeUnit::Micro),
+            u.time_count(TimeUnit::Milli),
+            u.time_count(TimeUnit::Sec),
+            u.time_count(TimeUnit::Min),
+            u.time_count(TimeUnit::Hour),
+        );
+    }
+    out
+}
+
+/// Renders Table 8: silent overruling, unsafe APIs, undocumented
+/// constraints.
+pub fn render_table8(evals: &[Evaluated]) -> String {
+    let mut out = String::from(
+        "Table 8: other error-prone configuration design and handling\n\
+         Software     Overrule  UnsafeAPI  Undoc-range  Undoc-dep  Undoc-rel\n",
+    );
+    for e in evals {
+        let unsafe_params = spex_design::unsafe_api::affected_params(&e.design.unsafe_apis).len();
+        let (r, d, v) = e.design.undocumented.counts();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8}  {:>9}  {:>11}  {:>9}  {:>9}",
+            e.built.spec.name,
+            e.design.overruling.len(),
+            unsafe_params,
+            r,
+            d,
+            v
+        );
+    }
+    out
+}
+
+/// Renders Table 9: real-world cases potentially avoided.
+pub fn render_table9() -> String {
+    let cases = spex_systems::corpus::sample_corpus();
+    let mut out = String::from(
+        "Table 9: historical misconfiguration cases potentially avoided\n\
+         Software     Cases  Avoidable\n",
+    );
+    for &(system, _) in spex_systems::corpus::CASE_COUNTS {
+        let (total, avoid, pct) = spex_systems::corpus::table9_row(&cases, system);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5}  {:>4} ({:>4.1}%)",
+            system,
+            total,
+            avoid,
+            100.0 * pct
+        );
+    }
+    out
+}
+
+/// Renders Table 10: breakdown of non-benefiting cases.
+pub fn render_table10() -> String {
+    let cases = spex_systems::corpus::sample_corpus();
+    let mut out = String::from(
+        "Table 10: cases that cannot benefit from SPEX/SPEX-INJ\n\
+         Software     Single-SW  Cross-SW  Conform  GoodReact\n",
+    );
+    for &(system, _) in spex_systems::corpus::CASE_COUNTS {
+        let row = spex_systems::corpus::table10_row(&cases, system);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9}  {:>8}  {:>7}  {:>9}",
+            system, row[0], row[1], row[2], row[3]
+        );
+    }
+    out
+}
+
+/// Renders Table 11: inferred constraints by kind.
+pub fn render_table11(evals: &[Evaluated]) -> String {
+    let mut out = String::from(
+        "Table 11: configuration constraints inferred by SPEX\n\
+         Software     Basic  Semantic  Range  CtrlDep  ValRel  Total\n",
+    );
+    let mut totals = [0usize; 6];
+    for e in evals {
+        let counts = e.analysis.counts_by_category();
+        let g = |k: &str| counts.get(k).copied().unwrap_or(0);
+        let row = [
+            g("basic-type"),
+            g("semantic-type"),
+            g("data-range"),
+            g("control-dep"),
+            g("value-rel"),
+        ];
+        let total: usize = row.iter().sum();
+        for (t, v) in totals.iter_mut().zip(row.iter().chain([&total])) {
+            *t += v;
+        }
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5}  {:>8}  {:>5}  {:>7}  {:>6}  {:>5}",
+            e.built.spec.name, row[0], row[1], row[2], row[3], row[4], total
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5}  {:>8}  {:>5}  {:>7}  {:>6}  {:>5}",
+        "Total", totals[0], totals[1], totals[2], totals[3], totals[4], totals[5]
+    );
+    out
+}
+
+/// Renders Table 12: accuracy of constraint inference.
+pub fn render_table12(evals: &[Evaluated]) -> String {
+    let mut out = String::from(
+        "Table 12: accuracy of constraint inference\n\
+         Software     Basic    Semantic  Range    CtrlDep  ValRel   Overall\n",
+    );
+    let fmt = |a: Option<f64>| match a {
+        Some(v) => format!("{:>6.1}%", 100.0 * v),
+        None => "   N/A ".to_string(),
+    };
+    for e in evals {
+        let _ = writeln!(
+            out,
+            "{:<12} {}  {}  {}  {}  {}  {:>6.1}%",
+            e.built.spec.name,
+            fmt(e.accuracy.accuracy("basic-type")),
+            fmt(e.accuracy.accuracy("semantic-type")),
+            fmt(e.accuracy.accuracy("data-range")),
+            fmt(e.accuracy.accuracy("control-dep")),
+            fmt(e.accuracy.accuracy("value-rel")),
+            100.0 * e.accuracy.overall()
+        );
+    }
+    out
+}
+
+/// Renders Table 1: the mapping-convention survey.
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "Table 1: parameter-to-variable mapping in 18 software projects\n\
+         Software       Desc      Type\n",
+    );
+    for e in spex_systems::survey::SURVEY {
+        let _ = writeln!(out, "{:<14} {:<9} {}", e.software, e.desc, e.convention);
+    }
+    out
+}
+
+/// Renders Table 2: the generation-rule registry.
+pub fn render_table2() -> String {
+    let mut out = String::from(
+        "Table 2: misconfiguration generation rules (plug-ins)\n",
+    );
+    for rule in standard_rules() {
+        let _ = writeln!(out, "  {}", rule.name());
+    }
+    out
+}
+
+/// Renders Table 3: the reaction taxonomy.
+pub fn render_table3() -> String {
+    String::from(
+        "Table 3: the category of bad system reactions\n\
+         Crash/Hang        the system crashes or hangs\n\
+         Early termination exits without pinpointing the injected error\n\
+         Functional failure fails functional testing without pinpointing\n\
+         Silent violation  changes input configurations without notifying\n\
+         Silent ignorance  ignores input configurations\n",
+    )
+}
+
+/// Per-category misconfiguration counts, keyed by the violated constraint
+/// kind (used by benches and summaries).
+pub fn misconfig_mix(misconfigs: &[Misconfig]) -> HashMap<&'static str, usize> {
+    let mut mix = HashMap::new();
+    for m in misconfigs {
+        *mix.entry(m.violates).or_insert(0) += 1;
+    }
+    mix
+}

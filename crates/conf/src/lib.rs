@@ -1,0 +1,266 @@
+//! Configuration-file abstract representation (AR) and dialects.
+//!
+//! SPEX-INJ "uses the configuration file parser in ConfErr to parse a
+//! template configuration file into an abstract representation (AR), and
+//! transforms the modified AR with errors injected to a usable
+//! configuration file for testing" (§3.1). This crate provides that layer:
+//! a dialect-aware parser, a mutation API, and a serializer that
+//! round-trips comments and blank lines.
+//!
+//! Three dialects cover the evaluated systems:
+//! * [`Dialect::KeyValue`] — `name = value` (MySQL, PostgreSQL, VSFTP,
+//!   Storage-A);
+//! * [`Dialect::Directive`] — `Name value...` (Apache httpd);
+//! * [`Dialect::SpaceSeparated`] — `name value` (Squid, OpenLDAP).
+//!
+//! # Examples
+//!
+//! ```
+//! use spex_conf::{ConfFile, Dialect};
+//!
+//! let text = "# comment\nlistener-threads = 16\nlog_path = /var/log\n";
+//! let mut conf = ConfFile::parse(text, Dialect::KeyValue);
+//! conf.set("listener-threads", "32");
+//! let out = conf.serialize();
+//! assert!(out.contains("listener-threads = 32"));
+//! assert!(out.contains("# comment"));
+//! ```
+
+use std::fmt;
+
+/// Configuration-file syntax family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// `name = value` lines.
+    KeyValue,
+    /// `Name value [value...]` directive lines (Apache style).
+    Directive,
+    /// `name value` lines (Squid/OpenLDAP style).
+    SpaceSeparated,
+}
+
+/// One entry of the abstract representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// A comment line (kept verbatim, including the leading `#`).
+    Comment(String),
+    /// A blank line.
+    Blank,
+    /// A parameter setting.
+    Setting {
+        /// Parameter name.
+        name: String,
+        /// Argument list (usually one value; Apache directives may have
+        /// several).
+        args: Vec<String>,
+    },
+}
+
+/// A parsed configuration file: the AR plus its dialect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfFile {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+    /// The syntax used for parsing and serialization.
+    pub dialect: Dialect,
+}
+
+impl ConfFile {
+    /// Parses `text` under the given dialect. Parsing is total: malformed
+    /// lines are preserved as comments so that round-tripping never loses
+    /// content.
+    pub fn parse(text: &str, dialect: Dialect) -> ConfFile {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                entries.push(Entry::Blank);
+                continue;
+            }
+            if trimmed.starts_with('#') || trimmed.starts_with(';') {
+                entries.push(Entry::Comment(line.to_string()));
+                continue;
+            }
+            let setting = match dialect {
+                Dialect::KeyValue => trimmed.split_once('=').map(|(k, v)| Entry::Setting {
+                    name: k.trim().to_string(),
+                    args: vec![v.trim().to_string()],
+                }),
+                Dialect::Directive | Dialect::SpaceSeparated => {
+                    let mut parts = trimmed.split_whitespace();
+                    parts.next().map(|name| Entry::Setting {
+                        name: name.to_string(),
+                        args: parts.map(|s| s.to_string()).collect(),
+                    })
+                }
+            };
+            entries.push(setting.unwrap_or_else(|| Entry::Comment(line.to_string())));
+        }
+        ConfFile { entries, dialect }
+    }
+
+    /// Serializes the AR back to file text.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match e {
+                Entry::Comment(c) => out.push_str(c),
+                Entry::Blank => {}
+                Entry::Setting { name, args } => match self.dialect {
+                    Dialect::KeyValue => {
+                        out.push_str(name);
+                        out.push_str(" = ");
+                        out.push_str(&args.join(" "));
+                    }
+                    Dialect::Directive | Dialect::SpaceSeparated => {
+                        out.push_str(name);
+                        for a in args {
+                            out.push(' ');
+                            out.push_str(a);
+                        }
+                    }
+                },
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The first value of a setting, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries.iter().find_map(|e| match e {
+            Entry::Setting { name: n, args } if n == name => {
+                args.first().map(|s| s.as_str())
+            }
+            _ => None,
+        })
+    }
+
+    /// All settings as `(name, first value)` pairs.
+    pub fn settings(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().filter_map(|e| match e {
+            Entry::Setting { name, args } => {
+                Some((name.as_str(), args.first().map(|s| s.as_str()).unwrap_or("")))
+            }
+            _ => None,
+        })
+    }
+
+    /// Replaces (or appends) the value of `name`. Returns whether an
+    /// existing entry was replaced.
+    pub fn set(&mut self, name: &str, value: &str) -> bool {
+        for e in &mut self.entries {
+            if let Entry::Setting { name: n, args } = e {
+                if n == name {
+                    *args = vec![value.to_string()];
+                    return true;
+                }
+            }
+        }
+        self.entries.push(Entry::Setting {
+            name: name.to_string(),
+            args: vec![value.to_string()],
+        });
+        false
+    }
+
+    /// Removes all settings of `name`. Returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(
+            |e| !matches!(e, Entry::Setting { name: n, .. } if n == name),
+        );
+        before - self.entries.len()
+    }
+
+    /// The 1-based line number of a setting in the serialized output (for
+    /// "pinpoints the line" checks).
+    pub fn line_of(&self, name: &str) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| matches!(e, Entry::Setting { name: n, .. } if n == name))
+            .map(|i| i + 1)
+    }
+}
+
+impl fmt::Display for ConfFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.serialize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_value() {
+        let c = ConfFile::parse("a = 1\nb=2\n", Dialect::KeyValue);
+        assert_eq!(c.get("a"), Some("1"));
+        assert_eq!(c.get("b"), Some("2"));
+        assert_eq!(c.get("c"), None);
+    }
+
+    #[test]
+    fn parses_directives_with_multiple_args() {
+        let c = ConfFile::parse("Listen 0.0.0.0 8080\nServerName web\n", Dialect::Directive);
+        assert_eq!(c.get("Listen"), Some("0.0.0.0"));
+        match &c.entries[0] {
+            Entry::Setting { args, .. } => assert_eq!(args.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_comments_and_blanks() {
+        let text = "# header\n\nkey = value\n# trailing\n";
+        let c = ConfFile::parse(text, Dialect::KeyValue);
+        assert_eq!(c.serialize(), text);
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut c = ConfFile::parse("a = 1\nb = 2\n", Dialect::KeyValue);
+        assert!(c.set("a", "9"));
+        assert_eq!(c.get("a"), Some("9"));
+        // Order preserved.
+        assert_eq!(c.serialize(), "a = 9\nb = 2\n");
+    }
+
+    #[test]
+    fn set_appends_when_missing() {
+        let mut c = ConfFile::parse("a = 1\n", Dialect::KeyValue);
+        assert!(!c.set("new", "x"));
+        assert_eq!(c.get("new"), Some("x"));
+    }
+
+    #[test]
+    fn remove_deletes_settings() {
+        let mut c = ConfFile::parse("a 1\na 2\nb 3\n", Dialect::SpaceSeparated);
+        assert_eq!(c.remove("a"), 2);
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.get("b"), Some("3"));
+    }
+
+    #[test]
+    fn line_numbers_are_stable() {
+        let c = ConfFile::parse("# c\na = 1\nb = 2\n", Dialect::KeyValue);
+        assert_eq!(c.line_of("a"), Some(2));
+        assert_eq!(c.line_of("b"), Some(3));
+        assert_eq!(c.line_of("z"), None);
+    }
+
+    #[test]
+    fn malformed_lines_survive_round_trip() {
+        let text = "!!! not a setting\na = 1\n";
+        let c = ConfFile::parse(text, Dialect::KeyValue);
+        assert!(c.serialize().contains("!!! not a setting"));
+    }
+
+    #[test]
+    fn settings_iterator() {
+        let c = ConfFile::parse("a = 1\n# x\nb = 2\n", Dialect::KeyValue);
+        let all: Vec<(&str, &str)> = c.settings().collect();
+        assert_eq!(all, vec![("a", "1"), ("b", "2")]);
+    }
+}

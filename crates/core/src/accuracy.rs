@@ -1,0 +1,170 @@
+//! Inference-accuracy evaluation (§4.3, Table 12).
+//!
+//! The paper manually examined all 3800 inferred constraints against the
+//! code; here the subject systems are generated from specs, so the ground
+//! truth is known exactly and the comparison is mechanical. Accuracy per
+//! category = true positives / all inferred in that category.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use std::collections::HashMap;
+
+/// Ground-truth constraint used for matching. Matching is intentionally
+/// shape-based: the right parameter and the right payload essence, ignoring
+/// provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthConstraint {
+    /// Parameter name.
+    pub param: String,
+    /// Category (one of the five of Table 11).
+    pub category: &'static str,
+    /// Category-specific matching key, e.g. `"[4,255]"` for a range or the
+    /// controller name for a dependency.
+    pub key: String,
+}
+
+/// Builds the matching key of an inferred constraint.
+pub fn constraint_key(c: &Constraint) -> String {
+    match &c.kind {
+        ConstraintKind::BasicType(b) => b.to_string(),
+        ConstraintKind::SemanticType(s) => s.to_string(),
+        ConstraintKind::Range(r) => match r.valid_interval() {
+            Some((lo, hi)) => format!(
+                "[{},{}]",
+                lo.map(|v| v.to_string()).unwrap_or_else(|| "-inf".into()),
+                hi.map(|v| v.to_string()).unwrap_or_else(|| "+inf".into())
+            ),
+            None => "range".into(),
+        },
+        ConstraintKind::EnumRange(e) => {
+            let mut vals: Vec<String> = e.alternatives.iter().map(|a| a.value.to_string()).collect();
+            vals.sort();
+            format!("{{{}}}", vals.join(","))
+        }
+        ConstraintKind::ControlDep(d) => format!("{}{}{}", d.controller, d.op, d.value),
+        ConstraintKind::ValueRel(v) => format!("{}{}{}", v.lhs, v.op, v.rhs),
+    }
+}
+
+/// Per-category accuracy numbers.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyReport {
+    /// Category → (inferred count, true-positive count).
+    pub by_category: HashMap<&'static str, (usize, usize)>,
+    /// Ground-truth constraints that were missed entirely (false
+    /// negatives), per category.
+    pub missed: HashMap<&'static str, usize>,
+}
+
+impl AccuracyReport {
+    /// Accuracy of one category (`None` when nothing was inferred).
+    pub fn accuracy(&self, category: &str) -> Option<f64> {
+        self.by_category
+            .get(category)
+            .filter(|(inferred, _)| *inferred > 0)
+            .map(|(inferred, tp)| *tp as f64 / *inferred as f64)
+    }
+
+    /// Overall accuracy across categories.
+    pub fn overall(&self) -> f64 {
+        let (inf, tp) = self
+            .by_category
+            .values()
+            .fold((0usize, 0usize), |(a, b), (i, t)| (a + i, b + t));
+        if inf == 0 {
+            1.0
+        } else {
+            tp as f64 / inf as f64
+        }
+    }
+}
+
+/// Compares inferred constraints with the ground truth.
+pub fn evaluate_accuracy(
+    inferred: &[Constraint],
+    truth: &[TruthConstraint],
+) -> AccuracyReport {
+    let mut report = AccuracyReport::default();
+    let mut matched_truth = vec![false; truth.len()];
+    for c in inferred {
+        let cat = c.kind.category();
+        let key = constraint_key(c);
+        let hit = truth.iter().enumerate().find(|(i, t)| {
+            !matched_truth[*i] && t.param == c.param && t.category == cat && t.key == key
+        });
+        let entry = report.by_category.entry(cat).or_insert((0, 0));
+        entry.0 += 1;
+        if let Some((i, _)) = hit {
+            matched_truth[i] = true;
+            entry.1 += 1;
+        }
+    }
+    for (i, t) in truth.iter().enumerate() {
+        if !matched_truth[i] {
+            *report.missed.entry(t.category).or_insert(0) += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{BasicType, Constraint, ConstraintKind};
+    use spex_lang::diag::Span;
+
+    fn basic(param: &str, bits: u8) -> Constraint {
+        Constraint {
+            param: param.into(),
+            kind: ConstraintKind::BasicType(BasicType::Int { bits, signed: true }),
+            in_function: String::new(),
+            span: Span::unknown(),
+        }
+    }
+
+    fn truth(param: &str, key: &str) -> TruthConstraint {
+        TruthConstraint {
+            param: param.into(),
+            category: "basic-type",
+            key: key.into(),
+        }
+    }
+
+    #[test]
+    fn perfect_match_is_full_accuracy() {
+        let inferred = vec![basic("a", 32), basic("b", 64)];
+        let truths = vec![truth("a", "32-bit INTEGER"), truth("b", "64-bit INTEGER")];
+        let r = evaluate_accuracy(&inferred, &truths);
+        assert_eq!(r.accuracy("basic-type"), Some(1.0));
+        assert_eq!(r.overall(), 1.0);
+        assert!(r.missed.is_empty());
+    }
+
+    #[test]
+    fn wrong_attribution_is_a_false_positive() {
+        // The aliasing failure mode: constraint attributed to the wrong
+        // parameter.
+        let inferred = vec![basic("a", 32), basic("b", 32)];
+        let truths = vec![truth("a", "32-bit INTEGER"), truth("c", "32-bit INTEGER")];
+        let r = evaluate_accuracy(&inferred, &truths);
+        assert_eq!(r.accuracy("basic-type"), Some(0.5));
+        assert_eq!(r.missed.get("basic-type"), Some(&1));
+    }
+
+    #[test]
+    fn missed_constraints_are_counted() {
+        let inferred = vec![];
+        let truths = vec![truth("a", "32-bit INTEGER")];
+        let r = evaluate_accuracy(&inferred, &truths);
+        assert_eq!(r.accuracy("basic-type"), None);
+        assert_eq!(r.missed.get("basic-type"), Some(&1));
+        assert_eq!(r.overall(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_inferences_count_once_as_tp() {
+        let inferred = vec![basic("a", 32), basic("a", 32)];
+        let truths = vec![truth("a", "32-bit INTEGER")];
+        let r = evaluate_accuracy(&inferred, &truths);
+        assert_eq!(r.by_category.get("basic-type"), Some(&(2, 1)));
+    }
+}

@@ -1,0 +1,224 @@
+//! Semantic signatures of known system and library APIs.
+//!
+//! SPEX "supports the high-level semantic types of most standard libraries"
+//! (§2.2.2): when a parameter's data flow reaches a known call's argument,
+//! the argument position's semantic type becomes a constraint. Projects can
+//! import their own APIs (the paper did this for the commercial Storage-A
+//! system); [`ApiSpec::with_custom`] mirrors that.
+
+use crate::constraint::{SemType, SizeUnit, TimeUnit};
+use spex_lang::builtins::Builtin;
+use std::collections::HashMap;
+
+/// Semantic meaning of one argument position of one API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgSpec {
+    /// Zero-based argument index.
+    pub arg: usize,
+    /// The semantic type conferred on values flowing into that argument.
+    pub sem: SemType,
+}
+
+/// The registry of API semantic signatures.
+#[derive(Debug, Clone, Default)]
+pub struct ApiSpec {
+    builtin_args: HashMap<Builtin, Vec<ArgSpec>>,
+    /// Custom (project-imported) signatures for *defined* functions, by
+    /// function name.
+    custom_args: HashMap<String, Vec<ArgSpec>>,
+    /// Builtins whose return value carries a semantic type (for the
+    /// "compared or assigned with the return value of a known call"
+    /// pattern, e.g. `time()`).
+    builtin_ret: HashMap<Builtin, SemType>,
+}
+
+impl ApiSpec {
+    /// The standard-library registry.
+    pub fn standard() -> ApiSpec {
+        use Builtin as B;
+        use SemType as S;
+        let mut spec = ApiSpec::default();
+        let mut add = |b: Builtin, arg: usize, sem: SemType| {
+            spec.builtin_args
+                .entry(b)
+                .or_default()
+                .push(ArgSpec { arg, sem });
+        };
+
+        // Files and directories.
+        add(B::Open, 0, S::FilePath);
+        add(B::Fopen, 0, S::FilePath);
+        add(B::Stat, 0, S::FilePath);
+        add(B::Access, 0, S::FilePath);
+        add(B::Unlink, 0, S::FilePath);
+        add(B::Chmod, 0, S::FilePath);
+        add(B::Chmod, 1, S::Permission);
+        add(B::Mkdir, 0, S::DirPath);
+        add(B::Mkdir, 1, S::Permission);
+        add(B::Opendir, 0, S::DirPath);
+        add(B::Chroot, 0, S::DirPath);
+
+        // Networking.
+        add(B::Bind, 1, S::Port);
+        add(B::Htons, 0, S::Port);
+        add(B::SockaddrSetPort, 1, S::Port);
+        add(B::InetAddr, 0, S::IpAddr);
+        add(B::Gethostbyname, 0, S::Hostname);
+        add(B::Listen, 1, S::Size(SizeUnit::B)); // Backlog: a count, modelled as plain size.
+
+        // Users and groups.
+        add(B::Getpwnam, 0, S::UserName);
+        add(B::Getgrnam, 0, S::GroupName);
+
+        // Time.
+        add(B::Sleep, 0, S::Time(TimeUnit::Sec));
+        add(B::Alarm, 0, S::Time(TimeUnit::Sec));
+        add(B::Usleep, 0, S::Time(TimeUnit::Micro));
+
+        // Memory.
+        add(B::Malloc, 0, S::Size(SizeUnit::B));
+        add(B::Calloc, 1, S::Size(SizeUnit::B));
+
+        spec.builtin_ret.insert(B::Time, S::Time(TimeUnit::Sec));
+        spec
+    }
+
+    /// Extends the registry with custom signatures for defined functions
+    /// (the paper's proprietary-API import, §2.2.2).
+    pub fn with_custom(mut self, custom: impl IntoIterator<Item = (String, Vec<ArgSpec>)>) -> Self {
+        for (name, args) in custom {
+            self.custom_args.entry(name).or_default().extend(args);
+        }
+        self
+    }
+
+    /// Semantic type of a builtin's argument position, if known.
+    pub fn builtin_arg(&self, b: Builtin, arg: usize) -> Option<SemType> {
+        self.builtin_args
+            .get(&b)?
+            .iter()
+            .find(|s| s.arg == arg)
+            .map(|s| s.sem)
+    }
+
+    /// Semantic type of a defined function's argument position (custom
+    /// imports only).
+    pub fn custom_arg(&self, name: &str, arg: usize) -> Option<SemType> {
+        self.custom_args
+            .get(name)?
+            .iter()
+            .find(|s| s.arg == arg)
+            .map(|s| s.sem)
+    }
+
+    /// Semantic type of a builtin's return value, if known.
+    pub fn builtin_ret(&self, b: Builtin) -> Option<SemType> {
+        self.builtin_ret.get(&b).copied()
+    }
+
+    /// Applies a constant multiplication factor observed on the data-flow
+    /// path *before* the API call to refine a unit-carrying semantic type.
+    ///
+    /// Example (Figure 6b): `ap_max_mem_free = value * 1024` flowing into a
+    /// byte-sized context means the parameter's unit is KB.
+    pub fn scale_unit(sem: SemType, factor: i64) -> SemType {
+        if factor <= 1 {
+            return sem;
+        }
+        match sem {
+            SemType::Size(base) => {
+                let scaled = base.in_bytes().saturating_mul(factor);
+                SizeUnit::from_bytes(scaled).map(SemType::Size).unwrap_or(sem)
+            }
+            SemType::Time(base) => {
+                let scaled = base.in_micros().saturating_mul(factor);
+                TimeUnit::from_micros(scaled).map(SemType::Time).unwrap_or(sem)
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_and_port_signatures() {
+        let spec = ApiSpec::standard();
+        assert_eq!(spec.builtin_arg(Builtin::Open, 0), Some(SemType::FilePath));
+        assert_eq!(spec.builtin_arg(Builtin::Bind, 1), Some(SemType::Port));
+        assert_eq!(spec.builtin_arg(Builtin::Open, 1), None);
+        assert_eq!(spec.builtin_arg(Builtin::Strcmp, 0), None);
+    }
+
+    #[test]
+    fn time_signatures_carry_units() {
+        let spec = ApiSpec::standard();
+        assert_eq!(
+            spec.builtin_arg(Builtin::Sleep, 0),
+            Some(SemType::Time(TimeUnit::Sec))
+        );
+        assert_eq!(
+            spec.builtin_arg(Builtin::Usleep, 0),
+            Some(SemType::Time(TimeUnit::Micro))
+        );
+    }
+
+    #[test]
+    fn return_value_semantics() {
+        let spec = ApiSpec::standard();
+        assert_eq!(
+            spec.builtin_ret(Builtin::Time),
+            Some(SemType::Time(TimeUnit::Sec))
+        );
+        assert_eq!(spec.builtin_ret(Builtin::Open), None);
+    }
+
+    #[test]
+    fn custom_import() {
+        let spec = ApiSpec::standard().with_custom([(
+            "wafl_set_volume".to_string(),
+            vec![ArgSpec {
+                arg: 0,
+                sem: SemType::DirPath,
+            }],
+        )]);
+        assert_eq!(
+            spec.custom_arg("wafl_set_volume", 0),
+            Some(SemType::DirPath)
+        );
+        assert_eq!(spec.custom_arg("unknown_fn", 0), None);
+    }
+
+    #[test]
+    fn unit_scaling() {
+        // value * 1024 into a byte API => parameter is KB.
+        assert_eq!(
+            ApiSpec::scale_unit(SemType::Size(SizeUnit::B), 1024),
+            SemType::Size(SizeUnit::KB)
+        );
+        // value * 1024 * 1024.
+        assert_eq!(
+            ApiSpec::scale_unit(SemType::Size(SizeUnit::B), 1 << 20),
+            SemType::Size(SizeUnit::MB)
+        );
+        // sleep(minutes * 60) => parameter is minutes.
+        assert_eq!(
+            ApiSpec::scale_unit(SemType::Time(TimeUnit::Sec), 60),
+            SemType::Time(TimeUnit::Min)
+        );
+        // usleep(ms * 1000) => parameter is milliseconds.
+        assert_eq!(
+            ApiSpec::scale_unit(SemType::Time(TimeUnit::Micro), 1000),
+            SemType::Time(TimeUnit::Milli)
+        );
+        // Unrecognised factors leave the unit unchanged.
+        assert_eq!(
+            ApiSpec::scale_unit(SemType::Size(SizeUnit::B), 7),
+            SemType::Size(SizeUnit::B)
+        );
+        // Non-unit types are unaffected.
+        assert_eq!(ApiSpec::scale_unit(SemType::Port, 1024), SemType::Port);
+    }
+}

@@ -1,0 +1,623 @@
+//! The configuration-constraint model (§2.1 of the paper).
+//!
+//! "A constraint for a configuration parameter specifies its data type,
+//! format, value range, dependency and correlation with other parameters,
+//! etc., in order to configure the parameter correctly."
+
+use spex_lang::diag::Span;
+use spex_lang::types::CType;
+use std::fmt;
+
+/// Low-level data representation of a parameter (basic-type constraint,
+/// Figure 3a).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BasicType {
+    /// Boolean.
+    Bool,
+    /// Integer with width and signedness (e.g. "32-bit integer").
+    Int {
+        /// Width in bits.
+        bits: u8,
+        /// Signedness.
+        signed: bool,
+    },
+    /// Floating-point number.
+    Float {
+        /// Width in bits.
+        bits: u8,
+    },
+    /// Free-form string.
+    Str,
+    /// One of a fixed set of words/values (enumerative).
+    Enum,
+}
+
+impl BasicType {
+    /// Derives a basic type from a C type.
+    pub fn from_ctype(ty: &CType) -> BasicType {
+        match ty {
+            CType::Bool => BasicType::Bool,
+            CType::Int { bits: 8, .. } => BasicType::Int {
+                bits: 8,
+                signed: true,
+            },
+            CType::Int { bits, signed } => BasicType::Int {
+                bits: *bits,
+                signed: *signed,
+            },
+            CType::Float { bits } => BasicType::Float { bits: *bits },
+            CType::Enum(_) => BasicType::Enum,
+            t if t.is_string() => BasicType::Str,
+            CType::Ptr(_) | CType::FuncPtr | CType::Array(..) => BasicType::Str,
+            CType::Struct(_) | CType::Void => BasicType::Str,
+        }
+    }
+}
+
+impl fmt::Display for BasicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicType::Bool => write!(f, "BOOL"),
+            BasicType::Int { bits, signed } => {
+                write!(f, "{}-bit {}INTEGER", bits, if *signed { "" } else { "unsigned " })
+            }
+            BasicType::Float { bits } => write!(f, "{bits}-bit FLOAT"),
+            BasicType::Str => write!(f, "STRING"),
+            BasicType::Enum => write!(f, "ENUM"),
+        }
+    }
+}
+
+/// Time units (Table 7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TimeUnit {
+    /// Microseconds.
+    Micro,
+    /// Milliseconds.
+    Milli,
+    /// Seconds.
+    Sec,
+    /// Minutes.
+    Min,
+    /// Hours.
+    Hour,
+}
+
+impl TimeUnit {
+    /// Value of one unit in microseconds.
+    pub fn in_micros(&self) -> i64 {
+        match self {
+            TimeUnit::Micro => 1,
+            TimeUnit::Milli => 1_000,
+            TimeUnit::Sec => 1_000_000,
+            TimeUnit::Min => 60_000_000,
+            TimeUnit::Hour => 3_600_000_000,
+        }
+    }
+
+    /// The unit whose microsecond value equals `micros`, if any.
+    pub fn from_micros(micros: i64) -> Option<TimeUnit> {
+        [
+            TimeUnit::Micro,
+            TimeUnit::Milli,
+            TimeUnit::Sec,
+            TimeUnit::Min,
+            TimeUnit::Hour,
+        ]
+        .into_iter()
+        .find(|u| u.in_micros() == micros)
+    }
+}
+
+impl fmt::Display for TimeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeUnit::Micro => write!(f, "us"),
+            TimeUnit::Milli => write!(f, "ms"),
+            TimeUnit::Sec => write!(f, "s"),
+            TimeUnit::Min => write!(f, "m"),
+            TimeUnit::Hour => write!(f, "h"),
+        }
+    }
+}
+
+/// Size units (Table 7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SizeUnit {
+    /// Bytes.
+    B,
+    /// Kibibytes.
+    KB,
+    /// Mebibytes.
+    MB,
+    /// Gibibytes.
+    GB,
+}
+
+impl SizeUnit {
+    /// Value of one unit in bytes.
+    pub fn in_bytes(&self) -> i64 {
+        match self {
+            SizeUnit::B => 1,
+            SizeUnit::KB => 1 << 10,
+            SizeUnit::MB => 1 << 20,
+            SizeUnit::GB => 1 << 30,
+        }
+    }
+
+    /// The unit whose byte value equals `bytes`, if any.
+    pub fn from_bytes(bytes: i64) -> Option<SizeUnit> {
+        [SizeUnit::B, SizeUnit::KB, SizeUnit::MB, SizeUnit::GB]
+            .into_iter()
+            .find(|u| u.in_bytes() == bytes)
+    }
+}
+
+impl fmt::Display for SizeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizeUnit::B => write!(f, "B"),
+            SizeUnit::KB => write!(f, "KB"),
+            SizeUnit::MB => write!(f, "MB"),
+            SizeUnit::GB => write!(f, "GB"),
+        }
+    }
+}
+
+/// High-level semantic types recognised from known APIs (§2.2.2,
+/// Figures 3b/3c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemType {
+    /// Path that must name an existing regular file.
+    FilePath,
+    /// Path that must name a directory.
+    DirPath,
+    /// TCP/UDP port number.
+    Port,
+    /// Dotted-quad IP address.
+    IpAddr,
+    /// Resolvable host name.
+    Hostname,
+    /// Existing user name.
+    UserName,
+    /// Existing group name.
+    GroupName,
+    /// Time duration in the given unit.
+    Time(TimeUnit),
+    /// Memory/disk size in the given unit.
+    Size(SizeUnit),
+    /// Octal permission mask.
+    Permission,
+}
+
+impl fmt::Display for SemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemType::FilePath => write!(f, "FILE"),
+            SemType::DirPath => write!(f, "DIR"),
+            SemType::Port => write!(f, "PORT"),
+            SemType::IpAddr => write!(f, "IPADDR"),
+            SemType::Hostname => write!(f, "HOST"),
+            SemType::UserName => write!(f, "USER"),
+            SemType::GroupName => write!(f, "GROUP"),
+            SemType::Time(u) => write!(f, "TIME({u})"),
+            SemType::Size(u) => write!(f, "SIZE({u})"),
+            SemType::Permission => write!(f, "PERM"),
+        }
+    }
+}
+
+/// Comparison operator in constraints (the paper's ⋄).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(&self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// The negated operator (`!(a < b)` ⇔ `a >= b`).
+    pub fn negated(&self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Evaluates `a ⋄ b`.
+    pub fn eval(&self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Gt => a > b,
+            CmpOp::Le => a <= b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Converts an AST comparison operator.
+    pub fn from_binop(op: spex_lang::ast::BinOp) -> Option<CmpOp> {
+        use spex_lang::ast::BinOp as B;
+        Some(match op {
+            B::Lt => CmpOp::Lt,
+            B::Gt => CmpOp::Gt,
+            B::Le => CmpOp::Le,
+            B::Ge => CmpOp::Ge,
+            B::Eq => CmpOp::Eq,
+            B::Ne => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One contiguous numeric subrange with its validity classification
+/// (§2.2.3: "SPEX further decides whether the range is valid or not by
+/// analyzing the program behavior within the corresponding branch blocks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeSegment {
+    /// Inclusive lower bound (`None` = −∞).
+    pub lo: Option<i64>,
+    /// Inclusive upper bound (`None` = +∞).
+    pub hi: Option<i64>,
+    /// Whether values in this segment are valid settings.
+    pub valid: bool,
+}
+
+impl RangeSegment {
+    /// Whether `v` falls inside the segment.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo.map(|lo| v >= lo).unwrap_or(true) && self.hi.map(|hi| v <= hi).unwrap_or(true)
+    }
+
+    /// A representative value inside the segment, preferring small
+    /// magnitudes.
+    pub fn sample(&self) -> i64 {
+        match (self.lo, self.hi) {
+            (Some(lo), Some(hi)) => lo + (hi - lo) / 2,
+            (Some(lo), None) => lo.saturating_add(1),
+            (None, Some(hi)) => hi.saturating_sub(1),
+            (None, None) => 0,
+        }
+    }
+}
+
+/// A numeric data-range constraint (Figure 3d).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NumericRange {
+    /// Distinct comparison thresholds found on the data-flow path, sorted.
+    pub cutpoints: Vec<i64>,
+    /// Partition of the number line with validity classification, in
+    /// ascending order.
+    pub segments: Vec<RangeSegment>,
+}
+
+impl NumericRange {
+    /// The tightest contiguous valid interval, if any segment is valid.
+    pub fn valid_interval(&self) -> Option<(Option<i64>, Option<i64>)> {
+        let valid: Vec<&RangeSegment> = self.segments.iter().filter(|s| s.valid).collect();
+        match (valid.first(), valid.last()) {
+            (Some(a), Some(b)) => Some((a.lo, b.hi)),
+            _ => None,
+        }
+    }
+
+    /// Whether `v` is classified valid.
+    pub fn is_valid(&self, v: i64) -> bool {
+        self.segments
+            .iter()
+            .find(|s| s.contains(v))
+            .map(|s| s.valid)
+            .unwrap_or(true)
+    }
+
+    /// Sample values from invalid segments — the injection targets.
+    pub fn invalid_samples(&self) -> Vec<i64> {
+        self.segments
+            .iter()
+            .filter(|s| !s.valid)
+            .map(|s| s.sample())
+            .collect()
+    }
+}
+
+/// One alternative of an enumerative range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumAlternative {
+    /// The accepted value.
+    pub value: EnumValue,
+    /// Whether this alternative is a valid setting.
+    pub valid: bool,
+}
+
+/// The value of an enumerative alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnumValue {
+    /// Integer alternative (from `switch`/integer `if` chains).
+    Int(i64),
+    /// Word alternative (from `strcmp` chains).
+    Str(String),
+}
+
+impl fmt::Display for EnumValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumValue::Int(v) => write!(f, "{v}"),
+            EnumValue::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// An enumerative data-range constraint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnumRange {
+    /// Recognised alternatives.
+    pub alternatives: Vec<EnumAlternative>,
+    /// What happens to unmatched input: `true` when the fall-through arm is
+    /// an error path (invalid), `false` when the input is silently coerced
+    /// (the "silent overruling" pattern of §3.2, Figure 6c).
+    pub unmatched_is_error: bool,
+    /// Whether the fall-through arm overwrites the parameter's variable —
+    /// the same location the match arms assign. Together with
+    /// `!unmatched_is_error` this is the silent-overruling signature.
+    pub unmatched_overwrites: bool,
+    /// Whether string alternatives are matched case-insensitively.
+    pub case_insensitive: bool,
+}
+
+/// A control-dependency constraint `(P, V, ⋄) → Q` (§2.2.4, Figure 3e):
+/// parameter `dependent` takes effect only when `controller ⋄ value` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlDep {
+    /// The controlling parameter P.
+    pub controller: String,
+    /// The constant V that P is compared against.
+    pub value: i64,
+    /// The comparison ⋄.
+    pub op: CmpOp,
+    /// The dependent parameter Q.
+    pub dependent: String,
+    /// MAY-belief confidence (fraction of Q's usage sites guarded by the
+    /// check); reported only when ≥ the 0.75 threshold.
+    pub confidence: f64,
+}
+
+impl fmt::Display for ControlDep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(\"{}\", {}, {}) -> \"{}\"",
+            self.controller, self.value, self.op, self.dependent
+        )
+    }
+}
+
+/// A value-relationship constraint `P ⋄ Q` (§2.2.5, Figure 3f).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueRel {
+    /// Left-hand parameter.
+    pub lhs: String,
+    /// Relation that must hold for a valid configuration.
+    pub op: CmpOp,
+    /// Right-hand parameter.
+    pub rhs: String,
+}
+
+impl fmt::Display for ValueRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\" {} \"{}\"", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// The payload of a constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintKind {
+    /// Basic data type.
+    BasicType(BasicType),
+    /// Semantic type.
+    SemanticType(SemType),
+    /// Numeric range.
+    Range(NumericRange),
+    /// Enumerative range.
+    EnumRange(EnumRange),
+    /// Control dependency on another parameter.
+    ControlDep(ControlDep),
+    /// Value relationship with another parameter.
+    ValueRel(ValueRel),
+}
+
+impl ConstraintKind {
+    /// Coarse category name, matching the columns of Table 11.
+    pub fn category(&self) -> &'static str {
+        match self {
+            ConstraintKind::BasicType(_) => "basic-type",
+            ConstraintKind::SemanticType(_) => "semantic-type",
+            ConstraintKind::Range(_) | ConstraintKind::EnumRange(_) => "data-range",
+            ConstraintKind::ControlDep(_) => "control-dep",
+            ConstraintKind::ValueRel(_) => "value-rel",
+        }
+    }
+}
+
+/// One inferred constraint with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// The constrained parameter.
+    pub param: String,
+    /// What the constraint says.
+    pub kind: ConstraintKind,
+    /// Function the evidence was found in (empty when not applicable).
+    pub in_function: String,
+    /// Source location of the evidence.
+    pub span: Span,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ConstraintKind::BasicType(t) => write!(f, "\"{}\" has basic type {t}", self.param),
+            ConstraintKind::SemanticType(t) => {
+                write!(f, "\"{}\" has semantic type {t}", self.param)
+            }
+            ConstraintKind::Range(r) => match r.valid_interval() {
+                Some((lo, hi)) => write!(
+                    f,
+                    "\"{}\" valid range [{}, {}]",
+                    self.param,
+                    lo.map(|v| v.to_string()).unwrap_or_else(|| "-inf".into()),
+                    hi.map(|v| v.to_string()).unwrap_or_else(|| "+inf".into()),
+                ),
+                None => write!(f, "\"{}\" has a range constraint", self.param),
+            },
+            ConstraintKind::EnumRange(e) => {
+                let vals: Vec<String> = e
+                    .alternatives
+                    .iter()
+                    .map(|a| a.value.to_string())
+                    .collect();
+                write!(f, "\"{}\" in {{{}}}", self.param, vals.join(", "))
+            }
+            ConstraintKind::ControlDep(d) => write!(f, "{d}"),
+            ConstraintKind::ValueRel(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_type_from_ctype() {
+        assert_eq!(BasicType::from_ctype(&CType::int()), BasicType::Int {
+            bits: 32,
+            signed: true
+        });
+        assert_eq!(BasicType::from_ctype(&CType::string()), BasicType::Str);
+        assert_eq!(BasicType::from_ctype(&CType::Bool), BasicType::Bool);
+    }
+
+    #[test]
+    fn cmp_op_algebra() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+        assert!(CmpOp::Le.eval(3, 3));
+        assert!(!CmpOp::Gt.eval(3, 3));
+    }
+
+    #[test]
+    fn range_segment_membership_and_sampling() {
+        let s = RangeSegment {
+            lo: Some(4),
+            hi: Some(255),
+            valid: true,
+        };
+        assert!(s.contains(4));
+        assert!(s.contains(255));
+        assert!(!s.contains(3));
+        assert!(s.contains(s.sample()));
+        let open = RangeSegment {
+            lo: Some(256),
+            hi: None,
+            valid: false,
+        };
+        assert!(open.contains(open.sample()));
+    }
+
+    #[test]
+    fn numeric_range_validity() {
+        // OpenLDAP index_intlen: [4, 255] valid, outside invalid.
+        let r = NumericRange {
+            cutpoints: vec![4, 255],
+            segments: vec![
+                RangeSegment {
+                    lo: None,
+                    hi: Some(3),
+                    valid: false,
+                },
+                RangeSegment {
+                    lo: Some(4),
+                    hi: Some(255),
+                    valid: true,
+                },
+                RangeSegment {
+                    lo: Some(256),
+                    hi: None,
+                    valid: false,
+                },
+            ],
+        };
+        assert!(r.is_valid(100));
+        assert!(!r.is_valid(300));
+        assert_eq!(r.valid_interval(), Some((Some(4), Some(255))));
+        let samples = r.invalid_samples();
+        assert_eq!(samples.len(), 2);
+        assert!(samples.iter().all(|v| !r.is_valid(*v)));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(TimeUnit::Milli.in_micros(), 1_000);
+        assert_eq!(TimeUnit::from_micros(3_600_000_000), Some(TimeUnit::Hour));
+        assert_eq!(SizeUnit::from_bytes(1 << 20), Some(SizeUnit::MB));
+        assert_eq!(SizeUnit::from_bytes(12345), None);
+    }
+
+    #[test]
+    fn constraint_display_forms() {
+        let c = Constraint {
+            param: "fsync".into(),
+            kind: ConstraintKind::ControlDep(ControlDep {
+                controller: "fsync".into(),
+                value: 0,
+                op: CmpOp::Ne,
+                dependent: "commit_siblings".into(),
+                confidence: 1.0,
+            }),
+            in_function: "RecordTransactionCommit".into(),
+            span: Span::unknown(),
+        };
+        assert_eq!(c.to_string(), "(\"fsync\", 0, !=) -> \"commit_siblings\"");
+        assert_eq!(c.kind.category(), "control-dep");
+    }
+}

@@ -1,0 +1,209 @@
+//! Raw per-parameter evidence consumed by the error-prone-design detectors
+//! (§3.2 of the paper).
+//!
+//! The detectors need more than the distilled constraints: which comparison
+//! functions touched the parameter (case sensitivity), which conversion
+//! APIs parsed it (unsafe-API detection), and where its storage is silently
+//! overwritten (silent violation / overruling).
+
+use crate::infer::branch::region_logs;
+use spex_dataflow::{AnalyzedModule, MemLoc, TaintResult};
+use spex_ir::{BlockId, Callee, FuncId, Instr};
+use spex_lang::builtins::Builtin;
+use spex_lang::diag::Span;
+
+/// A string comparison applied to the parameter's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringCmpEvidence {
+    /// The comparison builtin used.
+    pub builtin: Builtin,
+    /// Whether it ignores case.
+    pub case_insensitive: bool,
+    /// The literal compared against, when constant.
+    pub literal: Option<String>,
+    /// Containing function.
+    pub in_function: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A silent overwrite of the parameter's storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetEvidence {
+    /// Containing function.
+    pub in_function: String,
+    /// Source location of the store.
+    pub span: Span,
+    /// Whether any log call appears in the same block's region.
+    pub logged: bool,
+}
+
+/// Everything the design detectors need about one parameter.
+#[derive(Debug, Clone, Default)]
+pub struct Evidence {
+    /// String comparisons on the value path.
+    pub string_comparisons: Vec<StringCmpEvidence>,
+    /// Unsafe transformation APIs applied to the value (`atoi`, `sscanf`,
+    /// `sprintf`).
+    pub unsafe_apis: Vec<(Builtin, String, Span)>,
+    /// Safe transformation APIs applied to the value (`strtol` family).
+    pub safe_apis: Vec<(Builtin, String, Span)>,
+    /// Overwrites of the parameter's storage.
+    pub resets: Vec<ResetEvidence>,
+    /// Behavioural usage sites (function, block) — the denominator of the
+    /// MAY-belief confidence, also used by the injection harness to decide
+    /// whether a parameter is observable.
+    pub usage_sites: Vec<(FuncId, BlockId)>,
+}
+
+/// Collects evidence for one parameter.
+pub fn collect(am: &AnalyzedModule, _param: &crate::mapping::MappedParam, taint: &TaintResult) -> Evidence {
+    let mut ev = Evidence::default();
+    for fid in taint.touched_functions() {
+        let func = am.module.func(fid);
+        for (b, _, instr, span) in func.iter_instrs() {
+            match instr {
+                Instr::Call {
+                    callee: Callee::Builtin(bi),
+                    args,
+                    dst,
+                } => {
+                    // A call is on the parameter's flow when an argument is
+                    // tainted, or when its result is a taint root (the
+                    // comparison-mapping case roots the conversion result).
+                    let any_tainted = args.iter().any(|a| taint.is_tainted(fid, *a))
+                        || dst.map(|d| taint.is_tainted(fid, d)).unwrap_or(false);
+                    if !any_tainted {
+                        continue;
+                    }
+                    if bi.is_string_comparison() {
+                        let literal = args
+                            .iter()
+                            .find_map(|a| crate::mapping::const_str(am, fid, *a));
+                        ev.string_comparisons.push(StringCmpEvidence {
+                            builtin: *bi,
+                            case_insensitive: bi.is_case_insensitive(),
+                            literal,
+                            in_function: func.name.clone(),
+                            span,
+                        });
+                    }
+                    if bi.is_unsafe_transform() {
+                        ev.unsafe_apis.push((*bi, func.name.clone(), span));
+                    }
+                    if bi.is_safe_transform() {
+                        ev.safe_apis.push((*bi, func.name.clone(), span));
+                    }
+                    if bi.is_behavioral_use() {
+                        ev.usage_sites.push((fid, b));
+                    }
+                }
+                Instr::Store { place, .. } => {
+                    let hits = MemLoc::from_place(fid, place)
+                        .map(|loc| taint.mem.keys().any(|l| l.may_alias(&loc)))
+                        .unwrap_or(false);
+                    if hits {
+                        ev.resets.push(ResetEvidence {
+                            in_function: func.name.clone(),
+                            span,
+                            logged: region_logs(am, fid, b),
+                        });
+                    }
+                }
+                Instr::Bin { lhs, rhs, .. }
+                    if (taint.is_tainted(fid, *lhs) || taint.is_tainted(fid, *rhs)) => {
+                        ev.usage_sites.push((fid, b));
+                    }
+                _ => {}
+            }
+        }
+    }
+    ev
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::annotations::Annotation;
+    use crate::infer::Spex;
+    use spex_lang::builtins::Builtin;
+
+    const TABLE_ANN: &str = "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }";
+
+    fn analyze(src: &str) -> crate::infer::SpexAnalysis {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let anns = Annotation::parse(TABLE_ANN).unwrap();
+        Spex::analyze(m, &anns)
+    }
+
+    #[test]
+    fn records_case_insensitive_comparison() {
+        let a = analyze(
+            r#"
+            char* method = "fsync";
+            struct opt { char* name; char* var; };
+            struct opt options[] = { { "sync_method", &method } };
+            void pick() {
+                if (strcasecmp(method, "fsync") == 0) { printf("fsync"); }
+            }
+            "#,
+        );
+        let ev = &a.param("sync_method").unwrap().evidence;
+        assert_eq!(ev.string_comparisons.len(), 1);
+        assert!(ev.string_comparisons[0].case_insensitive);
+        assert_eq!(ev.string_comparisons[0].literal.as_deref(), Some("fsync"));
+    }
+
+    #[test]
+    fn records_unsafe_api_use() {
+        let a = analyze(
+            r#"
+            char* raw = "100";
+            struct opt { char* name; char* var; };
+            struct opt options[] = { { "max_ranges", &raw } };
+            void apply() { int v = atoi(raw); listen(0, v); }
+            "#,
+        );
+        let ev = &a.param("max_ranges").unwrap().evidence;
+        assert_eq!(ev.unsafe_apis.len(), 1);
+        assert_eq!(ev.unsafe_apis[0].0, Builtin::Atoi);
+        assert!(ev.safe_apis.is_empty());
+    }
+
+    #[test]
+    fn records_silent_reset() {
+        let a = analyze(
+            r#"
+            int intlen = 8;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "intlen", &intlen } };
+            void clamp() {
+                if (intlen > 255) { intlen = 255; }
+            }
+            "#,
+        );
+        let ev = &a.param("intlen").unwrap().evidence;
+        assert_eq!(ev.resets.len(), 1);
+        assert!(!ev.resets[0].logged);
+    }
+
+    #[test]
+    fn logged_reset_is_not_silent() {
+        let a = analyze(
+            r#"
+            int intlen = 8;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "intlen", &intlen } };
+            void clamp() {
+                if (intlen > 255) {
+                    fprintf(stderr, "intlen too large, using 255");
+                    intlen = 255;
+                }
+            }
+            "#,
+        );
+        let ev = &a.param("intlen").unwrap().evidence;
+        assert_eq!(ev.resets.len(), 1);
+        assert!(ev.resets[0].logged);
+    }
+}

@@ -1,0 +1,255 @@
+//! The constraint-inference pipeline (§2.2).
+//!
+//! SPEX scans the code twice. The first pass tracks each parameter's data
+//! flow and infers per-parameter constraints (basic type, semantic type,
+//! data range). The second pass works on the per-parameter slices to infer
+//! multi-parameter constraints (control dependencies and value
+//! relationships).
+
+pub mod basic_type;
+pub mod branch;
+pub mod control_dep;
+pub mod evidence;
+pub mod range;
+pub mod semantic_type;
+pub mod value_rel;
+
+use crate::annotations::Annotation;
+use crate::apispec::ApiSpec;
+use crate::constraint::Constraint;
+use crate::mapping::{extract_mappings, MappedParam};
+use spex_dataflow::{AnalyzedModule, TaintEngine, TaintResult};
+use spex_ir::{FuncId, Module, ValueId};
+use std::collections::HashMap;
+
+pub use evidence::{Evidence, ResetEvidence, StringCmpEvidence};
+
+/// Inference output for one parameter.
+#[derive(Debug, Clone)]
+pub struct ParamReport {
+    /// The mapped parameter.
+    pub param: MappedParam,
+    /// The parameter's data-flow (its "program slice").
+    pub taint: TaintResult,
+    /// All constraints inferred for the parameter.
+    pub constraints: Vec<Constraint>,
+    /// Raw evidence consumed by the error-prone-design detectors (§3.2).
+    pub evidence: Evidence,
+}
+
+/// The full analysis result for one system.
+pub struct SpexAnalysis {
+    /// The prepared module (SSA form plus analysis caches).
+    pub am: AnalyzedModule,
+    /// One report per configuration parameter, in mapping order.
+    pub reports: Vec<ParamReport>,
+}
+
+impl SpexAnalysis {
+    /// The report for a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamReport> {
+        self.reports.iter().find(|r| r.param.name == name)
+    }
+
+    /// All constraints across all parameters.
+    pub fn all_constraints(&self) -> impl Iterator<Item = &Constraint> {
+        self.reports.iter().flat_map(|r| r.constraints.iter())
+    }
+
+    /// Constraint counts by category (the columns of Table 11).
+    pub fn counts_by_category(&self) -> HashMap<&'static str, usize> {
+        let mut counts = HashMap::new();
+        for c in self.all_constraints() {
+            *counts.entry(c.kind.category()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Entry point of the SPEX analysis.
+pub struct Spex;
+
+impl Spex {
+    /// Analyzes a module with the standard API registry.
+    pub fn analyze(module: Module, anns: &[Annotation]) -> SpexAnalysis {
+        Self::analyze_with_spec(module, anns, ApiSpec::standard())
+    }
+
+    /// Analyzes a module with a custom API registry (the paper imported
+    /// Storage-A's proprietary APIs this way).
+    pub fn analyze_with_spec(module: Module, anns: &[Annotation], spec: ApiSpec) -> SpexAnalysis {
+        let am = AnalyzedModule::build(module);
+        let params = extract_mappings(&am, anns).unwrap_or_default();
+        let engine = TaintEngine::new(&am);
+        let taints: Vec<TaintResult> = params.iter().map(|p| engine.run(&p.roots)).collect();
+
+        // Reverse index: tainted value -> parameter indices, for the
+        // multi-parameter passes.
+        let vindex = build_value_index(&taints);
+
+        let mut reports: Vec<ParamReport> = params
+            .into_iter()
+            .zip(taints.iter().cloned())
+            .map(|(param, taint)| {
+                let mut constraints = Vec::new();
+                constraints.extend(basic_type::infer(&am, &param, &taint));
+                constraints.extend(semantic_type::infer(&am, &spec, &param, &taint));
+                constraints.extend(range::infer(&am, &param, &taint));
+                let evidence = evidence::collect(&am, &param, &taint);
+                ParamReport {
+                    param,
+                    taint,
+                    constraints,
+                    evidence,
+                }
+            })
+            .collect();
+
+        // Second pass: multi-parameter constraints over the slices.
+        let names: Vec<String> = reports.iter().map(|r| r.param.name.clone()).collect();
+        let deps = control_dep::infer(&am, &names, &taints, &vindex);
+        for c in deps {
+            if let crate::constraint::ConstraintKind::ControlDep(d) = &c.kind {
+                if let Some(r) = reports.iter_mut().find(|r| r.param.name == d.dependent) {
+                    r.constraints.push(c);
+                }
+            }
+        }
+        let rels = value_rel::infer(&am, &names, &vindex);
+        for c in rels {
+            if let crate::constraint::ConstraintKind::ValueRel(v) = &c.kind {
+                if let Some(r) = reports.iter_mut().find(|r| r.param.name == v.lhs) {
+                    r.constraints.push(c);
+                }
+            }
+        }
+
+        SpexAnalysis { am, reports }
+    }
+}
+
+/// Maps every tainted SSA value to the parameters whose flow reaches it.
+pub(crate) fn build_value_index(
+    taints: &[TaintResult],
+) -> HashMap<(FuncId, ValueId), Vec<usize>> {
+    let mut index: HashMap<(FuncId, ValueId), Vec<usize>> = HashMap::new();
+    for (pi, t) in taints.iter().enumerate() {
+        for key in t.values.keys() {
+            index.entry(*key).or_default().push(pi);
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintKind;
+
+    fn analyze(src: &str, ann: &str) -> SpexAnalysis {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let anns = Annotation::parse(ann).unwrap();
+        Spex::analyze(m, &anns)
+    }
+
+    #[test]
+    fn end_to_end_single_param() {
+        let a = analyze(
+            r#"
+            int listener_threads = 16;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "listener-threads", &listener_threads } };
+            void startup() {
+                if (listener_threads > 16) { exit(1); }
+                listen(0, listener_threads);
+            }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        let r = a.param("listener-threads").unwrap();
+        let cats: Vec<&str> = r.constraints.iter().map(|c| c.kind.category()).collect();
+        assert!(cats.contains(&"basic-type"), "got {cats:?}");
+        assert!(cats.contains(&"data-range"), "got {cats:?}");
+    }
+
+    #[test]
+    fn counts_by_category_accumulate() {
+        let a = analyze(
+            r#"
+            int t1 = 1;
+            int t2 = 2;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "a", &t1 }, { "b", &t2 } };
+            void use() { sleep(t1); sleep(t2); }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        let counts = a.counts_by_category();
+        assert_eq!(counts.get("basic-type"), Some(&2));
+        assert_eq!(counts.get("semantic-type"), Some(&2));
+    }
+
+    #[test]
+    fn control_dependency_attributed_to_dependent() {
+        // PostgreSQL fsync/commit_siblings pattern (Figure 3e).
+        let a = analyze(
+            r#"
+            int fsync_on = 1;
+            int commit_siblings = 5;
+            struct opt { char* name; int* var; };
+            struct opt options[] = {
+                { "fsync", &fsync_on }, { "commit_siblings", &commit_siblings }
+            };
+            void commit() {
+                if (fsync_on) {
+                    int n = commit_siblings;
+                    if (n > 0) { sleep(n); }
+                }
+            }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        let r = a.param("commit_siblings").unwrap();
+        let dep = r.constraints.iter().find_map(|c| match &c.kind {
+            ConstraintKind::ControlDep(d) => Some(d),
+            _ => None,
+        });
+        let dep = dep.expect("control dependency inferred");
+        assert_eq!(dep.controller, "fsync");
+        assert!(dep.confidence >= 0.75);
+    }
+
+    #[test]
+    fn value_relationship_via_intermediate() {
+        // MySQL ft_min/ft_max pattern (Figure 3f).
+        let a = analyze(
+            r#"
+            int ft_min_word_len = 4;
+            int ft_max_word_len = 84;
+            struct opt { char* name; int* var; };
+            struct opt options[] = {
+                { "ft_min_word_len", &ft_min_word_len },
+                { "ft_max_word_len", &ft_max_word_len }
+            };
+            void ft_get_word(int length) {
+                if (length >= ft_min_word_len && length < ft_max_word_len) {
+                    listen(0, length);
+                }
+            }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        let rel = a.all_constraints().find_map(|c| match &c.kind {
+            ConstraintKind::ValueRel(v) => Some(v.clone()),
+            _ => None,
+        });
+        let rel = rel.expect("value relationship inferred");
+        // min < max, possibly reported from either side.
+        let readable = format!("{rel}");
+        assert!(
+            readable.contains("ft_min_word_len") && readable.contains("ft_max_word_len"),
+            "got {readable}"
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Semantic-type inference (§2.2.2, Figures 3b and 3c).
+//!
+//! SPEX searches two patterns along a parameter's entire data-flow path:
+//! (1) the parameter is passed to a known function call or data structure;
+//! (2) the parameter is compared with, or assigned from, the return value
+//! of a known call (e.g. `time()`).
+//!
+//! The search continues past value modifications because "the modification
+//! seldom affects the semantic type" — a canonicalised file path is still a
+//! file path. Constant multiplications on the path refine unit-carrying
+//! types (a value scaled by 1024 before a byte-sized API is a KB
+//! parameter).
+
+use crate::apispec::ApiSpec;
+use crate::constraint::{Constraint, ConstraintKind, SemType};
+use crate::mapping::MappedParam;
+use spex_dataflow::{AnalyzedModule, TaintResult};
+use spex_ir::{Callee, ConstVal, FuncId, Instr, ValueId};
+use spex_lang::ast::BinOp;
+
+/// Infers semantic-type constraints for one parameter (possibly several
+/// distinct types).
+pub fn infer(
+    am: &AnalyzedModule,
+    spec: &ApiSpec,
+    param: &MappedParam,
+    taint: &TaintResult,
+) -> Vec<Constraint> {
+    let mut found: Vec<(SemType, u32, FuncId, spex_lang::diag::Span)> = Vec::new();
+    for fid in taint.touched_functions() {
+        let func = am.module.func(fid);
+        for (_, _, instr, span) in func.iter_instrs() {
+            match instr {
+                Instr::Call { callee, args, .. } => {
+                    for (pos, arg) in args.iter().enumerate() {
+                        if !taint.is_tainted(fid, *arg) {
+                            continue;
+                        }
+                        let sem = match callee {
+                            Callee::Builtin(b) => spec.builtin_arg(*b, pos),
+                            Callee::Func(f) => {
+                                spec.custom_arg(&am.module.func(*f).name, pos)
+                            }
+                            Callee::Indirect(_) => None,
+                        };
+                        if let Some(sem) = sem {
+                            let factor = scaling_factor(am, fid, *arg, taint);
+                            let sem = ApiSpec::scale_unit(sem, factor);
+                            let depth = taint.depth(fid, *arg).unwrap_or(u32::MAX);
+                            found.push((sem, depth, fid, span));
+                        }
+                    }
+                }
+                // Pattern (2): comparison with the return value of a known
+                // call.
+                Instr::Bin { op, lhs, rhs, .. } if is_comparison(*op) => {
+                    for (side, other) in [(lhs, rhs), (rhs, lhs)] {
+                        if !taint.is_tainted(fid, *side) {
+                            continue;
+                        }
+                        if let Some(sem) = known_ret_sem(am, spec, fid, *other) {
+                            let depth = taint.depth(fid, *side).unwrap_or(u32::MAX);
+                            found.push((sem, depth, fid, span));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Deduplicate by semantic type, keeping the shallowest evidence.
+    found.sort_by_key(|(_, d, _, _)| *d);
+    let mut out: Vec<Constraint> = Vec::new();
+    for (sem, _, fid, span) in found {
+        if out.iter().any(|c| c.kind == ConstraintKind::SemanticType(sem)) {
+            continue;
+        }
+        out.push(Constraint {
+            param: param.name.clone(),
+            kind: ConstraintKind::SemanticType(sem),
+            in_function: am.module.func(fid).name.clone(),
+            span,
+        });
+    }
+    out
+}
+
+fn is_comparison(op: BinOp) -> bool {
+    op.is_comparison()
+}
+
+/// The semantic type of a value defined by a known call (`time()` etc.).
+fn known_ret_sem(
+    am: &AnalyzedModule,
+    spec: &ApiSpec,
+    fid: FuncId,
+    v: ValueId,
+) -> Option<SemType> {
+    let func = am.module.func(fid);
+    match am.usedefs[fid.index()].def_instr(func, v)? {
+        Instr::Call {
+            callee: Callee::Builtin(b),
+            ..
+        } => spec.builtin_ret(*b),
+        Instr::Cast { operand, .. } => known_ret_sem(am, spec, fid, *operand),
+        _ => None,
+    }
+}
+
+/// Accumulated constant multiplication factor between the parameter's taint
+/// source and `v` (walks backward through `Mul`-by-constant and casts).
+fn scaling_factor(am: &AnalyzedModule, fid: FuncId, v: ValueId, taint: &TaintResult) -> i64 {
+    let func = am.module.func(fid);
+    let ud = &am.usedefs[fid.index()];
+    let mut factor: i64 = 1;
+    let mut cur = v;
+    for _ in 0..16 {
+        match ud.def_instr(func, cur) {
+            Some(Instr::Bin {
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+                ..
+            }) => {
+                let (c, next) = if let Some(c) = const_of(am, fid, *rhs) {
+                    (c, *lhs)
+                } else if let Some(c) = const_of(am, fid, *lhs) {
+                    (c, *rhs)
+                } else {
+                    break;
+                };
+                if !taint.is_tainted(fid, next) {
+                    break;
+                }
+                factor = factor.saturating_mul(c);
+                cur = next;
+            }
+            Some(Instr::Cast { operand, .. }) => cur = *operand,
+            _ => break,
+        }
+    }
+    factor
+}
+
+fn const_of(am: &AnalyzedModule, fid: FuncId, v: ValueId) -> Option<i64> {
+    let func = am.module.func(fid);
+    match am.usedefs[fid.index()].def_instr(func, v)? {
+        Instr::Const { val: ConstVal::Int(c), .. } => Some(*c),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::annotations::Annotation;
+    use crate::constraint::{ConstraintKind, SemType, SizeUnit, TimeUnit};
+    use crate::infer::Spex;
+
+    fn sems_of(src: &str, ann: &str, param: &str) -> Vec<SemType> {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let anns = Annotation::parse(ann).unwrap();
+        let a = Spex::analyze(m, &anns);
+        a.param(param)
+            .unwrap()
+            .constraints
+            .iter()
+            .filter_map(|c| match &c.kind {
+                ConstraintKind::SemanticType(s) => Some(*s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    const TABLE_ANN: &str = "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }";
+
+    #[test]
+    fn file_type_through_helper_call() {
+        // Figure 3(b): ft_stopword_file flows through my_open into open().
+        let sems = sems_of(
+            r#"
+            char* ft_stopword_file = "/etc/words";
+            struct opt { char* name; char* var; };
+            struct opt options[] = { { "ft_stopword_file", &ft_stopword_file } };
+            int my_open(char* file_name, int flags) { return open(file_name, flags); }
+            void init() { my_open(ft_stopword_file, 0); }
+            "#,
+            TABLE_ANN,
+            "ft_stopword_file",
+        );
+        assert_eq!(sems, vec![SemType::FilePath]);
+    }
+
+    #[test]
+    fn port_type_via_htons() {
+        // Figure 3(c): udp_port reaches sin6_port via SetPort/htons.
+        let sems = sems_of(
+            r#"
+            int udp_port = 3130;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "udp_port", &udp_port } };
+            void icpOpenPorts() {
+                int p = udp_port;
+                sockaddr_set_port(0, htons(p));
+            }
+            "#,
+            TABLE_ANN,
+            "udp_port",
+        );
+        assert!(sems.contains(&SemType::Port));
+    }
+
+    #[test]
+    fn time_with_unit_scaling() {
+        // sleep(minutes * 60): the parameter is in minutes.
+        let sems = sems_of(
+            r#"
+            int idle_minutes = 5;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "idle_minutes", &idle_minutes } };
+            void idle() { sleep(idle_minutes * 60); }
+            "#,
+            TABLE_ANN,
+            "idle_minutes",
+        );
+        assert_eq!(sems, vec![SemType::Time(TimeUnit::Min)]);
+    }
+
+    #[test]
+    fn size_with_kb_scaling() {
+        // Figure 6(b): MaxMemFree scaled by 1024 into a byte context.
+        let sems = sems_of(
+            r#"
+            int max_mem_free = 2048;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "MaxMemFree", &max_mem_free } };
+            void apply() { malloc(max_mem_free * 1024); }
+            "#,
+            TABLE_ANN,
+            "MaxMemFree",
+        );
+        assert_eq!(sems, vec![SemType::Size(SizeUnit::KB)]);
+    }
+
+    #[test]
+    fn compare_with_time_return() {
+        let sems = sems_of(
+            r#"
+            long deadline = 100;
+            struct opt { char* name; long* var; };
+            struct opt options[] = { { "deadline", &deadline } };
+            void check() {
+                if (deadline < time(0)) { exit(1); }
+            }
+            "#,
+            TABLE_ANN,
+            "deadline",
+        );
+        assert_eq!(sems, vec![SemType::Time(TimeUnit::Sec)]);
+    }
+
+    #[test]
+    fn user_name_via_getpwnam() {
+        let sems = sems_of(
+            r#"
+            char* run_as = "nobody";
+            struct opt { char* name; char* var; };
+            struct opt options[] = { { "user", &run_as } };
+            void drop_priv() { getpwnam(run_as); }
+            "#,
+            TABLE_ANN,
+            "user",
+        );
+        assert_eq!(sems, vec![SemType::UserName]);
+    }
+
+    #[test]
+    fn no_semantic_type_without_known_api() {
+        let sems = sems_of(
+            r#"
+            int counter = 1;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "counter", &counter } };
+            int bump() { return counter + 1; }
+            "#,
+            TABLE_ANN,
+            "counter",
+        );
+        assert!(sems.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Abstract memory locations for field-sensitive taint.
+
+use spex_ir::{FuncId, GlobalId, Place, PlaceBase, PlaceElem, SlotId};
+
+/// One abstract access-path element.
+///
+/// Dynamic indices are widened to [`AccessElem::AnyIndex`]; fields stay
+/// precise — that is the field-sensitivity the paper requires for
+/// parameters "stored in composite data types" (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessElem {
+    /// Struct field by index.
+    Field(u32),
+    /// Array element at a known constant index.
+    Index(u32),
+    /// Array element at an unknown index.
+    AnyIndex,
+}
+
+impl AccessElem {
+    /// Whether two elements can refer to the same memory.
+    pub fn may_match(&self, other: &AccessElem) -> bool {
+        match (self, other) {
+            (AccessElem::Field(a), AccessElem::Field(b)) => a == b,
+            (AccessElem::Index(a), AccessElem::Index(b)) => a == b,
+            (AccessElem::AnyIndex, AccessElem::Index(_))
+            | (AccessElem::Index(_), AccessElem::AnyIndex)
+            | (AccessElem::AnyIndex, AccessElem::AnyIndex) => true,
+            _ => false,
+        }
+    }
+}
+
+/// An abstract memory location: a named base plus an access path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MemLoc {
+    /// A global (possibly a field/element of it).
+    Global(GlobalId, Vec<AccessElem>),
+    /// An unpromoted stack slot of a specific function.
+    Slot(FuncId, SlotId, Vec<AccessElem>),
+}
+
+impl MemLoc {
+    /// Converts an IR place to an abstract location. Returns `None` for
+    /// places based on pointer values (no alias analysis).
+    pub fn from_place(func: FuncId, place: &Place) -> Option<MemLoc> {
+        let path = abstract_path(&place.elems)?;
+        match place.base {
+            PlaceBase::Global(g) => Some(MemLoc::Global(g, path)),
+            PlaceBase::Slot(s) => Some(MemLoc::Slot(func, s, path)),
+            PlaceBase::ValuePtr(_) => None,
+        }
+    }
+
+    /// Whether two locations can overlap (same base, compatible paths;
+    /// prefix relations are treated as overlapping).
+    pub fn may_alias(&self, other: &MemLoc) -> bool {
+        let (pa, pb) = match (self, other) {
+            (MemLoc::Global(a, pa), MemLoc::Global(b, pb)) if a == b => (pa, pb),
+            (MemLoc::Slot(fa, sa, pa), MemLoc::Slot(fb, sb, pb)) if fa == fb && sa == sb => {
+                (pa, pb)
+            }
+            _ => return false,
+        };
+        pa.iter().zip(pb.iter()).all(|(a, b)| a.may_match(b))
+    }
+}
+
+fn abstract_path(elems: &[PlaceElem]) -> Option<Vec<AccessElem>> {
+    let mut out = Vec::with_capacity(elems.len());
+    for e in elems {
+        out.push(match e {
+            PlaceElem::Field(i) => AccessElem::Field(*i),
+            PlaceElem::IndexConst(i) => AccessElem::Index(*i),
+            PlaceElem::IndexValue(_) => AccessElem::AnyIndex,
+            // An embedded deref makes the target unknown.
+            PlaceElem::Deref => return None,
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_match_is_exact() {
+        assert!(AccessElem::Field(1).may_match(&AccessElem::Field(1)));
+        assert!(!AccessElem::Field(1).may_match(&AccessElem::Field(2)));
+        assert!(!AccessElem::Field(1).may_match(&AccessElem::AnyIndex));
+    }
+
+    #[test]
+    fn any_index_widens() {
+        assert!(AccessElem::AnyIndex.may_match(&AccessElem::Index(7)));
+        assert!(AccessElem::Index(7).may_match(&AccessElem::AnyIndex));
+    }
+
+    #[test]
+    fn different_globals_never_alias() {
+        let a = MemLoc::Global(GlobalId(0), vec![]);
+        let b = MemLoc::Global(GlobalId(1), vec![]);
+        assert!(!a.may_alias(&b));
+    }
+
+    #[test]
+    fn field_sensitivity_distinguishes_siblings() {
+        let a = MemLoc::Global(GlobalId(0), vec![AccessElem::Field(0)]);
+        let b = MemLoc::Global(GlobalId(0), vec![AccessElem::Field(1)]);
+        let c = MemLoc::Global(GlobalId(0), vec![AccessElem::Field(0)]);
+        assert!(!a.may_alias(&b));
+        assert!(a.may_alias(&c));
+    }
+
+    #[test]
+    fn prefix_paths_overlap() {
+        let whole = MemLoc::Global(GlobalId(0), vec![]);
+        let field = MemLoc::Global(GlobalId(0), vec![AccessElem::Field(2)]);
+        assert!(whole.may_alias(&field));
+        assert!(field.may_alias(&whole));
+    }
+
+    #[test]
+    fn slots_are_function_scoped() {
+        let a = MemLoc::Slot(FuncId(0), SlotId(0), vec![]);
+        let b = MemLoc::Slot(FuncId(1), SlotId(0), vec![]);
+        assert!(!a.may_alias(&b));
+    }
+
+    #[test]
+    fn deref_paths_are_rejected() {
+        use spex_ir::{Place, PlaceBase, PlaceElem, ValueId};
+        let place = Place {
+            base: PlaceBase::Global(GlobalId(0)),
+            elems: vec![PlaceElem::Deref],
+        };
+        assert_eq!(MemLoc::from_place(FuncId(0), &place), None);
+        let vp = Place::deref_value(ValueId(0));
+        assert_eq!(MemLoc::from_place(FuncId(0), &vp), None);
+    }
+}

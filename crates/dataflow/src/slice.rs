@@ -1,0 +1,132 @@
+//! Backward program slicing over SSA values.
+//!
+//! SPEX's second inference pass scans "only on the program slice containing
+//! the data-flow of each parameter" (§2.2). The per-parameter taint results
+//! already form that slice; this module adds the complementary *backward*
+//! closure — everything a given value was computed from — used to relate
+//! branch conditions to parameters and to render error-report context.
+
+use crate::usedef::UseDefs;
+use spex_ir::{Function, Instr, Place, ValueId};
+use std::collections::HashSet;
+
+/// A backward slice of one value: the values and memory reads feeding it.
+#[derive(Debug, Clone, Default)]
+pub struct BackwardSlice {
+    /// Values in the slice (includes the seed).
+    pub values: HashSet<ValueId>,
+    /// Places loaded from inside the slice (the slice's memory inputs).
+    pub loaded_places: Vec<Place>,
+}
+
+impl BackwardSlice {
+    /// Computes the intra-procedural backward slice of `seed` in `f`.
+    pub fn compute(f: &Function, ud: &UseDefs, seed: ValueId) -> BackwardSlice {
+        let mut slice = BackwardSlice::default();
+        let mut work = vec![seed];
+        while let Some(v) = work.pop() {
+            if !slice.values.insert(v) {
+                continue;
+            }
+            match ud.def_instr(f, v) {
+                Some(Instr::Load { place, .. }) => {
+                    slice.loaded_places.push(place.clone());
+                    // Do not cross memory: loads are slice inputs.
+                    for pv in place.operand_values() {
+                        work.push(pv);
+                    }
+                }
+                Some(instr) => {
+                    for u in instr.uses() {
+                        work.push(u);
+                    }
+                }
+                None => {}
+            }
+        }
+        slice
+    }
+
+    /// Whether the slice contains any of `values`.
+    pub fn intersects(&self, values: &HashSet<ValueId>) -> bool {
+        self.values.iter().any(|v| values.contains(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_ir::promote_to_ssa;
+
+    fn setup(src: &str, func: &str) -> (Function, UseDefs) {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let id = m.function_by_name(func).unwrap();
+        let f = promote_to_ssa(&m.functions[id.index()]);
+        let ud = UseDefs::build(&f);
+        (f, ud)
+    }
+
+    #[test]
+    fn slice_of_sum_contains_operands() {
+        let (f, ud) = setup("int f(int a, int b) { int c = a + b; return c; }", "f");
+        let ret_val = f
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term.0 {
+                spex_ir::Terminator::Ret(Some(v)) => Some(*v),
+                _ => None,
+            })
+            .unwrap();
+        let slice = BackwardSlice::compute(&f, &ud, ret_val);
+        // The add and both params are in the slice.
+        assert!(slice.values.len() >= 3);
+    }
+
+    #[test]
+    fn slice_stops_at_loads() {
+        let (f, ud) = setup(
+            "int g = 5; int f() { int x = g; return x + 1; }",
+            "f",
+        );
+        let ret_val = f
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term.0 {
+                spex_ir::Terminator::Ret(Some(v)) => Some(*v),
+                _ => None,
+            })
+            .unwrap();
+        let slice = BackwardSlice::compute(&f, &ud, ret_val);
+        assert_eq!(slice.loaded_places.len(), 1, "one memory input: g");
+    }
+
+    #[test]
+    fn unrelated_values_not_in_slice() {
+        let (f, ud) = setup(
+            "int f(int a, int b) { int unused = b * 2; return a + 1; }",
+            "f",
+        );
+        let ret_val = f
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term.0 {
+                spex_ir::Terminator::Ret(Some(v)) => Some(*v),
+                _ => None,
+            })
+            .unwrap();
+        let slice = BackwardSlice::compute(&f, &ud, ret_val);
+        // The multiply feeding `unused` must not appear.
+        let mul = f.iter_instrs().find_map(|(_, _, i, _)| match i {
+            Instr::Bin {
+                dst,
+                op: spex_lang::ast::BinOp::Mul,
+                ..
+            } => Some(*dst),
+            _ => None,
+        });
+        if let Some(mul) = mul {
+            assert!(!slice.values.contains(&mul));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Def-use chains over SSA function bodies.
+
+use spex_ir::{BlockId, Function, Instr, ValueId};
+use std::collections::HashMap;
+
+/// Where a value is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UseSite {
+    /// Operand of the `idx`-th instruction of a block.
+    Instr(BlockId, usize),
+    /// Operand of a block's terminator.
+    Term(BlockId),
+}
+
+impl UseSite {
+    /// The block the use occurs in.
+    pub fn block(&self) -> BlockId {
+        match self {
+            UseSite::Instr(b, _) | UseSite::Term(b) => *b,
+        }
+    }
+}
+
+/// Def and use sites for every value of one function.
+#[derive(Debug, Clone, Default)]
+pub struct UseDefs {
+    /// Definition site of each value (`None` for values with no remaining
+    /// definition, e.g. removed by DCE).
+    pub def_site: HashMap<ValueId, (BlockId, usize)>,
+    /// Use sites of each value.
+    pub uses: HashMap<ValueId, Vec<UseSite>>,
+}
+
+impl UseDefs {
+    /// Builds chains for a function.
+    pub fn build(f: &Function) -> UseDefs {
+        let mut def_site = HashMap::new();
+        let mut uses: HashMap<ValueId, Vec<UseSite>> = HashMap::new();
+        for (b, blk) in f.blocks.iter().enumerate() {
+            let bid = BlockId(b as u32);
+            for (i, (instr, _)) in blk.instrs.iter().enumerate() {
+                if let Some(d) = instr.def() {
+                    def_site.insert(d, (bid, i));
+                }
+                for u in instr.uses() {
+                    uses.entry(u).or_default().push(UseSite::Instr(bid, i));
+                }
+            }
+            for u in blk.term.0.uses() {
+                uses.entry(u).or_default().push(UseSite::Term(bid));
+            }
+        }
+        UseDefs { def_site, uses }
+    }
+
+    /// The instruction at a use site (`None` for terminator sites).
+    pub fn instr_at<'f>(&self, f: &'f Function, site: UseSite) -> Option<&'f Instr> {
+        match site {
+            UseSite::Instr(b, i) => f.blocks.get(b.index())?.instrs.get(i).map(|(i, _)| i),
+            UseSite::Term(_) => None,
+        }
+    }
+
+    /// The defining instruction of a value, if present.
+    pub fn def_instr<'f>(&self, f: &'f Function, v: ValueId) -> Option<&'f Instr> {
+        let (b, i) = self.def_site.get(&v)?;
+        f.blocks.get(b.index())?.instrs.get(*i).map(|(i, _)| i)
+    }
+
+    /// Use sites of a value (empty slice if unused).
+    pub fn uses_of(&self, v: ValueId) -> &[UseSite] {
+        self.uses.get(&v).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_ir::promote_to_ssa;
+
+    fn build(src: &str, func: &str) -> (Function, UseDefs) {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let id = m.function_by_name(func).unwrap();
+        let f = promote_to_ssa(&m.functions[id.index()]);
+        let ud = UseDefs::build(&f);
+        (f, ud)
+    }
+
+    #[test]
+    fn finds_uses_of_parameter() {
+        let (f, ud) = build("int f(int x) { return x + x; }", "f");
+        // The Param value is used twice by the add.
+        let param = f
+            .iter_instrs()
+            .find_map(|(_, _, i, _)| match i {
+                Instr::Param { dst, .. } => Some(*dst),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ud.uses_of(param).len(), 2);
+    }
+
+    #[test]
+    fn def_instr_round_trip() {
+        let (f, ud) = build("int f() { int y = 1 + 2; return y; }", "f");
+        for (_, _, instr, _) in f.iter_instrs() {
+            if let Some(d) = instr.def() {
+                assert_eq!(ud.def_instr(&f, d), Some(instr));
+            }
+        }
+    }
+
+    #[test]
+    fn terminator_uses_are_recorded() {
+        let (f, ud) = build("int f(int x) { if (x) { return 1; } return 0; }", "f");
+        let cond_uses: Vec<_> = ud
+            .uses
+            .iter()
+            .flat_map(|(_, sites)| sites.iter())
+            .filter(|s| matches!(s, UseSite::Term(_)))
+            .collect();
+        assert!(!cond_uses.is_empty());
+        let _ = f;
+    }
+}

@@ -1,0 +1,152 @@
+//! Case-sensitivity inconsistency (Table 6, Figure 6a).
+//!
+//! "The case sensitivity is inferred by identifying string comparison
+//! functions. If the parameter is used in comparison functions like
+//! `strcasecmp`, it is case insensitive. Otherwise it is sensitive when
+//! used in functions like `strcmp`." A system whose string parameters mix
+//! both conventions confuses users (MySQL's `innodb_file_format_check` was
+//! the paper's example).
+
+use spex_core::SpexAnalysis;
+
+/// Classification of one parameter's matching behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseSensitivity {
+    /// Matched with `strcmp`/`strncmp`.
+    Sensitive,
+    /// Matched with `strcasecmp`/`strncasecmp`.
+    Insensitive,
+}
+
+/// Per-system case-sensitivity report.
+#[derive(Debug, Clone, Default)]
+pub struct CaseReport {
+    /// Case-sensitive parameters.
+    pub sensitive: Vec<String>,
+    /// Case-insensitive parameters.
+    pub insensitive: Vec<String>,
+}
+
+impl CaseReport {
+    /// Whether the system mixes conventions.
+    pub fn is_inconsistent(&self) -> bool {
+        !self.sensitive.is_empty() && !self.insensitive.is_empty()
+    }
+
+    /// The parameters on the minority side — the error-prone ones the
+    /// paper reported to developers.
+    pub fn minority(&self) -> &[String] {
+        if self.sensitive.len() <= self.insensitive.len() {
+            &self.sensitive
+        } else {
+            &self.insensitive
+        }
+    }
+
+    /// Fraction of sensitive parameters (the Table 6 percentage).
+    pub fn sensitive_share(&self) -> f64 {
+        let total = self.sensitive.len() + self.insensitive.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.sensitive.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Classifies every parameter that is matched against string literals.
+pub fn detect(analysis: &SpexAnalysis) -> CaseReport {
+    let mut report = CaseReport::default();
+    for r in &analysis.reports {
+        let comparisons = &r.evidence.string_comparisons;
+        // Only comparisons against literals express a matching convention.
+        let relevant: Vec<_> = comparisons.iter().filter(|c| c.literal.is_some()).collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        // One case-sensitive comparison makes the parameter sensitive: a
+        // user typing the wrong case will miss that arm.
+        if relevant.iter().any(|c| !c.case_insensitive) {
+            report.sensitive.push(r.param.name.clone());
+        } else {
+            report.insensitive.push(r.param.name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_core::{Annotation, Spex};
+
+    fn analyze(src: &str, ann: &str) -> SpexAnalysis {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let anns = Annotation::parse(ann).unwrap();
+        Spex::analyze(m, &anns)
+    }
+
+    #[test]
+    fn detects_mixed_conventions() {
+        // MySQL-style: most enum options insensitive, one sensitive.
+        let a = analyze(
+            r#"
+            char* format_check = "Antelope";
+            char* sql_mode = "strict";
+            struct opt { char* name; char* var; };
+            struct opt options[] = {
+                { "innodb_file_format_check", &format_check },
+                { "sql_mode", &sql_mode }
+            };
+            void apply() {
+                if (strcmp(format_check, "Antelope") == 0) { printf("a"); }
+                if (strcasecmp(sql_mode, "strict") == 0) { printf("s"); }
+            }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        let r = detect(&a);
+        assert_eq!(r.sensitive, vec!["innodb_file_format_check".to_string()]);
+        assert_eq!(r.insensitive, vec!["sql_mode".to_string()]);
+        assert!(r.is_inconsistent());
+        assert_eq!(r.minority(), &["innodb_file_format_check".to_string()]);
+        assert!((r.sensitive_share() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_system_is_consistent() {
+        let a = analyze(
+            r#"
+            char* m1 = "on";
+            char* m2 = "off";
+            struct opt { char* name; char* var; };
+            struct opt options[] = { { "p1", &m1 }, { "p2", &m2 } };
+            void apply() {
+                if (strcasecmp(m1, "on") == 0) { printf("1"); }
+                if (strcasecmp(m2, "on") == 0) { printf("2"); }
+            }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        let r = detect(&a);
+        assert!(!r.is_inconsistent());
+        assert_eq!(r.insensitive.len(), 2);
+    }
+
+    #[test]
+    fn numeric_params_are_not_classified() {
+        let a = analyze(
+            r#"
+            int n = 1;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "n", &n } };
+            void apply() { sleep(n); }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        let r = detect(&a);
+        assert!(r.sensitive.is_empty());
+        assert!(r.insensitive.is_empty());
+    }
+}

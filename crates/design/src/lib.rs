@@ -1,0 +1,61 @@
+//! Error-prone configuration-design detection (§3.2 of the paper).
+//!
+//! Configuration is a user interface; it should be *consistent*, *explicit*
+//! and *documented*. This crate turns the constraints and raw evidence
+//! produced by `spex-core` into the paper's four detector families:
+//!
+//! * **case-sensitivity inconsistency** (Table 6) — string parameters whose
+//!   comparison functions disagree with the system's dominant convention;
+//! * **unit inconsistency** (Table 7) — size/time parameters whose units
+//!   diverge from the dominant unit;
+//! * **silent overruling** (Figure 6c) — unmatched enum input silently
+//!   coerced to a default;
+//! * **unsafe parsing APIs** (Figure 6d) — `atoi`/`sscanf`/`sprintf`
+//!   applied to untrusted configuration input;
+//! * **undocumented constraints** — inferred ranges/dependencies/relations
+//!   that the user manual never mentions.
+
+pub mod case_sensitivity;
+pub mod manual;
+pub mod overruling;
+pub mod undocumented;
+pub mod units;
+pub mod unsafe_api;
+
+pub use case_sensitivity::{CaseReport, CaseSensitivity};
+pub use manual::{Manual, ManualEntry};
+pub use overruling::OverrulingFinding;
+pub use undocumented::UndocumentedReport;
+pub use units::UnitReport;
+pub use unsafe_api::UnsafeApiFinding;
+
+use spex_core::SpexAnalysis;
+
+/// Aggregated design report for one system (the per-system rows of
+/// Tables 6–8).
+#[derive(Debug, Clone, Default)]
+pub struct DesignReport {
+    /// Case-sensitivity classification (Table 6).
+    pub case: CaseReport,
+    /// Unit distribution (Table 7).
+    pub units: UnitReport,
+    /// Silent-overruling findings (Table 8).
+    pub overruling: Vec<OverrulingFinding>,
+    /// Unsafe-API findings (Table 8).
+    pub unsafe_apis: Vec<UnsafeApiFinding>,
+    /// Undocumented-constraint counts (Table 8).
+    pub undocumented: UndocumentedReport,
+}
+
+impl DesignReport {
+    /// Runs every detector over an analysis.
+    pub fn analyze(analysis: &SpexAnalysis, manual: &Manual) -> DesignReport {
+        DesignReport {
+            case: case_sensitivity::detect(analysis),
+            units: units::detect(analysis),
+            overruling: overruling::detect(analysis),
+            unsafe_apis: unsafe_api::detect(analysis),
+            undocumented: undocumented::detect(analysis, manual),
+        }
+    }
+}

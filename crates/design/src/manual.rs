@@ -1,0 +1,97 @@
+//! A model of the system's user manual.
+//!
+//! The paper checks inferred constraints against "any form" of
+//! documentation (manual entries, error messages, parameter naming). The
+//! subject systems ship a structured manual model: per-parameter entries
+//! recording what the documentation actually states.
+
+use std::collections::HashMap;
+
+/// Documentation of one parameter.
+#[derive(Debug, Clone, Default)]
+pub struct ManualEntry {
+    /// Free-text description (searched for constraint mentions).
+    pub text: String,
+    /// Whether the valid value range is documented.
+    pub documents_range: bool,
+    /// Controller parameters whose dependency is documented.
+    pub documents_deps: Vec<String>,
+    /// Parameters whose value relationship is documented.
+    pub documents_rels: Vec<String>,
+}
+
+/// The whole manual: parameter name → entry.
+#[derive(Debug, Clone, Default)]
+pub struct Manual {
+    /// Entries by parameter name.
+    pub entries: HashMap<String, ManualEntry>,
+}
+
+impl Manual {
+    /// Creates an empty manual (nothing documented).
+    pub fn empty() -> Manual {
+        Manual::default()
+    }
+
+    /// Adds an entry.
+    pub fn add(&mut self, param: &str, entry: ManualEntry) -> &mut Self {
+        self.entries.insert(param.to_string(), entry);
+        self
+    }
+
+    /// Whether the manual documents the range of `param`.
+    pub fn documents_range(&self, param: &str) -> bool {
+        self.entries
+            .get(param)
+            .map(|e| e.documents_range)
+            .unwrap_or(false)
+    }
+
+    /// Whether the manual documents the dependency of `param` on
+    /// `controller`.
+    pub fn documents_dep(&self, param: &str, controller: &str) -> bool {
+        self.entries
+            .get(param)
+            .map(|e| e.documents_deps.iter().any(|d| d == controller))
+            .unwrap_or(false)
+    }
+
+    /// Whether the manual documents the relationship between `param` and
+    /// `other`.
+    pub fn documents_rel(&self, param: &str, other: &str) -> bool {
+        self.entries
+            .get(param)
+            .map(|e| e.documents_rels.iter().any(|d| d == other))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_on_empty_manual() {
+        let m = Manual::empty();
+        assert!(!m.documents_range("x"));
+        assert!(!m.documents_dep("x", "y"));
+        assert!(!m.documents_rel("x", "y"));
+    }
+
+    #[test]
+    fn entry_lookups() {
+        let mut m = Manual::empty();
+        m.add(
+            "commit_siblings",
+            ManualEntry {
+                text: "Takes effect only when fsync is on.".into(),
+                documents_range: false,
+                documents_deps: vec!["fsync".into()],
+                documents_rels: vec![],
+            },
+        );
+        assert!(m.documents_dep("commit_siblings", "fsync"));
+        assert!(!m.documents_dep("commit_siblings", "other"));
+        assert!(!m.documents_range("commit_siblings"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Silent overruling (Figure 6c).
+//!
+//! "Silent overruling refers to the case that the system changes an
+//! unacceptable user setting into the default value without notifying the
+//! user." Detection: an enumerative range whose unmatched arm silently
+//! overwrites the parameter. Squid's boolean parser — anything but "on"
+//! becomes off, even "yes" — affected 73 parameters through one code
+//! location.
+
+use spex_core::constraint::ConstraintKind;
+use spex_core::SpexAnalysis;
+use spex_lang::diag::Span;
+
+/// One silently-overruled parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverrulingFinding {
+    /// The affected parameter.
+    pub param: String,
+    /// Function containing the overruling store.
+    pub in_function: String,
+    /// Location of the store.
+    pub span: Span,
+}
+
+/// Finds parameters whose unmatched enum input is silently coerced: the
+/// fall-through arm assigns the same variable the match arms assign, with
+/// no error path and no log message.
+pub fn detect(analysis: &SpexAnalysis) -> Vec<OverrulingFinding> {
+    let mut out = Vec::new();
+    for r in &analysis.reports {
+        let silent_enum = r.constraints.iter().find(|c| {
+            matches!(&c.kind, ConstraintKind::EnumRange(e)
+                if !e.unmatched_is_error
+                    && e.unmatched_overwrites
+                    && !e.alternatives.is_empty())
+        });
+        if let Some(c) = silent_enum {
+            out.push(OverrulingFinding {
+                param: r.param.name.clone(),
+                in_function: c.in_function.clone(),
+                span: c.span,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_core::{Annotation, Spex};
+
+    fn analyze(src: &str, ann: &str) -> SpexAnalysis {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let anns = Annotation::parse(ann).unwrap();
+        Spex::analyze(m, &anns)
+    }
+
+    #[test]
+    fn detects_squid_style_boolean_overruling() {
+        // Figure 6(c): anything that is not "on" silently becomes off.
+        let a = analyze(
+            r#"
+            int icp_enabled = 0;
+            struct cmd { char* name; fnptr handler; };
+            int parse_onoff(char* token) {
+                if (strcasecmp(token, "on") == 0) { icp_enabled = 1; }
+                else { icp_enabled = 0; }
+                return 0;
+            }
+            struct cmd cmds[] = { { "icp_enabled", parse_onoff } };
+            void net() { listen(0, icp_enabled); }
+            "#,
+            "{ @STRUCT = cmds\n @PAR = [cmd, 1]\n @VAR = ([cmd, 2], $token) }",
+        );
+        let findings = detect(&a);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].param, "icp_enabled");
+        assert_eq!(findings[0].in_function, "parse_onoff");
+    }
+
+    #[test]
+    fn logged_fallback_is_not_overruling() {
+        let a = analyze(
+            r#"
+            int icp_enabled = 0;
+            struct cmd { char* name; fnptr handler; };
+            int parse_onoff(char* token) {
+                if (strcasecmp(token, "on") == 0) { icp_enabled = 1; }
+                else {
+                    fprintf(stderr, "unknown boolean %s, using off", token);
+                    icp_enabled = 0;
+                }
+                return 0;
+            }
+            struct cmd cmds[] = { { "icp_enabled", parse_onoff } };
+            void net() { listen(0, icp_enabled); }
+            "#,
+            "{ @STRUCT = cmds\n @PAR = [cmd, 1]\n @VAR = ([cmd, 2], $token) }",
+        );
+        // The reset is logged, so the else-arm is loud: no finding.
+        assert!(detect(&a).is_empty());
+    }
+
+    #[test]
+    fn numeric_params_are_not_flagged() {
+        let a = analyze(
+            r#"
+            int n = 1;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "n", &n } };
+            void f() { if (n > 9) { n = 9; } sleep(n); }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        // A numeric clamp is a silent violation at injection time but not
+        // an enum overruling.
+        assert!(detect(&a).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Undocumented constraints (Table 8, right-hand columns).
+//!
+//! "The inferred constraints are also useful for developers to check
+//! whether the constraints are documented in any form. [...] Some
+//! configuration constraints have never been documented in any form. As
+//! the consequence, users can easily make mistakes with them." (The
+//! OpenLDAP `index_intlen` clamp of Figure 3d was undocumented.)
+
+use crate::manual::Manual;
+use spex_core::constraint::ConstraintKind;
+use spex_core::SpexAnalysis;
+
+/// Undocumented-constraint counts and the offending parameters.
+#[derive(Debug, Clone, Default)]
+pub struct UndocumentedReport {
+    /// Parameters with an undocumented data range.
+    pub ranges: Vec<String>,
+    /// `(dependent, controller)` pairs with an undocumented control
+    /// dependency.
+    pub control_deps: Vec<(String, String)>,
+    /// `(lhs, rhs)` pairs with an undocumented value relationship.
+    pub value_rels: Vec<(String, String)>,
+}
+
+impl UndocumentedReport {
+    /// The three Table 8 cells: range / control-dep / value-rel counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.ranges.len(),
+            self.control_deps.len(),
+            self.value_rels.len(),
+        )
+    }
+}
+
+/// Compares inferred constraints against the manual.
+pub fn detect(analysis: &SpexAnalysis, manual: &Manual) -> UndocumentedReport {
+    let mut report = UndocumentedReport::default();
+    for r in &analysis.reports {
+        for c in &r.constraints {
+            match &c.kind {
+                ConstraintKind::Range(_) | ConstraintKind::EnumRange(_)
+                    if !manual.documents_range(&c.param)
+                        && !report.ranges.contains(&c.param)
+                    => {
+                        report.ranges.push(c.param.clone());
+                    }
+                ConstraintKind::ControlDep(d)
+                    if !manual.documents_dep(&d.dependent, &d.controller) => {
+                        let pair = (d.dependent.clone(), d.controller.clone());
+                        if !report.control_deps.contains(&pair) {
+                            report.control_deps.push(pair);
+                        }
+                    }
+                ConstraintKind::ValueRel(v)
+                    if !manual.documents_rel(&v.lhs, &v.rhs)
+                        && !manual.documents_rel(&v.rhs, &v.lhs)
+                    => {
+                        let pair = (v.lhs.clone(), v.rhs.clone());
+                        if !report.value_rels.contains(&pair) {
+                            report.value_rels.push(pair);
+                        }
+                    }
+                _ => {}
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manual::ManualEntry;
+    use spex_core::{Annotation, Spex};
+
+    fn analyze(src: &str) -> SpexAnalysis {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let anns =
+            Annotation::parse("{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }")
+                .unwrap();
+        Spex::analyze(m, &anns)
+    }
+
+    const SRC: &str = r#"
+        int intlen = 8;
+        int fsync_on = 1;
+        int siblings = 5;
+        struct opt { char* name; int* var; };
+        struct opt options[] = {
+            { "index_intlen", &intlen },
+            { "fsync", &fsync_on },
+            { "commit_siblings", &siblings }
+        };
+        void clamp() {
+            if (intlen < 4) { intlen = 4; }
+            else if (intlen > 255) { intlen = 255; }
+        }
+        void commit() {
+            if (fsync_on) { sleep(siblings); }
+        }
+    "#;
+
+    #[test]
+    fn everything_undocumented_with_empty_manual() {
+        let a = analyze(SRC);
+        let r = detect(&a, &Manual::empty());
+        assert_eq!(r.ranges, vec!["index_intlen".to_string()]);
+        assert_eq!(
+            r.control_deps,
+            vec![("commit_siblings".to_string(), "fsync".to_string())]
+        );
+    }
+
+    #[test]
+    fn documented_constraints_are_not_reported() {
+        let a = analyze(SRC);
+        let mut manual = Manual::empty();
+        manual.add(
+            "index_intlen",
+            ManualEntry {
+                text: "Valid range is 4 to 255.".into(),
+                documents_range: true,
+                ..Default::default()
+            },
+        );
+        manual.add(
+            "commit_siblings",
+            ManualEntry {
+                text: "Only effective when fsync is enabled.".into(),
+                documents_deps: vec!["fsync".into()],
+                ..Default::default()
+            },
+        );
+        let r = detect(&a, &manual);
+        assert_eq!(r.counts(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Unit-granularity inconsistency (Table 7, Figure 6b).
+//!
+//! Size parameters should share one unit, and so should time parameters.
+//! The unit is inferred from the consuming API (with data-flow scaling
+//! applied by `spex-core`): most Apache sizes are bytes, so `MaxMemFree`
+//! in kilobytes is a trap.
+
+use spex_core::constraint::{ConstraintKind, SemType, SizeUnit, TimeUnit};
+use spex_core::SpexAnalysis;
+use std::collections::BTreeMap;
+
+/// Per-system unit distribution.
+#[derive(Debug, Clone, Default)]
+pub struct UnitReport {
+    /// Size-parameter names per unit.
+    pub sizes: BTreeMap<SizeUnit, Vec<String>>,
+    /// Time-parameter names per unit.
+    pub times: BTreeMap<TimeUnit, Vec<String>>,
+}
+
+impl UnitReport {
+    /// Whether size units are mixed.
+    pub fn size_inconsistent(&self) -> bool {
+        self.sizes.values().filter(|v| !v.is_empty()).count() > 1
+    }
+
+    /// Whether time units are mixed.
+    pub fn time_inconsistent(&self) -> bool {
+        self.times.values().filter(|v| !v.is_empty()).count() > 1
+    }
+
+    /// Size parameters not using the dominant size unit.
+    pub fn size_minority(&self) -> Vec<&String> {
+        minority(&self.sizes)
+    }
+
+    /// Time parameters not using the dominant time unit.
+    pub fn time_minority(&self) -> Vec<&String> {
+        minority(&self.times)
+    }
+
+    /// Count of size parameters with unit `u` (a Table 7 cell).
+    pub fn size_count(&self, u: SizeUnit) -> usize {
+        self.sizes.get(&u).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Count of time parameters with unit `u` (a Table 7 cell).
+    pub fn time_count(&self, u: TimeUnit) -> usize {
+        self.times.get(&u).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+fn minority<K: Ord + Copy>(map: &BTreeMap<K, Vec<String>>) -> Vec<&String> {
+    let dominant = map
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .map(|(k, _)| *k);
+    map.iter()
+        .filter(|(k, _)| Some(**k) != dominant)
+        .flat_map(|(_, v)| v.iter())
+        .collect()
+}
+
+/// Tabulates size/time units across all parameters.
+pub fn detect(analysis: &SpexAnalysis) -> UnitReport {
+    let mut report = UnitReport::default();
+    for r in &analysis.reports {
+        for c in &r.constraints {
+            if let ConstraintKind::SemanticType(st) = &c.kind {
+                match st {
+                    SemType::Size(u) => report
+                        .sizes
+                        .entry(*u)
+                        .or_default()
+                        .push(r.param.name.clone()),
+                    SemType::Time(u) => report
+                        .times
+                        .entry(*u)
+                        .or_default()
+                        .push(r.param.name.clone()),
+                    _ => {}
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_core::{Annotation, Spex};
+
+    fn analyze(src: &str) -> SpexAnalysis {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let anns =
+            Annotation::parse("{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }")
+                .unwrap();
+        Spex::analyze(m, &anns)
+    }
+
+    #[test]
+    fn detects_mixed_size_units() {
+        // Apache-style: most sizes in bytes, MaxMemFree in KB (Figure 6b).
+        let a = analyze(
+            r#"
+            int send_buf = 8192;
+            int recv_buf = 8192;
+            int max_mem_free = 2048;
+            struct opt { char* name; int* var; };
+            struct opt options[] = {
+                { "SendBufferSize", &send_buf },
+                { "ReceiveBufferSize", &recv_buf },
+                { "MaxMemFree", &max_mem_free }
+            };
+            void apply() {
+                malloc(send_buf);
+                malloc(recv_buf);
+                malloc(max_mem_free * 1024);
+            }
+            "#,
+        );
+        let r = detect(&a);
+        assert!(r.size_inconsistent());
+        assert_eq!(r.size_count(SizeUnit::B), 2);
+        assert_eq!(r.size_count(SizeUnit::KB), 1);
+        let minority: Vec<&str> = r.size_minority().iter().map(|s| s.as_str()).collect();
+        assert_eq!(minority, vec!["MaxMemFree"]);
+    }
+
+    #[test]
+    fn detects_mixed_time_units() {
+        let a = analyze(
+            r#"
+            int conn_timeout = 30;
+            int poll_interval = 500;
+            struct opt { char* name; int* var; };
+            struct opt options[] = {
+                { "conn_timeout", &conn_timeout },
+                { "poll_interval_ms", &poll_interval }
+            };
+            void run() {
+                sleep(conn_timeout);
+                usleep(poll_interval * 1000);
+            }
+            "#,
+        );
+        let r = detect(&a);
+        assert!(r.time_inconsistent());
+        assert_eq!(r.time_count(TimeUnit::Sec), 1);
+        assert_eq!(r.time_count(TimeUnit::Milli), 1);
+        assert!(!r.size_inconsistent());
+    }
+
+    #[test]
+    fn uniform_units_are_consistent() {
+        let a = analyze(
+            r#"
+            int t1 = 1;
+            int t2 = 2;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "t1", &t1 }, { "t2", &t2 } };
+            void run() { sleep(t1); sleep(t2); }
+            "#,
+        );
+        let r = detect(&a);
+        assert!(!r.time_inconsistent());
+        assert!(r.time_minority().is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Unsafe parsing APIs (Figure 6d).
+//!
+//! "Unsafe string-to-number transformation APIs, including `atoi`,
+//! `sscanf` and `sprintf`, are vulnerable to erroneous user inputs. [...]
+//! Most bug detection tools do not report these vulnerabilities because
+//! they cannot know whether a variable comes from user settings. SPEX can
+//! detect them exactly because it is starting from parameter settings."
+
+use spex_core::SpexAnalysis;
+use spex_lang::builtins::Builtin;
+use spex_lang::diag::Span;
+
+/// One unsafe-API use on a parameter's data-flow path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeApiFinding {
+    /// The affected parameter.
+    pub param: String,
+    /// The unsafe API.
+    pub api: Builtin,
+    /// Function containing the call.
+    pub in_function: String,
+    /// Location of the call.
+    pub span: Span,
+}
+
+/// Finds unsafe transformation APIs applied to configuration input.
+pub fn detect(analysis: &SpexAnalysis) -> Vec<UnsafeApiFinding> {
+    let mut out = Vec::new();
+    for r in &analysis.reports {
+        for (api, in_function, span) in &r.evidence.unsafe_apis {
+            out.push(UnsafeApiFinding {
+                param: r.param.name.clone(),
+                api: *api,
+                in_function: in_function.clone(),
+                span: *span,
+            });
+        }
+    }
+    out
+}
+
+/// Parameters affected (deduplicated), the Table 8 count.
+pub fn affected_params(findings: &[UnsafeApiFinding]) -> Vec<&str> {
+    let mut params: Vec<&str> = findings.iter().map(|f| f.param.as_str()).collect();
+    params.sort_unstable();
+    params.dedup();
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_core::{Annotation, Spex};
+
+    fn analyze(src: &str, ann: &str) -> SpexAnalysis {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = spex_ir::lower_program(&p).unwrap();
+        let anns = Annotation::parse(ann).unwrap();
+        Spex::analyze(m, &anns)
+    }
+
+    #[test]
+    fn flags_atoi_and_sscanf_on_config_paths() {
+        let a = analyze(
+            r#"
+            int a_val = 0;
+            int b_val = 0;
+            struct cmd { char* name; fnptr handler; };
+            int set_a(char* v) { a_val = atoi(v); return 0; }
+            int set_b(char* v) {
+                int i = 0;
+                sscanf(v, "%i", &i);
+                b_val = i;
+                return 0;
+            }
+            struct cmd cmds[] = { { "a", set_a }, { "b", set_b } };
+            void go() { listen(0, a_val + b_val); }
+            "#,
+            "{ @STRUCT = cmds\n @PAR = [cmd, 1]\n @VAR = ([cmd, 2], $v) }",
+        );
+        let findings = detect(&a);
+        assert!(findings.iter().any(|f| f.param == "a" && f.api == Builtin::Atoi));
+        assert!(findings.iter().any(|f| f.param == "b" && f.api == Builtin::Sscanf));
+        assert_eq!(affected_params(&findings), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn safe_strtol_is_not_flagged() {
+        let a = analyze(
+            r#"
+            long n_val = 0;
+            struct cmd { char* name; fnptr handler; };
+            int set_n(char* v) { n_val = strtol(v, NULL, 10); return 0; }
+            struct cmd cmds[] = { { "n", set_n } };
+            void go() { sleep(n_val); }
+            "#,
+            "{ @STRUCT = cmds\n @PAR = [cmd, 1]\n @VAR = ([cmd, 2], $v) }",
+        );
+        assert!(detect(&a).is_empty());
+    }
+
+    #[test]
+    fn atoi_outside_config_flow_is_not_flagged() {
+        // SPEX's selling point: only *parameter* data flows count.
+        let a = analyze(
+            r#"
+            int knob = 1;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "knob", &knob } };
+            int unrelated(char* s) { return atoi(s); }
+            void go() { sleep(knob); }
+            "#,
+            "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+        );
+        assert!(detect(&a).is_empty());
+    }
+}

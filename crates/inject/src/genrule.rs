@@ -1,0 +1,509 @@
+//! Misconfiguration generation rules (Table 2 of the paper).
+//!
+//! "SPEX-INJ generates configuration errors by intentionally violating the
+//! inferred constraints. [...] Every generation rule is implemented as a
+//! plug-in, which can be extended for customization."
+//!
+//! | Constraint     | Generation rule                                        |
+//! |----------------|--------------------------------------------------------|
+//! | Basic type     | values with invalid basic types                        |
+//! | Semantic type  | invalid values specific to each semantic type          |
+//! | Range          | out-of-range values                                    |
+//! | Control dep.   | `(P ⋄ V) ∧ Q` made false while Q is set                |
+//! | Value relation | value pairs violating the relation                     |
+
+use spex_core::constraint::{
+    BasicType, CmpOp, Constraint, ConstraintKind, EnumValue, SemType,
+};
+
+/// One generated misconfiguration: the target parameter's erroneous value,
+/// plus any co-settings (control-dependency violations set two parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Misconfig {
+    /// The parameter under test.
+    pub param: String,
+    /// The injected (erroneous) value.
+    pub value: String,
+    /// Additional settings required by the scenario (e.g. turning the
+    /// controlling parameter off).
+    pub also_set: Vec<(String, String)>,
+    /// Human-readable description of what is violated.
+    pub description: String,
+    /// Category of the violated constraint (Table 11 vocabulary).
+    pub violates: &'static str,
+    /// Source location of the violated constraint's evidence: the function
+    /// and span. Vulnerabilities deduplicate by this key (Table 5b).
+    pub origin: (String, spex_lang::diag::Span),
+}
+
+impl Misconfig {
+    fn new(param: &str, value: impl Into<String>, desc: impl Into<String>, violates: &'static str) -> Self {
+        Misconfig {
+            param: param.to_string(),
+            value: value.into(),
+            also_set: Vec::new(),
+            description: desc.into(),
+            violates,
+            origin: (String::new(), spex_lang::diag::Span::unknown()),
+        }
+    }
+}
+
+/// A generation plug-in: inspects a constraint and produces violating
+/// settings.
+pub trait GenRule {
+    /// Plug-in name (for reports).
+    fn name(&self) -> &'static str;
+    /// Misconfigurations violating `c`, if this rule applies.
+    fn generate(&self, c: &Constraint) -> Vec<Misconfig>;
+}
+
+/// The standard plug-in registry covering all five constraint kinds.
+pub fn standard_rules() -> Vec<Box<dyn GenRule>> {
+    vec![
+        Box::new(BasicTypeRule),
+        Box::new(SemanticTypeRule),
+        Box::new(RangeRule),
+        Box::new(ControlDepRule),
+        Box::new(ValueRelRule),
+    ]
+}
+
+/// Runs every rule over every constraint, stamping each misconfiguration
+/// with the violated constraint's source location.
+pub fn generate_all(rules: &[Box<dyn GenRule>], constraints: &[Constraint]) -> Vec<Misconfig> {
+    let mut out = Vec::new();
+    for c in constraints {
+        for r in rules {
+            for mut m in r.generate(c) {
+                m.origin = (c.in_function.clone(), c.span);
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+// --- Basic type -------------------------------------------------------------
+
+struct BasicTypeRule;
+
+impl GenRule for BasicTypeRule {
+    fn name(&self) -> &'static str {
+        "basic-type"
+    }
+
+    fn generate(&self, c: &Constraint) -> Vec<Misconfig> {
+        let ConstraintKind::BasicType(bt) = &c.kind else {
+            return Vec::new();
+        };
+        let p = c.param.as_str();
+        match bt {
+            BasicType::Int { bits: 32, .. } => vec![
+                Misconfig::new(p, "not_a_number", "non-numeric value for integer", "basic-type"),
+                // Figure 5(a): a value overflowing 32 bits.
+                Misconfig::new(p, "9000000000", "value overflowing a 32-bit integer", "basic-type"),
+                // Figure 5(a): unit suffix on a plain integer.
+                Misconfig::new(p, "9G", "unit suffix on a plain integer", "basic-type"),
+            ],
+            BasicType::Int { .. } => vec![
+                Misconfig::new(p, "not_a_number", "non-numeric value for integer", "basic-type"),
+                Misconfig::new(p, "12half", "trailing garbage after number", "basic-type"),
+            ],
+            BasicType::Float { .. } => vec![Misconfig::new(
+                p,
+                "fast",
+                "non-numeric value for float",
+                "basic-type",
+            )],
+            BasicType::Bool => vec![Misconfig::new(
+                p,
+                "maybe",
+                "non-boolean word for boolean",
+                "basic-type",
+            )],
+            BasicType::Str | BasicType::Enum => Vec::new(),
+        }
+    }
+}
+
+// --- Semantic type -----------------------------------------------------------
+
+struct SemanticTypeRule;
+
+impl GenRule for SemanticTypeRule {
+    fn name(&self) -> &'static str {
+        "semantic-type"
+    }
+
+    fn generate(&self, c: &Constraint) -> Vec<Misconfig> {
+        let ConstraintKind::SemanticType(st) = &c.kind else {
+            return Vec::new();
+        };
+        let p = c.param.as_str();
+        match st {
+            SemType::FilePath => vec![
+                // Figure 5(b): a directory where a file is expected.
+                Misconfig::new(p, "/etc", "directory path for a FILE parameter", "semantic-type"),
+                Misconfig::new(p, "/no/such/file", "nonexistent file path", "semantic-type"),
+            ],
+            SemType::DirPath => vec![
+                Misconfig::new(p, "/etc/passwd", "file path for a DIR parameter", "semantic-type"),
+                Misconfig::new(p, "/no/such/dir", "nonexistent directory", "semantic-type"),
+            ],
+            SemType::Port => vec![
+                // Figure 5(c): an occupied port (the harness occupies 80).
+                Misconfig::new(p, "80", "already-occupied port", "semantic-type"),
+                Misconfig::new(p, "70000", "port outside the 16-bit range", "semantic-type"),
+                Misconfig::new(p, "0", "port zero", "semantic-type"),
+            ],
+            SemType::IpAddr => vec![
+                Misconfig::new(p, "999.888.1.1", "out-of-range IP octets", "semantic-type"),
+                Misconfig::new(p, "not-an-ip", "malformed IP address", "semantic-type"),
+            ],
+            SemType::Hostname => vec![Misconfig::new(
+                p,
+                "no-such-host.invalid",
+                "unresolvable host name",
+                "semantic-type",
+            )],
+            SemType::UserName => vec![Misconfig::new(
+                p,
+                "no_such_user",
+                "unknown user name",
+                "semantic-type",
+            )],
+            SemType::GroupName => vec![Misconfig::new(
+                p,
+                "no_such_group",
+                "unknown group name",
+                "semantic-type",
+            )],
+            SemType::Time(_) => vec![
+                Misconfig::new(p, "-5", "negative time value", "semantic-type"),
+                Misconfig::new(p, "999999999", "absurdly large time value", "semantic-type"),
+            ],
+            SemType::Size(_) => vec![
+                Misconfig::new(p, "9000000000", "size overflowing 32 bits", "semantic-type"),
+                // Figure 5(a)/7(d): unit mismatch.
+                Misconfig::new(p, "512MB", "unit suffix the parser may ignore", "semantic-type"),
+            ],
+            SemType::Permission => vec![Misconfig::new(
+                p,
+                "999",
+                "invalid permission mask",
+                "semantic-type",
+            )],
+        }
+    }
+}
+
+// --- Data range ---------------------------------------------------------------
+
+struct RangeRule;
+
+impl GenRule for RangeRule {
+    fn name(&self) -> &'static str {
+        "range"
+    }
+
+    fn generate(&self, c: &Constraint) -> Vec<Misconfig> {
+        let p = c.param.as_str();
+        match &c.kind {
+            ConstraintKind::Range(r) => r
+                .invalid_samples()
+                .into_iter()
+                .map(|v| {
+                    Misconfig::new(
+                        p,
+                        v.to_string(),
+                        format!("out-of-range value {v}"),
+                        "data-range",
+                    )
+                })
+                .collect(),
+            ConstraintKind::EnumRange(e) => {
+                let mut out = vec![Misconfig::new(
+                    p,
+                    "__invalid__",
+                    "value outside the accepted set",
+                    "data-range",
+                )];
+                // Case-flip a valid word: exposes case-sensitivity traps
+                // (the iSCSI initiator-name failure of Figure 1).
+                if !e.case_insensitive {
+                    if let Some(alt) = e.alternatives.iter().find(|a| a.valid) {
+                        if let EnumValue::Str(s) = &alt.value {
+                            let flipped = flip_case(s);
+                            if &flipped != s {
+                                out.push(Misconfig::new(
+                                    p,
+                                    flipped,
+                                    "case-flipped variant of a valid word",
+                                    "data-range",
+                                ));
+                            }
+                        }
+                    }
+                }
+                // An integer outside the switch arms.
+                let max_int = e
+                    .alternatives
+                    .iter()
+                    .filter_map(|a| match &a.value {
+                        EnumValue::Int(v) => Some(*v),
+                        _ => None,
+                    })
+                    .max();
+                if let Some(m) = max_int {
+                    out.push(Misconfig::new(
+                        p,
+                        (m + 1).to_string(),
+                        "integer outside the accepted alternatives",
+                        "data-range",
+                    ));
+                    // Only keep integer-flavoured errors for switch ranges.
+                    out.retain(|mc| mc.value != "__invalid__");
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+fn flip_case(s: &str) -> String {
+    if s.chars().any(|c| c.is_ascii_lowercase()) {
+        s.to_uppercase()
+    } else {
+        s.to_lowercase()
+    }
+}
+
+// --- Control dependency ----------------------------------------------------------
+
+struct ControlDepRule;
+
+impl GenRule for ControlDepRule {
+    fn name(&self) -> &'static str {
+        "control-dep"
+    }
+
+    fn generate(&self, c: &Constraint) -> Vec<Misconfig> {
+        let ConstraintKind::ControlDep(d) = &c.kind else {
+            return Vec::new();
+        };
+        // Make (P ⋄ V) false while setting Q to a non-default value
+        // (Figure 5e: fsync=off with commit_siblings=5). Boolean
+        // controllers expect word values, so zero is spelled "off".
+        let controller_value = falsify(d.op, d.value);
+        let rendered = if controller_value == 0 {
+            "off".to_string()
+        } else {
+            controller_value.to_string()
+        };
+        let mut m = Misconfig::new(
+            &d.dependent,
+            "5",
+            format!(
+                "setting \"{}\" while its controller \"{}\" disables it",
+                d.dependent, d.controller
+            ),
+            "control-dep",
+        );
+        m.also_set.push((d.controller.clone(), rendered));
+        vec![m]
+    }
+}
+
+/// A value of P that makes `P ⋄ V` false.
+fn falsify(op: CmpOp, v: i64) -> i64 {
+    match op {
+        CmpOp::Ne => v,
+        CmpOp::Eq => v + 1,
+        CmpOp::Gt | CmpOp::Ge => v - 1,
+        CmpOp::Lt | CmpOp::Le => v + 1,
+    }
+}
+
+// --- Value relationship -------------------------------------------------------------
+
+struct ValueRelRule;
+
+impl GenRule for ValueRelRule {
+    fn name(&self) -> &'static str {
+        "value-rel"
+    }
+
+    fn generate(&self, c: &Constraint) -> Vec<Misconfig> {
+        let ConstraintKind::ValueRel(r) = &c.kind else {
+            return Vec::new();
+        };
+        // Violate the relation with a concrete pair (Figure 5f:
+        // min=25, max=10).
+        let (lhs_v, rhs_v) = match r.op {
+            CmpOp::Lt | CmpOp::Le => (25, 10),
+            CmpOp::Gt | CmpOp::Ge => (10, 25),
+            CmpOp::Eq => (10, 25),
+            CmpOp::Ne => (10, 10),
+        };
+        let mut m = Misconfig::new(
+            &r.lhs,
+            lhs_v.to_string(),
+            format!("violating \"{}\" {} \"{}\"", r.lhs, r.op, r.rhs),
+            "value-rel",
+        );
+        m.also_set.push((r.rhs.clone(), rhs_v.to_string()));
+        vec![m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_core::constraint::{
+        ControlDep, EnumAlternative, EnumRange, NumericRange, RangeSegment, SizeUnit, ValueRel,
+    };
+    use spex_lang::diag::Span;
+
+    fn c(param: &str, kind: ConstraintKind) -> Constraint {
+        Constraint {
+            param: param.into(),
+            kind,
+            in_function: String::new(),
+            span: Span::unknown(),
+        }
+    }
+
+    #[test]
+    fn basic_type_int32_includes_overflow_and_unit() {
+        let rules = standard_rules();
+        let cs = vec![c(
+            "log.filesize",
+            ConstraintKind::BasicType(BasicType::Int {
+                bits: 32,
+                signed: true,
+            }),
+        )];
+        let ms = generate_all(&rules, &cs);
+        let values: Vec<&str> = ms.iter().map(|m| m.value.as_str()).collect();
+        assert!(values.contains(&"9000000000"), "overflow case");
+        assert!(values.contains(&"9G"), "unit-suffix case");
+    }
+
+    #[test]
+    fn file_semantic_type_generates_directory() {
+        let rules = standard_rules();
+        let cs = vec![c(
+            "ft_stopword_file",
+            ConstraintKind::SemanticType(SemType::FilePath),
+        )];
+        let ms = generate_all(&rules, &cs);
+        assert!(ms.iter().any(|m| m.value == "/etc"), "directory for FILE");
+        assert!(ms.iter().any(|m| m.value == "/no/such/file"));
+    }
+
+    #[test]
+    fn port_semantic_type_generates_occupied_and_oob() {
+        let rules = standard_rules();
+        let cs = vec![c("udp_port", ConstraintKind::SemanticType(SemType::Port))];
+        let ms = generate_all(&rules, &cs);
+        let values: Vec<&str> = ms.iter().map(|m| m.value.as_str()).collect();
+        assert!(values.contains(&"80"));
+        assert!(values.contains(&"70000"));
+    }
+
+    #[test]
+    fn range_rule_samples_every_invalid_segment() {
+        let rules = standard_rules();
+        let range = NumericRange {
+            cutpoints: vec![4, 255],
+            segments: vec![
+                RangeSegment { lo: None, hi: Some(3), valid: false },
+                RangeSegment { lo: Some(4), hi: Some(255), valid: true },
+                RangeSegment { lo: Some(256), hi: None, valid: false },
+            ],
+        };
+        let cs = vec![c("index_intlen", ConstraintKind::Range(range.clone()))];
+        let ms = generate_all(&rules, &cs);
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            let v: i64 = m.value.parse().unwrap();
+            assert!(!range.is_valid(v), "{v} must be invalid");
+        }
+    }
+
+    #[test]
+    fn enum_rule_flips_case_for_sensitive_params() {
+        let rules = standard_rules();
+        let e = EnumRange {
+            alternatives: vec![EnumAlternative {
+                value: EnumValue::Str("on".into()),
+                valid: true,
+            }],
+            unmatched_is_error: false,
+            unmatched_overwrites: true,
+            case_insensitive: false,
+        };
+        let cs = vec![c("icp_hit_stale", ConstraintKind::EnumRange(e))];
+        let ms = generate_all(&rules, &cs);
+        assert!(ms.iter().any(|m| m.value == "ON"), "case-flipped variant");
+    }
+
+    #[test]
+    fn control_dep_rule_sets_both_params() {
+        let rules = standard_rules();
+        let d = ControlDep {
+            controller: "fsync".into(),
+            value: 0,
+            op: CmpOp::Ne,
+            dependent: "commit_siblings".into(),
+            confidence: 1.0,
+        };
+        let cs = vec![c("commit_siblings", ConstraintKind::ControlDep(d))];
+        let ms = generate_all(&rules, &cs);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].param, "commit_siblings");
+        // Zero controllers are rendered as the word "off" so boolean
+        // parsers accept the co-setting.
+        assert_eq!(
+            ms[0].also_set,
+            vec![("fsync".to_string(), "off".to_string())]
+        );
+    }
+
+    #[test]
+    fn value_rel_rule_produces_violating_pair() {
+        let rules = standard_rules();
+        let r = ValueRel {
+            lhs: "ft_min_word_len".into(),
+            op: CmpOp::Lt,
+            rhs: "ft_max_word_len".into(),
+        };
+        let cs = vec![c("ft_min_word_len", ConstraintKind::ValueRel(r))];
+        let ms = generate_all(&rules, &cs);
+        assert_eq!(ms.len(), 1);
+        let lhs: i64 = ms[0].value.parse().unwrap();
+        let rhs: i64 = ms[0].also_set[0].1.parse().unwrap();
+        assert!(lhs >= rhs, "pair must violate lhs < rhs");
+    }
+
+    #[test]
+    fn falsify_table() {
+        assert!(!CmpOp::Ne.eval(falsify(CmpOp::Ne, 0), 0));
+        assert!(!CmpOp::Eq.eval(falsify(CmpOp::Eq, 5), 5));
+        assert!(!CmpOp::Gt.eval(falsify(CmpOp::Gt, 5), 5));
+        assert!(!CmpOp::Le.eval(falsify(CmpOp::Le, 5), 5));
+    }
+
+    #[test]
+    fn semantic_size_generates_unit_suffix() {
+        let rules = standard_rules();
+        let cs = vec![c(
+            "pcs.size",
+            ConstraintKind::SemanticType(SemType::Size(SizeUnit::B)),
+        )];
+        let ms = generate_all(&rules, &cs);
+        assert!(ms.iter().any(|m| m.value == "512MB"));
+    }
+}

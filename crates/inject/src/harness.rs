@@ -1,0 +1,591 @@
+//! The injection-testing harness (§3.1).
+//!
+//! For each generated misconfiguration the harness builds a fresh world,
+//! feeds the mutated configuration file to the system's config entry point,
+//! runs startup, then drives the system's own functional test cases —
+//! shortest first, stopping at the first failure (the paper's two
+//! optimizations, both individually togglable for the ablation benchmark) —
+//! and classifies the observed reaction against Table 3.
+
+use crate::genrule::Misconfig;
+use spex_conf::{ConfFile, Dialect};
+use spex_ir::Module;
+use spex_vm::{Signal, Value, Vm, VmHalt, World};
+use std::collections::HashMap;
+
+/// One functional test case shipped with the subject system.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Display name.
+    pub name: String,
+    /// VM function to call; returns 0 on pass.
+    pub func: String,
+    /// Relative cost (virtual runtime units) used for shortest-first
+    /// ordering.
+    pub cost: u32,
+}
+
+/// A system under injection testing.
+pub struct TestTarget<'m> {
+    /// System name (reporting only).
+    pub name: String,
+    /// The lowered module.
+    pub module: &'m Module,
+    /// Config-file dialect.
+    pub dialect: Dialect,
+    /// The template (default) configuration file.
+    pub template_conf: String,
+    /// Function called as `f(name, value) -> int` for every setting; a
+    /// nonzero return means the parser rejected the setting and the system
+    /// stops (like a server refusing to start).
+    pub config_entry: String,
+    /// Function called as `f() -> int` after configuration; nonzero means
+    /// startup failed.
+    pub startup: String,
+    /// The system's functional test suite.
+    pub tests: Vec<TestCase>,
+    /// Fresh-world factory (occupies ports, creates files...).
+    pub world: Box<dyn Fn() -> World + Send + Sync + 'm>,
+    /// Parameter → backing-global name, for the silent-violation check.
+    /// Only parameters whose global stores the input verbatim belong here.
+    pub param_globals: HashMap<String, String>,
+}
+
+/// Which phase of a run produced the reaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// While parsing the configuration.
+    Config,
+    /// During startup.
+    Startup,
+    /// While running the named functional test.
+    Test(String),
+    /// After all phases passed.
+    Done,
+}
+
+/// The classified system reaction (Table 3), plus the two non-vulnerable
+/// outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reaction {
+    /// The system crashed (signal) — most severe.
+    Crash(Signal),
+    /// The system hung.
+    Hang,
+    /// The system exited without pinpointing the injected error.
+    EarlyTermination,
+    /// A functional test failed without a pinpointing message.
+    FunctionalFailure,
+    /// The system silently changed the configured value.
+    SilentViolation,
+    /// The system silently ignored the setting (control-dependency
+    /// violations).
+    SilentIgnorance,
+    /// The system pinpointed the faulty parameter — the desired behaviour.
+    GoodReaction,
+    /// The system tolerated the value without misbehaving.
+    Benign,
+}
+
+impl Reaction {
+    /// Whether this reaction is a misconfiguration vulnerability.
+    pub fn is_vulnerability(&self) -> bool {
+        !matches!(self, Reaction::GoodReaction | Reaction::Benign)
+    }
+
+    /// The Table 5(a) column this reaction falls into (`None` for
+    /// non-vulnerabilities).
+    pub fn column(&self) -> Option<&'static str> {
+        Some(match self {
+            Reaction::Crash(_) | Reaction::Hang => "crash-hang",
+            Reaction::EarlyTermination => "early-termination",
+            Reaction::FunctionalFailure => "functional-failure",
+            Reaction::SilentViolation => "silent-violation",
+            Reaction::SilentIgnorance => "silent-ignorance",
+            _ => return None,
+        })
+    }
+}
+
+/// Result of injecting one misconfiguration.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// What was injected.
+    pub misconfig: Misconfig,
+    /// The classified reaction.
+    pub reaction: Reaction,
+    /// Where it surfaced.
+    pub phase: Phase,
+    /// Captured log text.
+    pub logs: String,
+    /// Whether the logs pinpointed the parameter (name, value or config
+    /// line).
+    pub pinpointed: bool,
+    /// The failing test, if any.
+    pub failed_test: Option<String>,
+    /// Test-cost units consumed (for the optimization ablation).
+    pub cost_spent: u64,
+}
+
+/// Campaign options: the §3.1 testing optimizations, togglable for
+/// benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOptions {
+    /// Stop a run at the first failed test case.
+    pub stop_at_first_failure: bool,
+    /// Run the shortest test cases first.
+    pub sort_tests_by_cost: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            stop_at_first_failure: true,
+            sort_tests_by_cost: true,
+        }
+    }
+}
+
+/// Drives a full injection campaign over one target.
+pub struct InjectionCampaign<'m> {
+    target: TestTarget<'m>,
+    options: CampaignOptions,
+}
+
+impl<'m> InjectionCampaign<'m> {
+    /// Creates a campaign with default (paper) options.
+    pub fn new(target: TestTarget<'m>) -> Self {
+        InjectionCampaign {
+            target,
+            options: CampaignOptions::default(),
+        }
+    }
+
+    /// Overrides the optimization options.
+    pub fn with_options(mut self, options: CampaignOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The target under test.
+    pub fn target(&self) -> &TestTarget<'m> {
+        &self.target
+    }
+
+    /// Runs every misconfiguration and returns per-run outcomes.
+    pub fn run(&self, misconfigs: &[Misconfig]) -> Vec<RunOutcome> {
+        misconfigs.iter().map(|m| self.run_one(m)).collect()
+    }
+
+    /// Runs a single misconfiguration end to end.
+    pub fn run_one(&self, m: &Misconfig) -> RunOutcome {
+        let mut conf = ConfFile::parse(&self.target.template_conf, self.target.dialect);
+        conf.set(&m.param, &m.value);
+        for (p, v) in &m.also_set {
+            conf.set(p, v);
+        }
+
+        let world = (self.target.world)();
+        let mut vm = Vm::new(self.target.module, world);
+        let mut cost_spent = 0u64;
+
+        // Phase 1: configuration.
+        for (name, value) in conf.settings() {
+            match vm.call(&self.target.config_entry, &[Value::str(name), Value::str(value)]) {
+                Ok(ret) => {
+                    if ret.as_int().unwrap_or(0) != 0 {
+                        // Parser rejected a setting: the system refuses to
+                        // start.
+                        return self.finish(m, &vm, Phase::Config, Exit::Refused, None, cost_spent);
+                    }
+                }
+                Err(halt) => {
+                    return self.finish(m, &vm, Phase::Config, Exit::Halt(halt), None, cost_spent)
+                }
+            }
+        }
+
+        // Phase 2: startup.
+        match vm.call(&self.target.startup, &[]) {
+            Ok(ret) => {
+                if ret.as_int().unwrap_or(0) != 0 {
+                    return self.finish(m, &vm, Phase::Startup, Exit::Refused, None, cost_spent);
+                }
+            }
+            Err(halt) => {
+                return self.finish(m, &vm, Phase::Startup, Exit::Halt(halt), None, cost_spent)
+            }
+        }
+
+        // Phase 3: the system's own test suite.
+        let mut tests = self.target.tests.clone();
+        if self.options.sort_tests_by_cost {
+            tests.sort_by_key(|t| t.cost);
+        }
+        let mut first_failure: Option<String> = None;
+        for t in &tests {
+            cost_spent += t.cost as u64;
+            match vm.call(&t.func, &[]) {
+                Ok(ret) => {
+                    if ret.as_int().unwrap_or(0) != 0 && first_failure.is_none() {
+                        first_failure = Some(t.name.clone());
+                        if self.options.stop_at_first_failure {
+                            break;
+                        }
+                    }
+                }
+                Err(halt) => {
+                    return self.finish(
+                        m,
+                        &vm,
+                        Phase::Test(t.name.clone()),
+                        Exit::Halt(halt),
+                        first_failure,
+                        cost_spent,
+                    )
+                }
+            }
+        }
+        if let Some(failed) = first_failure {
+            return self.finish(
+                m,
+                &vm,
+                Phase::Test(failed.clone()),
+                Exit::TestFailed,
+                Some(failed),
+                cost_spent,
+            );
+        }
+
+        // Phase 4: everything passed — check for silent misbehaviour.
+        self.finish(m, &vm, Phase::Done, Exit::AllPassed, None, cost_spent)
+    }
+
+    fn finish(
+        &self,
+        m: &Misconfig,
+        vm: &Vm<'_>,
+        phase: Phase,
+        exit: Exit,
+        failed_test: Option<String>,
+        cost_spent: u64,
+    ) -> RunOutcome {
+        let logs = vm.log_text();
+        let conf_line = {
+            let conf = ConfFile::parse(&self.target.template_conf, self.target.dialect);
+            conf.line_of(&m.param)
+        };
+        let pinpointed = pinpoints(&logs, m, conf_line);
+
+        let reaction = match exit {
+            Exit::Halt(VmHalt::Fatal(sig)) => Reaction::Crash(sig),
+            Exit::Halt(VmHalt::Hang) => Reaction::Hang,
+            Exit::Halt(VmHalt::Internal(_)) => Reaction::Crash(Signal::Segv),
+            Exit::Halt(VmHalt::Exit(code)) => {
+                if pinpointed {
+                    Reaction::GoodReaction
+                } else if code == 0 {
+                    Reaction::Benign
+                } else {
+                    Reaction::EarlyTermination
+                }
+            }
+            Exit::Refused => {
+                if pinpointed {
+                    Reaction::GoodReaction
+                } else {
+                    Reaction::EarlyTermination
+                }
+            }
+            Exit::TestFailed => {
+                if pinpointed {
+                    Reaction::GoodReaction
+                } else {
+                    Reaction::FunctionalFailure
+                }
+            }
+            Exit::AllPassed => self.classify_silent(m, vm, pinpointed),
+        };
+        RunOutcome {
+            misconfig: m.clone(),
+            reaction,
+            phase,
+            logs,
+            pinpointed,
+            failed_test,
+            cost_spent,
+        }
+    }
+
+    /// All tests passed: detect silent violation (effective value differs
+    /// from the configured one) and silent ignorance (control-dependency
+    /// injections with no feedback).
+    fn classify_silent(&self, m: &Misconfig, vm: &Vm<'_>, pinpointed: bool) -> Reaction {
+        if pinpointed {
+            return Reaction::GoodReaction;
+        }
+        if let Some(global) = self.target.param_globals.get(&m.param) {
+            if let (Some(actual), Some(intended)) =
+                (vm.global_value(global), intended_value(&m.value))
+            {
+                if !values_agree(actual, &intended) {
+                    return Reaction::SilentViolation;
+                }
+            }
+        }
+        if m.violates == "control-dep" {
+            return Reaction::SilentIgnorance;
+        }
+        Reaction::Benign
+    }
+}
+
+enum Exit {
+    Halt(VmHalt),
+    Refused,
+    TestFailed,
+    AllPassed,
+}
+
+/// Whether the captured logs pinpoint the misconfiguration: the injected
+/// parameter's name, its value, a co-setting's name, or the config-file
+/// line number (§3.1).
+pub fn pinpoints(logs: &str, m: &Misconfig, conf_line: Option<usize>) -> bool {
+    if logs.is_empty() {
+        return false;
+    }
+    let lower = logs.to_lowercase();
+    if lower.contains(&m.param.to_lowercase()) {
+        return true;
+    }
+    if m.value.len() >= 2 && logs.contains(&m.value) {
+        return true;
+    }
+    if m.also_set
+        .iter()
+        .any(|(p, _)| lower.contains(&p.to_lowercase()))
+    {
+        return true;
+    }
+    if let Some(line) = conf_line {
+        if lower.contains(&format!("line {line}")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The user's *intention* for a raw configuration value: full-precision
+/// number with unit suffixes honoured, boolean words, else the raw string.
+/// Comparing this against the system's effective value exposes silent
+/// violations (e.g. `atoi("9G")` storing 9 for a 9-gigabyte intention).
+pub fn intended_value(raw: &str) -> Option<Value> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return None;
+    }
+    match s.to_ascii_lowercase().as_str() {
+        "on" | "yes" | "true" | "enable" | "enabled" => return Some(Value::Int(1)),
+        "off" | "no" | "false" | "disable" | "disabled" => return Some(Value::Int(0)),
+        _ => {}
+    }
+    // Number with optional unit suffix.
+    let (digits, suffix) = split_number(s);
+    if !digits.is_empty() && digits.chars().skip(1).all(|c| c.is_ascii_digit()) {
+        let base: i64 = digits.parse().ok()?;
+        let mult = match suffix.to_ascii_uppercase().as_str() {
+            "" => 1,
+            "K" | "KB" => 1 << 10,
+            "M" | "MB" => 1 << 20,
+            "G" | "GB" => 1 << 30,
+            _ => return Some(Value::Str(s.to_string())),
+        };
+        return Some(Value::Int(base.saturating_mul(mult)));
+    }
+    Some(Value::Str(s.to_string()))
+}
+
+fn split_number(s: &str) -> (&str, &str) {
+    let mut end = 0;
+    let bytes = s.as_bytes();
+    if end < bytes.len() && (bytes[end] == b'-' || bytes[end] == b'+') {
+        end += 1;
+    }
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+    }
+    (&s[..end], &s[end..])
+}
+
+fn values_agree(actual: &Value, intended: &Value) -> bool {
+    match (actual, intended) {
+        (Value::Int(a), Value::Int(b)) => a == b,
+        (Value::Float(a), Value::Int(b)) => (*a - *b as f64).abs() < 1e-9,
+        (Value::Str(a), Value::Str(b)) => a == b,
+        // Incomparable shapes: assume agreement (no false positives).
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_lang::diag::Span;
+
+    fn mc(param: &str, value: &str, violates: &'static str) -> Misconfig {
+        Misconfig {
+            param: param.into(),
+            value: value.into(),
+            also_set: vec![],
+            description: String::new(),
+            violates,
+            origin: ("f".into(), Span::unknown()),
+        }
+    }
+
+    /// A tiny subject system: one int param with a crash on large values,
+    /// one silently clamped param, one good-reaction param.
+    const SUBJECT: &str = r#"
+        int threads = 4;
+        int intlen = 8;
+        int checked = 10;
+        int table[16];
+        int handle_config(char* name, char* value) {
+            if (strcmp(name, "threads") == 0) { threads = atoi(value); return 0; }
+            if (strcmp(name, "intlen") == 0) {
+                intlen = atoi(value);
+                if (intlen > 255) { intlen = 255; }
+                return 0;
+            }
+            if (strcmp(name, "checked") == 0) {
+                checked = atoi(value);
+                if (checked < 1 || checked > 100) {
+                    fprintf(stderr, "invalid value for checked: %s", value);
+                    return -1;
+                }
+                return 0;
+            }
+            return 0;
+        }
+        int startup() {
+            table[threads] = 1;
+            return 0;
+        }
+        int test_smoke() { return 0; }
+    "#;
+
+    fn target(m: &spex_ir::Module) -> TestTarget<'_> {
+        let mut param_globals = HashMap::new();
+        param_globals.insert("threads".to_string(), "threads".to_string());
+        param_globals.insert("intlen".to_string(), "intlen".to_string());
+        TestTarget {
+            name: "toy".into(),
+            module: m,
+            dialect: Dialect::KeyValue,
+            template_conf: "threads = 4\nintlen = 8\nchecked = 10\n".into(),
+            config_entry: "handle_config".into(),
+            startup: "startup".into(),
+            tests: vec![TestCase {
+                name: "smoke".into(),
+                func: "test_smoke".into(),
+                cost: 1,
+            }],
+            world: Box::new(World::default),
+            param_globals,
+        }
+    }
+
+    fn module() -> spex_ir::Module {
+        let p = spex_lang::parse_program(SUBJECT).unwrap();
+        spex_ir::lower_program(&p).unwrap()
+    }
+
+    #[test]
+    fn crash_on_out_of_bounds_write() {
+        let m = module();
+        let campaign = InjectionCampaign::new(target(&m));
+        let out = campaign.run_one(&mc("threads", "100000", "data-range"));
+        assert!(matches!(out.reaction, Reaction::Crash(Signal::Segv)));
+        assert_eq!(out.phase, Phase::Startup);
+        assert!(out.reaction.is_vulnerability());
+    }
+
+    #[test]
+    fn silent_violation_on_clamped_param() {
+        let m = module();
+        let campaign = InjectionCampaign::new(target(&m));
+        let out = campaign.run_one(&mc("intlen", "300", "data-range"));
+        assert_eq!(out.reaction, Reaction::SilentViolation);
+        assert_eq!(out.phase, Phase::Done);
+    }
+
+    #[test]
+    fn good_reaction_when_pinpointed() {
+        let m = module();
+        let campaign = InjectionCampaign::new(target(&m));
+        let out = campaign.run_one(&mc("checked", "999", "data-range"));
+        assert_eq!(out.reaction, Reaction::GoodReaction);
+        assert!(out.pinpointed);
+        assert!(!out.reaction.is_vulnerability());
+    }
+
+    #[test]
+    fn benign_when_value_is_fine() {
+        let m = module();
+        let campaign = InjectionCampaign::new(target(&m));
+        let out = campaign.run_one(&mc("threads", "8", "basic-type"));
+        assert_eq!(out.reaction, Reaction::Benign);
+    }
+
+    #[test]
+    fn silent_violation_on_overflowing_atoi() {
+        // "9000000000" wraps through atoi: the stored value differs from
+        // the intention.
+        let m = module();
+        let campaign = InjectionCampaign::new(target(&m));
+        let out = campaign.run_one(&mc("intlen", "9000000000", "basic-type"));
+        assert_eq!(out.reaction, Reaction::SilentViolation);
+    }
+
+    #[test]
+    fn pinpoint_matching_rules() {
+        let m = mc("udp_port", "70000", "semantic-type");
+        assert!(pinpoints("FATAL: invalid udp_port", &m, None));
+        assert!(pinpoints("cannot bind to 70000", &m, None));
+        assert!(pinpoints("error at line 7 of config", &m, Some(7)));
+        assert!(!pinpoints("error at line 9 of config", &m, Some(7)));
+        assert!(!pinpoints("Segmentation fault", &m, None));
+        assert!(!pinpoints("", &m, None));
+    }
+
+    #[test]
+    fn intended_value_parsing() {
+        assert_eq!(intended_value("42"), Some(Value::Int(42)));
+        assert_eq!(intended_value("-5"), Some(Value::Int(-5)));
+        assert_eq!(intended_value("9G"), Some(Value::Int(9 << 30)));
+        assert_eq!(intended_value("512MB"), Some(Value::Int(512 << 20)));
+        assert_eq!(intended_value("on"), Some(Value::Int(1)));
+        assert_eq!(intended_value("OFF"), Some(Value::Int(0)));
+        assert_eq!(
+            intended_value("/var/log"),
+            Some(Value::Str("/var/log".into()))
+        );
+        assert_eq!(intended_value(""), None);
+    }
+
+    #[test]
+    fn campaign_runs_all_misconfigs() {
+        let m = module();
+        let campaign = InjectionCampaign::new(target(&m));
+        let outs = campaign.run(&[
+            mc("threads", "100000", "data-range"),
+            mc("intlen", "300", "data-range"),
+            mc("threads", "8", "basic-type"),
+        ]);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(
+            outs.iter().filter(|o| o.reaction.is_vulnerability()).count(),
+            2
+        );
+    }
+}

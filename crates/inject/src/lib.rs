@@ -1,0 +1,30 @@
+//! SPEX-INJ: misconfiguration injection testing (§3.1 of the paper).
+//!
+//! Given the constraints inferred by `spex-core`, this crate:
+//!
+//! 1. **generates** configuration errors that violate each constraint
+//!    (Table 2) through an extensible plug-in registry ([`genrule`]);
+//! 2. **injects** them into the system's template configuration file
+//!    through the `spex-conf` abstract representation;
+//! 3. **runs** the system in the `spex-vm` interpreter — configuration
+//!    phase, startup, then the system's own functional test cases, shortest
+//!    first, stopping at the first failure (the paper's two testing
+//!    optimizations);
+//! 4. **classifies** the reaction (Table 3): crash/hang, early termination,
+//!    functional failure, silent violation, silent ignorance — against the
+//!    bar that a good reaction must pinpoint the faulty parameter's name,
+//!    value or config-file line.
+//!
+//! The output is a list of [`Vulnerability`] reports carrying the violated
+//! constraint, the injected error, the failing test and the captured logs —
+//! "the developers can know what misconfigurations caused what problems".
+
+pub mod genrule;
+pub mod harness;
+pub mod report;
+
+pub use genrule::{standard_rules, GenRule, Misconfig};
+pub use harness::{
+    CampaignOptions, InjectionCampaign, Phase, Reaction, RunOutcome, TestCase, TestTarget,
+};
+pub use report::{CampaignReport, Vulnerability};

@@ -1,0 +1,189 @@
+//! Campaign reports: vulnerabilities, per-category counts (Table 5a) and
+//! unique source-code locations (Table 5b).
+
+use crate::harness::{Reaction, RunOutcome};
+use spex_lang::diag::Span;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A confirmed misconfiguration vulnerability (one bad reaction).
+#[derive(Debug, Clone)]
+pub struct Vulnerability {
+    /// The injected parameter.
+    pub param: String,
+    /// The injected value.
+    pub value: String,
+    /// What was violated.
+    pub violates: &'static str,
+    /// The classified bad reaction.
+    pub reaction: Reaction,
+    /// Captured logs at the time of the reaction.
+    pub logs: String,
+    /// The failing test, if the reaction surfaced there.
+    pub failed_test: Option<String>,
+    /// Deduplication key: function + span of the constraint evidence.
+    pub location: (String, Span),
+}
+
+impl fmt::Display for Vulnerability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} = {:?} -> {:?}",
+            self.violates, self.param, self.value, self.reaction
+        )
+    }
+}
+
+/// Aggregated results of one injection campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// All exposed vulnerabilities.
+    pub vulnerabilities: Vec<Vulnerability>,
+    /// Vulnerability counts by Table 5(a) column.
+    pub by_reaction: BTreeMap<&'static str, usize>,
+    /// Unique source-code locations behind the vulnerabilities (Table 5b).
+    pub locations: BTreeSet<(String, Span)>,
+    /// Runs that ended with a pinpointing message (good reactions).
+    pub good_reactions: usize,
+    /// Runs with no misbehaviour at all.
+    pub benign: usize,
+    /// Total test-cost units spent across the campaign.
+    pub total_cost: u64,
+}
+
+impl CampaignReport {
+    /// Builds a report from raw run outcomes.
+    pub fn from_outcomes(outcomes: &[RunOutcome]) -> CampaignReport {
+        let mut report = CampaignReport::default();
+        for o in outcomes {
+            report.total_cost += o.cost_spent;
+            match &o.reaction {
+                Reaction::GoodReaction => report.good_reactions += 1,
+                Reaction::Benign => report.benign += 1,
+                reaction => {
+                    let column = reaction.column().expect("vulnerability has a column");
+                    *report.by_reaction.entry(column).or_insert(0) += 1;
+                    report
+                        .locations
+                        .insert(o.misconfig.origin.clone());
+                    report.vulnerabilities.push(Vulnerability {
+                        param: o.misconfig.param.clone(),
+                        value: o.misconfig.value.clone(),
+                        violates: o.misconfig.violates,
+                        reaction: reaction.clone(),
+                        logs: o.logs.clone(),
+                        failed_test: o.failed_test.clone(),
+                        location: o.misconfig.origin.clone(),
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// Total vulnerability count.
+    pub fn total(&self) -> usize {
+        self.vulnerabilities.len()
+    }
+
+    /// Count for one Table 5(a) column.
+    pub fn count(&self, column: &str) -> usize {
+        self.by_reaction.get(column).copied().unwrap_or(0)
+    }
+
+    /// Renders the developer-facing error report for one vulnerability:
+    /// constraint category, injected error, failed test and logs (the
+    /// paper's SPEX-INJ output format).
+    pub fn render_error_report(v: &Vulnerability) -> String {
+        let mut out = String::new();
+        out.push_str("== Misconfiguration vulnerability report ==\n");
+        out.push_str(&format!("parameter   : {}\n", v.param));
+        out.push_str(&format!("injected    : {} = {}\n", v.param, v.value));
+        out.push_str(&format!("violates    : {} constraint\n", v.violates));
+        out.push_str(&format!("reaction    : {:?}\n", v.reaction));
+        if let Some(t) = &v.failed_test {
+            out.push_str(&format!("failed test : {t}\n"));
+        }
+        out.push_str(&format!(
+            "evidence at : {} ({})\n",
+            v.location.0, v.location.1
+        ));
+        out.push_str("--- captured logs ---\n");
+        if v.logs.is_empty() {
+            out.push_str("(no log output)\n");
+        } else {
+            out.push_str(&v.logs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genrule::Misconfig;
+    use crate::harness::Phase;
+    use spex_vm::Signal;
+
+    fn outcome(param: &str, reaction: Reaction, origin_line: u32) -> RunOutcome {
+        RunOutcome {
+            misconfig: Misconfig {
+                param: param.into(),
+                value: "x".into(),
+                also_set: vec![],
+                description: String::new(),
+                violates: "data-range",
+                origin: ("parse".into(), Span::new(origin_line, 1)),
+            },
+            reaction,
+            phase: Phase::Done,
+            logs: String::new(),
+            pinpointed: false,
+            failed_test: None,
+            cost_spent: 3,
+        }
+    }
+
+    #[test]
+    fn report_counts_by_column() {
+        let outs = vec![
+            outcome("a", Reaction::Crash(Signal::Segv), 1),
+            outcome("b", Reaction::Hang, 2),
+            outcome("c", Reaction::SilentViolation, 3),
+            outcome("d", Reaction::GoodReaction, 4),
+            outcome("e", Reaction::Benign, 5),
+        ];
+        let r = CampaignReport::from_outcomes(&outs);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.count("crash-hang"), 2);
+        assert_eq!(r.count("silent-violation"), 1);
+        assert_eq!(r.good_reactions, 1);
+        assert_eq!(r.benign, 1);
+        assert_eq!(r.total_cost, 15);
+    }
+
+    #[test]
+    fn locations_deduplicate() {
+        // Two vulnerabilities from the same code location count once in
+        // Table 5(b).
+        let outs = vec![
+            outcome("a", Reaction::SilentViolation, 7),
+            outcome("b", Reaction::SilentViolation, 7),
+            outcome("c", Reaction::SilentViolation, 9),
+        ];
+        let r = CampaignReport::from_outcomes(&outs);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.locations.len(), 2);
+    }
+
+    #[test]
+    fn error_report_rendering() {
+        let outs = vec![outcome("udp_port", Reaction::Crash(Signal::Segv), 3)];
+        let r = CampaignReport::from_outcomes(&outs);
+        let text = CampaignReport::render_error_report(&r.vulnerabilities[0]);
+        assert!(text.contains("udp_port"));
+        assert!(text.contains("data-range"));
+        assert!(text.contains("no log output"));
+    }
+}

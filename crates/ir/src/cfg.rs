@@ -1,0 +1,123 @@
+//! Control-flow-graph utilities: successors, predecessors, reachability and
+//! reverse postorder.
+
+use crate::module::{BlockId, Function};
+
+/// Predecessor lists and a reverse postorder for a function's CFG.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Predecessors of each block (indexed by block id).
+    pub preds: Vec<Vec<BlockId>>,
+    /// Successors of each block (indexed by block id).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Reverse postorder over blocks reachable from the entry.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`; `usize::MAX` for unreachable blocks.
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds CFG information for `f`.
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (b, blk) in f.blocks.iter().enumerate() {
+            for s in blk.term.0.successors() {
+                succs[b].push(s);
+                preds[s.index()].push(BlockId(b as u32));
+            }
+        }
+        // Iterative DFS postorder from the entry.
+        let mut post = Vec::new();
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Whether a block is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_program;
+
+    fn cfg_of(src: &str, func: &str) -> (crate::module::Function, Cfg) {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = lower_program(&p).unwrap();
+        let id = m.function_by_name(func).unwrap();
+        let f = m.functions[id.index()].clone();
+        let cfg = Cfg::build(&f);
+        (f, cfg)
+    }
+
+    #[test]
+    fn straight_line_has_single_block_rpo() {
+        let (_, cfg) = cfg_of("int f() { return 1; }", "f");
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert!(cfg.is_reachable(BlockId(0)));
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let (f, cfg) = cfg_of(
+            "int f(int x) { if (x > 0) { x = 1; } else { x = 2; } return x; }",
+            "f",
+        );
+        // Entry branches to two blocks that both reach the join.
+        let entry_succs = &cfg.succs[0];
+        assert_eq!(entry_succs.len(), 2);
+        let join = cfg.succs[entry_succs[0].index()][0];
+        assert_eq!(cfg.preds[join.index()].len(), 2);
+        assert!(f.blocks.len() >= 4);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (_, cfg) = cfg_of(
+            "int f(int x) { while (x > 0) { x -= 1; } return x; }",
+            "f",
+        );
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        // Every reachable block appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for b in &cfg.rpo {
+            assert!(seen.insert(*b));
+        }
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let (_, cfg) = cfg_of("int f() { return 1; return 2; }", "f");
+        assert!(cfg.rpo.len() < cfg.preds.len());
+    }
+}

@@ -1,0 +1,44 @@
+//! Intermediate representation for the SPEX reproduction.
+//!
+//! The original SPEX runs on LLVM IR, "a generic assembly language in the
+//! static single assignment (SSA) form" (§2.3 of the paper). This crate is
+//! the equivalent substrate: a typed, CFG-based IR with stack slots
+//! (`alloca`-style), a lowering pass from the [`spex_lang`] AST, dominator
+//! and dominance-frontier computation, and a `mem2reg`-style SSA promotion
+//! pass.
+//!
+//! Two consumers share one lowering:
+//! * the static analyses (`spex-dataflow`, `spex-core`) run on the SSA form,
+//! * the injection-testing interpreter (`spex-vm`) executes the pre-SSA form
+//!   where locals are memory slots.
+//!
+//! # Examples
+//!
+//! ```
+//! use spex_ir::lower_program;
+//!
+//! let program = spex_lang::parse_program(
+//!     "int threshold = 10;
+//!      int check(int v) { if (v > threshold) { return 1; } return 0; }",
+//! )
+//! .unwrap();
+//! let module = lower_program(&program).unwrap();
+//! let f = module.function_by_name("check").unwrap();
+//! assert!(module.functions[f.0 as usize].blocks.len() >= 3);
+//! ```
+
+pub mod cfg;
+pub mod dom;
+pub mod instr;
+pub mod lower;
+pub mod module;
+pub mod printer;
+pub mod ssa;
+pub mod verify;
+
+pub use instr::{Callee, ConstVal, Instr, Place, PlaceBase, PlaceElem, Terminator};
+pub use lower::lower_program;
+pub use module::{
+    Block, BlockId, FuncId, Function, GlobalId, GlobalVar, Module, SlotId, ValueId,
+};
+pub use ssa::promote_to_ssa;

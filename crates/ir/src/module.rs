@@ -1,0 +1,249 @@
+//! Module, function, block and identifier types.
+
+use crate::instr::{ConstVal, Instr, Terminator};
+use spex_lang::diag::Span;
+use spex_lang::types::CType;
+use std::collections::HashMap;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a usize index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name).chars().next().unwrap().to_ascii_lowercase(), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a function within a [`Module`].
+    FuncId
+);
+id_type!(
+    /// Identifies a basic block within a [`Function`].
+    BlockId
+);
+id_type!(
+    /// Identifies an SSA value / virtual register within a [`Function`].
+    ValueId
+);
+id_type!(
+    /// Identifies a stack slot (local variable storage) within a [`Function`].
+    SlotId
+);
+id_type!(
+    /// Identifies a global variable within a [`Module`].
+    GlobalId
+);
+
+/// A lowered translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Struct layouts: name plus ordered `(field name, field type)` pairs.
+    pub structs: Vec<StructLayout>,
+    /// Global variables with resolved constant initializers.
+    pub globals: Vec<GlobalVar>,
+    /// Functions.
+    pub functions: Vec<Function>,
+    /// Flattened enum constants (`variant name` → value).
+    pub enum_consts: HashMap<String, i64>,
+}
+
+impl Module {
+    /// Looks up a function id by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Looks up a global id by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// Looks up a struct layout by name.
+    pub fn struct_layout(&self, name: &str) -> Option<&StructLayout> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// The function for an id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// The global for an id.
+    pub fn global(&self, id: GlobalId) -> &GlobalVar {
+        &self.globals[id.index()]
+    }
+}
+
+/// A struct layout.
+#[derive(Debug, Clone)]
+pub struct StructLayout {
+    /// Struct tag name.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<(String, CType)>,
+}
+
+impl StructLayout {
+    /// Index of the field called `name`.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| n == name)
+    }
+}
+
+/// A global variable with its resolved initializer.
+#[derive(Debug, Clone)]
+pub struct GlobalVar {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: CType,
+    /// Initializer (zero-filled when the source had none).
+    pub init: ConstVal,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// Information about one stack slot.
+#[derive(Debug, Clone)]
+pub struct SlotInfo {
+    /// Source-level variable name.
+    pub name: String,
+    /// Slot type.
+    pub ty: CType,
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Instructions with their source locations.
+    pub instrs: Vec<(Instr, Span)>,
+    /// Block terminator with its source location.
+    pub term: (Terminator, Span),
+}
+
+impl Block {
+    /// An empty block ending in `Unreachable` (patched during lowering).
+    pub fn new() -> Self {
+        Block {
+            instrs: Vec::new(),
+            term: (Terminator::Unreachable, Span::unknown()),
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A lowered function.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters: `(name, type, backing slot)`. At entry each parameter
+    /// value is materialised with [`Instr::Param`] and stored to its slot.
+    pub params: Vec<(String, CType, SlotId)>,
+    /// All stack slots (parameters first, then locals in declaration order).
+    pub slots: Vec<SlotInfo>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Type of every SSA value, indexed by [`ValueId`].
+    pub value_types: Vec<CType>,
+    /// Whether [`crate::ssa::promote_to_ssa`] has run on this body.
+    pub is_ssa: bool,
+    /// Definition site.
+    pub span: Span,
+}
+
+impl Function {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The type of a value.
+    pub fn value_type(&self, v: ValueId) -> &CType {
+        &self.value_types[v.index()]
+    }
+
+    /// Number of SSA values.
+    pub fn num_values(&self) -> usize {
+        self.value_types.len()
+    }
+
+    /// Iterates over `(block id, instruction index, instruction, span)` for
+    /// every instruction in the function.
+    pub fn iter_instrs(&self) -> impl Iterator<Item = (BlockId, usize, &Instr, Span)> {
+        self.blocks.iter().enumerate().flat_map(|(b, blk)| {
+            blk.instrs
+                .iter()
+                .enumerate()
+                .map(move |(i, (instr, span))| (BlockId(b as u32), i, instr, *span))
+        })
+    }
+
+    /// Finds the block and index where a value is defined, if any.
+    pub fn def_site(&self, v: ValueId) -> Option<(BlockId, usize)> {
+        for (b, i, instr, _) in self.iter_instrs() {
+            if instr.def() == Some(v) {
+                return Some((b, i));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display() {
+        assert_eq!(FuncId(3).to_string(), "f3");
+        assert_eq!(BlockId(0).to_string(), "b0");
+        assert_eq!(ValueId(12).to_string(), "v12");
+    }
+
+    #[test]
+    fn struct_layout_lookup() {
+        let s = StructLayout {
+            name: "opt".into(),
+            fields: vec![
+                ("name".into(), CType::string()),
+                ("var".into(), CType::Ptr(Box::new(CType::int()))),
+            ],
+        };
+        assert_eq!(s.field_index("var"), Some(1));
+        assert_eq!(s.field_index("missing"), None);
+    }
+
+    #[test]
+    fn module_lookups_empty() {
+        let m = Module::default();
+        assert!(m.function_by_name("f").is_none());
+        assert!(m.global_by_name("g").is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Textual dump of the IR, for debugging and golden tests.
+
+use crate::instr::{Callee, ConstVal, Instr, Place, PlaceBase, PlaceElem, Terminator};
+use crate::module::{Function, Module};
+use std::fmt::Write;
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let _ = writeln!(out, "global {} : {} = {}", g.name, g.ty, fmt_const(&g.init, m));
+    }
+    for f in &m.functions {
+        out.push_str(&print_function(f, m));
+    }
+    out
+}
+
+/// Renders one function.
+pub fn print_function(f: &Function, m: &Module) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(n, t, _)| format!("{n}: {t}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "fn {}({}) -> {} {{{}",
+        f.name,
+        params.join(", "),
+        f.ret,
+        if f.is_ssa { "  // ssa" } else { "" }
+    );
+    for (b, blk) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "b{b}:");
+        for (instr, _) in &blk.instrs {
+            let _ = writeln!(out, "  {}", fmt_instr(instr, m));
+        }
+        let _ = writeln!(out, "  {}", fmt_term(&blk.term.0));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn fmt_const(c: &ConstVal, m: &Module) -> String {
+    match c {
+        ConstVal::Int(v) => format!("{v}"),
+        ConstVal::Float(v) => format!("{v}"),
+        ConstVal::Str(s) => format!("{s:?}"),
+        ConstVal::Bool(b) => format!("{b}"),
+        ConstVal::Null => "null".into(),
+        ConstVal::FuncRef(f) => format!("@{}", m.functions.get(f.index()).map(|f| f.name.as_str()).unwrap_or("?")),
+        ConstVal::GlobalRef(g) => format!("&{}", m.globals.get(g.index()).map(|g| g.name.as_str()).unwrap_or("?")),
+        ConstVal::Aggregate(items) => {
+            let inner: Vec<String> = items.iter().map(|i| fmt_const(i, m)).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+fn fmt_place(p: &Place) -> String {
+    let mut s = match p.base {
+        PlaceBase::Slot(sl) => format!("%{}", sl.0),
+        PlaceBase::Global(g) => format!("@g{}", g.0),
+        PlaceBase::ValuePtr(v) => format!("*v{}", v.0),
+    };
+    for e in &p.elems {
+        match e {
+            PlaceElem::Field(i) => {
+                let _ = write!(s, ".{i}");
+            }
+            PlaceElem::IndexConst(i) => {
+                let _ = write!(s, "[{i}]");
+            }
+            PlaceElem::IndexValue(v) => {
+                let _ = write!(s, "[v{}]", v.0);
+            }
+            PlaceElem::Deref => s.push_str(".*"),
+        }
+    }
+    s
+}
+
+fn fmt_instr(i: &Instr, m: &Module) -> String {
+    match i {
+        Instr::Const { dst, val } => format!("v{} = const {}", dst.0, fmt_const(val, m)),
+        Instr::Param { dst, index } => format!("v{} = param {}", dst.0, index),
+        Instr::Load { dst, place } => format!("v{} = load {}", dst.0, fmt_place(place)),
+        Instr::Store { place, value } => format!("store {} <- v{}", fmt_place(place), value.0),
+        Instr::AddrOf { dst, place } => format!("v{} = addr {}", dst.0, fmt_place(place)),
+        Instr::Bin { dst, op, lhs, rhs } => {
+            format!("v{} = {:?} v{}, v{}", dst.0, op, lhs.0, rhs.0)
+        }
+        Instr::Un { dst, op, operand } => format!("v{} = {:?} v{}", dst.0, op, operand.0),
+        Instr::Cast { dst, ty, operand } => format!("v{} = cast {} v{}", dst.0, ty, operand.0),
+        Instr::Call { dst, callee, args } => {
+            let callee = match callee {
+                Callee::Func(f) => m
+                    .functions
+                    .get(f.index())
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| format!("f{}", f.0)),
+                Callee::Builtin(b) => b.name().to_string(),
+                Callee::Indirect(v) => format!("*v{}", v.0),
+            };
+            let args: Vec<String> = args.iter().map(|a| format!("v{}", a.0)).collect();
+            match dst {
+                Some(d) => format!("v{} = call {}({})", d.0, callee, args.join(", ")),
+                None => format!("call {}({})", callee, args.join(", ")),
+            }
+        }
+        Instr::Phi { dst, incomings } => {
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(b, v)| format!("[b{}: v{}]", b.0, v.0))
+                .collect();
+            format!("v{} = phi {}", dst.0, inc.join(", "))
+        }
+    }
+}
+
+fn fmt_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Br(b) => format!("br b{}", b.0),
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("condbr v{} ? b{} : b{}", cond.0, then_bb.0, else_bb.0),
+        Terminator::Switch {
+            value,
+            cases,
+            default,
+        } => {
+            let arms: Vec<String> = cases.iter().map(|(c, b)| format!("{c}->b{}", b.0)).collect();
+            format!(
+                "switch v{} [{}] default b{}",
+                value.0,
+                arms.join(", "),
+                default.0
+            )
+        }
+        Terminator::Ret(Some(v)) => format!("ret v{}", v.0),
+        Terminator::Ret(None) => "ret".into(),
+        Terminator::Unreachable => "unreachable".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_program;
+
+    #[test]
+    fn prints_function_with_blocks() {
+        let p = spex_lang::parse_program(
+            "int threshold = 5; int f(int x) { if (x > threshold) { return 1; } return 0; }",
+        )
+        .unwrap();
+        let m = lower_program(&p).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("global threshold"));
+        assert!(text.contains("fn f(x: i32) -> i32"));
+        assert!(text.contains("condbr"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn prints_ssa_phi() {
+        let p = spex_lang::parse_program(
+            "int f(int x) { int y = 0; if (x > 0) { y = 1; } else { y = 2; } return y; }",
+        )
+        .unwrap();
+        let m = lower_program(&p).unwrap();
+        let ssa = crate::promote_to_ssa(&m.functions[0]);
+        let text = print_function(&ssa, &m);
+        assert!(text.contains("phi"));
+        assert!(text.contains("// ssa"));
+    }
+
+    #[test]
+    fn prints_calls_and_builtins() {
+        let p = spex_lang::parse_program(
+            "int g(int a) { return a; } int f() { return g(atoi(\"3\")); }",
+        )
+        .unwrap();
+        let m = lower_program(&p).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("call atoi"));
+        assert!(text.contains("call g"));
+    }
+}

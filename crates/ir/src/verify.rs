@@ -1,0 +1,256 @@
+//! IR well-formedness checks.
+//!
+//! Run after lowering (and after SSA promotion) in tests and by the subject-
+//! system generator to catch malformed code early.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::instr::Instr;
+use crate::module::{BlockId, Function, Module, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// A verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function where the problem was found.
+    pub function: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.function, self.message)
+    }
+}
+
+/// Verifies every function of a module. Returns all violations found.
+pub fn verify_module(m: &Module) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    for f in &m.functions {
+        errors.extend(verify_function(f));
+    }
+    errors
+}
+
+/// Verifies a single function.
+pub fn verify_function(f: &Function) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    let err = |msg: String| VerifyError {
+        function: f.name.clone(),
+        message: msg,
+    };
+    let nblocks = f.blocks.len();
+    let nvalues = f.num_values();
+
+    // Branch targets in range; value ids in range; single definition.
+    let mut defs: HashMap<ValueId, BlockId> = HashMap::new();
+    for (b, _, instr, _) in f.iter_instrs() {
+        if let Some(d) = instr.def() {
+            if d.index() >= nvalues {
+                errors.push(err(format!("value {d} out of range")));
+            }
+            if defs.insert(d, b).is_some() {
+                errors.push(err(format!("value {d} defined more than once")));
+            }
+        }
+        for u in instr.uses() {
+            if u.index() >= nvalues {
+                errors.push(err(format!("use of out-of-range value {u}")));
+            }
+        }
+        if let Instr::Phi { incomings, .. } = instr {
+            if !f.is_ssa {
+                errors.push(err("phi in non-SSA function".into()));
+            }
+            for (pred, _) in incomings {
+                if pred.index() >= nblocks {
+                    errors.push(err(format!("phi predecessor {pred} out of range")));
+                }
+            }
+        }
+    }
+    for blk in &f.blocks {
+        for t in blk.term.0.successors() {
+            if t.index() >= nblocks {
+                errors.push(err(format!("branch target {t} out of range")));
+            }
+        }
+        for u in blk.term.0.uses() {
+            if u.index() >= nvalues {
+                errors.push(err(format!("terminator uses out-of-range value {u}")));
+            }
+        }
+    }
+
+    // Every use in a reachable block must see a definition (SSA only: the
+    // def must dominate the use).
+    let cfg = Cfg::build(f);
+    if f.is_ssa {
+        let dom = DomTree::build(f, &cfg);
+        let defined: HashSet<ValueId> = defs.keys().copied().collect();
+        for (b, idx, instr, _) in f.iter_instrs() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            if let Instr::Phi { .. } = instr {
+                continue; // Phi operands are checked edge-wise below.
+            }
+            for u in instr.uses() {
+                match defs.get(&u) {
+                    None => {
+                        if defined.contains(&u) {
+                            continue;
+                        }
+                        errors.push(err(format!("use of undefined value {u} in {b}")));
+                    }
+                    Some(&db) => {
+                        if db == b {
+                            // Same block: definition must come earlier.
+                            let def_idx = f.blocks[b.index()]
+                                .instrs
+                                .iter()
+                                .position(|(i, _)| i.def() == Some(u));
+                            if let Some(di) = def_idx {
+                                if di >= idx {
+                                    errors.push(err(format!(
+                                        "value {u} used before definition in {b}"
+                                    )));
+                                }
+                            }
+                        } else if !dom.dominates(db, b) {
+                            errors.push(err(format!(
+                                "def of {u} in {db} does not dominate use in {b}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // Phi edges must come from actual predecessors.
+        for (b, _, instr, _) in f.iter_instrs() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            if let Instr::Phi { incomings, dst } = instr {
+                let preds: HashSet<BlockId> = cfg.preds[b.index()].iter().copied().collect();
+                for (pred, _) in incomings {
+                    if !preds.contains(pred) && cfg.is_reachable(*pred) {
+                        errors.push(err(format!(
+                            "phi {dst} in {b} has edge from non-predecessor {pred}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lower_program, promote_to_ssa};
+
+    fn check(src: &str) {
+        let p = spex_lang::parse_program(src).unwrap();
+        let m = lower_program(&p).unwrap();
+        let errs = verify_module(&m);
+        assert!(errs.is_empty(), "pre-SSA verify failed: {errs:?}");
+        for f in &m.functions {
+            let ssa = promote_to_ssa(f);
+            let errs = verify_function(&ssa);
+            assert!(errs.is_empty(), "SSA verify failed for {}: {errs:?}", f.name);
+        }
+    }
+
+    #[test]
+    fn verifies_control_flow_heavy_code() {
+        check(
+            r#"
+            int limit = 10;
+            int process(int n) {
+                int total = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i % 2 == 0 && i < limit) { total += i; }
+                    else if (i > 100) { break; }
+                    else { continue; }
+                }
+                while (total > 50) { total /= 2; }
+                switch (total) {
+                    case 0: return -1;
+                    case 1:
+                    case 2: return total * 10;
+                    default: return total;
+                }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn verifies_pointer_and_struct_code() {
+        check(
+            r#"
+            struct opt { char* name; int* var; int max; };
+            int threads = 4;
+            struct opt options[] = { { "threads", &threads, 64 } };
+            void set_opt(int i, char* value) {
+                int v = atoi(value);
+                if (v > options[i].max) { v = options[i].max; }
+                *(options[i].var) = v;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn verifies_early_exit_code() {
+        check(
+            r#"
+            void die(char* msg) { fprintf(stderr, "%s", msg); exit(1); }
+            int setup(int port) {
+                if (port < 1 || port > 65535) { die("bad port"); }
+                return bind(socket(0, 0, 0), port);
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn catches_double_definition() {
+        use crate::instr::{ConstVal, Instr};
+        use crate::module::{Block, Function, SlotId, ValueId};
+        use spex_lang::diag::Span;
+        use spex_lang::types::CType;
+        let _ = SlotId(0);
+        let mut blk = Block::new();
+        blk.instrs.push((
+            Instr::Const {
+                dst: ValueId(0),
+                val: ConstVal::Int(1),
+            },
+            Span::unknown(),
+        ));
+        blk.instrs.push((
+            Instr::Const {
+                dst: ValueId(0),
+                val: ConstVal::Int(2),
+            },
+            Span::unknown(),
+        ));
+        blk.term = (crate::instr::Terminator::Ret(None), Span::unknown());
+        let f = Function {
+            name: "bad".into(),
+            ret: CType::Void,
+            params: vec![],
+            slots: vec![],
+            blocks: vec![blk],
+            value_types: vec![CType::int()],
+            is_ssa: false,
+            span: Span::unknown(),
+        };
+        let errs = verify_function(&f);
+        assert!(errs.iter().any(|e| e.message.contains("more than once")));
+    }
+}

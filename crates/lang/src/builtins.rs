@@ -1,0 +1,283 @@
+//! Registry of known system and library calls.
+//!
+//! SPEX infers semantic-type constraints by recognising calls to known
+//! system- and library-APIs along a parameter's data-flow path (§2.2.2 of
+//! the paper): a value passed to `open` is a file path, a value passed to
+//! `htons`/`bind` is a port, a value passed to `sleep` is a time in seconds,
+//! and so on. This module enumerates those APIs. The *inference-facing*
+//! semantic signatures live in `spex-core::apispec`; the *execution-facing*
+//! behaviour lives in `spex-vm`. Both are keyed by this enum.
+
+use std::fmt;
+
+macro_rules! builtins {
+    ($($variant:ident => $name:literal),+ $(,)?) => {
+        /// A known library or system call.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)]
+        pub enum Builtin {
+            $($variant,)+
+        }
+
+        impl Builtin {
+            /// All builtins, in a stable order.
+            pub const ALL: &'static [Builtin] = &[$(Builtin::$variant,)+];
+
+            /// The C-level function name.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $(Builtin::$variant => $name,)+
+                }
+            }
+
+            /// Resolves a C-level function name to a builtin.
+            pub fn from_name(name: &str) -> Option<Builtin> {
+                match name {
+                    $($name => Some(Builtin::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+builtins! {
+    // String handling.
+    Strcmp => "strcmp",
+    Strcasecmp => "strcasecmp",
+    Strncmp => "strncmp",
+    Strncasecmp => "strncasecmp",
+    Strlen => "strlen",
+    Strcpy => "strcpy",
+    Strncpy => "strncpy",
+    Strcat => "strcat",
+    Strdup => "strdup",
+    Strchr => "strchr",
+    Strstr => "strstr",
+    // Numeric conversions: safe (strto*) and unsafe (ato*, sscanf).
+    Strtol => "strtol",
+    Strtoll => "strtoll",
+    Strtod => "strtod",
+    Atoi => "atoi",
+    Atol => "atol",
+    Atof => "atof",
+    Sscanf => "sscanf",
+    Sprintf => "sprintf",
+    Snprintf => "snprintf",
+    // Files and directories.
+    Open => "open",
+    Fopen => "fopen",
+    Close => "close",
+    Read => "read",
+    Write => "write",
+    Stat => "stat",
+    Access => "access",
+    Mkdir => "mkdir",
+    Unlink => "unlink",
+    Chmod => "chmod",
+    Opendir => "opendir",
+    Fgets => "fgets",
+    // Networking.
+    Socket => "socket",
+    Bind => "bind",
+    Listen => "listen",
+    Accept => "accept",
+    Connect => "connect",
+    Htons => "htons",
+    Ntohs => "ntohs",
+    InetAddr => "inet_addr",
+    Gethostbyname => "gethostbyname",
+    Setsockopt => "setsockopt",
+    SockaddrSetPort => "sockaddr_set_port",
+    // Time.
+    Sleep => "sleep",
+    Usleep => "usleep",
+    Time => "time",
+    Alarm => "alarm",
+    // Process, users, memory.
+    Exit => "exit",
+    Abort => "abort",
+    Getuid => "getuid",
+    Setuid => "setuid",
+    Getpwnam => "getpwnam",
+    Getgrnam => "getgrnam",
+    Chroot => "chroot",
+    Malloc => "malloc",
+    Calloc => "calloc",
+    Free => "free",
+    Memset => "memset",
+    Memcpy => "memcpy",
+    // Logging and output.
+    Printf => "printf",
+    Fprintf => "fprintf",
+    Syslog => "syslog",
+    Perror => "perror",
+    LogError => "log_error",
+    LogWarn => "log_warn",
+    LogInfo => "log_info",
+    // Misc.
+    Assert => "assert",
+    Getenv => "getenv",
+    Rand => "rand",
+}
+
+impl Builtin {
+    /// Whether the builtin is one of the string-comparison functions used by
+    /// comparison-based parameter mapping (§2.2.1) and by the
+    /// case-sensitivity detector (§3.2).
+    pub fn is_string_comparison(&self) -> bool {
+        matches!(
+            self,
+            Builtin::Strcmp | Builtin::Strcasecmp | Builtin::Strncmp | Builtin::Strncasecmp
+        )
+    }
+
+    /// Whether the comparison ignores character case. Only meaningful for
+    /// string-comparison builtins.
+    pub fn is_case_insensitive(&self) -> bool {
+        matches!(self, Builtin::Strcasecmp | Builtin::Strncasecmp)
+    }
+
+    /// Whether this is one of the unsafe string-to-number transformation
+    /// APIs the paper flags in configuration-parsing contexts (§3.2):
+    /// `atoi(1O0)` returns 1, `atoi(INT_MAX+1)` overflows silently.
+    pub fn is_unsafe_transform(&self) -> bool {
+        matches!(
+            self,
+            Builtin::Atoi | Builtin::Atol | Builtin::Atof | Builtin::Sscanf | Builtin::Sprintf
+        )
+    }
+
+    /// Whether this is a safe numeric-conversion API (errors observable via
+    /// end pointers / errno).
+    pub fn is_safe_transform(&self) -> bool {
+        matches!(self, Builtin::Strtol | Builtin::Strtoll | Builtin::Strtod)
+    }
+
+    /// Whether this converts a string to a number at all.
+    pub fn is_numeric_conversion(&self) -> bool {
+        self.is_unsafe_transform() && *self != Builtin::Sprintf || self.is_safe_transform()
+    }
+
+    /// Whether a call to this builtin counts as a *usage* of its arguments
+    /// in the control-dependency sense of §2.2.4. Logging a value or freeing
+    /// it does not change program behaviour; using it as a syscall argument
+    /// does.
+    pub fn is_behavioral_use(&self) -> bool {
+        !matches!(
+            self,
+            Builtin::Printf
+                | Builtin::Fprintf
+                | Builtin::Syslog
+                | Builtin::Perror
+                | Builtin::LogError
+                | Builtin::LogWarn
+                | Builtin::LogInfo
+                | Builtin::Free
+        )
+    }
+
+    /// Whether this emits a log/console message visible to the injection
+    /// harness.
+    pub fn is_logging(&self) -> bool {
+        matches!(
+            self,
+            Builtin::Printf
+                | Builtin::Fprintf
+                | Builtin::Syslog
+                | Builtin::Perror
+                | Builtin::LogError
+                | Builtin::LogWarn
+                | Builtin::LogInfo
+        )
+    }
+}
+
+impl Builtin {
+    /// The C return type of the builtin, used during lowering to type the
+    /// call's result value.
+    pub fn ret_type(&self) -> crate::types::CType {
+        use crate::types::CType;
+        use Builtin::*;
+        match self {
+            // String-returning APIs.
+            Strcpy | Strncpy | Strcat | Strdup | Strchr | Strstr | Fgets | Getenv => {
+                CType::string()
+            }
+            // Long-returning conversions.
+            Strtol | Strtoll | Atol | Strlen | Time => CType::long(),
+            // Double-returning conversions.
+            Strtod | Atof => CType::double(),
+            // Pointer-returning APIs (opaque handles).
+            Fopen | Opendir | Getpwnam | Getgrnam | Gethostbyname | Malloc | Calloc | Memset
+            | Memcpy => CType::Ptr(Box::new(CType::Void)),
+            // No result.
+            Exit | Abort | Free | Perror | Syslog | LogError | LogWarn | LogInfo | Assert => {
+                CType::Void
+            }
+            // Everything else behaves like an int-returning libc call.
+            _ => CType::int(),
+        }
+    }
+
+    /// Whether calls to this builtin never return (`exit`, `abort`).
+    pub fn is_noreturn(&self) -> bool {
+        matches!(self, Builtin::Exit | Builtin::Abort)
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_round_trip() {
+        for b in Builtin::ALL {
+            assert_eq!(Builtin::from_name(b.name()), Some(*b));
+        }
+    }
+
+    #[test]
+    fn unknown_name() {
+        assert_eq!(Builtin::from_name("definitely_not_libc"), None);
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(Builtin::Strcasecmp.is_string_comparison());
+        assert!(Builtin::Strcasecmp.is_case_insensitive());
+        assert!(Builtin::Strcmp.is_string_comparison());
+        assert!(!Builtin::Strcmp.is_case_insensitive());
+        assert!(!Builtin::Strlen.is_string_comparison());
+    }
+
+    #[test]
+    fn unsafe_transform_classification() {
+        assert!(Builtin::Atoi.is_unsafe_transform());
+        assert!(Builtin::Sscanf.is_unsafe_transform());
+        assert!(!Builtin::Strtol.is_unsafe_transform());
+        assert!(Builtin::Strtol.is_safe_transform());
+    }
+
+    #[test]
+    fn logging_is_not_behavioral_use() {
+        assert!(!Builtin::Syslog.is_behavioral_use());
+        assert!(!Builtin::Fprintf.is_behavioral_use());
+        assert!(Builtin::Open.is_behavioral_use());
+        assert!(Builtin::Sleep.is_behavioral_use());
+    }
+
+    #[test]
+    fn numeric_conversions() {
+        assert!(Builtin::Atoi.is_numeric_conversion());
+        assert!(Builtin::Strtol.is_numeric_conversion());
+        assert!(!Builtin::Sprintf.is_numeric_conversion());
+        assert!(!Builtin::Strcmp.is_numeric_conversion());
+    }
+}

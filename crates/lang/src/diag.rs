@@ -1,0 +1,98 @@
+//! Source locations and diagnostics.
+
+use std::fmt;
+
+/// A location in the source text (1-based line and column).
+///
+/// Spans are threaded through the AST and IR so that misconfiguration
+/// vulnerabilities can be attributed to unique source-code locations
+/// (Table 5b of the paper counts vulnerabilities per location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based line number; 0 means "unknown".
+    pub line: u32,
+    /// 1-based column number; 0 means "unknown".
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+
+    /// The unknown/synthetic location.
+    pub fn unknown() -> Self {
+        Span { line: 0, col: 0 }
+    }
+
+    /// Whether this span refers to a real source location.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "<unknown>")
+        }
+    }
+}
+
+/// A front-end error with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where the problem was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display_known() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+    }
+
+    #[test]
+    fn span_display_unknown() {
+        assert_eq!(Span::unknown().to_string(), "<unknown>");
+        assert!(!Span::unknown().is_known());
+    }
+
+    #[test]
+    fn diagnostic_display() {
+        let d = Diagnostic::new(Span::new(1, 2), "unexpected token");
+        assert_eq!(d.to_string(), "1:2: unexpected token");
+    }
+
+    #[test]
+    fn span_ordering_is_line_major() {
+        assert!(Span::new(1, 9) < Span::new(2, 1));
+        assert!(Span::new(2, 1) < Span::new(2, 5));
+    }
+}

@@ -1,0 +1,637 @@
+//! The seven evaluated systems (Table 4) as distribution specs.
+//!
+//! Parameter counts match the paper (Apache 103, MySQL 272, PostgreSQL
+//! 231, OpenLDAP 86, VSFTP 124, Squid 335; Storage-A's counts are
+//! confidential — its population is sized from the Table 11 constraint
+//! counts). Role mixes are tuned so the table *shapes* reproduce: which
+//! reaction classes dominate per system (Table 5a), the case-sensitivity
+//! splits (Table 6), the unit mixes (Table 7), the unsafe-API and
+//! overruling counts (Table 8), and OpenLDAP's alias-driven accuracy dip
+//! (Table 12).
+
+use crate::spec::{MappingStyle, ParamSpec, Role, SystemSpec};
+use spex_conf::Dialect;
+
+/// Builds all seven systems, smallest first.
+pub fn all_systems() -> Vec<SystemSpec> {
+    vec![
+        openldap(),
+        apache(),
+        vsftp(),
+        postgresql(),
+        mysql(),
+        squid(),
+        storage_a(),
+    ]
+}
+
+/// Looks up one system spec by name (case-insensitive).
+pub fn system_by_name(name: &str) -> Option<SystemSpec> {
+    all_systems()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// Incrementally builds a parameter population.
+struct Pop {
+    params: Vec<ParamSpec>,
+    seq: usize,
+}
+
+impl Pop {
+    fn new() -> Pop {
+        Pop {
+            params: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn name(&mut self, stem: &str) -> String {
+        self.seq += 1;
+        format!("{stem}_{}", self.seq)
+    }
+
+    fn push(&mut self, p: ParamSpec) -> &mut Self {
+        self.params.push(p);
+        self
+    }
+
+    /// Adds `n` parameters built from a closure over the generated name.
+    fn many(&mut self, n: usize, stem: &str, f: impl Fn(String) -> ParamSpec) -> &mut Self {
+        for _ in 0..n {
+            let name = self.name(stem);
+            self.push(f(name));
+        }
+        self
+    }
+
+    /// Adds `n` dependent parameters, cycling through the controllers.
+    fn deps(&mut self, n: usize, controllers: &[String], documented: bool) -> &mut Self {
+        for i in 0..n {
+            let c = controllers[i % controllers.len()].clone();
+            let name = self.name("opt_when");
+            let mut p = ParamSpec::new(name, Role::DependentOn { controller: c });
+            p.documented_dep = documented;
+            self.push(p);
+        }
+        self
+    }
+
+    /// Adds `n` min/max relation pairs.
+    fn rel_pairs(&mut self, n: usize, stem: &str) -> &mut Self {
+        for _ in 0..n {
+            self.seq += 1;
+            let min = format!("{stem}_min_{}", self.seq);
+            let max = format!("{stem}_max_{}", self.seq);
+            self.push(ParamSpec::new(&min, Role::MinOf { partner: max.clone() }));
+            self.push(ParamSpec::new(&max, Role::MaxOf));
+        }
+        self
+    }
+
+    /// Adds `n` alias pairs (the accuracy-noise mechanism).
+    fn alias_pairs(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.seq += 1;
+            let a = format!("tuned_interval_{}", self.seq);
+            let b = format!("tuned_budget_{}", self.seq);
+            self.push(ParamSpec::new(
+                &a,
+                Role::AliasedWith {
+                    partner: b.clone(),
+                    time_side: true,
+                },
+            ));
+            self.push(ParamSpec::new(
+                &b,
+                Role::AliasedWith {
+                    partner: a.clone(),
+                    time_side: false,
+                },
+            ));
+        }
+        self
+    }
+
+    /// Marks the first `n` integer-role parameters without a parse style as
+    /// unsafely parsed.
+    fn mark_unsafe(&mut self, n: usize) -> &mut Self {
+        let mut left = n;
+        for p in self.params.iter_mut() {
+            if left == 0 {
+                break;
+            }
+            let int_role = matches!(
+                p.role,
+                Role::Arith
+                    | Role::CrashIndex
+                    | Role::RangeExit { .. }
+                    | Role::RangeClamp { .. }
+                    | Role::TimeSleep { .. }
+                    | Role::SizeAlloc { .. }
+            );
+            if int_role && !p.unsafe_parse {
+                p.unsafe_parse = true;
+                left -= 1;
+            }
+        }
+        self
+    }
+
+    /// Names of the last `n` parameters with a given predicate (used to
+    /// pick controllers).
+    fn bool_controllers(&self, n: usize) -> Vec<String> {
+        self.params
+            .iter()
+            .filter(|p| matches!(p.role, Role::BoolFlag { .. }))
+            .take(n)
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    fn build(
+        self,
+        name: &'static str,
+        mapping: MappingStyle,
+        dialect: Dialect,
+        safe_dispatcher: bool,
+    ) -> SystemSpec {
+        SystemSpec {
+            name,
+            mapping,
+            dialect,
+            safe_dispatcher,
+            params: self.params,
+        }
+    }
+}
+
+// Common role shorthands.
+fn word_enum(insensitive: bool, strict: bool) -> Role {
+    Role::WordEnum {
+        words: vec!["none", "basic", "full"],
+        insensitive,
+        strict,
+    }
+}
+
+/// Apache httpd: handler-table mapping, directive config files.
+pub fn apache() -> SystemSpec {
+    let mut p = Pop::new();
+    p.many(2, "document_root", |n| {
+        ParamSpec::new(n, Role::File { checked: true, log: true })
+    })
+    .many(2, "error_log", |n| {
+        ParamSpec::new(n, Role::File { checked: true, log: false })
+    })
+    .many(2, "mime_types_file", |n| {
+        ParamSpec::new(n, Role::File { checked: false, log: false })
+    })
+    .many(1, "server_root", |n| ParamSpec::new(n, Role::Dir { checked: true }))
+    .many(1, "cache_dir", |n| ParamSpec::new(n, Role::Dir { checked: false }))
+    .many(2, "listen_port", |n| {
+        ParamSpec::new(n, Role::Port { checked: true, log: true })
+    })
+    .many(2, "status_port", |n| {
+        ParamSpec::new(n, Role::Port { checked: false, log: false })
+    })
+    .many(1, "run_user", |n| ParamSpec::new(n, Role::User { checked: true }))
+    .many(1, "suexec_user", |n| ParamSpec::new(n, Role::User { checked: false }))
+    .many(8, "timeout", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+    })
+    .many(1, "poll_interval_ms", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+    })
+    .many(6, "send_buffer", |n| {
+        ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: false })
+    })
+    // Figure 6(b): the lone kilobyte-sized parameter.
+    .push(ParamSpec::new(
+        "MaxMemFree",
+        Role::SizeAlloc { scale: 1024, checked: true },
+    ))
+    .many(3, "hostname_lookups", |n| ParamSpec::new(n, word_enum(false, true)))
+    .many(17, "log_level", |n| ParamSpec::new(n, word_enum(true, true)))
+    .push(ParamSpec::new("override_policy", word_enum(true, false)))
+    .many(8, "keep_alive", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }))
+    .many(3, "thread_limit", |n| ParamSpec::new(n, Role::CrashIndex))
+    .many(5, "max_clients", |n| {
+        ParamSpec::new(n, Role::RangeExit { min: 1, max: 512, log: true }).documented()
+    })
+    .many(5, "server_limit", |n| {
+        ParamSpec::new(n, Role::RangeExit { min: 1, max: 256, log: false })
+    })
+    .many(5, "min_spare", |n| {
+        ParamSpec::new(n, Role::RangeClamp { min: 1, max: 64 })
+    })
+    .many(2, "log_mode", |n| ParamSpec::new(n, Role::Switch { n: 3, loud_default: true }))
+    .many(2, "mpm_mode", |n| ParamSpec::new(n, Role::Switch { n: 3, loud_default: false }));
+    let controllers = p.bool_controllers(1);
+    p.deps(1, &controllers, false).rel_pairs(4, "spare_threads");
+    let filler = 103usize.saturating_sub(p.params.len());
+    p.many(filler, "limit_request", |n| ParamSpec::new(n, Role::Arith));
+    p.mark_unsafe(27);
+    p.build("Apache", MappingStyle::StructHandler, Dialect::Directive, true)
+}
+
+/// MySQL: option-table mapping with table-validated ranges.
+pub fn mysql() -> SystemSpec {
+    let mut p = Pop::new();
+    p.many(90, "buffer_size", |n| {
+        ParamSpec::new(n, Role::RangeTable { min: 1, max: 65536 }).documented()
+    })
+    .many(6, "key_cache", |n| {
+        ParamSpec::new(n, Role::RangeExit { min: 8, max: 4096, log: true })
+    })
+    .many(6, "sort_size", |n| {
+        ParamSpec::new(n, Role::RangeExit { min: 8, max: 4096, log: false })
+    })
+    .many(45, "history_size", |n| {
+        ParamSpec::new(n, Role::RangeClamp { min: 0, max: 1024 })
+    })
+    .many(3, "thread_stack", |n| ParamSpec::new(n, Role::CrashIndex))
+    .many(6, "binlog_format", |n| {
+        ParamSpec::new(n, Role::Switch { n: 3, loud_default: false })
+    })
+    .many(2, "isolation_level", |n| {
+        ParamSpec::new(n, Role::Switch { n: 4, loud_default: true })
+    })
+    .many(4, "datadir_file", |n| {
+        ParamSpec::new(n, Role::File { checked: true, log: true })
+    })
+    // Figure 3(b): the stopword file opened through a helper.
+    .push(ParamSpec::new(
+        "ft_stopword_file",
+        Role::File { checked: false, log: false },
+    ))
+    .many(3, "relay_log", |n| {
+        ParamSpec::new(n, Role::File { checked: false, log: false })
+    })
+    .many(3, "report_port", |n| {
+        ParamSpec::new(n, Role::Port { checked: true, log: true })
+    })
+    .many(2, "run_user", |n| ParamSpec::new(n, Role::User { checked: true }))
+    .many(2, "tmp_dir", |n| ParamSpec::new(n, Role::Dir { checked: true }))
+    .many(2, "lock_poll_us", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: true })
+    })
+    .many(2, "flush_interval_ms", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+    })
+    .many(6, "wait_timeout", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+    })
+    .many(15, "packet_size", |n| {
+        ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: true })
+    })
+    // Figure 6(a): the lone case-sensitive enum option.
+    .push(ParamSpec::new(
+        "innodb_file_format_check",
+        word_enum(false, true),
+    ))
+    .many(29, "sql_mode", |n| ParamSpec::new(n, word_enum(true, true)))
+    .many(15, "auto_commit", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }));
+    let controllers = p.bool_controllers(3);
+    p.deps(5, &controllers, false)
+        .rel_pairs(3, "ft_word_len")
+        .alias_pairs(1);
+    let filler = 272usize.saturating_sub(p.params.len());
+    p.many(filler, "net_retry", |n| ParamSpec::new(n, Role::Arith));
+    p.build("MySQL", MappingStyle::StructDirect, Dialect::KeyValue, true)
+}
+
+/// PostgreSQL: option-table mapping, uniformly validated, dependency-rich.
+pub fn postgresql() -> SystemSpec {
+    let mut p = Pop::new();
+    p.many(100, "guc_int", |n| {
+        ParamSpec::new(n, Role::RangeTable { min: 0, max: 100000 }).documented()
+    })
+    .many(10, "shared_buffers", |n| {
+        ParamSpec::new(n, Role::RangeExit { min: 16, max: 8192, log: true }).documented()
+    })
+    .many(8, "wal_buffers", |n| {
+        ParamSpec::new(n, Role::RangeExit { min: 4, max: 2048, log: false })
+    })
+    .push(ParamSpec::new(
+        "vacuum_threshold",
+        Role::RangeClamp { min: 0, max: 1000 },
+    ))
+    .many(4, "hba_file", |n| {
+        ParamSpec::new(n, Role::File { checked: true, log: true })
+    })
+    .many(2, "stats_port", |n| {
+        ParamSpec::new(n, Role::Port { checked: true, log: true })
+    })
+    .push(ParamSpec::new("run_user", Role::User { checked: true }))
+    .push(ParamSpec::new(
+        "deadlock_poll_us",
+        Role::TimeSleep { scale: 1, micro: true },
+    ))
+    .many(8, "checkpoint_warning_ms", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+    })
+    .many(4, "statement_timeout", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+    })
+    .push(ParamSpec::new(
+        "autovacuum_nap_min",
+        Role::TimeSleep { scale: 60, micro: false },
+    ))
+    .push(ParamSpec::new(
+        "work_mem_b",
+        Role::SizeAlloc { scale: 1, checked: true },
+    ))
+    .many(3, "temp_mem_kb", |n| {
+        ParamSpec::new(n, Role::SizeAlloc { scale: 1024, checked: true })
+    })
+    .many(30, "sync_method", |n| ParamSpec::new(n, word_enum(true, true)))
+    .many(20, "fsync_like", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }));
+    let controllers = p.bool_controllers(5);
+    p.deps(20, &controllers, false).rel_pairs(2, "cost_limit");
+    let filler = 231usize.saturating_sub(p.params.len());
+    p.many(filler, "planner_weight", |n| ParamSpec::new(n, Role::Arith));
+    p.build(
+        "PostgreSQL",
+        MappingStyle::StructDirect,
+        Dialect::KeyValue,
+        true,
+    )
+}
+
+/// OpenLDAP: hybrid mapping, pointer-aliased parameters (lowest accuracy).
+pub fn openldap() -> SystemSpec {
+    let mut p = Pop::new();
+    // Figure 3(d)/2: the clamped index length and the crashing thread
+    // count.
+    p.push(ParamSpec::new(
+        "index_intlen",
+        Role::RangeClamp { min: 4, max: 255 },
+    ))
+    .many(5, "cache_entries", |n| {
+        ParamSpec::new(n, Role::RangeClamp { min: 0, max: 10000 })
+    })
+    .push(ParamSpec::new("listener-threads", Role::CrashIndex))
+    .push(ParamSpec::new("tool-threads", Role::CrashIndex))
+    .many(3, "idle_timeout", |n| {
+        ParamSpec::new(n, Role::RangeExit { min: 0, max: 3600, log: false })
+    })
+    .many(15, "db_knob", |n| {
+        ParamSpec::new(n, Role::RangeTable { min: 0, max: 4096 }).documented()
+    })
+    .many(2, "db_directory", |n| {
+        ParamSpec::new(n, Role::File { checked: false, log: false })
+    })
+    .push(ParamSpec::new(
+        "tls_cert",
+        Role::File { checked: true, log: true },
+    ))
+    .push(ParamSpec::new("backup_dir", Role::Dir { checked: false }))
+    .many(2, "ldap_port", |n| {
+        ParamSpec::new(n, Role::Port { checked: false, log: false })
+    })
+    .many(3, "retry_wait", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+    })
+    .many(2, "sockbuf_max", |n| {
+        ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: false })
+    })
+    .many(9, "schema_check", |n| ParamSpec::new(n, word_enum(true, true)))
+    .many(6, "overlay_flag", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }))
+    .rel_pairs(1, "conn_pool")
+    .alias_pairs(3);
+    let filler = 86usize.saturating_sub(p.params.len());
+    p.many(filler, "limits_weight", |n| ParamSpec::new(n, Role::Arith));
+    p.build(
+        "OpenLDAP",
+        MappingStyle::StructDirect,
+        Dialect::SpaceSeparated,
+        true,
+    )
+}
+
+/// VSFTP: option-table mapping, dependency-heavy booleans, unsafe parses.
+pub fn vsftp() -> SystemSpec {
+    let mut p = Pop::new();
+    p.many(44, "ftpd_flag", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }))
+        .many(10, "ascii_mode", |n| ParamSpec::new(n, word_enum(true, true)))
+        .many(6, "chown_index", |n| ParamSpec::new(n, Role::CrashIndex))
+        .many(8, "accept_wait", |n| {
+            ParamSpec::new(n, Role::RangeClamp { min: 0, max: 600 })
+        })
+        .many(4, "max_login_fails", |n| {
+            ParamSpec::new(n, Role::RangeExit { min: 1, max: 50, log: false })
+        })
+        .many(2, "banner_file", |n| {
+            ParamSpec::new(n, Role::File { checked: true, log: true })
+        })
+        .many(4, "chroot_list", |n| {
+            ParamSpec::new(n, Role::File { checked: false, log: false })
+        })
+        .many(2, "listen_port", |n| {
+            ParamSpec::new(n, Role::Port { checked: false, log: false })
+        })
+        .many(2, "pasv_port", |n| {
+            ParamSpec::new(n, Role::Port { checked: true, log: false })
+        })
+        .push(ParamSpec::new("ftp_user", Role::User { checked: true }))
+        .many(2, "guest_user", |n| ParamSpec::new(n, Role::User { checked: false }))
+        .many(6, "data_timeout", |n| {
+            ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+        })
+        .push(ParamSpec::new(
+            "xfer_buf",
+            Role::SizeAlloc { scale: 1, checked: false },
+        ))
+        .rel_pairs(1, "pasv_range");
+    let controllers = p.bool_controllers(8);
+    p.deps(30, &controllers, false);
+    let filler = 124usize.saturating_sub(p.params.len());
+    p.many(filler, "misc_limit", |n| ParamSpec::new(n, Role::Arith));
+    p.mark_unsafe(20);
+    p.build("VSFTP", MappingStyle::StructDirect, Dialect::KeyValue, true)
+}
+
+/// Squid: comparison mapping, case-sensitive booleans with silent
+/// overruling, heavy unsafe parsing.
+pub fn squid() -> SystemSpec {
+    let mut p = Pop::new();
+    p.many(80, "icp_flag", |n| ParamSpec::new(n, Role::BoolFlag { strict: false }))
+        .many(5, "refresh_pattern", |n| ParamSpec::new(n, word_enum(false, true)))
+        .many(76, "cache_policy", |n| ParamSpec::new(n, word_enum(true, true)))
+        .many(2, "fd_table_index", |n| ParamSpec::new(n, Role::CrashIndex))
+        .many(33, "connect_timeout", |n| {
+            ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+        })
+        .many(6, "dns_retry_ms", |n| {
+            ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+        })
+        .push(ParamSpec::new(
+            "poll_us",
+            Role::TimeSleep { scale: 1, micro: true },
+        ))
+        .many(18, "cache_mem", |n| {
+            ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: false })
+        })
+        .many(2, "store_objects_kb", |n| {
+            ParamSpec::new(n, Role::SizeAlloc { scale: 1024, checked: false })
+        })
+        .many(5, "cache_log", |n| {
+            ParamSpec::new(n, Role::File { checked: true, log: true })
+        })
+        .many(3, "error_directory", |n| {
+            ParamSpec::new(n, Role::File { checked: false, log: false })
+        })
+        .many(2, "coredump_dir", |n| ParamSpec::new(n, Role::Dir { checked: false }))
+        // Figure 3(c)/5(c): the ICP port.
+        .push(ParamSpec::new(
+            "udp_port",
+            Role::Port { checked: false, log: false },
+        ))
+        .many(3, "http_port", |n| {
+            ParamSpec::new(n, Role::Port { checked: true, log: true })
+        })
+        .many(2, "snmp_port", |n| {
+            ParamSpec::new(n, Role::Port { checked: false, log: false })
+        })
+        .many(2, "effective_user", |n| ParamSpec::new(n, Role::User { checked: false }))
+        .many(10, "shutdown_lifetime", |n| {
+            ParamSpec::new(n, Role::RangeClamp { min: 0, max: 120 })
+        })
+        .many(3, "max_filedesc", |n| {
+            ParamSpec::new(n, Role::RangeExit { min: 64, max: 8192, log: true })
+        })
+        .many(3, "redirect_children", |n| {
+            ParamSpec::new(n, Role::RangeExit { min: 1, max: 64, log: false })
+        })
+        .rel_pairs(3, "swap_level");
+    let controllers = p.bool_controllers(4);
+    p.deps(4, &controllers, false);
+    let filler = 335usize.saturating_sub(p.params.len());
+    p.many(filler, "acl_weight", |n| ParamSpec::new(n, Role::Arith));
+    p.mark_unsafe(115);
+    p.build(
+        "Squid",
+        MappingStyle::Comparison,
+        Dialect::SpaceSeparated,
+        false,
+    )
+}
+
+/// Storage-A: the commercial storage OS — large, convention-heavy,
+/// mostly well-checked, with unit information in parameter names.
+pub fn storage_a() -> SystemSpec {
+    let mut p = Pop::new();
+    p.many(150, "vol_opt", |n| {
+        ParamSpec::new(n, Role::RangeTable { min: 0, max: 1 << 20 }).documented()
+    })
+    .many(40, "raid_limit", |n| {
+        ParamSpec::new(n, Role::RangeExit { min: 1, max: 4096, log: true }).documented()
+    })
+    .many(70, "cache_window", |n| {
+        ParamSpec::new(n, Role::RangeClamp { min: 0, max: 65536 })
+    })
+    .many(15, "log_file", |n| {
+        ParamSpec::new(n, Role::File { checked: true, log: true })
+    })
+    .many(5, "export_dir", |n| ParamSpec::new(n, Role::Dir { checked: true }))
+    .many(6, "iscsi_port", |n| {
+        ParamSpec::new(n, Role::Port { checked: true, log: true })
+    })
+    .many(2, "ndmp_port", |n| {
+        ParamSpec::new(n, Role::Port { checked: false, log: false })
+    })
+    .many(5, "admin_user", |n| ParamSpec::new(n, Role::User { checked: true }))
+    .many(2, "spin_us", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: true })
+    })
+    .many(10, "flush_msec", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+    })
+    .many(53, "takeover_sec", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+    })
+    .many(12, "scrub_min", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 60, micro: false })
+    })
+    .many(4, "snap_sched_hour", |n| {
+        ParamSpec::new(n, Role::TimeSleep { scale: 3600, micro: false })
+    })
+    .many(20, "nvram_bytes", |n| {
+        ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: true })
+    })
+    .push(ParamSpec::new(
+        "wafl_kb",
+        Role::SizeAlloc { scale: 1024, checked: true },
+    ))
+    .push(ParamSpec::new(
+        "pcs_mb",
+        Role::SizeAlloc { scale: 1 << 20, checked: false },
+    ))
+    .push(ParamSpec::new(
+        "aggr_gb",
+        Role::SizeAlloc { scale: 1 << 30, checked: false },
+    ))
+    .many(32, "cifs_symlink", |n| ParamSpec::new(n, word_enum(false, true)))
+    .many(220, "nfs_option", |n| ParamSpec::new(n, word_enum(true, true)))
+    .many(120, "feature_licensed", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }));
+    let controllers = p.bool_controllers(12);
+    p.deps(80, &controllers, true)
+        .rel_pairs(10, "quota")
+        .alias_pairs(2);
+    let filler = 920usize.saturating_sub(p.params.len());
+    p.many(filler, "kernel_tunable", |n| ParamSpec::new(n, Role::Arith));
+    p.mark_unsafe(28);
+    p.build(
+        "Storage-A",
+        MappingStyle::StructDirect,
+        Dialect::KeyValue,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_match_table_4() {
+        assert_eq!(apache().param_count(), 103);
+        assert_eq!(mysql().param_count(), 272);
+        assert_eq!(postgresql().param_count(), 231);
+        assert_eq!(openldap().param_count(), 86);
+        assert_eq!(vsftp().param_count(), 124);
+        assert_eq!(squid().param_count(), 335);
+        assert_eq!(storage_a().param_count(), 920);
+    }
+
+    #[test]
+    fn names_are_unique_within_each_system() {
+        for spec in all_systems() {
+            let mut names: Vec<&str> =
+                spec.params.iter().map(|p| p.name.as_str()).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(before, names.len(), "{}: duplicate names", spec.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(system_by_name("squid").is_some());
+        assert!(system_by_name("Storage-A").is_some());
+        assert!(system_by_name("nginx").is_none());
+    }
+
+    #[test]
+    fn unsafe_counts_match_table_8() {
+        let count = |s: &SystemSpec| s.params.iter().filter(|p| p.unsafe_parse).count();
+        assert_eq!(count(&apache()), 27);
+        assert_eq!(count(&vsftp()), 20);
+        assert_eq!(count(&squid()), 115);
+        assert_eq!(count(&storage_a()), 28);
+        assert_eq!(count(&mysql()), 0);
+        assert_eq!(count(&postgresql()), 0);
+    }
+}

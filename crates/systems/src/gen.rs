@@ -1,0 +1,1007 @@
+//! The subject-system code generator.
+//!
+//! Expands a [`SystemSpec`] into mini-C source plus every artifact the
+//! evaluation needs. Generation is fully deterministic: the same spec
+//! always produces the same system, so every paper table regenerates
+//! reproducibly.
+
+use crate::spec::{MappingStyle, ParamSpec, Role, SystemSpec};
+use spex_conf::Dialect;
+use spex_core::accuracy::TruthConstraint;
+use spex_core::constraint::{BasicType, SemType, SizeUnit, TimeUnit};
+use spex_design::manual::{Manual, ManualEntry};
+use spex_inj::TestCase;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Everything generated for one system.
+pub struct GenOutput {
+    /// Mini-C source of the configuration-handling code.
+    pub source: String,
+    /// SPEX annotations (Figure 4 syntax).
+    pub annotations: String,
+    /// Template configuration file (valid defaults).
+    pub template_conf: String,
+    /// The config-file dialect.
+    pub dialect: Dialect,
+    /// The system's manual model.
+    pub manual: Manual,
+    /// Exact ground-truth constraints (for Table 12).
+    pub truth: Vec<TruthConstraint>,
+    /// The system's functional test suite.
+    pub tests: Vec<TestCase>,
+    /// Parameter → backing-global name for verbatim-stored parameters.
+    pub param_globals: HashMap<String, String>,
+    /// Files the modelled world must contain.
+    pub world_files: Vec<(String, String)>,
+    /// Directories the modelled world must contain.
+    pub world_dirs: Vec<String>,
+}
+
+/// Generates a system from its spec.
+pub fn generate(spec: &SystemSpec) -> GenOutput {
+    Gen::new(spec).run()
+}
+
+struct Gen<'s> {
+    spec: &'s SystemSpec,
+    globals: String,
+    handlers: String,
+    chain: String,
+    rows_int: Vec<(String, String)>,
+    rows_intv: Vec<(String, String, i64, i64)>,
+    rows_str: Vec<(String, String)>,
+    rows_cmd: Vec<(String, String)>,
+    startup: String,
+    checks: HashMap<&'static str, String>,
+    need_onoff: bool,
+    need_onoff_strict: bool,
+    counter: usize,
+    out: GenOutput,
+    global_of: HashMap<String, String>,
+}
+
+impl<'s> Gen<'s> {
+    fn new(spec: &'s SystemSpec) -> Gen<'s> {
+        Gen {
+            spec,
+            globals: String::new(),
+            handlers: String::new(),
+            chain: String::new(),
+            rows_int: Vec::new(),
+            rows_intv: Vec::new(),
+            rows_str: Vec::new(),
+            rows_cmd: Vec::new(),
+            startup: String::new(),
+            checks: HashMap::new(),
+            need_onoff: false,
+            need_onoff_strict: false,
+            counter: 0,
+            out: GenOutput {
+                source: String::new(),
+                annotations: String::new(),
+                template_conf: String::new(),
+                dialect: spec.dialect,
+                manual: Manual::empty(),
+                truth: Vec::new(),
+                tests: Vec::new(),
+                param_globals: HashMap::new(),
+                world_files: Vec::new(),
+                world_dirs: Vec::new(),
+            },
+            global_of: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> GenOutput {
+        // Pre-register globals so dependents can reference controllers and
+        // alias/relation partners regardless of order.
+        for p in &self.spec.params {
+            let g = format!("g_{}", sanitize(&p.name));
+            self.global_of.insert(p.name.clone(), g);
+        }
+        let params: Vec<ParamSpec> = self.spec.params.clone();
+        for p in &params {
+            self.emit_param(p);
+        }
+        self.assemble();
+        self.out
+    }
+
+    // -- Small helpers --
+
+    fn fresh(&mut self) -> usize {
+        self.counter += 1;
+        self.counter
+    }
+
+    fn g(&self, param: &str) -> String {
+        self.global_of
+            .get(param)
+            .cloned()
+            .unwrap_or_else(|| format!("g_{}", sanitize(param)))
+    }
+
+    fn check(&mut self, group: &'static str, stmt: String) {
+        self.checks.entry(group).or_default().push_str(&stmt);
+    }
+
+    fn truth(&mut self, param: &str, category: &'static str, key: String) {
+        self.out.truth.push(TruthConstraint {
+            param: param.to_string(),
+            category,
+            key,
+        });
+    }
+
+    fn conf_default(&mut self, param: &str, value: &str) {
+        // The template sets a representative subset of the parameters
+        // (users rarely set everything); defaults otherwise come from the
+        // compiled-in initializers.
+        if self.counter.is_multiple_of(6) {
+            let line = match self.spec.dialect {
+                Dialect::KeyValue => format!("{param} = {value}\n"),
+                _ => format!("{param} {value}\n"),
+            };
+            self.out.template_conf.push_str(&line);
+        }
+    }
+
+    /// Registers an integer parameter in the appropriate parse path and
+    /// returns its global's name.
+    fn int_param(&mut self, p: &ParamSpec, default: i64) -> String {
+        let g = self.g(&p.name);
+        let _ = writeln!(self.globals, "int {g} = {default};");
+        self.out
+            .param_globals
+            .insert(p.name.clone(), g.clone());
+        match (self.spec.mapping, p.unsafe_parse) {
+            (_, true) => {
+                // Inline comparison parse with an unsafe API; every third
+                // one uses the sscanf variant for variety.
+                let k = self.fresh();
+                if k.is_multiple_of(3) {
+                    let _ = writeln!(
+                        self.chain,
+                        "    if (strcmp(name, \"{}\") == 0) {{ int tmp_{k} = 0; sscanf(value, \"%i\", &tmp_{k}); {g} = tmp_{k}; return 0; }}",
+                        p.name
+                    );
+                } else {
+                    let _ = writeln!(
+                        self.chain,
+                        "    if (strcmp(name, \"{}\") == 0) {{ {g} = atoi(value); return 0; }}",
+                        p.name
+                    );
+                }
+            }
+            (MappingStyle::StructDirect, false) => {
+                self.rows_int.push((p.name.clone(), g.clone()));
+            }
+            (MappingStyle::StructHandler, false) => {
+                let h = format!("set_{g}");
+                let _ = writeln!(
+                    self.handlers,
+                    "int {h}(char* arg) {{ {g} = strtol(arg, NULL, 10); return 0; }}"
+                );
+                self.rows_cmd.push((p.name.clone(), h));
+            }
+            (MappingStyle::Comparison, false) => {
+                let _ = writeln!(
+                    self.chain,
+                    "    if (strcasecmp(name, \"{}\") == 0) {{ {g} = strtol(value, NULL, 10); return 0; }}",
+                    p.name
+                );
+            }
+        }
+        self.truth(
+            &p.name,
+            "basic-type",
+            BasicType::Int {
+                bits: 32,
+                signed: true,
+            }
+            .to_string(),
+        );
+        self.conf_default(&p.name, &default.to_string());
+        g
+    }
+
+    /// Registers a string parameter and returns its global's name.
+    fn str_param(&mut self, p: &ParamSpec, default: &str) -> String {
+        let g = self.g(&p.name);
+        let _ = writeln!(self.globals, "char* {g} = \"{default}\";");
+        self.out
+            .param_globals
+            .insert(p.name.clone(), g.clone());
+        match self.spec.mapping {
+            MappingStyle::StructDirect => {
+                self.rows_str.push((p.name.clone(), g.clone()));
+            }
+            MappingStyle::StructHandler => {
+                let h = format!("set_{g}");
+                let _ = writeln!(
+                    self.handlers,
+                    "int {h}(char* arg) {{ {g} = strdup(arg); return 0; }}"
+                );
+                self.rows_cmd.push((p.name.clone(), h));
+            }
+            MappingStyle::Comparison => {
+                let _ = writeln!(
+                    self.chain,
+                    "    if (strcasecmp(name, \"{}\") == 0) {{ {g} = strdup(value); return 0; }}",
+                    p.name
+                );
+            }
+        }
+        self.truth(&p.name, "basic-type", BasicType::Str.to_string());
+        self.conf_default(&p.name, default);
+        g
+    }
+
+    // -- Per-role emission --
+
+    fn emit_param(&mut self, p: &ParamSpec) {
+        match p.role.clone() {
+            Role::Arith => {
+                let g = self.int_param(p, 8);
+                let k = self.fresh();
+                // Consume the value without writing it to shared memory
+                // (a shared accumulator would fuse every parameter's data
+                // flow into one slice).
+                let _ = writeln!(self.startup, "    int u_{k} = {g} + 1;");
+            }
+            Role::CrashIndex => {
+                let g = self.int_param(p, 8);
+                let _ = writeln!(self.globals, "int {g}_tab[33];");
+                let _ = writeln!(self.startup, "    {g}_tab[{g}] = 1;");
+            }
+            Role::RangeTable { min, max } => {
+                // Validated through the option table's min/max columns.
+                let g = self.g(&p.name);
+                let default = min + (max - min) / 2;
+                let _ = writeln!(self.globals, "int {g} = {default};");
+                self.out.param_globals.insert(p.name.clone(), g.clone());
+                self.rows_intv.push((p.name.clone(), g.clone(), min, max));
+                let k = self.fresh();
+                let _ = writeln!(self.startup, "    int u_{k} = {g} + 1;");
+                self.truth(
+                    &p.name,
+                    "basic-type",
+                    BasicType::Int {
+                        bits: 32,
+                        signed: true,
+                    }
+                    .to_string(),
+                );
+                self.truth(&p.name, "data-range", format!("[{min},{max}]"));
+                self.conf_default(&p.name, &default.to_string());
+                self.document_range(p, min, max);
+            }
+            Role::RangeExit { min, max, log } => {
+                let g = self.int_param(p, min + (max - min) / 2);
+                let msg = if log {
+                    format!(
+                        "        fprintf(stderr, \"{} must be between {min} and {max}, got %d\", {g});\n",
+                        p.name
+                    )
+                } else {
+                    String::new()
+                };
+                let _ = write!(
+                    self.startup,
+                    "    if ({g} < {min} || {g} > {max}) {{\n{msg}        exit(1);\n    }}\n"
+                );
+                self.truth(&p.name, "data-range", format!("[{min},{max}]"));
+                self.document_range(p, min, max);
+            }
+            Role::RangeClamp { min, max } => {
+                let g = self.int_param(p, min + (max - min) / 2);
+                let _ = write!(
+                    self.startup,
+                    "    if ({g} < {min}) {{ {g} = {min}; }}\n    if ({g} > {max}) {{ {g} = {max}; }}\n"
+                );
+                self.truth(&p.name, "data-range", format!("[{min},{max}]"));
+                self.document_range(p, min, max);
+            }
+            Role::File { checked, log } => {
+                let path = format!("/data/{}.dat", sanitize(&p.name));
+                let g = self.str_param(p, &path);
+                self.out.world_files.push((path, "seed".into()));
+                let k = self.fresh();
+                let _ = writeln!(self.startup, "    int fd_{k} = open({g}, 0);");
+                if checked {
+                    let msg = if log {
+                        format!(
+                            "        fprintf(stderr, \"cannot open {} file %s\", {g});\n",
+                            p.name
+                        )
+                    } else {
+                        String::new()
+                    };
+                    let _ = write!(
+                        self.startup,
+                        "    if (fd_{k} < 0) {{\n{msg}        exit(1);\n    }}\n"
+                    );
+                } else {
+                    let _ = writeln!(self.globals, "int g_fd_{k} = 1;");
+                    let _ = writeln!(self.startup, "    g_fd_{k} = fd_{k};");
+                    self.check("io", format!("    if (g_fd_{k} < 0) {{ return 1; }}\n"));
+                }
+                self.truth(&p.name, "semantic-type", SemType::FilePath.to_string());
+            }
+            Role::Dir { checked } => {
+                let path = format!("/data/{}_d", sanitize(&p.name));
+                let g = self.str_param(p, &path);
+                self.out.world_dirs.push(path);
+                let k = self.fresh();
+                if checked {
+                    let _ = write!(
+                        self.startup,
+                        "    if (opendir({g}) == NULL) {{\n        fprintf(stderr, \"{}: not a directory: %s\", {g});\n        exit(1);\n    }}\n",
+                        p.name
+                    );
+                } else {
+                    let _ = writeln!(self.globals, "int g_ok_{k} = 1;");
+                    let _ = writeln!(self.startup, "    g_ok_{k} = opendir({g}) != NULL;");
+                    self.check("io", format!("    if (g_ok_{k} == 0) {{ return 1; }}\n"));
+                }
+                self.truth(&p.name, "semantic-type", SemType::DirPath.to_string());
+            }
+            Role::Port { checked, log } => {
+                let default = 5000 + self.fresh() as i64;
+                let g = self.int_param(p, default);
+                let k = self.fresh();
+                let _ = writeln!(self.startup, "    int s_{k} = socket(0, 0, 0);");
+                let _ = writeln!(self.startup, "    int r_{k} = bind(s_{k}, {g});");
+                if checked {
+                    let msg = if log {
+                        format!(
+                            "        fprintf(stderr, \"cannot bind {} port %d\", {g});\n",
+                            p.name
+                        )
+                    } else {
+                        String::new()
+                    };
+                    let _ = write!(
+                        self.startup,
+                        "    if (r_{k} < 0) {{\n{msg}        exit(1);\n    }}\n"
+                    );
+                } else {
+                    let _ = writeln!(self.globals, "int g_ok_{k} = 1;");
+                    let _ = writeln!(self.startup, "    g_ok_{k} = r_{k} == 0;");
+                    self.check("net", format!("    if (g_ok_{k} == 0) {{ return 1; }}\n"));
+                }
+                let _ = writeln!(self.startup, "    listen(s_{k}, 16);");
+                self.truth(&p.name, "semantic-type", SemType::Port.to_string());
+            }
+            Role::User { checked } => {
+                let g = self.str_param(p, "daemon");
+                let k = self.fresh();
+                if checked {
+                    let _ = write!(
+                        self.startup,
+                        "    if (getpwnam({g}) == NULL) {{\n        fprintf(stderr, \"{}: unknown user %s\", {g});\n        exit(1);\n    }}\n",
+                        p.name
+                    );
+                } else {
+                    let _ = writeln!(self.globals, "int g_ok_{k} = 1;");
+                    let _ = writeln!(self.startup, "    g_ok_{k} = getpwnam({g}) != NULL;");
+                    self.check("users", format!("    if (g_ok_{k} == 0) {{ return 1; }}\n"));
+                }
+                self.truth(&p.name, "semantic-type", SemType::UserName.to_string());
+            }
+            Role::TimeSleep { scale, micro } => {
+                // Defaults keep the valid-config virtual sleep small.
+                let default = if micro {
+                    100
+                } else if scale >= 3600 {
+                    0
+                } else if scale >= 60 {
+                    1
+                } else {
+                    2
+                };
+                let g = self.int_param(p, default);
+                let call = if micro { "usleep" } else { "sleep" };
+                if scale == 1 {
+                    let _ = writeln!(self.startup, "    {call}({g});");
+                } else {
+                    let _ = writeln!(self.startup, "    {call}({g} * {scale});");
+                }
+                let base = if micro { TimeUnit::Micro } else { TimeUnit::Sec };
+                let sem = spex_core::apispec::ApiSpec::scale_unit(SemType::Time(base), scale);
+                self.truth(&p.name, "semantic-type", sem.to_string());
+            }
+            Role::SizeAlloc { scale, checked } => {
+                // Defaults must fit the modelled 1 GiB allocation budget
+                // even when many size parameters allocate at startup.
+                let default = if scale >= (1 << 30) {
+                    0
+                } else if scale >= (1 << 20) {
+                    1
+                } else {
+                    4
+                };
+                let g = self.int_param(p, default);
+                let k = self.fresh();
+                let expr = if scale == 1 {
+                    g.to_string()
+                } else {
+                    format!("{g} * {scale}")
+                };
+                let _ = writeln!(
+                    self.startup,
+                    "    int m_{k} = malloc({expr}) != NULL;"
+                );
+                if checked {
+                    let _ = write!(
+                        self.startup,
+                        "    if (m_{k} == 0) {{\n        fprintf(stderr, \"cannot allocate {} (%d)\", {g});\n        exit(1);\n    }}\n",
+                        p.name
+                    );
+                } else {
+                    let _ = writeln!(self.globals, "int g_ok_{k} = 1;");
+                    let _ = writeln!(self.startup, "    g_ok_{k} = m_{k};");
+                    self.check("mem", format!("    if (g_ok_{k} == 0) {{ return 1; }}\n"));
+                }
+                let sem =
+                    spex_core::apispec::ApiSpec::scale_unit(SemType::Size(SizeUnit::B), scale);
+                self.truth(&p.name, "semantic-type", sem.to_string());
+            }
+            Role::BoolFlag { strict } => {
+                let g = self.g(&p.name);
+                let _ = writeln!(self.globals, "int {g} = 1;");
+                self.out.param_globals.insert(p.name.clone(), g.clone());
+                let (helper, ret) = if strict {
+                    self.need_onoff_strict = true;
+                    (
+                        format!("return parse_bool_strict(VALUE, \"{}\", &{g});", p.name),
+                        true,
+                    )
+                } else {
+                    self.need_onoff = true;
+                    (format!("parse_onoff(VALUE, &{g}); return 0;"), false)
+                };
+                let _ = ret;
+                match self.spec.mapping {
+                    MappingStyle::StructHandler => {
+                        let h = format!("set_{g}");
+                        let body = helper.replace("VALUE", "arg");
+                        let _ = writeln!(self.handlers, "int {h}(char* arg) {{ {body} }}");
+                        self.rows_cmd.push((p.name.clone(), h));
+                    }
+                    _ => {
+                        let body = helper.replace("VALUE", "value");
+                        let _ = writeln!(
+                            self.chain,
+                            "    if (strcasecmp(name, \"{}\") == 0) {{ {body} }}",
+                            p.name
+                        );
+                    }
+                }
+                let k = self.fresh();
+                let _ = writeln!(self.startup, "    int u_{k} = {g} + 1;");
+                self.truth(&p.name, "basic-type", BasicType::Str.to_string());
+                let key = if strict {
+                    "{\"off\",\"on\"}".to_string()
+                } else {
+                    "{\"on\"}".to_string()
+                };
+                self.truth(&p.name, "data-range", key);
+                // Boolean value sets are always documented.
+                self.out.manual.add(
+                    &p.name,
+                    ManualEntry {
+                        text: format!("{}: boolean, on or off.", p.name),
+                        documents_range: true,
+                        ..Default::default()
+                    },
+                );
+                self.conf_default(&p.name, "on");
+            }
+            Role::WordEnum {
+                words,
+                insensitive,
+                strict,
+            } => {
+                let g = self.g(&p.name);
+                let _ = writeln!(self.globals, "int {g} = 0;");
+                let cmp = if insensitive { "strcasecmp" } else { "strcmp" };
+                // Build the inline chain parsing this enum.
+                let mut body = String::new();
+                for (i, w) in words.iter().enumerate() {
+                    let kw = if i == 0 { "if" } else { "else if" };
+                    let _ = write!(
+                        body,
+                        "{kw} ({cmp}(VALUE, \"{w}\") == 0) {{ {g} = {i}; }} "
+                    );
+                }
+                if strict {
+                    let _ = write!(
+                        body,
+                        "else {{ fprintf(stderr, \"invalid value for {}: %s\", VALUE); return -1; }} return 0;",
+                        p.name
+                    );
+                } else {
+                    let _ = write!(body, "else {{ {g} = 0; }} return 0;");
+                }
+                match self.spec.mapping {
+                    MappingStyle::StructHandler => {
+                        let h = format!("set_{g}");
+                        let body = body.replace("VALUE", "arg");
+                        let _ = writeln!(self.handlers, "int {h}(char* arg) {{ {body} }}");
+                        self.rows_cmd.push((p.name.clone(), h));
+                    }
+                    _ => {
+                        // Comparison-mapped enums parse through a
+                        // per-parameter helper, like real servers do; the
+                        // helper's token parameter is the data-flow root
+                        // the comparison toolkit extracts.
+                        let h = format!("parse_{g}");
+                        let body = body.replace("VALUE", "token");
+                        let _ = writeln!(self.handlers, "int {h}(char* token) {{ {body} }}");
+                        let _ = writeln!(
+                            self.chain,
+                            "    if (strcasecmp(name, \"{}\") == 0) {{ return {h}(value); }}",
+                            p.name
+                        );
+                    }
+                }
+                let k = self.fresh();
+                let _ = writeln!(self.startup, "    int u_{k} = {g} + 1;");
+                self.truth(&p.name, "basic-type", BasicType::Str.to_string());
+                let mut sorted: Vec<String> =
+                    words.iter().map(|w| format!("{w:?}")).collect();
+                sorted.sort();
+                self.truth(&p.name, "data-range", format!("{{{}}}", sorted.join(",")));
+                // Word lists are documented in manuals.
+                self.out.manual.add(
+                    &p.name,
+                    ManualEntry {
+                        text: format!("{}: one of {}.", p.name, words.join(", ")),
+                        documents_range: true,
+                        ..Default::default()
+                    },
+                );
+                self.conf_default(&p.name, words[0]);
+            }
+            Role::Switch { n, loud_default } => {
+                let g = self.int_param(p, 1);
+                let mut body = String::new();
+                for i in 0..n {
+                    let _ = writeln!(body, "        case {i}: cfg_total += {i}; break;");
+                }
+                if loud_default {
+                    let _ = writeln!(
+                        body,
+                        "        default: fprintf(stderr, \"invalid {} value %d\", {g}); exit(1);",
+                        p.name
+                    );
+                } else {
+                    let _ = writeln!(body, "        default: {g} = 0;");
+                }
+                let _ = write!(self.startup, "    switch ({g}) {{\n{body}    }}\n");
+                let mut vals: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+                vals.sort();
+                self.truth(&p.name, "data-range", format!("{{{}}}", vals.join(",")));
+                self.out.manual.add(
+                    &p.name,
+                    ManualEntry {
+                        text: format!("{}: mode 0 through {}.", p.name, n - 1),
+                        documents_range: true,
+                        ..Default::default()
+                    },
+                );
+            }
+            Role::DependentOn { controller } => {
+                let g = self.int_param(p, 3);
+                let cg = self.g(&controller);
+                let k = self.fresh();
+                let _ = write!(
+                    self.startup,
+                    "    if ({cg} != 0) {{\n        int u_{k} = {g} + 1;\n    }}\n"
+                );
+                self.truth(
+                    &p.name,
+                    "control-dep",
+                    format!("{controller}!=0"),
+                );
+                if p.documented_dep {
+                    self.out.manual.add(
+                        &p.name,
+                        ManualEntry {
+                            text: format!("Takes effect only when {controller} is enabled."),
+                            documents_deps: vec![controller.clone()],
+                            ..Default::default()
+                        },
+                    );
+                }
+            }
+            Role::MinOf { partner } => {
+                let g = self.int_param(p, 4);
+                let pg = self.g(&partner);
+                let k = self.fresh();
+                let _ = writeln!(self.globals, "int g_relok_{k} = 0;");
+                let _ = write!(
+                    self.startup,
+                    "    int len_{k} = 12;\n    g_relok_{k} = 0;\n    if (len_{k} >= {g} && len_{k} < {pg}) {{\n        g_relok_{k} = 1;\n    }}\n"
+                );
+                self.check(
+                    "logic",
+                    format!("    if (g_relok_{k} == 0) {{ return 1; }}\n"),
+                );
+                // Normalised orientation, matching the inference pass.
+                let (lhs, op, rhs) = if p.name <= partner {
+                    (p.name.clone(), "<", partner.clone())
+                } else {
+                    (partner.clone(), ">", p.name.clone())
+                };
+                let attributed = lhs.clone();
+                self.out.truth.push(TruthConstraint {
+                    param: attributed,
+                    category: "value-rel",
+                    key: format!("{lhs}{op}{rhs}"),
+                });
+            }
+            Role::MaxOf => {
+                let _ = self.int_param(p, 84);
+            }
+            Role::AliasedWith { partner, time_side } => {
+                // Both parameters share one global through the option
+                // table; the analysis cannot separate their flows.
+                let pair_key = {
+                    let mut names = [p.name.as_str(), partner.as_str()];
+                    names.sort();
+                    sanitize(names[0])
+                };
+                let shared = format!("g_shared_{pair_key}");
+                if !self.globals.contains(&format!("int {shared} ")) {
+                    let _ = writeln!(self.globals, "int {shared} = 5;");
+                }
+                self.global_of.insert(p.name.clone(), shared.clone());
+                match self.spec.mapping {
+                    MappingStyle::StructDirect => {
+                        self.rows_int.push((p.name.clone(), shared.clone()));
+                    }
+                    _ => {
+                        let _ = writeln!(
+                            self.chain,
+                            "    if (strcasecmp(name, \"{}\") == 0) {{ {shared} = strtol(value, NULL, 10); return 0; }}",
+                            p.name
+                        );
+                    }
+                }
+                let k = self.fresh();
+                if time_side {
+                    let _ = writeln!(self.startup, "    sleep({shared});");
+                    self.truth(
+                        &p.name,
+                        "semantic-type",
+                        SemType::Time(TimeUnit::Sec).to_string(),
+                    );
+                } else {
+                    let _ = writeln!(
+                        self.startup,
+                        "    int ma_{k} = malloc({shared}) != NULL;\n    cfg_total += ma_{k};"
+                    );
+                    self.truth(
+                        &p.name,
+                        "semantic-type",
+                        SemType::Size(SizeUnit::B).to_string(),
+                    );
+                }
+                self.truth(
+                    &p.name,
+                    "basic-type",
+                    BasicType::Int {
+                        bits: 32,
+                        signed: true,
+                    }
+                    .to_string(),
+                );
+                self.conf_default(&p.name, "5");
+            }
+        }
+    }
+
+    fn document_range(&mut self, p: &ParamSpec, min: i64, max: i64) {
+        if p.documented_range {
+            self.out.manual.add(
+                &p.name,
+                ManualEntry {
+                    text: format!("Valid values are {min} through {max}."),
+                    documents_range: true,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    // -- Final assembly --
+
+    fn assemble(&mut self) {
+        let mut src = String::new();
+        let _ = writeln!(src, "// Generated configuration-handling code: {}", self.spec.name);
+        let _ = writeln!(src, "int cfg_total = 0;");
+        let _ = writeln!(src, "int feature_count = 0;");
+        src.push_str(&self.globals);
+
+        // Shared boolean helpers (single code locations, like Squid's).
+        if self.need_onoff {
+            src.push_str(
+                "void parse_onoff(char* token, int* var) {\n    if (strcmp(token, \"on\") == 0) { *var = 1; }\n    else { *var = 0; }\n}\n",
+            );
+        }
+        if self.need_onoff_strict {
+            src.push_str(
+                "int parse_bool_strict(char* token, char* pname, int* var) {\n    if (strcasecmp(token, \"on\") == 0) { *var = 1; return 0; }\n    if (strcasecmp(token, \"off\") == 0) { *var = 0; return 0; }\n    fprintf(stderr, \"parameter %s expects on or off, got %s\", pname, token);\n    return -1;\n}\n",
+            );
+        }
+        src.push_str(&self.handlers);
+
+        // Option tables.
+        let mut ann = String::new();
+        if !self.rows_int.is_empty() {
+            let _ = writeln!(src, "struct conf_int {{ char* name; int* var; }};");
+            let _ = writeln!(src, "struct conf_int conf_ints[] = {{");
+            for (n, g) in &self.rows_int {
+                let _ = writeln!(src, "    {{ \"{n}\", &{g} }},");
+            }
+            let _ = writeln!(src, "}};");
+            ann.push_str(
+                "{ @STRUCT = conf_ints\n  @PAR = [conf_int, 1]\n  @VAR = [conf_int, 2] }\n",
+            );
+        }
+        if !self.rows_intv.is_empty() {
+            let _ = writeln!(
+                src,
+                "struct conf_intv {{ char* name; int* var; int vmin; int vmax; }};"
+            );
+            let _ = writeln!(src, "struct conf_intv conf_intvs[] = {{");
+            for (n, g, min, max) in &self.rows_intv {
+                let _ = writeln!(src, "    {{ \"{n}\", &{g}, {min}, {max} }},");
+            }
+            let _ = writeln!(src, "}};");
+            ann.push_str(
+                "{ @STRUCT = conf_intvs\n  @PAR = [conf_intv, 1]\n  @VAR = [conf_intv, 2] }\n",
+            );
+        }
+        if !self.rows_str.is_empty() {
+            let _ = writeln!(src, "struct conf_str {{ char* name; char** var; }};");
+            let _ = writeln!(src, "struct conf_str conf_strs[] = {{");
+            for (n, g) in &self.rows_str {
+                let _ = writeln!(src, "    {{ \"{n}\", &{g} }},");
+            }
+            let _ = writeln!(src, "}};");
+            ann.push_str(
+                "{ @STRUCT = conf_strs\n  @PAR = [conf_str, 1]\n  @VAR = [conf_str, 2] }\n",
+            );
+        }
+        if !self.rows_cmd.is_empty() {
+            let _ = writeln!(src, "struct command_rec {{ char* name; fnptr handler; }};");
+            let _ = writeln!(src, "struct command_rec cmds[] = {{");
+            for (n, h) in &self.rows_cmd {
+                let _ = writeln!(src, "    {{ \"{n}\", {h} }},");
+            }
+            let _ = writeln!(src, "}};");
+            ann.push_str(
+                "{ @STRUCT = cmds\n  @PAR = [command_rec, 1]\n  @VAR = ([command_rec, 2], $arg) }\n",
+            );
+        }
+        if !self.chain.is_empty() {
+            ann.push_str("{ @PARSER = handle_config\n  @PAR = $name\n  @VAR = $value }\n");
+        }
+
+        // The dispatcher.
+        let parse_call = if self.spec.safe_dispatcher {
+            "strtol(value, NULL, 10)"
+        } else {
+            "atoi(value)"
+        };
+        let _ = writeln!(src, "int handle_config(char* name, char* value) {{");
+        src.push_str(&self.chain);
+        if !self.rows_int.is_empty()
+            || !self.rows_intv.is_empty()
+            || !self.rows_str.is_empty()
+            || !self.rows_cmd.is_empty()
+        {
+            let _ = writeln!(src, "    int i;");
+        }
+        if !self.rows_int.is_empty() {
+            let _ = write!(
+                src,
+                "    for (i = 0; i < {n}; i++) {{\n        if (strcmp(conf_ints[i].name, name) == 0) {{\n            long v = {parse_call};\n            *(conf_ints[i].var) = v;\n            return 0;\n        }}\n    }}\n",
+                n = self.rows_int.len()
+            );
+        }
+        if !self.rows_intv.is_empty() {
+            let _ = write!(
+                src,
+                "    for (i = 0; i < {n}; i++) {{\n        if (strcmp(conf_intvs[i].name, name) == 0) {{\n            long v = {parse_call};\n            if (v < conf_intvs[i].vmin || v > conf_intvs[i].vmax) {{\n                fprintf(stderr, \"parameter %s: value %s is out of range\", name, value);\n                return -1;\n            }}\n            *(conf_intvs[i].var) = v;\n            return 0;\n        }}\n    }}\n",
+                n = self.rows_intv.len()
+            );
+        }
+        if !self.rows_str.is_empty() {
+            let _ = write!(
+                src,
+                "    for (i = 0; i < {n}; i++) {{\n        if (strcmp(conf_strs[i].name, name) == 0) {{\n            *(conf_strs[i].var) = strdup(value);\n            return 0;\n        }}\n    }}\n",
+                n = self.rows_str.len()
+            );
+        }
+        if !self.rows_cmd.is_empty() {
+            let _ = write!(
+                src,
+                "    for (i = 0; i < {n}; i++) {{\n        if (strcasecmp(cmds[i].name, name) == 0) {{\n            return cmds[i].handler(value);\n        }}\n    }}\n",
+                n = self.rows_cmd.len()
+            );
+        }
+        let _ = writeln!(src, "    return 0;\n}}");
+
+        // Startup.
+        let _ = writeln!(src, "int startup() {{");
+        src.push_str(&self.startup);
+        let _ = writeln!(src, "    return 0;\n}}");
+
+        // Test functions.
+        let _ = writeln!(src, "int test_smoke() {{ return 0; }}");
+        self.out.tests.push(TestCase {
+            name: "smoke".into(),
+            func: "test_smoke".into(),
+            cost: 1,
+        });
+        let costs: HashMap<&str, u32> = [
+            ("logic", 2),
+            ("users", 3),
+            ("mem", 4),
+            ("io", 5),
+            ("net", 8),
+        ]
+        .into_iter()
+        .collect();
+        let groups: Vec<(&'static str, String)> = self
+            .checks
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let mut sorted_groups = groups;
+        sorted_groups.sort_by_key(|(k, _)| *k);
+        for (group, body) in sorted_groups {
+            let _ = writeln!(src, "int test_{group}() {{");
+            src.push_str(&body);
+            let _ = writeln!(src, "    return 0;\n}}");
+            self.out.tests.push(TestCase {
+                name: group.to_string(),
+                func: format!("test_{group}"),
+                cost: costs.get(group).copied().unwrap_or(6),
+            });
+        }
+
+        self.out.source = src;
+        self.out.annotations = ann;
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MappingStyle, ParamSpec, Role, SystemSpec};
+
+    fn tiny_spec(mapping: MappingStyle) -> SystemSpec {
+        SystemSpec {
+            name: "tiny",
+            mapping,
+            dialect: Dialect::KeyValue,
+            safe_dispatcher: true,
+            params: vec![
+                ParamSpec::new("worker_threads", Role::CrashIndex),
+                ParamSpec::new(
+                    "index_intlen",
+                    Role::RangeClamp { min: 4, max: 255 },
+                ),
+                ParamSpec::new(
+                    "pid_file",
+                    Role::File {
+                        checked: true,
+                        log: true,
+                    },
+                ),
+                ParamSpec::new("enable_cache", Role::BoolFlag { strict: false }),
+                ParamSpec::new(
+                    "cache_size",
+                    Role::DependentOn {
+                        controller: "enable_cache".into(),
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn generated_source_parses_and_lowers() {
+        for mapping in [
+            MappingStyle::StructDirect,
+            MappingStyle::StructHandler,
+            MappingStyle::Comparison,
+        ] {
+            let out = generate(&tiny_spec(mapping));
+            let program = spex_lang::parse_program(&out.source)
+                .unwrap_or_else(|e| panic!("{mapping:?}: {e}\n{}", out.source));
+            let module = spex_ir::lower_program(&program)
+                .unwrap_or_else(|e| panic!("{mapping:?}: {e}"));
+            let errors = spex_ir::verify::verify_module(&module);
+            assert!(errors.is_empty(), "{mapping:?}: verifier: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn generated_system_is_runnable() {
+        let out = generate(&tiny_spec(MappingStyle::StructDirect));
+        let program = spex_lang::parse_program(&out.source).unwrap();
+        let module = spex_ir::lower_program(&program).unwrap();
+        let mut world = spex_vm::World::default();
+        for (f, c) in &out.world_files {
+            world.add_file(f, c);
+        }
+        for d in &out.world_dirs {
+            world.add_dir(d);
+        }
+        let mut vm = spex_vm::Vm::new(&module, world);
+        // Apply a valid setting, start up, run tests.
+        let r = vm
+            .call(
+                "handle_config",
+                &[spex_vm::Value::str("index_intlen"), spex_vm::Value::str("10")],
+            )
+            .unwrap();
+        assert_eq!(r, spex_vm::Value::Int(0));
+        let r = vm.call("startup", &[]).unwrap();
+        assert_eq!(r, spex_vm::Value::Int(0));
+        let r = vm.call("test_smoke", &[]).unwrap();
+        assert_eq!(r, spex_vm::Value::Int(0));
+        assert_eq!(
+            vm.global_value("g_index_intlen"),
+            Some(&spex_vm::Value::Int(10))
+        );
+    }
+
+    #[test]
+    fn truth_and_annotations_are_generated() {
+        let out = generate(&tiny_spec(MappingStyle::StructDirect));
+        assert!(out.annotations.contains("@STRUCT"));
+        assert!(out.annotations.contains("@PARSER") || !out.source.contains("parse_onoff"));
+        assert!(out
+            .truth
+            .iter()
+            .any(|t| t.param == "index_intlen" && t.key == "[4,255]"));
+        assert!(out
+            .truth
+            .iter()
+            .any(|t| t.param == "cache_size" && t.key == "enable_cache!=0"));
+        assert!(!out.tests.is_empty());
+    }
+
+    #[test]
+    fn inference_on_generated_system_matches_truth() {
+        let out = generate(&tiny_spec(MappingStyle::StructDirect));
+        let program = spex_lang::parse_program(&out.source).unwrap();
+        let module = spex_ir::lower_program(&program).unwrap();
+        let anns = spex_core::Annotation::parse(&out.annotations).unwrap();
+        let analysis = spex_core::Spex::analyze(module, &anns);
+        assert_eq!(analysis.reports.len(), 5, "all five parameters mapped");
+        let report = spex_core::evaluate_accuracy(
+            &analysis.all_constraints().cloned().collect::<Vec<_>>(),
+            &out.truth,
+        );
+        assert!(
+            report.overall() > 0.7,
+            "accuracy too low: {:?}",
+            report.by_category
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! The subject systems of the evaluation (§4, Table 4).
+//!
+//! The paper evaluates SPEX on one commercial storage system and six
+//! open-source servers. Their C sources are unavailable here, so each
+//! system is *generated*: a deterministic generator expands a per-system
+//! distribution spec (parameter counts, mapping convention, constraint mix,
+//! seeded vulnerabilities, alias noise) into mini-C configuration-handling
+//! code, together with everything an evaluation needs — annotations, a
+//! template config file, a manual model, a functional test suite, the
+//! modelled-world requirements, and the exact ground-truth constraints.
+//!
+//! The generated populations are tuned so the paper's table *shapes* hold:
+//! who has the most parameters, which reaction classes dominate, where
+//! case-sensitivity and unit inconsistencies live, and why OpenLDAP's
+//! inference accuracy is the lowest (pointer aliasing).
+
+pub mod catalog;
+pub mod corpus;
+pub mod figures;
+pub mod gen;
+pub mod spec;
+pub mod survey;
+
+pub use catalog::{all_systems, system_by_name};
+pub use gen::{generate, GenOutput};
+pub use spec::{ParamSpec, Role, SystemSpec};
+
+use spex_ir::Module;
+
+/// A fully built subject system: spec, generated artifacts, lowered module.
+pub struct BuiltSystem {
+    /// The distribution spec it was generated from.
+    pub spec: SystemSpec,
+    /// Generated source, annotations, manual, truth, tests, config.
+    pub gen: GenOutput,
+    /// The lowered IR module.
+    pub module: Module,
+}
+
+impl BuiltSystem {
+    /// Generates, parses and lowers a system.
+    ///
+    /// # Panics
+    /// Panics when the generator emits code the front-end rejects — a bug
+    /// in this crate, caught by tests.
+    pub fn build(spec: SystemSpec) -> BuiltSystem {
+        let gen = generate(&spec);
+        let program = spex_lang::parse_program(&gen.source)
+            .unwrap_or_else(|e| panic!("{}: generated code does not parse: {e}", spec.name));
+        let module = spex_ir::lower_program(&program)
+            .unwrap_or_else(|e| panic!("{}: generated code does not lower: {e}", spec.name));
+        BuiltSystem { spec, gen, module }
+    }
+
+    /// A fresh modelled world satisfying the system's requirements.
+    pub fn world(&self) -> spex_vm::World {
+        let mut w = spex_vm::World::default();
+        // Port 80 is always taken by "another process" so occupied-port
+        // injections are observable.
+        w.occupy_port(80);
+        for (path, content) in &self.gen.world_files {
+            w.add_file(path, content);
+        }
+        for path in &self.gen.world_dirs {
+            w.add_dir(path);
+        }
+        w
+    }
+
+    /// Lines of generated mini-C code (the Table 4 "LoC" stand-in).
+    pub fn loc(&self) -> usize {
+        self.gen.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}

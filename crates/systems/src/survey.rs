@@ -1,0 +1,53 @@
+//! The 18-project mapping-convention survey (Table 1).
+
+/// One surveyed project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurveyEntry {
+    /// Project name.
+    pub software: &'static str,
+    /// What the project is.
+    pub desc: &'static str,
+    /// Mapping convention observed.
+    pub convention: &'static str,
+}
+
+/// The Table 1 data: all 18 projects fall into three conventions (or a
+/// combination).
+pub const SURVEY: &[SurveyEntry] = &[
+    SurveyEntry { software: "Storage-A", desc: "Storage", convention: "struct" },
+    SurveyEntry { software: "MySQL", desc: "DB", convention: "struct" },
+    SurveyEntry { software: "PostgreSQL", desc: "DB", convention: "struct" },
+    SurveyEntry { software: "Apache httpd", desc: "Web", convention: "struct" },
+    SurveyEntry { software: "lighttpd", desc: "Web", convention: "struct" },
+    SurveyEntry { software: "Nginx", desc: "Web", convention: "struct" },
+    SurveyEntry { software: "OpenSSH", desc: "SSH", convention: "struct" },
+    SurveyEntry { software: "Postfix", desc: "Email", convention: "struct" },
+    SurveyEntry { software: "VSFTP", desc: "FTP", convention: "struct" },
+    SurveyEntry { software: "Squid", desc: "Proxy", convention: "comparison" },
+    SurveyEntry { software: "Redis", desc: "DB", convention: "comparison" },
+    SurveyEntry { software: "ntpd", desc: "NTP", convention: "comparison" },
+    SurveyEntry { software: "CVS", desc: "SCM", convention: "comparison" },
+    SurveyEntry { software: "Hypertable", desc: "DB", convention: "container" },
+    SurveyEntry { software: "MongoDB", desc: "DB", convention: "container" },
+    SurveyEntry { software: "AOLServer", desc: "Web", convention: "container" },
+    SurveyEntry { software: "Subversion", desc: "SCM", convention: "container" },
+    SurveyEntry { software: "OpenLDAP", desc: "LDAP", convention: "hybrid" },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_18_projects_in_three_conventions() {
+        assert_eq!(SURVEY.len(), 18);
+        let conventions: std::collections::HashSet<&str> =
+            SURVEY.iter().map(|e| e.convention).collect();
+        assert!(conventions.contains("struct"));
+        assert!(conventions.contains("comparison"));
+        assert!(conventions.contains("container"));
+        // All but one (the hybrid) use exactly one convention.
+        let hybrids = SURVEY.iter().filter(|e| e.convention == "hybrid").count();
+        assert_eq!(hybrids, 1);
+    }
+}

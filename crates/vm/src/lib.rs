@@ -1,0 +1,45 @@
+//! Execution substrate for misconfiguration-injection testing.
+//!
+//! SPEX-INJ launches the target system with an injected configuration and
+//! observes its reaction (§3.1): crashes, hangs, early terminations, log
+//! messages, functional test results. The paper runs the real servers; this
+//! reproduction executes the subject systems' lowered IR in an interpreter
+//! against a modelled OS ([`World`]): a small file system, a port table,
+//! users/groups, a virtual clock and a memory budget.
+//!
+//! The interpreter reproduces the *C-level failure semantics* the paper's
+//! vulnerability taxonomy depends on:
+//!
+//! * null-pointer dereference and out-of-bounds indexing raise SIGSEGV;
+//! * `abort()`/failed `assert()` raise SIGABRT, division by zero SIGFPE;
+//! * `atoi` wraps 32-bit on overflow and ignores trailing garbage
+//!   (`atoi("9G")` is 9 — Figure 5a's silently misread unit);
+//! * `sscanf("%i")` leaves its out-parameter untouched on mismatch
+//!   (Figure 6d's "undefined on invalid input");
+//! * a step budget and a virtual-sleep budget turn infinite loops and
+//!   absurd timeouts into [`VmHalt::Hang`].
+//!
+//! # Examples
+//!
+//! ```
+//! use spex_vm::{Value, Vm, World};
+//!
+//! let program = spex_lang::parse_program(
+//!     "int threads = 0;
+//!      void set_threads(char* v) { threads = atoi(v); }
+//!      int get_threads() { return threads; }",
+//! )
+//! .unwrap();
+//! let module = spex_ir::lower_program(&program).unwrap();
+//! let mut vm = Vm::new(&module, World::default());
+//! vm.call("set_threads", &[Value::str("32")]).unwrap();
+//! assert_eq!(vm.call("get_threads", &[]).unwrap(), Value::Int(32));
+//! ```
+
+pub mod interp;
+pub mod value;
+pub mod world;
+
+pub use interp::{Vm, VmHalt};
+pub use value::{LogLine, LogStream, Signal, Value};
+pub use world::{FsNode, World};

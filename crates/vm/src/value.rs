@@ -1,0 +1,157 @@
+//! Runtime values, signals and captured logs.
+
+use spex_ir::{FuncId, GlobalId, SlotId};
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer (also used for booleans, chars, file descriptors).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// Immutable string (the `char*` model).
+    Str(String),
+    /// Null pointer.
+    Null,
+    /// Function pointer.
+    FuncRef(FuncId),
+    /// Pointer to a memory location.
+    Ref(RefTarget),
+    /// Opaque OS handle (from `fopen`, `malloc`, `getpwnam`, ...).
+    Handle(i64),
+    /// Aggregate (struct or array) stored in a slot or global.
+    Agg(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience string constructor.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    /// C truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Str(_) | Value::FuncRef(_) | Value::Ref(_) => true,
+            Value::Handle(h) => *h != 0,
+            Value::Null => false,
+            Value::Agg(_) => true,
+        }
+    }
+
+    /// The integer content, coercing floats; `None` for non-numbers.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            Value::Null => Some(0),
+            Value::Handle(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "(null)"),
+            Value::FuncRef(id) => write!(f, "<fn {id}>"),
+            Value::Ref(_) => write!(f, "<ptr>"),
+            Value::Handle(h) => write!(f, "<handle {h}>"),
+            Value::Agg(_) => write!(f, "<aggregate>"),
+        }
+    }
+}
+
+/// What a [`Value::Ref`] points at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefTarget {
+    /// A global, with a navigation path into its aggregate value.
+    Global(GlobalId, Vec<u32>),
+    /// A stack slot of a live frame (frame depth at creation time).
+    Slot(usize, SlotId, Vec<u32>),
+}
+
+/// POSIX-style fatal signals the interpreter can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Segmentation fault: null deref, out-of-bounds access, wild pointer.
+    Segv,
+    /// `abort()` or failed assertion.
+    Abort,
+    /// Division by zero.
+    Fpe,
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signal::Segv => write!(f, "Segmentation fault"),
+            Signal::Abort => write!(f, "Aborted"),
+            Signal::Fpe => write!(f, "Floating point exception"),
+        }
+    }
+}
+
+/// Destination of a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogStream {
+    /// Standard output.
+    Stdout,
+    /// Standard error.
+    Stderr,
+    /// The syslog channel.
+    Syslog,
+}
+
+/// One captured log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogLine {
+    /// Where the line went.
+    pub stream: LogStream,
+    /// The formatted text.
+    pub text: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_c() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::str("").truthy(), "empty string is a non-null pointer");
+        assert!(!Value::Handle(0).truthy());
+    }
+
+    #[test]
+    fn int_coercion() {
+        assert_eq!(Value::Float(3.9).as_int(), Some(3));
+        assert_eq!(Value::Null.as_int(), Some(0));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "(null)");
+        assert_eq!(Signal::Segv.to_string(), "Segmentation fault");
+    }
+}

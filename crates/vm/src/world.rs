@@ -1,0 +1,179 @@
+//! The modelled operating system the subject systems run against.
+
+use std::collections::{HashMap, HashSet};
+
+/// A node of the modelled file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsNode {
+    /// Regular file with content.
+    File(String),
+    /// Directory.
+    Dir,
+}
+
+/// The simulated OS state: file system, network, identities, clock, memory.
+///
+/// Built fresh per injection run so state never leaks between tests.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Absolute path → node.
+    pub fs: HashMap<String, FsNode>,
+    /// Ports already taken by other processes (binding them fails).
+    pub occupied_ports: HashSet<u16>,
+    /// Ports bound by this run.
+    pub bound_ports: HashSet<u16>,
+    /// Whether `listen` has been called on a bound socket.
+    pub listening: bool,
+    /// Known local users.
+    pub users: HashSet<String>,
+    /// Known local groups.
+    pub groups: HashSet<String>,
+    /// Resolvable host names.
+    pub hosts: HashMap<String, String>,
+    /// Virtual wall-clock seconds.
+    pub clock: i64,
+    /// Total virtual seconds slept by this run (hang detection input).
+    pub slept: i64,
+    /// Allocation budget in bytes.
+    pub mem_limit: i64,
+    /// Bytes currently allocated.
+    pub allocated: i64,
+    /// Next file-descriptor / handle number.
+    pub next_handle: i64,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        let mut fs = HashMap::new();
+        for d in ["/", "/etc", "/var", "/var/log", "/var/run", "/tmp", "/data"] {
+            fs.insert(d.to_string(), FsNode::Dir);
+        }
+        fs.insert("/etc/passwd".into(), FsNode::File("root:0".into()));
+        let mut users = HashSet::new();
+        users.insert("root".to_string());
+        users.insert("nobody".to_string());
+        users.insert("daemon".to_string());
+        let mut groups = HashSet::new();
+        groups.insert("root".to_string());
+        groups.insert("daemon".to_string());
+        let mut hosts = HashMap::new();
+        hosts.insert("localhost".to_string(), "127.0.0.1".to_string());
+        World {
+            fs,
+            occupied_ports: HashSet::new(),
+            bound_ports: HashSet::new(),
+            listening: false,
+            users,
+            groups,
+            hosts,
+            clock: 1_700_000_000,
+            slept: 0,
+            mem_limit: 1 << 30,
+            allocated: 0,
+            next_handle: 3,
+        }
+    }
+}
+
+impl World {
+    /// Adds a regular file.
+    pub fn add_file(&mut self, path: &str, content: &str) -> &mut Self {
+        self.fs.insert(path.to_string(), FsNode::File(content.into()));
+        self
+    }
+
+    /// Adds a directory.
+    pub fn add_dir(&mut self, path: &str) -> &mut Self {
+        self.fs.insert(path.to_string(), FsNode::Dir);
+        self
+    }
+
+    /// Marks a port as already occupied by another process.
+    pub fn occupy_port(&mut self, port: u16) -> &mut Self {
+        self.occupied_ports.insert(port);
+        self
+    }
+
+    /// Whether the parent directory of `path` exists.
+    pub fn parent_exists(&self, path: &str) -> bool {
+        match path.rfind('/') {
+            Some(0) => true,
+            Some(i) => matches!(self.fs.get(&path[..i]), Some(FsNode::Dir)),
+            None => false,
+        }
+    }
+
+    /// Allocates a fresh handle/file descriptor.
+    pub fn fresh_handle(&mut self) -> i64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    /// Attempts to bind a port. Returns `false` when the port is invalid or
+    /// occupied.
+    pub fn bind_port(&mut self, port: i64) -> bool {
+        if !(1..=65535).contains(&port) {
+            return false;
+        }
+        let port = port as u16;
+        if self.occupied_ports.contains(&port) || self.bound_ports.contains(&port) {
+            return false;
+        }
+        self.bound_ports.insert(port);
+        true
+    }
+
+    /// Attempts to allocate `n` bytes.
+    pub fn alloc(&mut self, n: i64) -> bool {
+        if n < 0 || self.allocated.saturating_add(n) > self.mem_limit {
+            return false;
+        }
+        self.allocated += n;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_world_has_base_layout() {
+        let w = World::default();
+        assert_eq!(w.fs.get("/etc"), Some(&FsNode::Dir));
+        assert!(w.users.contains("nobody"));
+        assert!(w.hosts.contains_key("localhost"));
+    }
+
+    #[test]
+    fn parent_exists_logic() {
+        let w = World::default();
+        assert!(w.parent_exists("/var/log/app.log"));
+        assert!(w.parent_exists("/rootfile"));
+        assert!(!w.parent_exists("/no/such/dir/file"));
+        assert!(!w.parent_exists("relative"));
+    }
+
+    #[test]
+    fn port_binding_rules() {
+        let mut w = World::default();
+        w.occupy_port(80);
+        assert!(!w.bind_port(80), "occupied port");
+        assert!(!w.bind_port(0), "port zero");
+        assert!(!w.bind_port(70000), "out of range");
+        assert!(!w.bind_port(-1), "negative");
+        assert!(w.bind_port(8080));
+        assert!(!w.bind_port(8080), "double bind");
+    }
+
+    #[test]
+    fn allocation_budget() {
+        let mut w = World::default();
+        w.mem_limit = 100;
+        assert!(w.alloc(60));
+        assert!(!w.alloc(50), "over budget");
+        assert!(!w.alloc(-1), "negative size");
+        assert!(w.alloc(40));
+    }
+}

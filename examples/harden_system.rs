@@ -1,0 +1,82 @@
+//! Harden a system against misconfigurations with SPEX-INJ (§3.1).
+//!
+//! Run with `cargo run --example harden_system`.
+//!
+//! Takes the generated OpenLDAP subject system, infers its constraints,
+//! generates constraint-violating misconfigurations, injects each one, and
+//! prints the exposed vulnerabilities — including the paper's famous
+//! `listener-threads` crash (Figure 2).
+
+use spex::core::{Annotation, Spex};
+use spex::inject::{genrule, standard_rules, CampaignReport, InjectionCampaign, TestTarget};
+
+fn main() {
+    // Build the generated OpenLDAP subject system.
+    let spec = spex::systems::system_by_name("OpenLDAP").expect("catalog has OpenLDAP");
+    let built = spex::systems::BuiltSystem::build(spec);
+    println!(
+        "subject system: {} ({} parameters, {} generated lines)",
+        built.spec.name,
+        built.spec.param_count(),
+        built.loc()
+    );
+
+    // Infer constraints.
+    let anns = Annotation::parse(&built.gen.annotations).expect("annotations parse");
+    let analysis = Spex::analyze(built.module.clone(), &anns);
+    let constraints: Vec<_> = analysis.all_constraints().cloned().collect();
+    println!("inferred constraints: {}", constraints.len());
+
+    // Generate violating settings (Table 2 rules).
+    let misconfigs = genrule::generate_all(&standard_rules(), &constraints);
+    println!("generated misconfigurations: {}", misconfigs.len());
+
+    // Injection campaign against the system's own test suite.
+    let world_files = built.gen.world_files.clone();
+    let world_dirs = built.gen.world_dirs.clone();
+    let target = TestTarget {
+        name: built.spec.name.to_string(),
+        module: &built.module,
+        dialect: built.gen.dialect,
+        template_conf: built.gen.template_conf.clone(),
+        config_entry: "handle_config".into(),
+        startup: "startup".into(),
+        tests: built.gen.tests.clone(),
+        world: Box::new(move || {
+            let mut w = spex::vm::World::default();
+            w.occupy_port(80);
+            for (f, c) in &world_files {
+                w.add_file(f, c);
+            }
+            for d in &world_dirs {
+                w.add_dir(d);
+            }
+            w
+        }),
+        param_globals: built.gen.param_globals.clone(),
+    };
+    let outcomes = InjectionCampaign::new(target).run(&misconfigs);
+    let report = CampaignReport::from_outcomes(&outcomes);
+
+    println!(
+        "\nexposed {} vulnerabilities at {} unique code locations:",
+        report.total(),
+        report.locations.len()
+    );
+    for (column, count) in &report.by_reaction {
+        println!("    {column:<20} {count}");
+    }
+    println!(
+        "good reactions (pinpointing): {}, benign: {}",
+        report.good_reactions, report.benign
+    );
+
+    // Print a full developer-facing error report for the first crash.
+    if let Some(crash) = report
+        .vulnerabilities
+        .iter()
+        .find(|v| matches!(v.reaction, spex::inject::Reaction::Crash(_)))
+    {
+        println!("\n{}", CampaignReport::render_error_report(crash));
+    }
+}

@@ -1,0 +1,57 @@
+//! # SPEX — "Do Not Blame Users for Misconfigurations" (SOSP 2013)
+//!
+//! A from-scratch Rust reproduction of Xu et al.'s SPEX system: automatic
+//! inference of configuration constraints from source code, constraint-
+//! guided misconfiguration injection (SPEX-INJ), and detection of
+//! error-prone configuration design.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`lang`] — the mini-C front-end (standing in for Clang);
+//! * [`ir`] — the CFG/SSA intermediate representation (standing in for
+//!   LLVM IR);
+//! * [`dataflow`] — the inter-procedural, field-sensitive data-flow engine;
+//! * [`core`] — SPEX itself: mapping toolkits and the five constraint
+//!   inference passes;
+//! * [`conf`] — the configuration-file abstract representation;
+//! * [`vm`] — the IR interpreter with a modelled OS;
+//! * [`inject`] — SPEX-INJ: generation, injection, reaction classification;
+//! * [`design`] — the error-prone-design detectors;
+//! * [`systems`] — the seven generated subject systems of the evaluation.
+//!
+//! # Examples
+//!
+//! The complete pipeline on one of the paper's worked examples:
+//!
+//! ```
+//! use spex::core::{Annotation, Spex};
+//!
+//! let source = r#"
+//!     int index_intlen = 4;
+//!     struct opt { char* name; int* var; };
+//!     struct opt options[] = { { "index_intlen", &index_intlen } };
+//!     void config_generic() {
+//!         if (index_intlen < 4) { index_intlen = 4; }
+//!         else if (index_intlen > 255) { index_intlen = 255; }
+//!     }
+//! "#;
+//! let program = spex::lang::parse_program(source).unwrap();
+//! let module = spex::ir::lower_program(&program).unwrap();
+//! let anns = Annotation::parse(
+//!     "{ @STRUCT = options\n  @PAR = [opt, 1]\n  @VAR = [opt, 2] }",
+//! )
+//! .unwrap();
+//! let analysis = Spex::analyze(module, &anns);
+//! let constraints = &analysis.param("index_intlen").unwrap().constraints;
+//! assert!(constraints.iter().any(|c| c.to_string().contains("[4, 255]")));
+//! ```
+
+pub use spex_conf as conf;
+pub use spex_core as core;
+pub use spex_dataflow as dataflow;
+pub use spex_design as design;
+pub use spex_inj as inject;
+pub use spex_ir as ir;
+pub use spex_lang as lang;
+pub use spex_systems as systems;
+pub use spex_vm as vm;

@@ -1,0 +1,200 @@
+//! Property-based tests over core invariants.
+
+use proptest::prelude::*;
+use spex::conf::{ConfFile, Dialect};
+use spex::core::CmpOp;
+use spex::inject::harness::intended_value;
+use spex::vm::{Value, Vm, World};
+
+// --- Configuration AR ---------------------------------------------------------
+
+proptest! {
+    /// Parsing is idempotent through a serialize round-trip, for every
+    /// dialect.
+    #[test]
+    fn conf_roundtrip_is_stable(
+        names in proptest::collection::vec("[a-z][a-z0-9_]{0,12}", 0..8),
+        values in proptest::collection::vec("[a-zA-Z0-9/._-]{1,12}", 0..8),
+    ) {
+        // Suffix names with their index so `set` never collapses entries.
+        let pairs: Vec<(String, &String)> = names
+            .iter()
+            .zip(values.iter())
+            .enumerate()
+            .map(|(i, (n, v))| (format!("{n}_{i}"), v))
+            .collect();
+        for dialect in [Dialect::KeyValue, Dialect::Directive, Dialect::SpaceSeparated] {
+            let mut conf = ConfFile { entries: vec![], dialect };
+            for (n, v) in &pairs {
+                conf.set(n, v);
+            }
+            let text = conf.serialize();
+            let reparsed = ConfFile::parse(&text, dialect);
+            prop_assert_eq!(reparsed.serialize(), text);
+            for (n, v) in &pairs {
+                prop_assert_eq!(reparsed.get(n), Some(v.as_str()));
+            }
+        }
+    }
+
+    /// `set` then `get` observes the written value; `remove` erases it.
+    #[test]
+    fn conf_set_get_remove(
+        name in "[a-z][a-z0-9_]{0,10}",
+        v1 in "[a-z0-9]{1,8}",
+        v2 in "[a-z0-9]{1,8}",
+    ) {
+        let mut conf = ConfFile::parse("", Dialect::KeyValue);
+        conf.set(&name, &v1);
+        conf.set(&name, &v2);
+        prop_assert_eq!(conf.get(&name), Some(v2.as_str()));
+        // Double-set keeps a single entry.
+        prop_assert_eq!(conf.settings().count(), 1);
+        conf.remove(&name);
+        prop_assert_eq!(conf.get(&name), None);
+    }
+}
+
+// --- Comparison-operator algebra -----------------------------------------------
+
+proptest! {
+    /// Negation and flipping are involutions consistent with evaluation.
+    #[test]
+    fn cmp_op_algebra(a in -1000i64..1000, b in -1000i64..1000) {
+        for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            prop_assert_eq!(op.negated().negated(), op);
+            prop_assert_eq!(op.flipped().flipped(), op);
+            prop_assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
+            prop_assert_eq!(op.eval(a, b), op.flipped().eval(b, a));
+        }
+    }
+}
+
+// --- VM semantics ----------------------------------------------------------------
+
+proptest! {
+    /// The interpreter's `atoi` matches C semantics: leading digits with
+    /// optional sign, 32-bit wrap, garbage yields zero.
+    #[test]
+    fn vm_atoi_matches_c_model(s in "[ ]{0,2}-?[0-9]{0,12}[a-zA-Z]{0,3}") {
+        let program = spex::lang::parse_program(
+            "int conv(char* s) { return atoi(s); }",
+        ).unwrap();
+        let module = spex::ir::lower_program(&program).unwrap();
+        let mut vm = Vm::new(&module, World::default());
+        let got = vm.call("conv", &[Value::str(&s)]).unwrap();
+
+        // Reference model.
+        let t = s.trim_start();
+        let (neg, rest) = match t.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, t),
+        };
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let mut acc: i64 = 0;
+        for d in digits.bytes() {
+            acc = acc.saturating_mul(10).saturating_add((d - b'0') as i64);
+        }
+        let expect = (if neg { -acc } else { acc }) as i32 as i64;
+        prop_assert_eq!(got, Value::Int(expect));
+    }
+
+    /// Arithmetic expressions evaluate identically in the VM and a
+    /// reference evaluator (wrapping i64 semantics).
+    #[test]
+    fn vm_arithmetic_matches_reference(
+        a in -10_000i64..10_000,
+        b in -10_000i64..10_000,
+        c in 1i64..100,
+    ) {
+        let src = format!(
+            "long f() {{ return ({a} + {b}) * {c} - {b} / {c}; }}"
+        );
+        let program = spex::lang::parse_program(&src).unwrap();
+        let module = spex::ir::lower_program(&program).unwrap();
+        let mut vm = Vm::new(&module, World::default());
+        let got = vm.call("f", &[]).unwrap();
+        let expect = (a.wrapping_add(b)).wrapping_mul(c).wrapping_sub(b.wrapping_div(c));
+        prop_assert_eq!(got, Value::Int(expect));
+    }
+
+    /// Control flow: the VM's loop summation equals the closed form.
+    #[test]
+    fn vm_loops_match_closed_form(n in 0i64..200) {
+        let program = spex::lang::parse_program(
+            "long sum(int n) {
+                long total = 0;
+                for (int i = 1; i <= n; i++) { total += i; }
+                return total;
+            }",
+        ).unwrap();
+        let module = spex::ir::lower_program(&program).unwrap();
+        let mut vm = Vm::new(&module, World::default());
+        let got = vm.call("sum", &[Value::Int(n)]).unwrap();
+        prop_assert_eq!(got, Value::Int(n * (n + 1) / 2));
+    }
+}
+
+// --- SSA invariants over generated programs ---------------------------------------
+
+proptest! {
+    /// Every function of a generated-style program stays verifier-clean
+    /// after SSA promotion, and each SSA value is defined exactly once.
+    #[test]
+    fn ssa_single_assignment_holds(
+        x in -50i64..50,
+        y in -50i64..50,
+        threshold in -20i64..20,
+    ) {
+        let src = format!(
+            "int knob = {x};
+             int f(int v) {{
+                int acc = {y};
+                if (v > {threshold}) {{ acc = v * 2; }}
+                else {{ acc = v - knob; }}
+                while (acc > 100) {{ acc -= 10; }}
+                return acc;
+             }}"
+        );
+        let program = spex::lang::parse_program(&src).unwrap();
+        let module = spex::ir::lower_program(&program).unwrap();
+        for f in &module.functions {
+            let ssa = spex::ir::promote_to_ssa(f);
+            let errors = spex::ir::verify::verify_function(&ssa);
+            prop_assert!(errors.is_empty(), "verifier: {errors:?}");
+            let mut defs = std::collections::HashSet::new();
+            for (_, _, instr, _) in ssa.iter_instrs() {
+                if let Some(d) = instr.def() {
+                    prop_assert!(defs.insert(d), "double definition");
+                }
+            }
+        }
+    }
+}
+
+// --- Injection-harness value model ---------------------------------------------------
+
+proptest! {
+    /// The user-intention parser honours plain integers exactly.
+    #[test]
+    fn intended_value_integers(v in -1_000_000i64..1_000_000) {
+        prop_assert_eq!(intended_value(&v.to_string()), Some(Value::Int(v)));
+    }
+
+    /// Unit suffixes multiply as documented.
+    #[test]
+    fn intended_value_units(base in 1i64..1024) {
+        prop_assert_eq!(
+            intended_value(&format!("{base}K")),
+            Some(Value::Int(base << 10))
+        );
+        prop_assert_eq!(
+            intended_value(&format!("{base}MB")),
+            Some(Value::Int(base << 20))
+        );
+        prop_assert_eq!(
+            intended_value(&format!("{base}G")),
+            Some(Value::Int(base << 30))
+        );
+    }
+}
