@@ -1,4 +1,5 @@
-//! Criterion benches for the SPEX pipeline.
+//! Benchmarks for the SPEX pipeline (std-only harness; the build
+//! environment has no network access for Criterion).
 //!
 //! One group per evaluation artifact:
 //! * `frontend` — lexing/parsing/lowering throughput on generated systems;
@@ -7,72 +8,67 @@
 //! * `injection` — SPEX-INJ campaign over one system (Table 5's workload),
 //!   including the §3.1 optimization ablation (stop-at-first-failure and
 //!   shortest-test-first on/off);
-//! * `mapping` — the annotation toolkits alone.
+//! * `mapping` — the annotation toolkits alone;
+//! * `check` — `spex-check` single-file validation latency and batch
+//!   validation throughput over the persisted constraint databases.
+//!
+//! Run all with `cargo bench`, or filter: `cargo bench --bench spex_bench
+//! -- check`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spex_bench::harness::{black_box, Runner};
 use spex_bench::make_target;
+use spex_check::{BatchEngine, BatchJob, Checker, ConstraintDb};
 use spex_core::{Annotation, Spex};
 use spex_dataflow::{AnalyzedModule, TaintEngine};
 use spex_inj::{genrule, standard_rules, CampaignOptions, InjectionCampaign};
 use spex_systems::BuiltSystem;
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend(r: &Runner) {
     let spec = spex_systems::system_by_name("OpenLDAP").unwrap();
     let gen = spex_systems::generate(&spec);
-    let mut g = c.benchmark_group("frontend");
-    g.bench_function("parse_openldap", |b| {
-        b.iter(|| spex_lang::parse_program(&gen.source).unwrap())
+    r.bench("frontend/parse_openldap", || {
+        spex_lang::parse_program(&gen.source).unwrap()
     });
     let program = spex_lang::parse_program(&gen.source).unwrap();
-    g.bench_function("lower_openldap", |b| {
-        b.iter(|| spex_ir::lower_program(&program).unwrap())
+    r.bench("frontend/lower_openldap", || {
+        spex_ir::lower_program(&program).unwrap()
     });
     let module = spex_ir::lower_program(&program).unwrap();
-    g.bench_function("ssa_openldap", |b| {
-        b.iter_batched(
-            || module.clone(),
-            |m| AnalyzedModule::build(m),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    r.bench_with_setup(
+        "frontend/ssa_openldap",
+        || module.clone(),
+        AnalyzedModule::build,
+    );
 }
 
-fn bench_inference(c: &mut Criterion) {
-    let mut g = c.benchmark_group("inference");
-    g.sample_size(10);
+fn bench_inference(r: &Runner) {
     for name in ["OpenLDAP", "Apache", "VSFTP"] {
         let spec = spex_systems::system_by_name(name).unwrap();
         let built = BuiltSystem::build(spec);
         let anns = Annotation::parse(&built.gen.annotations).unwrap();
-        g.bench_function(format!("spex_analyze_{name}"), |b| {
-            b.iter_batched(
-                || built.module.clone(),
-                |m| Spex::analyze(m, &anns),
-                BatchSize::SmallInput,
-            )
-        });
+        r.bench_with_setup(
+            &format!("inference/spex_analyze_{name}"),
+            || built.module.clone(),
+            |m| Spex::analyze(m, &anns),
+        );
     }
-    g.finish();
 }
 
-fn bench_taint(c: &mut Criterion) {
+fn bench_taint(r: &Runner) {
     let spec = spex_systems::system_by_name("Apache").unwrap();
     let built = BuiltSystem::build(spec);
     let anns = Annotation::parse(&built.gen.annotations).unwrap();
     let am = AnalyzedModule::build(built.module.clone());
     let params = spex_core::mapping::extract_mappings(&am, &anns).unwrap();
     let engine = TaintEngine::new(&am);
-    c.bench_function("taint_per_param_apache", |b| {
-        b.iter(|| {
-            for p in params.iter().take(16) {
-                criterion::black_box(engine.run(&p.roots));
-            }
-        })
+    r.bench("taint/per_param_apache_x16", || {
+        for p in params.iter().take(16) {
+            black_box(engine.run(&p.roots));
+        }
     });
 }
 
-fn bench_injection(c: &mut Criterion) {
+fn bench_injection(r: &Runner) {
     let spec = spex_systems::system_by_name("OpenLDAP").unwrap();
     let built = BuiltSystem::build(spec);
     let anns = Annotation::parse(&built.gen.annotations).unwrap();
@@ -81,43 +77,124 @@ fn bench_injection(c: &mut Criterion) {
     let misconfigs = genrule::generate_all(&standard_rules(), &constraints);
     let slice = &misconfigs[..misconfigs.len().min(40)];
 
-    let mut g = c.benchmark_group("injection");
-    g.sample_size(10);
     // The §3.1 optimizations, individually ablated.
     let variants = [
-        ("optimized", CampaignOptions { stop_at_first_failure: true, sort_tests_by_cost: true }),
-        ("no_early_stop", CampaignOptions { stop_at_first_failure: false, sort_tests_by_cost: true }),
-        ("no_sort", CampaignOptions { stop_at_first_failure: true, sort_tests_by_cost: false }),
-        ("naive", CampaignOptions { stop_at_first_failure: false, sort_tests_by_cost: false }),
+        (
+            "optimized",
+            CampaignOptions {
+                stop_at_first_failure: true,
+                sort_tests_by_cost: true,
+            },
+        ),
+        (
+            "no_early_stop",
+            CampaignOptions {
+                stop_at_first_failure: false,
+                sort_tests_by_cost: true,
+            },
+        ),
+        (
+            "no_sort",
+            CampaignOptions {
+                stop_at_first_failure: true,
+                sort_tests_by_cost: false,
+            },
+        ),
+        (
+            "naive",
+            CampaignOptions {
+                stop_at_first_failure: false,
+                sort_tests_by_cost: false,
+            },
+        ),
     ];
     for (label, options) in variants {
-        g.bench_function(format!("campaign_openldap_{label}"), |b| {
-            b.iter(|| {
-                let campaign =
-                    InjectionCampaign::new(make_target(&built)).with_options(options);
-                criterion::black_box(campaign.run(slice))
-            })
+        r.bench(&format!("injection/campaign_openldap_{label}"), || {
+            let campaign = InjectionCampaign::new(make_target(&built)).with_options(options);
+            black_box(campaign.run(slice))
         });
     }
-    g.finish();
 }
 
-fn bench_mapping(c: &mut Criterion) {
+fn bench_mapping(r: &Runner) {
     let spec = spex_systems::system_by_name("Squid").unwrap();
     let built = BuiltSystem::build(spec);
     let anns = Annotation::parse(&built.gen.annotations).unwrap();
     let am = AnalyzedModule::build(built.module.clone());
-    c.bench_function("mapping_extraction_squid", |b| {
-        b.iter(|| spex_core::mapping::extract_mappings(&am, &anns).unwrap())
+    r.bench("mapping/extraction_squid", || {
+        spex_core::mapping::extract_mappings(&am, &anns).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_frontend,
-    bench_inference,
-    bench_taint,
-    bench_injection,
-    bench_mapping
-);
-criterion_main!(benches);
+fn bench_check(r: &Runner) {
+    // Persist constraint databases once (the infer → persist → check
+    // split is exactly what the benchmark measures: validation must not
+    // pay for inference).
+    let mut dbs = Vec::new();
+    for name in ["OpenLDAP", "Apache", "MySQL"] {
+        let spec = spex_systems::system_by_name(name).unwrap();
+        let built = BuiltSystem::build(spec);
+        let anns = Annotation::parse(&built.gen.annotations).unwrap();
+        let analysis = Spex::analyze(built.module.clone(), &anns);
+        let db = ConstraintDb::from_analysis(name, built.gen.dialect, &analysis);
+        dbs.push((db, built.gen.template_conf.clone()));
+    }
+
+    // Database persistence round-trip.
+    let (db0, template0) = &dbs[0];
+    let text = db0.save_to_string();
+    r.bench("check/db_save_openldap", || db0.save_to_string());
+    r.bench("check/db_load_openldap", || {
+        ConstraintDb::load_from_str(&text).unwrap()
+    });
+
+    // Single-file validation latency, clean and corrupt.
+    let checker = Checker::new(db0);
+    r.bench("check/single_file_clean_openldap", || {
+        black_box(checker.check_text(template0))
+    });
+    let corrupt = format!("{template0}listener-threads 9999999\nno_such_param on\n");
+    r.bench("check/single_file_corrupt_openldap", || {
+        black_box(checker.check_text(&corrupt))
+    });
+
+    // Batch throughput: a fleet of config files across three systems.
+    let mut engine = BatchEngine::new();
+    let mut jobs = Vec::new();
+    for (db, template) in &dbs {
+        let system = db.system.clone();
+        for i in 0..200 {
+            jobs.push(BatchJob {
+                system: system.clone(),
+                file: format!("{system}/{i}.conf"),
+                text: if i % 4 == 0 {
+                    format!("{template}bogus_key_{i} 1\n")
+                } else {
+                    template.clone()
+                },
+            });
+        }
+        engine.add_db(db.clone());
+    }
+    let serial = BatchEngine::new().with_threads(1);
+    let mut serial = serial;
+    for (db, _) in &dbs {
+        serial.add_db(db.clone());
+    }
+    r.bench("check/batch_600_files_parallel", || {
+        black_box(engine.run(&jobs))
+    });
+    r.bench("check/batch_600_files_1_thread", || {
+        black_box(serial.run(&jobs))
+    });
+}
+
+fn main() {
+    let r = Runner::from_args();
+    bench_frontend(&r);
+    bench_inference(&r);
+    bench_taint(&r);
+    bench_injection(&r);
+    bench_mapping(&r);
+    bench_check(&r);
+}

@@ -58,7 +58,11 @@ fn evaluate_systems(quick: bool, injection: bool) -> Vec<Evaluated> {
     systems
         .into_iter()
         .map(|spec| {
-            eprintln!("[paper] evaluating {} ({} parameters)...", spec.name, spec.param_count());
+            eprintln!(
+                "[paper] evaluating {} ({} parameters)...",
+                spec.name,
+                spec.param_count()
+            );
             evaluate(spec, injection)
         })
         .collect()
@@ -204,17 +208,22 @@ fn figures_design() {
         let module = spex_ir::lower_program(&program).expect("figure lowers");
         let anns = Annotation::parse(ex.annotations).expect("annotation parses");
         let analysis = Spex::analyze(module, &anns);
-        let report =
-            spex_design::DesignReport::analyze(&analysis, &spex_design::Manual::empty());
+        let report = spex_design::DesignReport::analyze(&analysis, &spex_design::Manual::empty());
         if report.overruling.is_empty() && report.unsafe_apis.is_empty() {
             continue;
         }
         println!("-- Figure {} ({}) --", ex.id, ex.system);
         for o in &report.overruling {
-            println!("   silent overruling of \"{}\" in {}", o.param, o.in_function);
+            println!(
+                "   silent overruling of \"{}\" in {}",
+                o.param, o.in_function
+            );
         }
         for u in &report.unsafe_apis {
-            println!("   unsafe API {} on \"{}\" in {}", u.api, u.param, u.in_function);
+            println!(
+                "   unsafe API {} on \"{}\" in {}",
+                u.api, u.param, u.in_function
+            );
         }
     }
 }

@@ -11,8 +11,7 @@ use spex_core::accuracy::AccuracyReport;
 use spex_core::{evaluate_accuracy, Annotation, Spex, SpexAnalysis};
 use spex_design::{DesignReport, Manual};
 use spex_inj::{
-    genrule, standard_rules, CampaignReport, InjectionCampaign, Misconfig, RunOutcome,
-    TestTarget,
+    genrule, standard_rules, CampaignReport, InjectionCampaign, Misconfig, RunOutcome, TestTarget,
 };
 use spex_systems::{BuiltSystem, SystemSpec};
 use std::collections::HashMap;
@@ -356,9 +355,7 @@ pub fn render_table1() -> String {
 
 /// Renders Table 2: the generation-rule registry.
 pub fn render_table2() -> String {
-    let mut out = String::from(
-        "Table 2: misconfiguration generation rules (plug-ins)\n",
-    );
+    let mut out = String::from("Table 2: misconfiguration generation rules (plug-ins)\n");
     for rule in standard_rules() {
         let _ = writeln!(out, "  {}", rule.name());
     }
@@ -385,4 +382,94 @@ pub fn misconfig_mix(misconfigs: &[Misconfig]) -> HashMap<&'static str, usize> {
         *mix.entry(m.violates).or_insert(0) += 1;
     }
     mix
+}
+
+/// A dependency-free micro-benchmark harness (the container has no network,
+/// so Criterion is unavailable; this provides the subset the benches need).
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Re-export of the compiler fence against dead-code elimination.
+    pub fn black_box<T>(x: T) -> T {
+        std::hint::black_box(x)
+    }
+
+    /// Runs registered benchmarks, honouring an optional name filter passed
+    /// on the command line (flags such as `--bench` are ignored).
+    pub struct Runner {
+        filter: Option<String>,
+        /// Target measurement time per benchmark.
+        pub budget: Duration,
+    }
+
+    impl Runner {
+        /// A runner configured from `std::env::args`.
+        pub fn from_args() -> Runner {
+            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+            Runner {
+                filter,
+                budget: Duration::from_millis(300),
+            }
+        }
+
+        fn selected(&self, name: &str) -> bool {
+            self.filter
+                .as_deref()
+                .map(|f| name.contains(f))
+                .unwrap_or(true)
+        }
+
+        /// Times `f`, printing mean and best-of-run latency.
+        pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+            self.bench_with_setup(name, || (), |()| f())
+        }
+
+        /// Times `f` over fresh inputs from `setup`; only `f` is measured.
+        pub fn bench_with_setup<S, T>(
+            &self,
+            name: &str,
+            mut setup: impl FnMut() -> S,
+            mut f: impl FnMut(S) -> T,
+        ) {
+            if !self.selected(name) {
+                return;
+            }
+            // Warm-up and per-iteration estimate.
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            let once = start.elapsed().max(Duration::from_nanos(100));
+            let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(3, 1000) as usize;
+
+            let mut total = Duration::ZERO;
+            let mut best = Duration::MAX;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(f(input));
+                let dt = start.elapsed();
+                total += dt;
+                best = best.min(dt);
+            }
+            let mean = total / iters as u32;
+            println!(
+                "{name:<44} {:>12}  (best {:>12}, {iters} iters)",
+                fmt_duration(mean),
+                fmt_duration(best),
+            );
+        }
+    }
+
+    fn fmt_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns")
+        } else if ns < 1_000_000 {
+            format!("{:.2} us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s", ns as f64 / 1e9)
+        }
+    }
 }

@@ -1,0 +1,335 @@
+//! The batch validation engine: many config files, many systems, all
+//! cores.
+//!
+//! Fleet-scale validation is embarrassingly parallel — every file is
+//! independent — so the engine fans jobs out over scoped threads with a
+//! shared atomic cursor and writes results back by job index, keeping the
+//! output order deterministic regardless of scheduling.
+
+use crate::checker::{Checker, StaticEnv};
+use crate::db::ConstraintDb;
+use crate::diag::{Diagnostic, Severity};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One file to validate.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Which system's constraint database applies.
+    pub system: String,
+    /// A label for the file (path, host name, tenant id, ...).
+    pub file: String,
+    /// The raw config-file text.
+    pub text: String,
+}
+
+/// Validation result for one job, in job order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileReport {
+    /// The job's system.
+    pub system: String,
+    /// The job's file label.
+    pub file: String,
+    /// Diagnostics in file order; empty means the file is clean.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Set when the job named a system the engine has no database for.
+    pub unknown_system: bool,
+}
+
+impl FileReport {
+    /// Whether the file passed with no findings at all.
+    pub fn is_clean(&self) -> bool {
+        !self.unknown_system && self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding is an error (not just a warning).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Aggregate statistics over one batch run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Total files validated.
+    pub files: usize,
+    /// Files with no findings.
+    pub clean_files: usize,
+    /// Files with at least one finding.
+    pub flagged_files: usize,
+    /// Jobs naming a system without a database.
+    pub unknown_system_files: usize,
+    /// Total error-severity diagnostics.
+    pub errors: usize,
+    /// Total warning-severity diagnostics.
+    pub warnings: usize,
+    /// Diagnostics per violated-constraint category.
+    pub by_category: BTreeMap<&'static str, usize>,
+}
+
+impl BatchStats {
+    /// Renders a one-screen summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "checked {} file(s): {} clean, {} flagged ({} error(s), {} warning(s))\n",
+            self.files, self.clean_files, self.flagged_files, self.errors, self.warnings,
+        );
+        for (cat, n) in &self.by_category {
+            out.push_str(&format!("  {cat:<14} {n}\n"));
+        }
+        if self.unknown_system_files > 0 {
+            out.push_str(&format!(
+                "  (skipped {} file(s) with no constraint database)\n",
+                self.unknown_system_files
+            ));
+        }
+        out
+    }
+}
+
+/// The multi-system batch engine.
+pub struct BatchEngine {
+    dbs: HashMap<String, ConstraintDb>,
+    envs: HashMap<String, StaticEnv>,
+    threads: usize,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        BatchEngine::new()
+    }
+}
+
+impl BatchEngine {
+    /// An engine with no databases, sized to the machine.
+    pub fn new() -> BatchEngine {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        BatchEngine {
+            dbs: HashMap::new(),
+            envs: HashMap::new(),
+            threads,
+        }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> BatchEngine {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Registers a system's constraint database (keyed by its `system`).
+    pub fn add_db(&mut self, db: ConstraintDb) -> &mut Self {
+        self.dbs.insert(db.system.clone(), db);
+        self
+    }
+
+    /// Registers an environment model for one system's checks.
+    pub fn add_env(&mut self, system: &str, env: StaticEnv) -> &mut Self {
+        self.envs.insert(system.to_string(), env);
+        self
+    }
+
+    /// Registered system names, sorted.
+    pub fn systems(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.dbs.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    fn check_one(&self, job: &BatchJob) -> FileReport {
+        match self.dbs.get(&job.system) {
+            None => FileReport {
+                system: job.system.clone(),
+                file: job.file.clone(),
+                diagnostics: Vec::new(),
+                unknown_system: true,
+            },
+            Some(db) => {
+                let mut checker = Checker::new(db);
+                if let Some(env) = self.envs.get(&job.system) {
+                    checker = checker.with_env(env);
+                }
+                FileReport {
+                    system: job.system.clone(),
+                    file: job.file.clone(),
+                    diagnostics: checker.check_text(&job.text),
+                    unknown_system: false,
+                }
+            }
+        }
+    }
+
+    /// Validates every job, returning per-file reports in job order plus
+    /// aggregate statistics.
+    pub fn run(&self, jobs: &[BatchJob]) -> (Vec<FileReport>, BatchStats) {
+        let workers = self.threads.min(jobs.len().max(1));
+        let reports: Vec<FileReport> = if workers <= 1 {
+            jobs.iter().map(|j| self.check_one(j)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<FileReport>>> =
+                jobs.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let report = self.check_one(&jobs[i]);
+                        *slots[i].lock().unwrap() = Some(report);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
+                .collect()
+        };
+
+        let mut stats = BatchStats {
+            files: reports.len(),
+            ..BatchStats::default()
+        };
+        for r in &reports {
+            if r.unknown_system {
+                stats.unknown_system_files += 1;
+                continue;
+            }
+            if r.diagnostics.is_empty() {
+                stats.clean_files += 1;
+            } else {
+                stats.flagged_files += 1;
+            }
+            for d in &r.diagnostics {
+                match d.severity {
+                    Severity::Error => stats.errors += 1,
+                    Severity::Warning => stats.warnings += 1,
+                }
+                *stats.by_category.entry(d.category).or_insert(0) += 1;
+            }
+        }
+        (reports, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_conf::Dialect;
+    use spex_core::constraint::{
+        BasicType, Constraint, ConstraintKind, NumericRange, RangeSegment,
+    };
+    use spex_lang::diag::Span;
+
+    fn db(system: &str) -> ConstraintDb {
+        let mut db = ConstraintDb::new(system, Dialect::KeyValue);
+        db.add(Constraint {
+            param: "threads".into(),
+            kind: ConstraintKind::BasicType(BasicType::Int {
+                bits: 32,
+                signed: true,
+            }),
+            in_function: "f".into(),
+            span: Span::unknown(),
+        });
+        db.add(Constraint {
+            param: "threads".into(),
+            kind: ConstraintKind::Range(NumericRange {
+                cutpoints: vec![1, 16],
+                segments: vec![
+                    RangeSegment {
+                        lo: None,
+                        hi: Some(0),
+                        valid: false,
+                    },
+                    RangeSegment {
+                        lo: Some(1),
+                        hi: Some(16),
+                        valid: true,
+                    },
+                    RangeSegment {
+                        lo: Some(17),
+                        hi: None,
+                        valid: false,
+                    },
+                ],
+            }),
+            in_function: "f".into(),
+            span: Span::unknown(),
+        });
+        db
+    }
+
+    fn jobs(n: usize) -> Vec<BatchJob> {
+        (0..n)
+            .map(|i| BatchJob {
+                system: "S".into(),
+                file: format!("conf_{i}"),
+                // Every third file is corrupt.
+                text: if i % 3 == 0 {
+                    "threads = 999\n".to_string()
+                } else {
+                    "threads = 8\n".to_string()
+                },
+            })
+            .collect()
+    }
+
+    fn engine(threads: usize) -> BatchEngine {
+        let mut e = BatchEngine::new().with_threads(threads);
+        e.add_db(db("S"));
+        e
+    }
+
+    #[test]
+    fn output_order_is_deterministic_across_thread_counts() {
+        let js = jobs(37);
+        let (seq, seq_stats) = engine(1).run(&js);
+        let (par, par_stats) = engine(8).run(&js);
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(seq.len(), 37);
+        assert!(seq
+            .iter()
+            .map(|r| r.file.as_str())
+            .eq(js.iter().map(|j| j.file.as_str())));
+    }
+
+    #[test]
+    fn stats_partition_clean_and_flagged() {
+        let js = jobs(30);
+        let (_, stats) = engine(4).run(&js);
+        assert_eq!(stats.files, 30);
+        assert_eq!(stats.flagged_files, 10);
+        assert_eq!(stats.clean_files, 20);
+        assert_eq!(stats.errors, 10);
+        assert_eq!(stats.by_category.get("data-range"), Some(&10));
+        assert!(stats.render().contains("30 file(s)"));
+    }
+
+    #[test]
+    fn unknown_systems_are_counted_not_crashed() {
+        let js = vec![BatchJob {
+            system: "NoSuch".into(),
+            file: "x".into(),
+            text: "a = 1\n".into(),
+        }];
+        let (reports, stats) = engine(2).run(&js);
+        assert!(reports[0].unknown_system);
+        assert_eq!(stats.unknown_system_files, 1);
+        assert_eq!(stats.flagged_files, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (reports, stats) = engine(4).run(&[]);
+        assert!(reports.is_empty());
+        assert_eq!(stats.files, 0);
+    }
+}

@@ -1,0 +1,797 @@
+//! The constraint database: inferred constraints persisted for reuse.
+//!
+//! Inference (`Spex::analyze`) walks the whole program and is by far the
+//! most expensive stage of the pipeline. Validation, in contrast, runs once
+//! per configuration file — often thousands of times per system across a
+//! fleet. The [`ConstraintDb`] decouples the two: it is built once per
+//! system from an analysis, saved in a compact std-only text format, and
+//! loaded by every checker run without touching source code again
+//! (infer → persist → check).
+
+use spex_conf::Dialect;
+use spex_core::constraint::{
+    BasicType, CmpOp, Constraint, ConstraintKind, ControlDep, EnumAlternative, EnumRange,
+    EnumValue, NumericRange, RangeSegment, SemType, SizeUnit, TimeUnit, ValueRel,
+};
+use spex_lang::diag::Span;
+use std::fmt;
+use std::path::Path;
+
+/// Format magic line; bump the version when the format changes.
+const MAGIC: &str = "spex-constraint-db v1";
+
+/// All constraints of one parameter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamEntry {
+    /// The parameter's name as written in config files.
+    pub name: String,
+    /// Constraints attributed to the parameter (multi-parameter
+    /// constraints are stored under the same parameter the inference
+    /// passes attribute them to: the dependent for control dependencies,
+    /// the left-hand side for value relationships).
+    pub constraints: Vec<Constraint>,
+}
+
+/// The per-system constraint database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintDb {
+    /// The subject system's name.
+    pub system: String,
+    /// The system's config-file dialect.
+    pub dialect: Dialect,
+    /// Per-parameter entries, in first-seen order.
+    pub params: Vec<ParamEntry>,
+}
+
+/// A malformed database file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbError {
+    /// 1-based line of the offence.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint db line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl ConstraintDb {
+    /// An empty database for a system.
+    pub fn new(system: impl Into<String>, dialect: Dialect) -> ConstraintDb {
+        ConstraintDb {
+            system: system.into(),
+            dialect,
+            params: Vec::new(),
+        }
+    }
+
+    /// Builds a database from a finished analysis. Every analyzed
+    /// parameter becomes an entry, even when no constraints were inferred
+    /// for it (so the checker knows the name is legal).
+    pub fn from_analysis(
+        system: impl Into<String>,
+        dialect: Dialect,
+        analysis: &spex_core::SpexAnalysis,
+    ) -> ConstraintDb {
+        let mut db = ConstraintDb::new(system, dialect);
+        for report in &analysis.reports {
+            db.note_param(&report.param.name);
+            for c in &report.constraints {
+                db.add(c.clone());
+            }
+        }
+        db
+    }
+
+    /// Builds a database from a flat constraint list.
+    pub fn from_constraints(
+        system: impl Into<String>,
+        dialect: Dialect,
+        constraints: &[Constraint],
+    ) -> ConstraintDb {
+        let mut db = ConstraintDb::new(system, dialect);
+        for c in constraints {
+            db.add(c.clone());
+        }
+        db
+    }
+
+    /// Registers a parameter name without constraints (a legal key).
+    pub fn note_param(&mut self, name: &str) -> &mut ParamEntry {
+        if let Some(i) = self.params.iter().position(|p| p.name == name) {
+            return &mut self.params[i];
+        }
+        self.params.push(ParamEntry {
+            name: name.to_string(),
+            constraints: Vec::new(),
+        });
+        self.params.last_mut().unwrap()
+    }
+
+    /// Registers many legal parameter names.
+    pub fn note_params<I: IntoIterator<Item = S>, S: AsRef<str>>(&mut self, names: I) {
+        for n in names {
+            self.note_param(n.as_ref());
+        }
+    }
+
+    /// Adds one constraint under its parameter.
+    pub fn add(&mut self, c: Constraint) {
+        let name = c.param.clone();
+        self.note_param(&name).constraints.push(c);
+    }
+
+    /// Entry lookup by exact name.
+    pub fn param(&self, name: &str) -> Option<&ParamEntry> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Entry lookup ignoring ASCII case (for "wrong case" suggestions).
+    pub fn param_ignore_case(&self, name: &str) -> Option<&ParamEntry> {
+        self.params
+            .iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All known parameter names, in entry order.
+    pub fn param_names(&self) -> impl Iterator<Item = &str> {
+        self.params.iter().map(|p| p.name.as_str())
+    }
+
+    /// Total constraint count.
+    pub fn constraint_count(&self) -> usize {
+        self.params.iter().map(|p| p.constraints.len()).sum()
+    }
+
+    // -- Serialization --------------------------------------------------
+
+    /// Serializes the database to its text format.
+    pub fn save_to_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("system {}\n", esc(&self.system)));
+        out.push_str(&format!("dialect {}\n", dialect_tag(self.dialect)));
+        for p in &self.params {
+            out.push_str(&format!("param {}\n", esc(&p.name)));
+            for c in &p.constraints {
+                out.push_str(&format!(
+                    "c {} | {} {} {}\n",
+                    kind_to_tokens(&c.kind),
+                    esc(&c.in_function),
+                    c.span.line,
+                    c.span.col
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses the text format back into a database.
+    pub fn load_from_str(text: &str) -> Result<ConstraintDb, DbError> {
+        let mut lines = text.lines().enumerate();
+        let expect = |lineno: usize, msg: &str| DbError {
+            line: lineno + 1,
+            message: msg.to_string(),
+        };
+        let (n0, magic) = lines.next().ok_or_else(|| expect(0, "empty file"))?;
+        if magic != MAGIC {
+            return Err(expect(n0, "bad magic line"));
+        }
+        let (n1, sys) = lines
+            .next()
+            .ok_or_else(|| expect(1, "missing system line"))?;
+        let system = sys
+            .strip_prefix("system ")
+            .ok_or_else(|| expect(n1, "expected `system <name>`"))
+            .map(unesc)?;
+        let (n2, dia) = lines
+            .next()
+            .ok_or_else(|| expect(2, "missing dialect line"))?;
+        let dialect = dia
+            .strip_prefix("dialect ")
+            .and_then(dialect_from_tag)
+            .ok_or_else(|| expect(n2, "expected `dialect key-value|directive|space`"))?;
+
+        let mut db = ConstraintDb::new(system, dialect);
+        let mut current: Option<String> = None;
+        for (n, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("param ") {
+                let name = unesc(rest);
+                db.note_param(&name);
+                current = Some(name);
+            } else if let Some(rest) = line.strip_prefix("c ") {
+                let param = current
+                    .clone()
+                    .ok_or_else(|| expect(n, "constraint before any `param`"))?;
+                let (kind_part, origin_part) = rest
+                    .split_once(" | ")
+                    .ok_or_else(|| expect(n, "constraint missing ` | ` origin separator"))?;
+                let kind = kind_from_tokens(kind_part).map_err(|m| DbError {
+                    line: n + 1,
+                    message: m,
+                })?;
+                let toks: Vec<&str> = origin_part.split(' ').collect();
+                if toks.len() != 3 {
+                    return Err(expect(n, "origin must be `<func> <line> <col>`"));
+                }
+                let span = Span::new(
+                    toks[1].parse().map_err(|_| expect(n, "bad origin line"))?,
+                    toks[2].parse().map_err(|_| expect(n, "bad origin col"))?,
+                );
+                db.add(Constraint {
+                    param,
+                    kind,
+                    in_function: unesc(toks[0]),
+                    span,
+                });
+            } else {
+                return Err(expect(n, "unrecognised line"));
+            }
+        }
+        Ok(db)
+    }
+
+    /// Writes the database to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.save_to_string())
+    }
+
+    /// Reads a database from a file.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<ConstraintDb> {
+        let text = std::fs::read_to_string(path)?;
+        ConstraintDb::load_from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+// -- Token helpers ------------------------------------------------------
+
+/// Escapes a string into a single space-free token.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 1);
+    if s.is_empty() {
+        return "%_".to_string();
+    }
+    for ch in s.chars() {
+        match ch {
+            '%' => out.push_str("%%"),
+            ' ' => out.push_str("%s"),
+            '\t' => out.push_str("%t"),
+            '\n' => out.push_str("%n"),
+            '\r' => out.push_str("%r"),
+            '|' => out.push_str("%p"),
+            ',' => out.push_str("%c"),
+            ':' => out.push_str("%d"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`].
+fn unesc(s: &str) -> String {
+    if s == "%_" {
+        return String::new();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '%' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('s') => out.push(' '),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('p') => out.push('|'),
+            Some('c') => out.push(','),
+            Some('d') => out.push(':'),
+            Some('_') => {}
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn dialect_tag(d: Dialect) -> &'static str {
+    match d {
+        Dialect::KeyValue => "key-value",
+        Dialect::Directive => "directive",
+        Dialect::SpaceSeparated => "space",
+    }
+}
+
+fn dialect_from_tag(t: &str) -> Option<Dialect> {
+    match t {
+        "key-value" => Some(Dialect::KeyValue),
+        "directive" => Some(Dialect::Directive),
+        "space" => Some(Dialect::SpaceSeparated),
+        _ => None,
+    }
+}
+
+fn time_unit_tag(u: TimeUnit) -> &'static str {
+    match u {
+        TimeUnit::Micro => "us",
+        TimeUnit::Milli => "ms",
+        TimeUnit::Sec => "s",
+        TimeUnit::Min => "m",
+        TimeUnit::Hour => "h",
+    }
+}
+
+fn time_unit_from_tag(t: &str) -> Option<TimeUnit> {
+    match t {
+        "us" => Some(TimeUnit::Micro),
+        "ms" => Some(TimeUnit::Milli),
+        "s" => Some(TimeUnit::Sec),
+        "m" => Some(TimeUnit::Min),
+        "h" => Some(TimeUnit::Hour),
+        _ => None,
+    }
+}
+
+fn size_unit_tag(u: SizeUnit) -> &'static str {
+    match u {
+        SizeUnit::B => "b",
+        SizeUnit::KB => "kb",
+        SizeUnit::MB => "mb",
+        SizeUnit::GB => "gb",
+    }
+}
+
+fn size_unit_from_tag(t: &str) -> Option<SizeUnit> {
+    match t {
+        "b" => Some(SizeUnit::B),
+        "kb" => Some(SizeUnit::KB),
+        "mb" => Some(SizeUnit::MB),
+        "gb" => Some(SizeUnit::GB),
+        _ => None,
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "<",
+        CmpOp::Gt => ">",
+        CmpOp::Le => "<=",
+        CmpOp::Ge => ">=",
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+    }
+}
+
+fn cmp_from_tag(t: &str) -> Option<CmpOp> {
+    match t {
+        "<" => Some(CmpOp::Lt),
+        ">" => Some(CmpOp::Gt),
+        "<=" => Some(CmpOp::Le),
+        ">=" => Some(CmpOp::Ge),
+        "==" => Some(CmpOp::Eq),
+        "!=" => Some(CmpOp::Ne),
+        _ => None,
+    }
+}
+
+fn opt_i64(v: Option<i64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "*".to_string(),
+    }
+}
+
+fn opt_i64_from(t: &str) -> Result<Option<i64>, String> {
+    if t == "*" {
+        return Ok(None);
+    }
+    t.parse().map(Some).map_err(|_| format!("bad bound `{t}`"))
+}
+
+fn kind_to_tokens(kind: &ConstraintKind) -> String {
+    match kind {
+        ConstraintKind::BasicType(bt) => match bt {
+            BasicType::Bool => "basic bool".to_string(),
+            BasicType::Int { bits, signed } => {
+                format!("basic int {bits} {}", u8::from(*signed))
+            }
+            BasicType::Float { bits } => format!("basic float {bits}"),
+            BasicType::Str => "basic str".to_string(),
+            BasicType::Enum => "basic enum".to_string(),
+        },
+        ConstraintKind::SemanticType(st) => match st {
+            SemType::FilePath => "sem file".to_string(),
+            SemType::DirPath => "sem dir".to_string(),
+            SemType::Port => "sem port".to_string(),
+            SemType::IpAddr => "sem ip".to_string(),
+            SemType::Hostname => "sem host".to_string(),
+            SemType::UserName => "sem user".to_string(),
+            SemType::GroupName => "sem group".to_string(),
+            SemType::Time(u) => format!("sem time {}", time_unit_tag(*u)),
+            SemType::Size(u) => format!("sem size {}", size_unit_tag(*u)),
+            SemType::Permission => "sem perm".to_string(),
+        },
+        ConstraintKind::Range(r) => {
+            let cuts = if r.cutpoints.is_empty() {
+                ".".to_string()
+            } else {
+                r.cutpoints
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let segs = if r.segments.is_empty() {
+                ".".to_string()
+            } else {
+                r.segments
+                    .iter()
+                    .map(|s| format!("{}:{}:{}", opt_i64(s.lo), opt_i64(s.hi), u8::from(s.valid)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!("range {cuts} {segs}")
+        }
+        ConstraintKind::EnumRange(e) => {
+            let alts = if e.alternatives.is_empty() {
+                ".".to_string()
+            } else {
+                e.alternatives
+                    .iter()
+                    .map(|a| {
+                        let (tag, v) = match &a.value {
+                            EnumValue::Int(v) => ('i', v.to_string()),
+                            EnumValue::Str(s) => ('s', esc(s)),
+                        };
+                        format!("{tag}:{v}:{}", u8::from(a.valid))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!(
+                "enum {} {} {} {alts}",
+                u8::from(e.unmatched_is_error),
+                u8::from(e.unmatched_overwrites),
+                u8::from(e.case_insensitive),
+            )
+        }
+        ConstraintKind::ControlDep(d) => format!(
+            "dep {} {} {} {} {}",
+            esc(&d.controller),
+            cmp_tag(d.op),
+            d.value,
+            esc(&d.dependent),
+            d.confidence,
+        ),
+        ConstraintKind::ValueRel(r) => {
+            format!("rel {} {} {}", esc(&r.lhs), cmp_tag(r.op), esc(&r.rhs))
+        }
+    }
+}
+
+fn kind_from_tokens(s: &str) -> Result<ConstraintKind, String> {
+    let toks: Vec<&str> = s.split(' ').collect();
+    let bad = || format!("malformed constraint `{s}`");
+    match toks.first().copied() {
+        Some("basic") => {
+            let bt = match toks.get(1).copied() {
+                Some("bool") => BasicType::Bool,
+                Some("str") => BasicType::Str,
+                Some("enum") => BasicType::Enum,
+                Some("int") => {
+                    let bits: u8 = toks.get(2).and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+                    if ![8, 16, 32, 64].contains(&bits) {
+                        return Err(format!("unsupported integer width {bits} in `{s}`"));
+                    }
+                    BasicType::Int {
+                        bits,
+                        signed: toks.get(3).map(|t| *t == "1").ok_or_else(bad)?,
+                    }
+                }
+                Some("float") => BasicType::Float {
+                    bits: toks.get(2).and_then(|t| t.parse().ok()).ok_or_else(bad)?,
+                },
+                _ => return Err(bad()),
+            };
+            Ok(ConstraintKind::BasicType(bt))
+        }
+        Some("sem") => {
+            let st = match toks.get(1).copied() {
+                Some("file") => SemType::FilePath,
+                Some("dir") => SemType::DirPath,
+                Some("port") => SemType::Port,
+                Some("ip") => SemType::IpAddr,
+                Some("host") => SemType::Hostname,
+                Some("user") => SemType::UserName,
+                Some("group") => SemType::GroupName,
+                Some("perm") => SemType::Permission,
+                Some("time") => SemType::Time(
+                    toks.get(2)
+                        .copied()
+                        .and_then(time_unit_from_tag)
+                        .ok_or_else(bad)?,
+                ),
+                Some("size") => SemType::Size(
+                    toks.get(2)
+                        .copied()
+                        .and_then(size_unit_from_tag)
+                        .ok_or_else(bad)?,
+                ),
+                _ => return Err(bad()),
+            };
+            Ok(ConstraintKind::SemanticType(st))
+        }
+        Some("range") => {
+            if toks.len() != 3 {
+                return Err(bad());
+            }
+            let cutpoints = if toks[1] == "." {
+                Vec::new()
+            } else {
+                toks[1]
+                    .split(',')
+                    .map(|t| t.parse().map_err(|_| bad()))
+                    .collect::<Result<Vec<i64>, _>>()?
+            };
+            let segments = if toks[2] == "." {
+                Vec::new()
+            } else {
+                toks[2]
+                    .split(',')
+                    .map(|t| {
+                        let parts: Vec<&str> = t.split(':').collect();
+                        if parts.len() != 3 {
+                            return Err(bad());
+                        }
+                        Ok(RangeSegment {
+                            lo: opt_i64_from(parts[0])?,
+                            hi: opt_i64_from(parts[1])?,
+                            valid: parts[2] == "1",
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            Ok(ConstraintKind::Range(NumericRange {
+                cutpoints,
+                segments,
+            }))
+        }
+        Some("enum") => {
+            if toks.len() != 5 {
+                return Err(bad());
+            }
+            let alternatives = if toks[4] == "." {
+                Vec::new()
+            } else {
+                toks[4]
+                    .split(',')
+                    .map(|t| {
+                        let parts: Vec<&str> = t.split(':').collect();
+                        if parts.len() != 3 {
+                            return Err(bad());
+                        }
+                        let value = match parts[0] {
+                            "i" => EnumValue::Int(parts[1].parse().map_err(|_| bad())?),
+                            "s" => EnumValue::Str(unesc(parts[1])),
+                            _ => return Err(bad()),
+                        };
+                        Ok(EnumAlternative {
+                            value,
+                            valid: parts[2] == "1",
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            Ok(ConstraintKind::EnumRange(EnumRange {
+                alternatives,
+                unmatched_is_error: toks[1] == "1",
+                unmatched_overwrites: toks[2] == "1",
+                case_insensitive: toks[3] == "1",
+            }))
+        }
+        Some("dep") => {
+            if toks.len() != 6 {
+                return Err(bad());
+            }
+            Ok(ConstraintKind::ControlDep(ControlDep {
+                controller: unesc(toks[1]),
+                op: cmp_from_tag(toks[2]).ok_or_else(bad)?,
+                value: toks[3].parse().map_err(|_| bad())?,
+                dependent: unesc(toks[4]),
+                confidence: toks[5].parse().map_err(|_| bad())?,
+            }))
+        }
+        Some("rel") => {
+            if toks.len() != 4 {
+                return Err(bad());
+            }
+            Ok(ConstraintKind::ValueRel(ValueRel {
+                lhs: unesc(toks[1]),
+                op: cmp_from_tag(toks[2]).ok_or_else(bad)?,
+                rhs: unesc(toks[3]),
+            }))
+        }
+        _ => Err(bad()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> ConstraintDb {
+        let mut db = ConstraintDb::new("Test", Dialect::KeyValue);
+        db.add(Constraint {
+            param: "threads".into(),
+            kind: ConstraintKind::BasicType(BasicType::Int {
+                bits: 32,
+                signed: true,
+            }),
+            in_function: "startup".into(),
+            span: Span::new(10, 5),
+        });
+        db.add(Constraint {
+            param: "threads".into(),
+            kind: ConstraintKind::Range(NumericRange {
+                cutpoints: vec![1, 16],
+                segments: vec![
+                    RangeSegment {
+                        lo: None,
+                        hi: Some(0),
+                        valid: false,
+                    },
+                    RangeSegment {
+                        lo: Some(1),
+                        hi: Some(16),
+                        valid: true,
+                    },
+                    RangeSegment {
+                        lo: Some(17),
+                        hi: None,
+                        valid: false,
+                    },
+                ],
+            }),
+            in_function: "startup".into(),
+            span: Span::new(11, 9),
+        });
+        db.add(Constraint {
+            param: "log mode".into(), // space: exercises token escaping
+            kind: ConstraintKind::EnumRange(EnumRange {
+                alternatives: vec![
+                    EnumAlternative {
+                        value: EnumValue::Str("a b".into()),
+                        valid: true,
+                    },
+                    EnumAlternative {
+                        value: EnumValue::Int(3),
+                        valid: false,
+                    },
+                ],
+                unmatched_is_error: true,
+                unmatched_overwrites: false,
+                case_insensitive: true,
+            }),
+            in_function: String::new(),
+            span: Span::unknown(),
+        });
+        db.add(Constraint {
+            param: "commit_siblings".into(),
+            kind: ConstraintKind::ControlDep(ControlDep {
+                controller: "fsync".into(),
+                value: 0,
+                op: CmpOp::Ne,
+                dependent: "commit_siblings".into(),
+                confidence: 0.875,
+            }),
+            in_function: "commit".into(),
+            span: Span::new(3, 1),
+        });
+        db.add(Constraint {
+            param: "min_len".into(),
+            kind: ConstraintKind::ValueRel(ValueRel {
+                lhs: "min_len".into(),
+                op: CmpOp::Lt,
+                rhs: "max_len".into(),
+            }),
+            in_function: "ft_get_word".into(),
+            span: Span::new(7, 2),
+        });
+        db.add(Constraint {
+            param: "nap".into(),
+            kind: ConstraintKind::SemanticType(SemType::Time(TimeUnit::Min)),
+            in_function: "napper".into(),
+            span: Span::new(9, 9),
+        });
+        db.note_param("unconstrained_key");
+        db
+    }
+
+    #[test]
+    fn round_trips_losslessly() {
+        let db = sample_db();
+        let text = db.save_to_string();
+        let back = ConstraintDb::load_from_str(&text).unwrap();
+        assert_eq!(db, back);
+        // And the re-serialization is byte-identical.
+        assert_eq!(text, back.save_to_string());
+    }
+
+    #[test]
+    fn round_trips_all_dialects() {
+        for d in [
+            Dialect::KeyValue,
+            Dialect::Directive,
+            Dialect::SpaceSeparated,
+        ] {
+            let db = ConstraintDb::new("X", d);
+            let back = ConstraintDb::load_from_str(&db.save_to_string()).unwrap();
+            assert_eq!(back.dialect, d);
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_hostile_strings() {
+        for s in ["", "a b", "x%y", "p|q", "a,b:c", "line\nbreak", "%_", "  "] {
+            assert_eq!(unesc(&esc(s)), s, "escape failed for {s:?}");
+            assert!(!esc(s).contains(' '), "escaped token has a space for {s:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ConstraintDb::load_from_str("").is_err());
+        assert!(ConstraintDb::load_from_str("not a db\n").is_err());
+        let mut text = sample_db().save_to_string();
+        text.push_str("c bogus tokens | f 1 1\n");
+        let err = ConstraintDb::load_from_str(&text).unwrap_err();
+        assert!(err.message.contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsupported_integer_widths() {
+        // A hand-edited width must be caught at load time, not crash the
+        // checker's bounds computation later.
+        for bits in [0, 7, 63, 255] {
+            let mut text = sample_db().save_to_string();
+            text.push_str(&format!("param hacked\nc basic int {bits} 1 | f 1 1\n"));
+            let err = ConstraintDb::load_from_str(&text).unwrap_err();
+            assert!(
+                err.message.contains("unsupported integer width"),
+                "bits={bits}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("spex_check_db_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.spexdb");
+        db.save(&path).unwrap();
+        let back = ConstraintDb::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn note_param_is_idempotent_and_ordered() {
+        let mut db = ConstraintDb::new("X", Dialect::KeyValue);
+        db.note_params(["b", "a", "b"]);
+        let names: Vec<&str> = db.param_names().collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+}

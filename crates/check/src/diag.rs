@@ -1,0 +1,151 @@
+//! The diagnostic model: what the checker reports and how it renders.
+//!
+//! Diagnostics follow the bar the paper sets for *good* system reactions
+//! (§3.1): each one pinpoints the faulty parameter by name, value and
+//! config-file line, says which inferred constraint is violated and where
+//! the constraint's evidence lives in the source, and — where possible —
+//! suggests a fix.
+
+use spex_lang::diag::Span;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The dependency/relationship structure is suspicious; the system may
+    /// silently ignore or overrule the setting.
+    Warning,
+    /// The value violates a hard constraint; deployment will misbehave.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One checker finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// The offending parameter.
+    pub param: String,
+    /// The offending value as written in the file.
+    pub value: String,
+    /// 1-based line of the setting in the checked file, when known.
+    pub line: Option<usize>,
+    /// What is wrong.
+    pub message: String,
+    /// A suggested fix, when one is computable.
+    pub suggestion: Option<String>,
+    /// Violated-constraint category (Table 11 vocabulary), or
+    /// `"unknown-key"` for unrecognised parameters.
+    pub category: &'static str,
+    /// Where the violated constraint's evidence lives in the subject
+    /// system's source (function name and span), when applicable.
+    pub origin: Option<(String, Span)>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no line, suggestion or provenance attached.
+    pub fn new(
+        severity: Severity,
+        param: &str,
+        value: &str,
+        message: impl Into<String>,
+        category: &'static str,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity,
+            param: param.to_string(),
+            value: value.to_string(),
+            line: None,
+            message: message.into(),
+            suggestion: None,
+            category,
+            origin: None,
+        }
+    }
+
+    /// Attaches the config-file line.
+    pub fn at_line(mut self, line: usize) -> Diagnostic {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attaches a suggested fix.
+    pub fn suggest(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// Attaches constraint provenance.
+    pub fn from_origin(mut self, function: &str, span: Span) -> Diagnostic {
+        if !function.is_empty() || span.line != 0 {
+            self.origin = Some((function.to_string(), span));
+        }
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.severity)?;
+        if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        write!(
+            f,
+            "\"{}\" = \"{}\": {}",
+            self.param, self.value, self.message
+        )?;
+        if let Some((func, span)) = &self.origin {
+            write!(f, " [constraint inferred")?;
+            if !func.is_empty() {
+                write!(f, " in {func}")?;
+            }
+            if span.line != 0 {
+                write!(f, " at {}:{}", span.line, span.col)?;
+            }
+            write!(f, "]")?;
+        }
+        if let Some(s) = &self.suggestion {
+            write!(f, "; {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_in_the_paper_report_style() {
+        let d = Diagnostic::new(
+            Severity::Error,
+            "listener-threads",
+            "9999",
+            "out of valid range [1, 16]",
+            "data-range",
+        )
+        .at_line(12)
+        .suggest("use a value between 1 and 16")
+        .from_origin("startup", Span::new(40, 9));
+        let s = d.to_string();
+        assert!(s.contains("error: line 12"));
+        assert!(s.contains("\"listener-threads\" = \"9999\""));
+        assert!(s.contains("inferred in startup at 40:9"));
+        assert!(s.contains("use a value between 1 and 16"));
+    }
+
+    #[test]
+    fn severity_orders_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

@@ -1,0 +1,68 @@
+//! `spex-check` — constraint-driven configuration validation.
+//!
+//! The paper's thesis is that *systems, not users, should catch
+//! misconfigurations*. The sibling crates infer configuration constraints
+//! from source code (`spex-core`) and use them to attack a system with
+//! generated misconfigurations (`spex-inj`). This crate closes the loop in
+//! the other, proactive direction: it vets real configuration files
+//! *before deployment* against the inferred constraints, so the
+//! misconfiguration never reaches the system at all.
+//!
+//! The pipeline is **infer → persist → check**:
+//!
+//! 1. [`ConstraintDb`] — run `Spex::analyze` once per system, persist the
+//!    inferred constraints in a compact text format, and never pay for
+//!    inference again;
+//! 2. [`Checker`] — validate one parsed [`spex_conf::ConfFile`] against a
+//!    database: basic- and semantic-type conformance (unit-aware for time
+//!    and size values), numeric- and enumerative-range membership,
+//!    control-dependency activation, cross-parameter value relationships,
+//!    and unknown-key detection with "did you mean" suggestions;
+//! 3. [`Diagnostic`] — findings that meet the paper's pinpointing bar:
+//!    parameter, value, config line, violated constraint, source-code
+//!    provenance, suggested fix;
+//! 4. [`BatchEngine`] — fleet-scale validation of many files across many
+//!    systems on all cores, with deterministic output order and aggregate
+//!    statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use spex_check::{Checker, ConstraintDb};
+//! use spex_conf::Dialect;
+//! use spex_core::constraint::{
+//!     Constraint, ConstraintKind, NumericRange, RangeSegment,
+//! };
+//!
+//! // Persisted once by the inference stage (here: built by hand).
+//! let mut db = ConstraintDb::new("demo", Dialect::KeyValue);
+//! db.add(Constraint {
+//!     param: "listener-threads".into(),
+//!     kind: ConstraintKind::Range(NumericRange {
+//!         cutpoints: vec![1, 16],
+//!         segments: vec![
+//!             RangeSegment { lo: None, hi: Some(0), valid: false },
+//!             RangeSegment { lo: Some(1), hi: Some(16), valid: true },
+//!             RangeSegment { lo: Some(17), hi: None, valid: false },
+//!         ],
+//!     }),
+//!     in_function: "startup".into(),
+//!     span: spex_lang::diag::Span::new(40, 9),
+//! });
+//! let db = ConstraintDb::load_from_str(&db.save_to_string()).unwrap();
+//!
+//! // Checked on every deployment.
+//! let diags = Checker::new(&db).check_text("listener-threads = 9999\n");
+//! assert_eq!(diags.len(), 1);
+//! assert!(diags[0].to_string().contains("[1, 16]"));
+//! ```
+
+pub mod batch;
+pub mod checker;
+pub mod db;
+pub mod diag;
+
+pub use batch::{BatchEngine, BatchJob, BatchStats, FileReport};
+pub use checker::{Checker, Environment, StaticEnv};
+pub use db::{ConstraintDb, DbError, ParamEntry};
+pub use diag::{Diagnostic, Severity};

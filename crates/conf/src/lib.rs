@@ -129,9 +129,7 @@ impl ConfFile {
     /// The first value of a setting, if present.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.entries.iter().find_map(|e| match e {
-            Entry::Setting { name: n, args } if n == name => {
-                args.first().map(|s| s.as_str())
-            }
+            Entry::Setting { name: n, args } if n == name => args.first().map(|s| s.as_str()),
             _ => None,
         })
     }
@@ -139,9 +137,10 @@ impl ConfFile {
     /// All settings as `(name, first value)` pairs.
     pub fn settings(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().filter_map(|e| match e {
-            Entry::Setting { name, args } => {
-                Some((name.as_str(), args.first().map(|s| s.as_str()).unwrap_or("")))
-            }
+            Entry::Setting { name, args } => Some((
+                name.as_str(),
+                args.first().map(|s| s.as_str()).unwrap_or(""),
+            )),
             _ => None,
         })
     }
@@ -167,9 +166,8 @@ impl ConfFile {
     /// Removes all settings of `name`. Returns how many were removed.
     pub fn remove(&mut self, name: &str) -> usize {
         let before = self.entries.len();
-        self.entries.retain(
-            |e| !matches!(e, Entry::Setting { name: n, .. } if n == name),
-        );
+        self.entries
+            .retain(|e| !matches!(e, Entry::Setting { name: n, .. } if n == name));
         before - self.entries.len()
     }
 

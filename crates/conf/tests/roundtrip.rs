@@ -1,0 +1,167 @@
+//! Round-trip edge cases for the configuration abstract representation.
+//!
+//! The AR's contract is that parse → mutate → serialize never loses
+//! content the user wrote: comments, blank lines, malformed lines,
+//! duplicate settings and multi-argument directives all survive, in every
+//! dialect.
+
+use spex_conf::{ConfFile, Dialect, Entry};
+
+const ALL_DIALECTS: [Dialect; 3] = [
+    Dialect::KeyValue,
+    Dialect::Directive,
+    Dialect::SpaceSeparated,
+];
+
+fn line(dialect: Dialect, name: &str, value: &str) -> String {
+    match dialect {
+        Dialect::KeyValue => format!("{name} = {value}"),
+        Dialect::Directive | Dialect::SpaceSeparated => format!("{name} {value}"),
+    }
+}
+
+#[test]
+fn comments_and_blank_lines_survive_in_every_dialect() {
+    for dialect in ALL_DIALECTS {
+        let text = format!(
+            "# leading comment\n\n; semicolon comment\n{}\n\n# trailing\n",
+            line(dialect, "alpha", "1")
+        );
+        let conf = ConfFile::parse(&text, dialect);
+        assert_eq!(conf.serialize(), text, "{dialect:?}: lossy round-trip");
+        // The structure is what we expect, not an accident of serialization.
+        assert!(matches!(conf.entries[0], Entry::Comment(_)));
+        assert!(matches!(conf.entries[1], Entry::Blank));
+        assert!(matches!(conf.entries[2], Entry::Comment(_)));
+        assert!(matches!(conf.entries[3], Entry::Setting { .. }));
+        assert!(matches!(conf.entries[4], Entry::Blank));
+    }
+}
+
+#[test]
+fn comments_survive_mutation() {
+    for dialect in ALL_DIALECTS {
+        let text = format!("# keep me\n{}\n", line(dialect, "alpha", "1"));
+        let mut conf = ConfFile::parse(&text, dialect);
+        conf.set("alpha", "2");
+        let out = conf.serialize();
+        assert!(out.contains("# keep me"), "{dialect:?}: comment dropped");
+        assert_eq!(conf.get("alpha"), Some("2"));
+    }
+}
+
+#[test]
+fn multi_arg_directives_round_trip() {
+    let text = "Listen 0.0.0.0 8080\nCustomLog /var/log/access.log combined env=ok\n";
+    let conf = ConfFile::parse(text, Dialect::Directive);
+    assert_eq!(conf.serialize(), text);
+    match &conf.entries[1] {
+        Entry::Setting { name, args } => {
+            assert_eq!(name, "CustomLog");
+            assert_eq!(
+                args,
+                &vec![
+                    "/var/log/access.log".to_string(),
+                    "combined".to_string(),
+                    "env=ok".to_string()
+                ]
+            );
+        }
+        other => panic!("unexpected entry {other:?}"),
+    }
+    // `get` observes the first argument only.
+    assert_eq!(conf.get("CustomLog"), Some("/var/log/access.log"));
+}
+
+#[test]
+fn duplicate_keys_are_preserved_in_order() {
+    for dialect in ALL_DIALECTS {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            line(dialect, "include", "a.conf"),
+            line(dialect, "other", "1"),
+            line(dialect, "include", "b.conf"),
+        );
+        let conf = ConfFile::parse(&text, dialect);
+        assert_eq!(conf.serialize(), text, "{dialect:?}");
+        let includes: Vec<&str> = conf
+            .settings()
+            .filter(|(n, _)| *n == "include")
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(includes, vec!["a.conf", "b.conf"], "{dialect:?}");
+        // `get` sees the first occurrence; `line_of` pinpoints it.
+        assert_eq!(conf.get("include"), Some("a.conf"));
+        assert_eq!(conf.line_of("include"), Some(1));
+    }
+}
+
+#[test]
+fn set_on_duplicate_keys_rewrites_the_first_only() {
+    let mut conf = ConfFile::parse("a 1\na 2\n", Dialect::SpaceSeparated);
+    assert!(conf.set("a", "9"));
+    assert_eq!(conf.serialize(), "a 9\na 2\n");
+}
+
+#[test]
+fn set_on_a_missing_key_appends_in_dialect_syntax() {
+    for dialect in ALL_DIALECTS {
+        let text = format!("{}\n", line(dialect, "existing", "1"));
+        let mut conf = ConfFile::parse(&text, dialect);
+        assert!(!conf.set("fresh", "42"), "{dialect:?}: reported a replace");
+        assert_eq!(conf.get("fresh"), Some("42"));
+        let out = conf.serialize();
+        assert_eq!(out, format!("{text}{}\n", line(dialect, "fresh", "42")));
+        // The appended entry round-trips like any other.
+        let reparsed = ConfFile::parse(&out, dialect);
+        assert_eq!(reparsed.get("fresh"), Some("42"));
+        assert_eq!(reparsed.serialize(), out);
+    }
+}
+
+#[test]
+fn remove_then_set_moves_the_setting_to_the_end() {
+    let mut conf = ConfFile::parse("a = 1\nb = 2\n", Dialect::KeyValue);
+    assert_eq!(conf.remove("a"), 1);
+    conf.set("a", "3");
+    assert_eq!(conf.serialize(), "b = 2\na = 3\n");
+}
+
+#[test]
+fn malformed_lines_round_trip_in_every_dialect() {
+    // A key-value line without `=` is malformed in that dialect but must
+    // survive verbatim; in the whitespace dialects everything with a first
+    // word parses, so use an empty-value marker instead.
+    let kv = ConfFile::parse("just_a_word\nx = 1\n", Dialect::KeyValue);
+    assert_eq!(kv.serialize(), "just_a_word\nx = 1\n");
+    assert_eq!(kv.get("just_a_word"), None);
+
+    for dialect in [Dialect::Directive, Dialect::SpaceSeparated] {
+        let conf = ConfFile::parse("lonely\n", dialect);
+        assert_eq!(conf.serialize(), "lonely\n");
+        // Parsed as a setting with no arguments.
+        assert_eq!(conf.get("lonely"), None);
+        assert!(matches!(&conf.entries[0], Entry::Setting { args, .. } if args.is_empty()));
+    }
+}
+
+#[test]
+fn whitespace_normalisation_is_the_only_change() {
+    // Leading/trailing whitespace around keys and values is canonicalised;
+    // nothing else changes across a reparse cycle.
+    let conf = ConfFile::parse("  padded   =   value  \n", Dialect::KeyValue);
+    assert_eq!(conf.get("padded"), Some("value"));
+    let once = conf.serialize();
+    let twice = ConfFile::parse(&once, Dialect::KeyValue).serialize();
+    assert_eq!(once, twice, "serialization must be a fixed point");
+}
+
+#[test]
+fn empty_and_whitespace_only_files() {
+    for dialect in ALL_DIALECTS {
+        assert_eq!(ConfFile::parse("", dialect).serialize(), "");
+        let ws = ConfFile::parse("\n\n", dialect);
+        assert_eq!(ws.serialize(), "\n\n");
+        assert_eq!(ws.settings().count(), 0);
+    }
+}

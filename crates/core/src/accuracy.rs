@@ -36,7 +36,8 @@ pub fn constraint_key(c: &Constraint) -> String {
             None => "range".into(),
         },
         ConstraintKind::EnumRange(e) => {
-            let mut vals: Vec<String> = e.alternatives.iter().map(|a| a.value.to_string()).collect();
+            let mut vals: Vec<String> =
+                e.alternatives.iter().map(|a| a.value.to_string()).collect();
             vals.sort();
             format!("{{{}}}", vals.join(","))
         }
@@ -79,10 +80,7 @@ impl AccuracyReport {
 }
 
 /// Compares inferred constraints with the ground truth.
-pub fn evaluate_accuracy(
-    inferred: &[Constraint],
-    truth: &[TruthConstraint],
-) -> AccuracyReport {
+pub fn evaluate_accuracy(inferred: &[Constraint], truth: &[TruthConstraint]) -> AccuracyReport {
     let mut report = AccuracyReport::default();
     let mut matched_truth = vec![false; truth.len()];
     for c in inferred {

@@ -133,9 +133,7 @@ impl Annotation {
                 let var = var.ok_or("missing @VAR")?;
                 if let Some(inner) = var.strip_prefix('(') {
                     // ([struct, idx], $arg)
-                    let inner = inner
-                        .strip_suffix(')')
-                        .ok_or("unterminated `(` in @VAR")?;
+                    let inner = inner.strip_suffix(')').ok_or("unterminated `(` in @VAR")?;
                     let (bracket_part, arg_part) = inner
                         .rsplit_once(',')
                         .ok_or("expected `([struct, idx], $arg)`")?;
@@ -313,8 +311,7 @@ mod tests {
     #[test]
     fn parses_getter_annotation() {
         // Hypertable style, Figure 4(d).
-        let anns =
-            Annotation::parse("{ @GETTER = get_i32\n  @PAR = 1\n  @VAR = $RET }").unwrap();
+        let anns = Annotation::parse("{ @GETTER = get_i32\n  @PAR = 1\n  @VAR = $RET }").unwrap();
         assert_eq!(
             anns,
             vec![Annotation::Getter {
@@ -326,10 +323,9 @@ mod tests {
 
     #[test]
     fn parses_multiple_blocks() {
-        let anns = Annotation::parse(
-            "{ @GETTER = get_i32\n @PAR = 1 }\n{ @GETTER = get_str\n @PAR = 1 }",
-        )
-        .unwrap();
+        let anns =
+            Annotation::parse("{ @GETTER = get_i32\n @PAR = 1 }\n{ @GETTER = get_str\n @PAR = 1 }")
+                .unwrap();
         assert_eq!(anns.len(), 2);
     }
 

@@ -128,11 +128,15 @@ impl ApiSpec {
         match sem {
             SemType::Size(base) => {
                 let scaled = base.in_bytes().saturating_mul(factor);
-                SizeUnit::from_bytes(scaled).map(SemType::Size).unwrap_or(sem)
+                SizeUnit::from_bytes(scaled)
+                    .map(SemType::Size)
+                    .unwrap_or(sem)
             }
             SemType::Time(base) => {
                 let scaled = base.in_micros().saturating_mul(factor);
-                TimeUnit::from_micros(scaled).map(SemType::Time).unwrap_or(sem)
+                TimeUnit::from_micros(scaled)
+                    .map(SemType::Time)
+                    .unwrap_or(sem)
             }
             other => other,
         }

@@ -59,7 +59,12 @@ impl fmt::Display for BasicType {
         match self {
             BasicType::Bool => write!(f, "BOOL"),
             BasicType::Int { bits, signed } => {
-                write!(f, "{}-bit {}INTEGER", bits, if *signed { "" } else { "unsigned " })
+                write!(
+                    f,
+                    "{}-bit {}INTEGER",
+                    bits,
+                    if *signed { "" } else { "unsigned " }
+                )
             }
             BasicType::Float { bits } => write!(f, "{bits}-bit FLOAT"),
             BasicType::Str => write!(f, "STRING"),
@@ -509,11 +514,8 @@ impl fmt::Display for Constraint {
                 None => write!(f, "\"{}\" has a range constraint", self.param),
             },
             ConstraintKind::EnumRange(e) => {
-                let vals: Vec<String> = e
-                    .alternatives
-                    .iter()
-                    .map(|a| a.value.to_string())
-                    .collect();
+                let vals: Vec<String> =
+                    e.alternatives.iter().map(|a| a.value.to_string()).collect();
                 write!(f, "\"{}\" in {{{}}}", self.param, vals.join(", "))
             }
             ConstraintKind::ControlDep(d) => write!(f, "{d}"),
@@ -528,10 +530,13 @@ mod tests {
 
     #[test]
     fn basic_type_from_ctype() {
-        assert_eq!(BasicType::from_ctype(&CType::int()), BasicType::Int {
-            bits: 32,
-            signed: true
-        });
+        assert_eq!(
+            BasicType::from_ctype(&CType::int()),
+            BasicType::Int {
+                bits: 32,
+                signed: true
+            }
+        );
         assert_eq!(BasicType::from_ctype(&CType::string()), BasicType::Str);
         assert_eq!(BasicType::from_ctype(&CType::Bool), BasicType::Bool);
     }

@@ -41,7 +41,10 @@ pub fn infer(am: &AnalyzedModule, param: &MappedParam, taint: &TaintResult) -> O
     // type, then on the type of the shallowest tainted value (comparison-
     // mapped parameters have no declaration; their root value's type is the
     // representation the code reads).
-    let ty = param.decl_ty.clone().or_else(|| shallowest_type(am, taint))?;
+    let ty = param
+        .decl_ty
+        .clone()
+        .or_else(|| shallowest_type(am, taint))?;
     Some(Constraint {
         param: param.name.clone(),
         kind: ConstraintKind::BasicType(BasicType::from_ctype(&ty)),
@@ -163,8 +166,8 @@ fn place_type(am: &AnalyzedModule, fid: FuncId, place: &spex_ir::Place) -> Optio
 mod tests {
     use super::*;
     use crate::annotations::Annotation;
-    use crate::infer::Spex;
     use crate::constraint::BasicType;
+    use crate::infer::Spex;
 
     fn basic_of(src: &str, ann: &str, param: &str) -> BasicType {
         let p = spex_lang::parse_program(src).unwrap();

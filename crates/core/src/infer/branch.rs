@@ -161,10 +161,9 @@ pub fn classify_region(
                 Instr::Call { callee, .. } => match callee {
                     Callee::Builtin(bi) if bi.is_noreturn() => exits = true,
                     Callee::Builtin(bi) if bi.is_logging() => has_log = true,
-                    Callee::Func(g)
-                        if function_never_returns(am, *g) => {
-                            exits = true;
-                        }
+                    Callee::Func(g) if function_never_returns(am, *g) => {
+                        exits = true;
+                    }
                     _ => {}
                 },
                 Instr::Store { place, .. } => {

@@ -90,10 +90,7 @@ pub fn infer(
 }
 
 /// Q's usage sites: `(function, block, span)` per usage instruction.
-fn usage_sites(
-    am: &AnalyzedModule,
-    taint: &TaintResult,
-) -> Vec<(FuncId, BlockId, Span)> {
+fn usage_sites(am: &AnalyzedModule, taint: &TaintResult) -> Vec<(FuncId, BlockId, Span)> {
     let mut sites = Vec::new();
     for &(f, v) in taint.values.keys() {
         let func = am.module.func(f);
@@ -213,9 +210,7 @@ impl<'a> IntraGuards<'a> {
         match ud.def_instr(func, cond) {
             Some(Instr::Bin { op, lhs, rhs, .. }) => {
                 if let Some(cmp) = CmpOp::from_binop(*op) {
-                    for (tainted, other, oriented) in
-                        [(lhs, rhs, cmp), (rhs, lhs, cmp.flipped())]
-                    {
+                    for (tainted, other, oriented) in [(lhs, rhs, cmp), (rhs, lhs, cmp.flipped())] {
                         let params = self.vindex.get(&(f, *tainted));
                         let Some(params) = params else { continue };
                         let Some(v) = const_int(am, f, *other) else {
@@ -223,7 +218,11 @@ impl<'a> IntraGuards<'a> {
                         };
                         let op = if side { oriented } else { oriented.negated() };
                         for &p in params {
-                            out.push(Guard { param: p, value: v, op });
+                            out.push(Guard {
+                                param: p,
+                                value: v,
+                                op,
+                            });
                         }
                     }
                     return out;
@@ -398,7 +397,10 @@ mod tests {
             "#,
             "listen_port",
         );
-        assert!(deps.is_empty(), "both 0.5-confidence deps filtered: {deps:?}");
+        assert!(
+            deps.is_empty(),
+            "both 0.5-confidence deps filtered: {deps:?}"
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub struct Evidence {
 }
 
 /// Collects evidence for one parameter.
-pub fn collect(am: &AnalyzedModule, _param: &crate::mapping::MappedParam, taint: &TaintResult) -> Evidence {
+pub fn collect(
+    am: &AnalyzedModule,
+    _param: &crate::mapping::MappedParam,
+    taint: &TaintResult,
+) -> Evidence {
     let mut ev = Evidence::default();
     for fid in taint.touched_functions() {
         let func = am.module.func(fid);
@@ -111,9 +115,10 @@ pub fn collect(am: &AnalyzedModule, _param: &crate::mapping::MappedParam, taint:
                     }
                 }
                 Instr::Bin { lhs, rhs, .. }
-                    if (taint.is_tainted(fid, *lhs) || taint.is_tainted(fid, *rhs)) => {
-                        ev.usage_sites.push((fid, b));
-                    }
+                    if (taint.is_tainted(fid, *lhs) || taint.is_tainted(fid, *rhs)) =>
+                {
+                    ev.usage_sites.push((fid, b));
+                }
                 _ => {}
             }
         }

@@ -129,9 +129,7 @@ impl Spex {
 }
 
 /// Maps every tainted SSA value to the parameters whose flow reaches it.
-pub(crate) fn build_value_index(
-    taints: &[TaintResult],
-) -> HashMap<(FuncId, ValueId), Vec<usize>> {
+pub(crate) fn build_value_index(taints: &[TaintResult]) -> HashMap<(FuncId, ValueId), Vec<usize>> {
     let mut index: HashMap<(FuncId, ValueId), Vec<usize>> = HashMap::new();
     for (pi, t) in taints.iter().enumerate() {
         for key in t.values.keys() {

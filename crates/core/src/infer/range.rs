@@ -219,11 +219,7 @@ fn build_segments(facts: &[CondFact]) -> NumericRange {
 
 // --- Switch (enumerative integers) ---------------------------------------------
 
-fn infer_switch(
-    am: &AnalyzedModule,
-    param: &MappedParam,
-    taint: &TaintResult,
-) -> Vec<Constraint> {
+fn infer_switch(am: &AnalyzedModule, param: &MappedParam, taint: &TaintResult) -> Vec<Constraint> {
     let mut out = Vec::new();
     for fid in taint.touched_functions() {
         let func = am.module.func(fid);
@@ -251,7 +247,8 @@ fn infer_switch(
             let unmatched_is_error =
                 classify_region(am, fid, *default, taint) != BranchBehavior::Normal;
             let arm_heads: Vec<spex_ir::BlockId> = cases.iter().map(|(_, t)| *t).collect();
-            let unmatched_overwrites = region_overwrites_shared_store(am, fid, *default, &arm_heads);
+            let unmatched_overwrites =
+                region_overwrites_shared_store(am, fid, *default, &arm_heads);
             let _ = bi;
             out.push(Constraint {
                 param: param.name.clone(),
@@ -345,13 +342,10 @@ fn infer_strcmp_chain(
                 // The parameter's variable is whatever the match arms
                 // assign; the else assigning the same place is the
                 // overruling signature (Figure 6c).
-                let arm_heads: Vec<spex_ir::BlockId> =
-                    links.iter().map(|l2| l2.true_bb).collect();
+                let arm_heads: Vec<spex_ir::BlockId> = links.iter().map(|l2| l2.true_bb).collect();
                 unmatched_overwrites =
                     region_overwrites_shared_store(am, fid, l.false_bb, &arm_heads);
-                if unmatched_overwrites
-                    && crate::infer::branch::region_logs(am, fid, l.false_bb)
-                {
+                if unmatched_overwrites && crate::infer::branch::region_logs(am, fid, l.false_bb) {
                     unmatched_is_error = true;
                 }
                 break;

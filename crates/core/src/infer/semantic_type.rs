@@ -38,9 +38,7 @@ pub fn infer(
                         }
                         let sem = match callee {
                             Callee::Builtin(b) => spec.builtin_arg(*b, pos),
-                            Callee::Func(f) => {
-                                spec.custom_arg(&am.module.func(*f).name, pos)
-                            }
+                            Callee::Func(f) => spec.custom_arg(&am.module.func(*f).name, pos),
                             Callee::Indirect(_) => None,
                         };
                         if let Some(sem) = sem {
@@ -72,7 +70,10 @@ pub fn infer(
     found.sort_by_key(|(_, d, _, _)| *d);
     let mut out: Vec<Constraint> = Vec::new();
     for (sem, _, fid, span) in found {
-        if out.iter().any(|c| c.kind == ConstraintKind::SemanticType(sem)) {
+        if out
+            .iter()
+            .any(|c| c.kind == ConstraintKind::SemanticType(sem))
+        {
             continue;
         }
         out.push(Constraint {
@@ -90,12 +91,7 @@ fn is_comparison(op: BinOp) -> bool {
 }
 
 /// The semantic type of a value defined by a known call (`time()` etc.).
-fn known_ret_sem(
-    am: &AnalyzedModule,
-    spec: &ApiSpec,
-    fid: FuncId,
-    v: ValueId,
-) -> Option<SemType> {
+fn known_ret_sem(am: &AnalyzedModule, spec: &ApiSpec, fid: FuncId, v: ValueId) -> Option<SemType> {
     let func = am.module.func(fid);
     match am.usedefs[fid.index()].def_instr(func, v)? {
         Instr::Call {
@@ -145,7 +141,10 @@ fn scaling_factor(am: &AnalyzedModule, fid: FuncId, v: ValueId, taint: &TaintRes
 fn const_of(am: &AnalyzedModule, fid: FuncId, v: ValueId) -> Option<i64> {
     let func = am.module.func(fid);
     match am.usedefs[fid.index()].def_instr(func, v)? {
-        Instr::Const { val: ConstVal::Int(c), .. } => Some(*c),
+        Instr::Const {
+            val: ConstVal::Int(c),
+            ..
+        } => Some(*c),
         _ => None,
     }
 }

@@ -61,9 +61,7 @@ pub fn infer(
                 continue;
             }
             let true_side_invalid = branch_sides(am, f, *dst)
-                .map(|(t, _)| {
-                    classify_region(am, f, t, &TaintResult::default()).is_invalid()
-                })
+                .map(|(t, _)| classify_region(am, f, t, &TaintResult::default()).is_invalid())
                 .unwrap_or(false);
             let side = |v: ValueId, params: Option<&Vec<usize>>| match params {
                 Some(ps) if !ps.is_empty() => Side::Param(ps[0]),

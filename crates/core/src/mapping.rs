@@ -79,9 +79,7 @@ pub fn extract_mappings(
                 ..
             } => extract_struct_function(am, table, *par_field, *handler_field, value_arg)?,
             Annotation::Parser { function, par, var } => extract_parser(am, function, par, var)?,
-            Annotation::Getter { function, par_arg } => {
-                extract_getter(am, function, *par_arg - 1)?
-            }
+            Annotation::Getter { function, par_arg } => extract_getter(am, function, *par_arg - 1)?,
         };
         for p in found {
             match by_name.get_mut(&p.name) {
@@ -396,7 +394,11 @@ fn is_indexed_load_of(
 ///
 /// Handles `strcmp(..) == 0`, `!strcmp(..)`, and a bare `strcmp(..)`
 /// condition (where the *else* side is the match).
-fn match_branch_target(am: &AnalyzedModule, fid: FuncId, cmp_dst: ValueId) -> Option<spex_ir::BlockId> {
+fn match_branch_target(
+    am: &AnalyzedModule,
+    fid: FuncId,
+    cmp_dst: ValueId,
+) -> Option<spex_ir::BlockId> {
     let func = am.module.func(fid);
     let ud = &am.usedefs[fid.index()];
     for site in ud.uses_of(cmp_dst) {
@@ -503,17 +505,15 @@ fn value_roots_in_region(
                     let _ = place;
                 }
             }
-            Instr::Call {
-                dst,
-                callee,
-                args,
-            } => {
+            Instr::Call { dst, callee, args } => {
                 for (pos, a) in args.iter().enumerate() {
                     if !value_values.contains(a) {
                         continue;
                     }
                     match callee {
-                        Callee::Builtin(bi) if bi.is_numeric_conversion() || *bi == Builtin::Strdup => {
+                        Callee::Builtin(bi)
+                            if bi.is_numeric_conversion() || *bi == Builtin::Strdup =>
+                        {
                             if let Some(d) = dst {
                                 roots.push(TaintRoot::Value(fid, *d));
                             }
@@ -555,16 +555,14 @@ fn value_roots_in_region(
                     }
                 }
             }
-            Instr::Store { place, value }
-                if value_values.contains(value) => {
-                    if let Some(loc) = MemLoc::from_place(fid, place) {
-                        roots.push(TaintRoot::Mem(loc));
-                    }
+            Instr::Store { place, value } if value_values.contains(value) => {
+                if let Some(loc) = MemLoc::from_place(fid, place) {
+                    roots.push(TaintRoot::Mem(loc));
                 }
-            Instr::Cast { dst, operand, .. }
-                if value_values.contains(operand) => {
-                    roots.push(TaintRoot::Value(fid, *dst));
-                }
+            }
+            Instr::Cast { dst, operand, .. } if value_values.contains(operand) => {
+                roots.push(TaintRoot::Value(fid, *dst));
+            }
             _ => {}
         }
     }
@@ -728,10 +726,9 @@ mod tests {
             }
             "#,
         );
-        let anns = Annotation::parse(
-            "{ @PARSER = loadServerConfig\n @PAR = $argv[0]\n @VAR = $argv[1] }",
-        )
-        .unwrap();
+        let anns =
+            Annotation::parse("{ @PARSER = loadServerConfig\n @PAR = $argv[0]\n @VAR = $argv[1] }")
+                .unwrap();
         let params = extract_mappings(&am, &anns).unwrap();
         let names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
         assert!(names.contains(&"timeout"), "found params: {names:?}");
@@ -764,10 +761,7 @@ mod tests {
     #[test]
     fn missing_table_is_an_error() {
         let am = setup("int x = 1;");
-        let anns = Annotation::parse(
-            "{ @STRUCT = nope\n @PAR = [s, 1]\n @VAR = [s, 2] }",
-        )
-        .unwrap();
+        let anns = Annotation::parse("{ @STRUCT = nope\n @PAR = [s, 1]\n @VAR = [s, 2] }").unwrap();
         assert!(extract_mappings(&am, &anns).is_err());
     }
 

@@ -85,10 +85,7 @@ mod tests {
 
     #[test]
     fn slice_stops_at_loads() {
-        let (f, ud) = setup(
-            "int g = 5; int f() { int x = g; return x + 1; }",
-            "f",
-        );
+        let (f, ud) = setup("int g = 5; int f() { int x = g; return x + 1; }", "f");
         let ret_val = f
             .blocks
             .iter()

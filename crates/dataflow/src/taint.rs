@@ -102,10 +102,9 @@ impl<'a> TaintEngine<'a> {
                             loads.push((fid, *dst, loc));
                         }
                     }
-                    Instr::Param { dst, index }
-                        if (*index as usize) < params.len() => {
-                            params[*index as usize] = Some(*dst);
-                        }
+                    Instr::Param { dst, index } if (*index as usize) < params.len() => {
+                        params[*index as usize] = Some(*dst);
+                    }
                     _ => {}
                 }
             }
@@ -272,12 +271,7 @@ impl<'a> TaintEngine<'a> {
 
     /// If `v` is defined by `AddrOf(place)`, the abstract location of that
     /// place.
-    fn addr_of_target(
-        &self,
-        f: FuncId,
-        func: &spex_ir::Function,
-        v: ValueId,
-    ) -> Option<MemLoc> {
+    fn addr_of_target(&self, f: FuncId, func: &spex_ir::Function, v: ValueId) -> Option<MemLoc> {
         let ud = &self.am.usedefs[f.index()];
         match ud.def_instr(func, v) {
             Some(Instr::AddrOf { place, .. }) => MemLoc::from_place(f, place),

@@ -116,8 +116,8 @@ mod tests {
         let (f, ud) = build("int f(int x) { if (x) { return 1; } return 0; }", "f");
         let cond_uses: Vec<_> = ud
             .uses
-            .iter()
-            .flat_map(|(_, sites)| sites.iter())
+            .values()
+            .flat_map(|sites| sites.iter())
             .filter(|s| matches!(s, UseSite::Term(_)))
             .collect();
         assert!(!cond_uses.is_empty());

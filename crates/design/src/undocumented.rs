@@ -40,27 +40,27 @@ pub fn detect(analysis: &SpexAnalysis, manual: &Manual) -> UndocumentedReport {
         for c in &r.constraints {
             match &c.kind {
                 ConstraintKind::Range(_) | ConstraintKind::EnumRange(_)
-                    if !manual.documents_range(&c.param)
-                        && !report.ranges.contains(&c.param)
-                    => {
-                        report.ranges.push(c.param.clone());
-                    }
+                    if !manual.documents_range(&c.param) && !report.ranges.contains(&c.param) =>
+                {
+                    report.ranges.push(c.param.clone());
+                }
                 ConstraintKind::ControlDep(d)
-                    if !manual.documents_dep(&d.dependent, &d.controller) => {
-                        let pair = (d.dependent.clone(), d.controller.clone());
-                        if !report.control_deps.contains(&pair) {
-                            report.control_deps.push(pair);
-                        }
+                    if !manual.documents_dep(&d.dependent, &d.controller) =>
+                {
+                    let pair = (d.dependent.clone(), d.controller.clone());
+                    if !report.control_deps.contains(&pair) {
+                        report.control_deps.push(pair);
                     }
+                }
                 ConstraintKind::ValueRel(v)
                     if !manual.documents_rel(&v.lhs, &v.rhs)
-                        && !manual.documents_rel(&v.rhs, &v.lhs)
-                    => {
-                        let pair = (v.lhs.clone(), v.rhs.clone());
-                        if !report.value_rels.contains(&pair) {
-                            report.value_rels.push(pair);
-                        }
+                        && !manual.documents_rel(&v.rhs, &v.lhs) =>
+                {
+                    let pair = (v.lhs.clone(), v.rhs.clone());
+                    if !report.value_rels.contains(&pair) {
+                        report.value_rels.push(pair);
                     }
+                }
                 _ => {}
             }
         }
@@ -78,8 +78,7 @@ mod tests {
         let p = spex_lang::parse_program(src).unwrap();
         let m = spex_ir::lower_program(&p).unwrap();
         let anns =
-            Annotation::parse("{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }")
-                .unwrap();
+            Annotation::parse("{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }").unwrap();
         Spex::analyze(m, &anns)
     }
 

@@ -51,10 +51,7 @@ impl UnitReport {
 }
 
 fn minority<K: Ord + Copy>(map: &BTreeMap<K, Vec<String>>) -> Vec<&String> {
-    let dominant = map
-        .iter()
-        .max_by_key(|(_, v)| v.len())
-        .map(|(k, _)| *k);
+    let dominant = map.iter().max_by_key(|(_, v)| v.len()).map(|(k, _)| *k);
     map.iter()
         .filter(|(k, _)| Some(**k) != dominant)
         .flat_map(|(_, v)| v.iter())
@@ -95,8 +92,7 @@ mod tests {
         let p = spex_lang::parse_program(src).unwrap();
         let m = spex_ir::lower_program(&p).unwrap();
         let anns =
-            Annotation::parse("{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }")
-                .unwrap();
+            Annotation::parse("{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }").unwrap();
         Spex::analyze(m, &anns)
     }
 

@@ -79,8 +79,12 @@ mod tests {
             "{ @STRUCT = cmds\n @PAR = [cmd, 1]\n @VAR = ([cmd, 2], $v) }",
         );
         let findings = detect(&a);
-        assert!(findings.iter().any(|f| f.param == "a" && f.api == Builtin::Atoi));
-        assert!(findings.iter().any(|f| f.param == "b" && f.api == Builtin::Sscanf));
+        assert!(findings
+            .iter()
+            .any(|f| f.param == "a" && f.api == Builtin::Atoi));
+        assert!(findings
+            .iter()
+            .any(|f| f.param == "b" && f.api == Builtin::Sscanf));
         assert_eq!(affected_params(&findings), vec!["a", "b"]);
     }
 

@@ -12,9 +12,7 @@
 //! | Control dep.   | `(P ⋄ V) ∧ Q` made false while Q is set                |
 //! | Value relation | value pairs violating the relation                     |
 
-use spex_core::constraint::{
-    BasicType, CmpOp, Constraint, ConstraintKind, EnumValue, SemType,
-};
+use spex_core::constraint::{BasicType, CmpOp, Constraint, ConstraintKind, EnumValue, SemType};
 
 /// One generated misconfiguration: the target parameter's erroneous value,
 /// plus any co-settings (control-dependency violations set two parameters).
@@ -37,7 +35,12 @@ pub struct Misconfig {
 }
 
 impl Misconfig {
-    fn new(param: &str, value: impl Into<String>, desc: impl Into<String>, violates: &'static str) -> Self {
+    fn new(
+        param: &str,
+        value: impl Into<String>,
+        desc: impl Into<String>,
+        violates: &'static str,
+    ) -> Self {
         Misconfig {
             param: param.to_string(),
             value: value.into(),
@@ -100,14 +103,29 @@ impl GenRule for BasicTypeRule {
         let p = c.param.as_str();
         match bt {
             BasicType::Int { bits: 32, .. } => vec![
-                Misconfig::new(p, "not_a_number", "non-numeric value for integer", "basic-type"),
+                Misconfig::new(
+                    p,
+                    "not_a_number",
+                    "non-numeric value for integer",
+                    "basic-type",
+                ),
                 // Figure 5(a): a value overflowing 32 bits.
-                Misconfig::new(p, "9000000000", "value overflowing a 32-bit integer", "basic-type"),
+                Misconfig::new(
+                    p,
+                    "9000000000",
+                    "value overflowing a 32-bit integer",
+                    "basic-type",
+                ),
                 // Figure 5(a): unit suffix on a plain integer.
                 Misconfig::new(p, "9G", "unit suffix on a plain integer", "basic-type"),
             ],
             BasicType::Int { .. } => vec![
-                Misconfig::new(p, "not_a_number", "non-numeric value for integer", "basic-type"),
+                Misconfig::new(
+                    p,
+                    "not_a_number",
+                    "non-numeric value for integer",
+                    "basic-type",
+                ),
                 Misconfig::new(p, "12half", "trailing garbage after number", "basic-type"),
             ],
             BasicType::Float { .. } => vec![Misconfig::new(
@@ -144,11 +162,21 @@ impl GenRule for SemanticTypeRule {
         match st {
             SemType::FilePath => vec![
                 // Figure 5(b): a directory where a file is expected.
-                Misconfig::new(p, "/etc", "directory path for a FILE parameter", "semantic-type"),
+                Misconfig::new(
+                    p,
+                    "/etc",
+                    "directory path for a FILE parameter",
+                    "semantic-type",
+                ),
                 Misconfig::new(p, "/no/such/file", "nonexistent file path", "semantic-type"),
             ],
             SemType::DirPath => vec![
-                Misconfig::new(p, "/etc/passwd", "file path for a DIR parameter", "semantic-type"),
+                Misconfig::new(
+                    p,
+                    "/etc/passwd",
+                    "file path for a DIR parameter",
+                    "semantic-type",
+                ),
                 Misconfig::new(p, "/no/such/dir", "nonexistent directory", "semantic-type"),
             ],
             SemType::Port => vec![
@@ -186,7 +214,12 @@ impl GenRule for SemanticTypeRule {
             SemType::Size(_) => vec![
                 Misconfig::new(p, "9000000000", "size overflowing 32 bits", "semantic-type"),
                 // Figure 5(a)/7(d): unit mismatch.
-                Misconfig::new(p, "512MB", "unit suffix the parser may ignore", "semantic-type"),
+                Misconfig::new(
+                    p,
+                    "512MB",
+                    "unit suffix the parser may ignore",
+                    "semantic-type",
+                ),
             ],
             SemType::Permission => vec![Misconfig::new(
                 p,
@@ -419,9 +452,21 @@ mod tests {
         let range = NumericRange {
             cutpoints: vec![4, 255],
             segments: vec![
-                RangeSegment { lo: None, hi: Some(3), valid: false },
-                RangeSegment { lo: Some(4), hi: Some(255), valid: true },
-                RangeSegment { lo: Some(256), hi: None, valid: false },
+                RangeSegment {
+                    lo: None,
+                    hi: Some(3),
+                    valid: false,
+                },
+                RangeSegment {
+                    lo: Some(4),
+                    hi: Some(255),
+                    valid: true,
+                },
+                RangeSegment {
+                    lo: Some(256),
+                    hi: None,
+                    valid: false,
+                },
             ],
         };
         let cs = vec![c("index_intlen", ConstraintKind::Range(range.clone()))];

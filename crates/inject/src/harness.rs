@@ -191,7 +191,10 @@ impl<'m> InjectionCampaign<'m> {
 
         // Phase 1: configuration.
         for (name, value) in conf.settings() {
-            match vm.call(&self.target.config_entry, &[Value::str(name), Value::str(value)]) {
+            match vm.call(
+                &self.target.config_entry,
+                &[Value::str(name), Value::str(value)],
+            ) {
                 Ok(ret) => {
                     if ret.as_int().unwrap_or(0) != 0 {
                         // Parser rejected a setting: the system refuses to
@@ -584,7 +587,9 @@ mod tests {
         ]);
         assert_eq!(outs.len(), 3);
         assert_eq!(
-            outs.iter().filter(|o| o.reaction.is_vulnerability()).count(),
+            outs.iter()
+                .filter(|o| o.reaction.is_vulnerability())
+                .count(),
             2
         );
     }

@@ -64,9 +64,7 @@ impl CampaignReport {
                 reaction => {
                     let column = reaction.column().expect("vulnerability has a column");
                     *report.by_reaction.entry(column).or_insert(0) += 1;
-                    report
-                        .locations
-                        .insert(o.misconfig.origin.clone());
+                    report.locations.insert(o.misconfig.origin.clone());
                     report.vulnerabilities.push(Vulnerability {
                         param: o.misconfig.param.clone(),
                         value: o.misconfig.value.clone(),

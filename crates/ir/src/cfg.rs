@@ -103,10 +103,7 @@ mod tests {
 
     #[test]
     fn rpo_starts_at_entry_and_covers_reachable() {
-        let (_, cfg) = cfg_of(
-            "int f(int x) { while (x > 0) { x -= 1; } return x; }",
-            "f",
-        );
+        let (_, cfg) = cfg_of("int f(int x) { while (x > 0) { x -= 1; } return x; }", "f");
         assert_eq!(cfg.rpo[0], BlockId(0));
         // Every reachable block appears exactly once.
         let mut seen = std::collections::HashSet::new();

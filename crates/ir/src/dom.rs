@@ -183,10 +183,7 @@ mod tests {
 
     #[test]
     fn loop_header_dominates_body() {
-        let (_, cfg, dom) = dom_of(
-            "int f(int x) { while (x > 0) { x -= 1; } return x; }",
-            "f",
-        );
+        let (_, cfg, dom) = dom_of("int f(int x) { while (x > 0) { x -= 1; } return x; }", "f");
         // Find the header: a reachable block with two predecessors.
         let header = (0..cfg.preds.len())
             .map(|i| BlockId(i as u32))
@@ -200,10 +197,7 @@ mod tests {
 
     #[test]
     fn dominators_of_walks_to_entry() {
-        let (_, cfg, dom) = dom_of(
-            "int f(int x) { if (x > 0) { x = 1; } return x; }",
-            "f",
-        );
+        let (_, cfg, dom) = dom_of("int f(int x) { if (x > 0) { x = 1; } return x; }", "f");
         let join = *cfg.rpo.last().unwrap();
         let doms = dom.dominators_of(join);
         assert_eq!(doms[0], join);

@@ -463,9 +463,6 @@ mod tests {
             args: vec![ValueId(2), ValueId(3)],
         };
         i.map_uses(&mut |v| ValueId(v.0 + 10));
-        assert_eq!(
-            i.uses(),
-            vec![ValueId(11), ValueId(12), ValueId(13)]
-        );
+        assert_eq!(i.uses(), vec![ValueId(11), ValueId(12), ValueId(13)]);
     }
 }

@@ -38,7 +38,5 @@ pub mod verify;
 
 pub use instr::{Callee, ConstVal, Instr, Place, PlaceBase, PlaceElem, Terminator};
 pub use lower::lower_program;
-pub use module::{
-    Block, BlockId, FuncId, Function, GlobalId, GlobalVar, Module, SlotId, ValueId,
-};
+pub use module::{Block, BlockId, FuncId, Function, GlobalId, GlobalVar, Module, SlotId, ValueId};
 pub use ssa::promote_to_ssa;

@@ -11,9 +11,7 @@ use crate::module::{
     Block, BlockId, FuncId, Function, GlobalId, GlobalVar, Module, SlotId, SlotInfo, StructLayout,
     ValueId,
 };
-use spex_lang::ast::{
-    BinOp, Expr, ExprKind, FunctionDef, Initializer, Program, Stmt, UnOp,
-};
+use spex_lang::ast::{BinOp, Expr, ExprKind, FunctionDef, Initializer, Program, Stmt, UnOp};
 use spex_lang::builtins::Builtin;
 use spex_lang::diag::{Diagnostic, Span};
 use spex_lang::types::CType;
@@ -26,7 +24,11 @@ pub fn lower_program(program: &Program) -> Result<Module, Diagnostic> {
     for s in &program.structs {
         module.structs.push(StructLayout {
             name: s.name.clone(),
-            fields: s.fields.iter().map(|f| (f.name.clone(), f.ty.clone())).collect(),
+            fields: s
+                .fields
+                .iter()
+                .map(|f| (f.name.clone(), f.ty.clone()))
+                .collect(),
         });
     }
     for e in &program.enums {
@@ -175,9 +177,10 @@ fn const_eval_expr(
             }
         }
         ExprKind::AddrOf(inner) => match &inner.kind {
-            ExprKind::Ident(name) => globals.get(name).map(|g| ConstVal::GlobalRef(*g)).ok_or_else(
-                || Diagnostic::new(e.span, format!("`&{name}`: unknown global")),
-            ),
+            ExprKind::Ident(name) => globals
+                .get(name)
+                .map(|g| ConstVal::GlobalRef(*g))
+                .ok_or_else(|| Diagnostic::new(e.span, format!("`&{name}`: unknown global"))),
             _ => Err(Diagnostic::new(
                 e.span,
                 "only addresses of globals are constant",
@@ -275,7 +278,10 @@ impl<'a> FuncLowerer<'a> {
         let body = self.ast.body.clone();
         self.lower_stmts(&body)?;
         // Fall-off-the-end: return 0 / void.
-        if matches!(self.blocks[self.cur.index()].term.0, Terminator::Unreachable) {
+        if matches!(
+            self.blocks[self.cur.index()].term.0,
+            Terminator::Unreachable
+        ) {
             let term = if self.ast.ret == CType::Void {
                 Terminator::Ret(None)
             } else {
@@ -582,12 +588,11 @@ impl<'a> FuncLowerer<'a> {
             ExprKind::CharLit(c) => Ok(*c as i64),
             ExprKind::BoolLit(b) => Ok(*b as i64),
             ExprKind::Unary(UnOp::Neg, inner) => Ok(-self.case_label_value(inner)?),
-            ExprKind::Ident(name) => self
-                .module
-                .enum_consts
-                .get(name)
-                .copied()
-                .ok_or_else(|| Diagnostic::new(label.span, format!("`{name}` is not a constant"))),
+            ExprKind::Ident(name) => {
+                self.module.enum_consts.get(name).copied().ok_or_else(|| {
+                    Diagnostic::new(label.span, format!("`{name}` is not a constant"))
+                })
+            }
             _ => Err(Diagnostic::new(label.span, "case label must be constant")),
         }
     }
@@ -664,10 +669,7 @@ impl<'a> FuncLowerer<'a> {
             }
             ExprKind::BoolLit(b) => {
                 let ty = CType::Bool;
-                Ok((
-                    self.const_value(ConstVal::Bool(*b), ty.clone(), e.span),
-                    ty,
-                ))
+                Ok((self.const_value(ConstVal::Bool(*b), ty.clone(), e.span), ty))
             }
             ExprKind::Null => {
                 let ty = CType::Ptr(Box::new(CType::Void));
@@ -702,10 +704,7 @@ impl<'a> FuncLowerer<'a> {
                 }
                 if let Some(&val) = self.module.enum_consts.get(name) {
                     let ty = CType::int();
-                    return Ok((
-                        self.const_value(ConstVal::Int(val), ty.clone(), e.span),
-                        ty,
-                    ));
+                    return Ok((self.const_value(ConstVal::Int(val), ty.clone(), e.span), ty));
                 }
                 if let Some(&f) = self.funcs.get(name) {
                     let ty = CType::FuncPtr;
@@ -1051,13 +1050,7 @@ impl<'a> FuncLowerer<'a> {
                         CType::Ptr(elem) => {
                             // Load the pointer then index through it.
                             let pv = self.new_value(CType::Ptr(elem.clone()));
-                            self.emit(
-                                Instr::Load {
-                                    dst: pv,
-                                    place,
-                                },
-                                e.span,
-                            );
+                            self.emit(Instr::Load { dst: pv, place }, e.span);
                             Ok((
                                 Place {
                                     base: PlaceBase::ValuePtr(pv),
@@ -1114,7 +1107,9 @@ impl<'a> FuncLowerer<'a> {
     /// expression is not an lvalue (used to disambiguate `p[i]` bases).
     fn try_lower_lvalue(&mut self, e: &Expr) -> Result<Option<(Place, CType)>, Diagnostic> {
         match &e.kind {
-            ExprKind::Ident(_) | ExprKind::Member { .. } | ExprKind::Index(..)
+            ExprKind::Ident(_)
+            | ExprKind::Member { .. }
+            | ExprKind::Index(..)
             | ExprKind::Deref(_) => self.lower_lvalue(e).map(Some),
             _ => Ok(None),
         }

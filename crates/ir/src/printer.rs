@@ -8,7 +8,13 @@ use std::fmt::Write;
 pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
     for g in &m.globals {
-        let _ = writeln!(out, "global {} : {} = {}", g.name, g.ty, fmt_const(&g.init, m));
+        let _ = writeln!(
+            out,
+            "global {} : {} = {}",
+            g.name,
+            g.ty,
+            fmt_const(&g.init, m)
+        );
     }
     for f in &m.functions {
         out.push_str(&print_function(f, m));
@@ -50,8 +56,20 @@ fn fmt_const(c: &ConstVal, m: &Module) -> String {
         ConstVal::Str(s) => format!("{s:?}"),
         ConstVal::Bool(b) => format!("{b}"),
         ConstVal::Null => "null".into(),
-        ConstVal::FuncRef(f) => format!("@{}", m.functions.get(f.index()).map(|f| f.name.as_str()).unwrap_or("?")),
-        ConstVal::GlobalRef(g) => format!("&{}", m.globals.get(g.index()).map(|g| g.name.as_str()).unwrap_or("?")),
+        ConstVal::FuncRef(f) => format!(
+            "@{}",
+            m.functions
+                .get(f.index())
+                .map(|f| f.name.as_str())
+                .unwrap_or("?")
+        ),
+        ConstVal::GlobalRef(g) => format!(
+            "&{}",
+            m.globals
+                .get(g.index())
+                .map(|g| g.name.as_str())
+                .unwrap_or("?")
+        ),
         ConstVal::Aggregate(items) => {
             let inner: Vec<String> = items.iter().map(|i| fmt_const(i, m)).collect();
             format!("{{{}}}", inner.join(", "))
@@ -133,7 +151,10 @@ fn fmt_term(t: &Terminator) -> String {
             cases,
             default,
         } => {
-            let arms: Vec<String> = cases.iter().map(|(c, b)| format!("{c}->b{}", b.0)).collect();
+            let arms: Vec<String> = cases
+                .iter()
+                .map(|(c, b)| format!("{c}->b{}", b.0))
+                .collect();
             format!(
                 "switch v{} [{}] default b{}",
                 value.0,

@@ -203,11 +203,7 @@ impl Renamer<'_> {
         cur
     }
 
-    fn current_def(
-        &mut self,
-        slot: SlotId,
-        stacks: &HashMap<SlotId, Vec<ValueId>>,
-    ) -> ValueId {
+    fn current_def(&mut self, slot: SlotId, stacks: &HashMap<SlotId, Vec<ValueId>>) -> ValueId {
         if let Some(v) = stacks.get(&slot).and_then(|s| s.last()) {
             return self.resolve(*v);
         }
@@ -389,10 +385,7 @@ mod tests {
             "int f(int x) { int y = x; if (x > 2) { y = y * 2; } return y + 1; }",
             "f",
         );
-        let defs: HashSet<ValueId> = f
-            .iter_instrs()
-            .filter_map(|(_, _, i, _)| i.def())
-            .collect();
+        let defs: HashSet<ValueId> = f.iter_instrs().filter_map(|(_, _, i, _)| i.def()).collect();
         for (_, _, i, _) in f.iter_instrs() {
             for u in i.uses() {
                 assert!(defs.contains(&u), "use of undefined value {u}");

@@ -160,7 +160,11 @@ mod tests {
         for f in &m.functions {
             let ssa = promote_to_ssa(f);
             let errs = verify_function(&ssa);
-            assert!(errs.is_empty(), "SSA verify failed for {}: {errs:?}", f.name);
+            assert!(
+                errs.is_empty(),
+                "SSA verify failed for {}: {errs:?}",
+                f.name
+            );
         }
     }
 

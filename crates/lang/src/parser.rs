@@ -296,7 +296,9 @@ impl Parser {
                 .functions
                 .push(self.parse_function_rest(ty, name, span)?);
         } else {
-            program.globals.push(self.parse_global_rest(ty, name, span)?);
+            program
+                .globals
+                .push(self.parse_global_rest(ty, name, span)?);
         }
         Ok(())
     }
@@ -1038,10 +1040,7 @@ mod tests {
         let p = parse_program(src).unwrap();
         match &p.functions[0].body[0] {
             Stmt::Return(Some(e), _) => {
-                assert!(matches!(
-                    e.kind,
-                    ExprKind::Binary(BinOp::LogicalOr, ..)
-                ));
+                assert!(matches!(e.kind, ExprKind::Binary(BinOp::LogicalOr, ..)));
             }
             _ => unreachable!(),
         }

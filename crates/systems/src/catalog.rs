@@ -83,7 +83,12 @@ impl Pop {
             self.seq += 1;
             let min = format!("{stem}_min_{}", self.seq);
             let max = format!("{stem}_max_{}", self.seq);
-            self.push(ParamSpec::new(&min, Role::MinOf { partner: max.clone() }));
+            self.push(ParamSpec::new(
+                &min,
+                Role::MinOf {
+                    partner: max.clone(),
+                },
+            ));
             self.push(ParamSpec::new(&max, Role::MaxOf));
         }
         self
@@ -179,60 +184,161 @@ fn word_enum(insensitive: bool, strict: bool) -> Role {
 pub fn apache() -> SystemSpec {
     let mut p = Pop::new();
     p.many(2, "document_root", |n| {
-        ParamSpec::new(n, Role::File { checked: true, log: true })
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: true,
+                log: true,
+            },
+        )
     })
     .many(2, "error_log", |n| {
-        ParamSpec::new(n, Role::File { checked: true, log: false })
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: true,
+                log: false,
+            },
+        )
     })
     .many(2, "mime_types_file", |n| {
-        ParamSpec::new(n, Role::File { checked: false, log: false })
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: false,
+                log: false,
+            },
+        )
     })
-    .many(1, "server_root", |n| ParamSpec::new(n, Role::Dir { checked: true }))
-    .many(1, "cache_dir", |n| ParamSpec::new(n, Role::Dir { checked: false }))
+    .many(1, "server_root", |n| {
+        ParamSpec::new(n, Role::Dir { checked: true })
+    })
+    .many(1, "cache_dir", |n| {
+        ParamSpec::new(n, Role::Dir { checked: false })
+    })
     .many(2, "listen_port", |n| {
-        ParamSpec::new(n, Role::Port { checked: true, log: true })
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: true,
+                log: true,
+            },
+        )
     })
     .many(2, "status_port", |n| {
-        ParamSpec::new(n, Role::Port { checked: false, log: false })
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: false,
+                log: false,
+            },
+        )
     })
-    .many(1, "run_user", |n| ParamSpec::new(n, Role::User { checked: true }))
-    .many(1, "suexec_user", |n| ParamSpec::new(n, Role::User { checked: false }))
+    .many(1, "run_user", |n| {
+        ParamSpec::new(n, Role::User { checked: true })
+    })
+    .many(1, "suexec_user", |n| {
+        ParamSpec::new(n, Role::User { checked: false })
+    })
     .many(8, "timeout", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: false,
+            },
+        )
     })
     .many(1, "poll_interval_ms", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1000,
+                micro: true,
+            },
+        )
     })
     .many(6, "send_buffer", |n| {
-        ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: false })
+        ParamSpec::new(
+            n,
+            Role::SizeAlloc {
+                scale: 1,
+                checked: false,
+            },
+        )
     })
     // Figure 6(b): the lone kilobyte-sized parameter.
     .push(ParamSpec::new(
         "MaxMemFree",
-        Role::SizeAlloc { scale: 1024, checked: true },
+        Role::SizeAlloc {
+            scale: 1024,
+            checked: true,
+        },
     ))
-    .many(3, "hostname_lookups", |n| ParamSpec::new(n, word_enum(false, true)))
-    .many(17, "log_level", |n| ParamSpec::new(n, word_enum(true, true)))
+    .many(3, "hostname_lookups", |n| {
+        ParamSpec::new(n, word_enum(false, true))
+    })
+    .many(17, "log_level", |n| {
+        ParamSpec::new(n, word_enum(true, true))
+    })
     .push(ParamSpec::new("override_policy", word_enum(true, false)))
-    .many(8, "keep_alive", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }))
+    .many(8, "keep_alive", |n| {
+        ParamSpec::new(n, Role::BoolFlag { strict: true })
+    })
     .many(3, "thread_limit", |n| ParamSpec::new(n, Role::CrashIndex))
     .many(5, "max_clients", |n| {
-        ParamSpec::new(n, Role::RangeExit { min: 1, max: 512, log: true }).documented()
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 1,
+                max: 512,
+                log: true,
+            },
+        )
+        .documented()
     })
     .many(5, "server_limit", |n| {
-        ParamSpec::new(n, Role::RangeExit { min: 1, max: 256, log: false })
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 1,
+                max: 256,
+                log: false,
+            },
+        )
     })
     .many(5, "min_spare", |n| {
         ParamSpec::new(n, Role::RangeClamp { min: 1, max: 64 })
     })
-    .many(2, "log_mode", |n| ParamSpec::new(n, Role::Switch { n: 3, loud_default: true }))
-    .many(2, "mpm_mode", |n| ParamSpec::new(n, Role::Switch { n: 3, loud_default: false }));
+    .many(2, "log_mode", |n| {
+        ParamSpec::new(
+            n,
+            Role::Switch {
+                n: 3,
+                loud_default: true,
+            },
+        )
+    })
+    .many(2, "mpm_mode", |n| {
+        ParamSpec::new(
+            n,
+            Role::Switch {
+                n: 3,
+                loud_default: false,
+            },
+        )
+    });
     let controllers = p.bool_controllers(1);
     p.deps(1, &controllers, false).rel_pairs(4, "spare_threads");
     let filler = 103usize.saturating_sub(p.params.len());
     p.many(filler, "limit_request", |n| ParamSpec::new(n, Role::Arith));
     p.mark_unsafe(27);
-    p.build("Apache", MappingStyle::StructHandler, Dialect::Directive, true)
+    p.build(
+        "Apache",
+        MappingStyle::StructHandler,
+        Dialect::Directive,
+        true,
+    )
 }
 
 /// MySQL: option-table mapping with table-validated ranges.
@@ -242,48 +348,123 @@ pub fn mysql() -> SystemSpec {
         ParamSpec::new(n, Role::RangeTable { min: 1, max: 65536 }).documented()
     })
     .many(6, "key_cache", |n| {
-        ParamSpec::new(n, Role::RangeExit { min: 8, max: 4096, log: true })
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 8,
+                max: 4096,
+                log: true,
+            },
+        )
     })
     .many(6, "sort_size", |n| {
-        ParamSpec::new(n, Role::RangeExit { min: 8, max: 4096, log: false })
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 8,
+                max: 4096,
+                log: false,
+            },
+        )
     })
     .many(45, "history_size", |n| {
         ParamSpec::new(n, Role::RangeClamp { min: 0, max: 1024 })
     })
     .many(3, "thread_stack", |n| ParamSpec::new(n, Role::CrashIndex))
     .many(6, "binlog_format", |n| {
-        ParamSpec::new(n, Role::Switch { n: 3, loud_default: false })
+        ParamSpec::new(
+            n,
+            Role::Switch {
+                n: 3,
+                loud_default: false,
+            },
+        )
     })
     .many(2, "isolation_level", |n| {
-        ParamSpec::new(n, Role::Switch { n: 4, loud_default: true })
+        ParamSpec::new(
+            n,
+            Role::Switch {
+                n: 4,
+                loud_default: true,
+            },
+        )
     })
     .many(4, "datadir_file", |n| {
-        ParamSpec::new(n, Role::File { checked: true, log: true })
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: true,
+                log: true,
+            },
+        )
     })
     // Figure 3(b): the stopword file opened through a helper.
     .push(ParamSpec::new(
         "ft_stopword_file",
-        Role::File { checked: false, log: false },
+        Role::File {
+            checked: false,
+            log: false,
+        },
     ))
     .many(3, "relay_log", |n| {
-        ParamSpec::new(n, Role::File { checked: false, log: false })
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: false,
+                log: false,
+            },
+        )
     })
     .many(3, "report_port", |n| {
-        ParamSpec::new(n, Role::Port { checked: true, log: true })
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: true,
+                log: true,
+            },
+        )
     })
-    .many(2, "run_user", |n| ParamSpec::new(n, Role::User { checked: true }))
-    .many(2, "tmp_dir", |n| ParamSpec::new(n, Role::Dir { checked: true }))
+    .many(2, "run_user", |n| {
+        ParamSpec::new(n, Role::User { checked: true })
+    })
+    .many(2, "tmp_dir", |n| {
+        ParamSpec::new(n, Role::Dir { checked: true })
+    })
     .many(2, "lock_poll_us", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: true })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: true,
+            },
+        )
     })
     .many(2, "flush_interval_ms", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1000,
+                micro: true,
+            },
+        )
     })
     .many(6, "wait_timeout", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: false,
+            },
+        )
     })
     .many(15, "packet_size", |n| {
-        ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: true })
+        ParamSpec::new(
+            n,
+            Role::SizeAlloc {
+                scale: 1,
+                checked: true,
+            },
+        )
     })
     // Figure 6(a): the lone case-sensitive enum option.
     .push(ParamSpec::new(
@@ -291,7 +472,9 @@ pub fn mysql() -> SystemSpec {
         word_enum(false, true),
     ))
     .many(29, "sql_mode", |n| ParamSpec::new(n, word_enum(true, true)))
-    .many(15, "auto_commit", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }));
+    .many(15, "auto_commit", |n| {
+        ParamSpec::new(n, Role::BoolFlag { strict: true })
+    });
     let controllers = p.bool_controllers(3);
     p.deps(5, &controllers, false)
         .rel_pairs(3, "ft_word_len")
@@ -305,48 +488,113 @@ pub fn mysql() -> SystemSpec {
 pub fn postgresql() -> SystemSpec {
     let mut p = Pop::new();
     p.many(100, "guc_int", |n| {
-        ParamSpec::new(n, Role::RangeTable { min: 0, max: 100000 }).documented()
+        ParamSpec::new(
+            n,
+            Role::RangeTable {
+                min: 0,
+                max: 100000,
+            },
+        )
+        .documented()
     })
     .many(10, "shared_buffers", |n| {
-        ParamSpec::new(n, Role::RangeExit { min: 16, max: 8192, log: true }).documented()
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 16,
+                max: 8192,
+                log: true,
+            },
+        )
+        .documented()
     })
     .many(8, "wal_buffers", |n| {
-        ParamSpec::new(n, Role::RangeExit { min: 4, max: 2048, log: false })
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 4,
+                max: 2048,
+                log: false,
+            },
+        )
     })
     .push(ParamSpec::new(
         "vacuum_threshold",
         Role::RangeClamp { min: 0, max: 1000 },
     ))
     .many(4, "hba_file", |n| {
-        ParamSpec::new(n, Role::File { checked: true, log: true })
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: true,
+                log: true,
+            },
+        )
     })
     .many(2, "stats_port", |n| {
-        ParamSpec::new(n, Role::Port { checked: true, log: true })
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: true,
+                log: true,
+            },
+        )
     })
     .push(ParamSpec::new("run_user", Role::User { checked: true }))
     .push(ParamSpec::new(
         "deadlock_poll_us",
-        Role::TimeSleep { scale: 1, micro: true },
+        Role::TimeSleep {
+            scale: 1,
+            micro: true,
+        },
     ))
     .many(8, "checkpoint_warning_ms", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1000,
+                micro: true,
+            },
+        )
     })
     .many(4, "statement_timeout", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: false,
+            },
+        )
     })
     .push(ParamSpec::new(
         "autovacuum_nap_min",
-        Role::TimeSleep { scale: 60, micro: false },
+        Role::TimeSleep {
+            scale: 60,
+            micro: false,
+        },
     ))
     .push(ParamSpec::new(
         "work_mem_b",
-        Role::SizeAlloc { scale: 1, checked: true },
+        Role::SizeAlloc {
+            scale: 1,
+            checked: true,
+        },
     ))
     .many(3, "temp_mem_kb", |n| {
-        ParamSpec::new(n, Role::SizeAlloc { scale: 1024, checked: true })
+        ParamSpec::new(
+            n,
+            Role::SizeAlloc {
+                scale: 1024,
+                checked: true,
+            },
+        )
     })
-    .many(30, "sync_method", |n| ParamSpec::new(n, word_enum(true, true)))
-    .many(20, "fsync_like", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }));
+    .many(30, "sync_method", |n| {
+        ParamSpec::new(n, word_enum(true, true))
+    })
+    .many(20, "fsync_like", |n| {
+        ParamSpec::new(n, Role::BoolFlag { strict: true })
+    });
     let controllers = p.bool_controllers(5);
     p.deps(20, &controllers, false).rel_pairs(2, "cost_limit");
     let filler = 231usize.saturating_sub(p.params.len());
@@ -374,30 +622,68 @@ pub fn openldap() -> SystemSpec {
     .push(ParamSpec::new("listener-threads", Role::CrashIndex))
     .push(ParamSpec::new("tool-threads", Role::CrashIndex))
     .many(3, "idle_timeout", |n| {
-        ParamSpec::new(n, Role::RangeExit { min: 0, max: 3600, log: false })
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 0,
+                max: 3600,
+                log: false,
+            },
+        )
     })
     .many(15, "db_knob", |n| {
         ParamSpec::new(n, Role::RangeTable { min: 0, max: 4096 }).documented()
     })
     .many(2, "db_directory", |n| {
-        ParamSpec::new(n, Role::File { checked: false, log: false })
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: false,
+                log: false,
+            },
+        )
     })
     .push(ParamSpec::new(
         "tls_cert",
-        Role::File { checked: true, log: true },
+        Role::File {
+            checked: true,
+            log: true,
+        },
     ))
     .push(ParamSpec::new("backup_dir", Role::Dir { checked: false }))
     .many(2, "ldap_port", |n| {
-        ParamSpec::new(n, Role::Port { checked: false, log: false })
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: false,
+                log: false,
+            },
+        )
     })
     .many(3, "retry_wait", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: false,
+            },
+        )
     })
     .many(2, "sockbuf_max", |n| {
-        ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: false })
+        ParamSpec::new(
+            n,
+            Role::SizeAlloc {
+                scale: 1,
+                checked: false,
+            },
+        )
     })
-    .many(9, "schema_check", |n| ParamSpec::new(n, word_enum(true, true)))
-    .many(6, "overlay_flag", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }))
+    .many(9, "schema_check", |n| {
+        ParamSpec::new(n, word_enum(true, true))
+    })
+    .many(6, "overlay_flag", |n| {
+        ParamSpec::new(n, Role::BoolFlag { strict: true })
+    })
     .rel_pairs(1, "conn_pool")
     .alias_pairs(3);
     let filler = 86usize.saturating_sub(p.params.len());
@@ -413,37 +699,83 @@ pub fn openldap() -> SystemSpec {
 /// VSFTP: option-table mapping, dependency-heavy booleans, unsafe parses.
 pub fn vsftp() -> SystemSpec {
     let mut p = Pop::new();
-    p.many(44, "ftpd_flag", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }))
-        .many(10, "ascii_mode", |n| ParamSpec::new(n, word_enum(true, true)))
-        .many(6, "chown_index", |n| ParamSpec::new(n, Role::CrashIndex))
-        .many(8, "accept_wait", |n| {
-            ParamSpec::new(n, Role::RangeClamp { min: 0, max: 600 })
-        })
-        .many(4, "max_login_fails", |n| {
-            ParamSpec::new(n, Role::RangeExit { min: 1, max: 50, log: false })
-        })
-        .many(2, "banner_file", |n| {
-            ParamSpec::new(n, Role::File { checked: true, log: true })
-        })
-        .many(4, "chroot_list", |n| {
-            ParamSpec::new(n, Role::File { checked: false, log: false })
-        })
-        .many(2, "listen_port", |n| {
-            ParamSpec::new(n, Role::Port { checked: false, log: false })
-        })
-        .many(2, "pasv_port", |n| {
-            ParamSpec::new(n, Role::Port { checked: true, log: false })
-        })
-        .push(ParamSpec::new("ftp_user", Role::User { checked: true }))
-        .many(2, "guest_user", |n| ParamSpec::new(n, Role::User { checked: false }))
-        .many(6, "data_timeout", |n| {
-            ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
-        })
-        .push(ParamSpec::new(
-            "xfer_buf",
-            Role::SizeAlloc { scale: 1, checked: false },
-        ))
-        .rel_pairs(1, "pasv_range");
+    p.many(44, "ftpd_flag", |n| {
+        ParamSpec::new(n, Role::BoolFlag { strict: true })
+    })
+    .many(10, "ascii_mode", |n| {
+        ParamSpec::new(n, word_enum(true, true))
+    })
+    .many(6, "chown_index", |n| ParamSpec::new(n, Role::CrashIndex))
+    .many(8, "accept_wait", |n| {
+        ParamSpec::new(n, Role::RangeClamp { min: 0, max: 600 })
+    })
+    .many(4, "max_login_fails", |n| {
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 1,
+                max: 50,
+                log: false,
+            },
+        )
+    })
+    .many(2, "banner_file", |n| {
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: true,
+                log: true,
+            },
+        )
+    })
+    .many(4, "chroot_list", |n| {
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: false,
+                log: false,
+            },
+        )
+    })
+    .many(2, "listen_port", |n| {
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: false,
+                log: false,
+            },
+        )
+    })
+    .many(2, "pasv_port", |n| {
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: true,
+                log: false,
+            },
+        )
+    })
+    .push(ParamSpec::new("ftp_user", Role::User { checked: true }))
+    .many(2, "guest_user", |n| {
+        ParamSpec::new(n, Role::User { checked: false })
+    })
+    .many(6, "data_timeout", |n| {
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: false,
+            },
+        )
+    })
+    .push(ParamSpec::new(
+        "xfer_buf",
+        Role::SizeAlloc {
+            scale: 1,
+            checked: false,
+        },
+    ))
+    .rel_pairs(1, "pasv_range");
     let controllers = p.bool_controllers(8);
     p.deps(30, &controllers, false);
     let filler = 124usize.saturating_sub(p.params.len());
@@ -456,55 +788,133 @@ pub fn vsftp() -> SystemSpec {
 /// overruling, heavy unsafe parsing.
 pub fn squid() -> SystemSpec {
     let mut p = Pop::new();
-    p.many(80, "icp_flag", |n| ParamSpec::new(n, Role::BoolFlag { strict: false }))
-        .many(5, "refresh_pattern", |n| ParamSpec::new(n, word_enum(false, true)))
-        .many(76, "cache_policy", |n| ParamSpec::new(n, word_enum(true, true)))
-        .many(2, "fd_table_index", |n| ParamSpec::new(n, Role::CrashIndex))
-        .many(33, "connect_timeout", |n| {
-            ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
-        })
-        .many(6, "dns_retry_ms", |n| {
-            ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
-        })
-        .push(ParamSpec::new(
-            "poll_us",
-            Role::TimeSleep { scale: 1, micro: true },
-        ))
-        .many(18, "cache_mem", |n| {
-            ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: false })
-        })
-        .many(2, "store_objects_kb", |n| {
-            ParamSpec::new(n, Role::SizeAlloc { scale: 1024, checked: false })
-        })
-        .many(5, "cache_log", |n| {
-            ParamSpec::new(n, Role::File { checked: true, log: true })
-        })
-        .many(3, "error_directory", |n| {
-            ParamSpec::new(n, Role::File { checked: false, log: false })
-        })
-        .many(2, "coredump_dir", |n| ParamSpec::new(n, Role::Dir { checked: false }))
-        // Figure 3(c)/5(c): the ICP port.
-        .push(ParamSpec::new(
-            "udp_port",
-            Role::Port { checked: false, log: false },
-        ))
-        .many(3, "http_port", |n| {
-            ParamSpec::new(n, Role::Port { checked: true, log: true })
-        })
-        .many(2, "snmp_port", |n| {
-            ParamSpec::new(n, Role::Port { checked: false, log: false })
-        })
-        .many(2, "effective_user", |n| ParamSpec::new(n, Role::User { checked: false }))
-        .many(10, "shutdown_lifetime", |n| {
-            ParamSpec::new(n, Role::RangeClamp { min: 0, max: 120 })
-        })
-        .many(3, "max_filedesc", |n| {
-            ParamSpec::new(n, Role::RangeExit { min: 64, max: 8192, log: true })
-        })
-        .many(3, "redirect_children", |n| {
-            ParamSpec::new(n, Role::RangeExit { min: 1, max: 64, log: false })
-        })
-        .rel_pairs(3, "swap_level");
+    p.many(80, "icp_flag", |n| {
+        ParamSpec::new(n, Role::BoolFlag { strict: false })
+    })
+    .many(5, "refresh_pattern", |n| {
+        ParamSpec::new(n, word_enum(false, true))
+    })
+    .many(76, "cache_policy", |n| {
+        ParamSpec::new(n, word_enum(true, true))
+    })
+    .many(2, "fd_table_index", |n| ParamSpec::new(n, Role::CrashIndex))
+    .many(33, "connect_timeout", |n| {
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: false,
+            },
+        )
+    })
+    .many(6, "dns_retry_ms", |n| {
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1000,
+                micro: true,
+            },
+        )
+    })
+    .push(ParamSpec::new(
+        "poll_us",
+        Role::TimeSleep {
+            scale: 1,
+            micro: true,
+        },
+    ))
+    .many(18, "cache_mem", |n| {
+        ParamSpec::new(
+            n,
+            Role::SizeAlloc {
+                scale: 1,
+                checked: false,
+            },
+        )
+    })
+    .many(2, "store_objects_kb", |n| {
+        ParamSpec::new(
+            n,
+            Role::SizeAlloc {
+                scale: 1024,
+                checked: false,
+            },
+        )
+    })
+    .many(5, "cache_log", |n| {
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: true,
+                log: true,
+            },
+        )
+    })
+    .many(3, "error_directory", |n| {
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: false,
+                log: false,
+            },
+        )
+    })
+    .many(2, "coredump_dir", |n| {
+        ParamSpec::new(n, Role::Dir { checked: false })
+    })
+    // Figure 3(c)/5(c): the ICP port.
+    .push(ParamSpec::new(
+        "udp_port",
+        Role::Port {
+            checked: false,
+            log: false,
+        },
+    ))
+    .many(3, "http_port", |n| {
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: true,
+                log: true,
+            },
+        )
+    })
+    .many(2, "snmp_port", |n| {
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: false,
+                log: false,
+            },
+        )
+    })
+    .many(2, "effective_user", |n| {
+        ParamSpec::new(n, Role::User { checked: false })
+    })
+    .many(10, "shutdown_lifetime", |n| {
+        ParamSpec::new(n, Role::RangeClamp { min: 0, max: 120 })
+    })
+    .many(3, "max_filedesc", |n| {
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 64,
+                max: 8192,
+                log: true,
+            },
+        )
+    })
+    .many(3, "redirect_children", |n| {
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 1,
+                max: 64,
+                log: false,
+            },
+        )
+    })
+    .rel_pairs(3, "swap_level");
     let controllers = p.bool_controllers(4);
     p.deps(4, &controllers, false);
     let filler = 335usize.saturating_sub(p.params.len());
@@ -523,58 +933,146 @@ pub fn squid() -> SystemSpec {
 pub fn storage_a() -> SystemSpec {
     let mut p = Pop::new();
     p.many(150, "vol_opt", |n| {
-        ParamSpec::new(n, Role::RangeTable { min: 0, max: 1 << 20 }).documented()
+        ParamSpec::new(
+            n,
+            Role::RangeTable {
+                min: 0,
+                max: 1 << 20,
+            },
+        )
+        .documented()
     })
     .many(40, "raid_limit", |n| {
-        ParamSpec::new(n, Role::RangeExit { min: 1, max: 4096, log: true }).documented()
+        ParamSpec::new(
+            n,
+            Role::RangeExit {
+                min: 1,
+                max: 4096,
+                log: true,
+            },
+        )
+        .documented()
     })
     .many(70, "cache_window", |n| {
         ParamSpec::new(n, Role::RangeClamp { min: 0, max: 65536 })
     })
     .many(15, "log_file", |n| {
-        ParamSpec::new(n, Role::File { checked: true, log: true })
+        ParamSpec::new(
+            n,
+            Role::File {
+                checked: true,
+                log: true,
+            },
+        )
     })
-    .many(5, "export_dir", |n| ParamSpec::new(n, Role::Dir { checked: true }))
+    .many(5, "export_dir", |n| {
+        ParamSpec::new(n, Role::Dir { checked: true })
+    })
     .many(6, "iscsi_port", |n| {
-        ParamSpec::new(n, Role::Port { checked: true, log: true })
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: true,
+                log: true,
+            },
+        )
     })
     .many(2, "ndmp_port", |n| {
-        ParamSpec::new(n, Role::Port { checked: false, log: false })
+        ParamSpec::new(
+            n,
+            Role::Port {
+                checked: false,
+                log: false,
+            },
+        )
     })
-    .many(5, "admin_user", |n| ParamSpec::new(n, Role::User { checked: true }))
+    .many(5, "admin_user", |n| {
+        ParamSpec::new(n, Role::User { checked: true })
+    })
     .many(2, "spin_us", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: true })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: true,
+            },
+        )
     })
     .many(10, "flush_msec", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1000, micro: true })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1000,
+                micro: true,
+            },
+        )
     })
     .many(53, "takeover_sec", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 1, micro: false })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 1,
+                micro: false,
+            },
+        )
     })
     .many(12, "scrub_min", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 60, micro: false })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 60,
+                micro: false,
+            },
+        )
     })
     .many(4, "snap_sched_hour", |n| {
-        ParamSpec::new(n, Role::TimeSleep { scale: 3600, micro: false })
+        ParamSpec::new(
+            n,
+            Role::TimeSleep {
+                scale: 3600,
+                micro: false,
+            },
+        )
     })
     .many(20, "nvram_bytes", |n| {
-        ParamSpec::new(n, Role::SizeAlloc { scale: 1, checked: true })
+        ParamSpec::new(
+            n,
+            Role::SizeAlloc {
+                scale: 1,
+                checked: true,
+            },
+        )
     })
     .push(ParamSpec::new(
         "wafl_kb",
-        Role::SizeAlloc { scale: 1024, checked: true },
+        Role::SizeAlloc {
+            scale: 1024,
+            checked: true,
+        },
     ))
     .push(ParamSpec::new(
         "pcs_mb",
-        Role::SizeAlloc { scale: 1 << 20, checked: false },
+        Role::SizeAlloc {
+            scale: 1 << 20,
+            checked: false,
+        },
     ))
     .push(ParamSpec::new(
         "aggr_gb",
-        Role::SizeAlloc { scale: 1 << 30, checked: false },
+        Role::SizeAlloc {
+            scale: 1 << 30,
+            checked: false,
+        },
     ))
-    .many(32, "cifs_symlink", |n| ParamSpec::new(n, word_enum(false, true)))
-    .many(220, "nfs_option", |n| ParamSpec::new(n, word_enum(true, true)))
-    .many(120, "feature_licensed", |n| ParamSpec::new(n, Role::BoolFlag { strict: true }));
+    .many(32, "cifs_symlink", |n| {
+        ParamSpec::new(n, word_enum(false, true))
+    })
+    .many(220, "nfs_option", |n| {
+        ParamSpec::new(n, word_enum(true, true))
+    })
+    .many(120, "feature_licensed", |n| {
+        ParamSpec::new(n, Role::BoolFlag { strict: true })
+    });
     let controllers = p.bool_controllers(12);
     p.deps(80, &controllers, true)
         .rel_pairs(10, "quota")
@@ -608,8 +1106,7 @@ mod tests {
     #[test]
     fn names_are_unique_within_each_system() {
         for spec in all_systems() {
-            let mut names: Vec<&str> =
-                spec.params.iter().map(|p| p.name.as_str()).collect();
+            let mut names: Vec<&str> = spec.params.iter().map(|p| p.name.as_str()).collect();
             let before = names.len();
             names.sort_unstable();
             names.dedup();

@@ -6,8 +6,7 @@
 //! with the same category structure, so the Table 9/10 analysis re-runs
 //! for real against the inferred constraints.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Why a case can or cannot benefit from SPEX (the Table 10 columns, plus
 /// the avoidable bucket of Table 9).
@@ -66,14 +65,14 @@ fn mix(system: &str) -> [f64; 5] {
 
 /// Deterministically samples the corpus.
 pub fn sample_corpus() -> Vec<HistoricalCase> {
-    let mut rng = SmallRng::seed_from_u64(0x5feb);
+    let mut rng = SplitMix64::seed_from_u64(0x5feb);
     let mut cases = Vec::new();
     let mut id = 0;
     for &(system, count) in CASE_COUNTS {
         let weights = mix(system);
         for _ in 0..count {
             id += 1;
-            let roll: f64 = rng.gen();
+            let roll: f64 = rng.gen_f64();
             let mut acc = 0.0;
             let mut category = CaseCategory::GoodReaction;
             for (i, w) in weights.iter().enumerate() {

@@ -271,8 +271,7 @@ mod tests {
         for ex in examples() {
             let program = spex_lang::parse_program(ex.source)
                 .unwrap_or_else(|e| panic!("figure {}: {e}", ex.id));
-            spex_ir::lower_program(&program)
-                .unwrap_or_else(|e| panic!("figure {}: {e}", ex.id));
+            spex_ir::lower_program(&program).unwrap_or_else(|e| panic!("figure {}: {e}", ex.id));
         }
     }
 

@@ -152,9 +152,7 @@ impl<'s> Gen<'s> {
     fn int_param(&mut self, p: &ParamSpec, default: i64) -> String {
         let g = self.g(&p.name);
         let _ = writeln!(self.globals, "int {g} = {default};");
-        self.out
-            .param_globals
-            .insert(p.name.clone(), g.clone());
+        self.out.param_globals.insert(p.name.clone(), g.clone());
         match (self.spec.mapping, p.unsafe_parse) {
             (_, true) => {
                 // Inline comparison parse with an unsafe API; every third
@@ -210,9 +208,7 @@ impl<'s> Gen<'s> {
     fn str_param(&mut self, p: &ParamSpec, default: &str) -> String {
         let g = self.g(&p.name);
         let _ = writeln!(self.globals, "char* {g} = \"{default}\";");
-        self.out
-            .param_globals
-            .insert(p.name.clone(), g.clone());
+        self.out.param_globals.insert(p.name.clone(), g.clone());
         match self.spec.mapping {
             MappingStyle::StructDirect => {
                 self.rows_str.push((p.name.clone(), g.clone()));
@@ -408,7 +404,11 @@ impl<'s> Gen<'s> {
                 } else {
                     let _ = writeln!(self.startup, "    {call}({g} * {scale});");
                 }
-                let base = if micro { TimeUnit::Micro } else { TimeUnit::Sec };
+                let base = if micro {
+                    TimeUnit::Micro
+                } else {
+                    TimeUnit::Sec
+                };
                 let sem = spex_core::apispec::ApiSpec::scale_unit(SemType::Time(base), scale);
                 self.truth(&p.name, "semantic-type", sem.to_string());
             }
@@ -429,10 +429,7 @@ impl<'s> Gen<'s> {
                 } else {
                     format!("{g} * {scale}")
                 };
-                let _ = writeln!(
-                    self.startup,
-                    "    int m_{k} = malloc({expr}) != NULL;"
-                );
+                let _ = writeln!(self.startup, "    int m_{k} = malloc({expr}) != NULL;");
                 if checked {
                     let _ = write!(
                         self.startup,
@@ -511,10 +508,7 @@ impl<'s> Gen<'s> {
                 let mut body = String::new();
                 for (i, w) in words.iter().enumerate() {
                     let kw = if i == 0 { "if" } else { "else if" };
-                    let _ = write!(
-                        body,
-                        "{kw} ({cmp}(VALUE, \"{w}\") == 0) {{ {g} = {i}; }} "
-                    );
+                    let _ = write!(body, "{kw} ({cmp}(VALUE, \"{w}\") == 0) {{ {g} = {i}; }} ");
                 }
                 if strict {
                     let _ = write!(
@@ -550,8 +544,7 @@ impl<'s> Gen<'s> {
                 let k = self.fresh();
                 let _ = writeln!(self.startup, "    int u_{k} = {g} + 1;");
                 self.truth(&p.name, "basic-type", BasicType::Str.to_string());
-                let mut sorted: Vec<String> =
-                    words.iter().map(|w| format!("{w:?}")).collect();
+                let mut sorted: Vec<String> = words.iter().map(|w| format!("{w:?}")).collect();
                 sorted.sort();
                 self.truth(&p.name, "data-range", format!("{{{}}}", sorted.join(",")));
                 // Word lists are documented in manuals.
@@ -601,11 +594,7 @@ impl<'s> Gen<'s> {
                     self.startup,
                     "    if ({cg} != 0) {{\n        int u_{k} = {g} + 1;\n    }}\n"
                 );
-                self.truth(
-                    &p.name,
-                    "control-dep",
-                    format!("{controller}!=0"),
-                );
+                self.truth(&p.name, "control-dep", format!("{controller}!=0"));
                 if p.documented_dep {
                     self.out.manual.add(
                         &p.name,
@@ -721,7 +710,11 @@ impl<'s> Gen<'s> {
 
     fn assemble(&mut self) {
         let mut src = String::new();
-        let _ = writeln!(src, "// Generated configuration-handling code: {}", self.spec.name);
+        let _ = writeln!(
+            src,
+            "// Generated configuration-handling code: {}",
+            self.spec.name
+        );
         let _ = writeln!(src, "int cfg_total = 0;");
         let _ = writeln!(src, "int feature_count = 0;");
         src.push_str(&self.globals);
@@ -858,11 +851,8 @@ impl<'s> Gen<'s> {
         ]
         .into_iter()
         .collect();
-        let groups: Vec<(&'static str, String)> = self
-            .checks
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let groups: Vec<(&'static str, String)> =
+            self.checks.iter().map(|(k, v)| (*k, v.clone())).collect();
         let mut sorted_groups = groups;
         sorted_groups.sort_by_key(|(k, _)| *k);
         for (group, body) in sorted_groups {
@@ -900,10 +890,7 @@ mod tests {
             safe_dispatcher: true,
             params: vec![
                 ParamSpec::new("worker_threads", Role::CrashIndex),
-                ParamSpec::new(
-                    "index_intlen",
-                    Role::RangeClamp { min: 4, max: 255 },
-                ),
+                ParamSpec::new("index_intlen", Role::RangeClamp { min: 4, max: 255 }),
                 ParamSpec::new(
                     "pid_file",
                     Role::File {
@@ -932,8 +919,8 @@ mod tests {
             let out = generate(&tiny_spec(mapping));
             let program = spex_lang::parse_program(&out.source)
                 .unwrap_or_else(|e| panic!("{mapping:?}: {e}\n{}", out.source));
-            let module = spex_ir::lower_program(&program)
-                .unwrap_or_else(|e| panic!("{mapping:?}: {e}"));
+            let module =
+                spex_ir::lower_program(&program).unwrap_or_else(|e| panic!("{mapping:?}: {e}"));
             let errors = spex_ir::verify::verify_module(&module);
             assert!(errors.is_empty(), "{mapping:?}: verifier: {errors:?}");
         }
@@ -956,7 +943,10 @@ mod tests {
         let r = vm
             .call(
                 "handle_config",
-                &[spex_vm::Value::str("index_intlen"), spex_vm::Value::str("10")],
+                &[
+                    spex_vm::Value::str("index_intlen"),
+                    spex_vm::Value::str("10"),
+                ],
             )
             .unwrap();
         assert_eq!(r, spex_vm::Value::Int(0));

@@ -18,6 +18,7 @@ pub mod catalog;
 pub mod corpus;
 pub mod figures;
 pub mod gen;
+pub mod rng;
 pub mod spec;
 pub mod survey;
 
@@ -69,6 +70,10 @@ impl BuiltSystem {
 
     /// Lines of generated mini-C code (the Table 4 "LoC" stand-in).
     pub fn loc(&self) -> usize {
-        self.gen.source.lines().filter(|l| !l.trim().is_empty()).count()
+        self.gen
+            .source
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
     }
 }

@@ -1,0 +1,72 @@
+//! A tiny deterministic PRNG (splitmix64).
+//!
+//! The build environment has no network access, so the `rand` crate is
+//! unavailable; this is the shared std-only stand-in for everything that
+//! needs reproducible pseudo-random sampling (corpus generation, property
+//! tests).
+
+/// A splitmix64 generator. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi`.
+    pub fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut g = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = g.gen_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut g = SplitMix64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = g.gen_range(-5, 5);
+            assert!((-5..5).contains(&v), "{v}");
+        }
+    }
+}

@@ -14,24 +14,96 @@ pub struct SurveyEntry {
 /// The Table 1 data: all 18 projects fall into three conventions (or a
 /// combination).
 pub const SURVEY: &[SurveyEntry] = &[
-    SurveyEntry { software: "Storage-A", desc: "Storage", convention: "struct" },
-    SurveyEntry { software: "MySQL", desc: "DB", convention: "struct" },
-    SurveyEntry { software: "PostgreSQL", desc: "DB", convention: "struct" },
-    SurveyEntry { software: "Apache httpd", desc: "Web", convention: "struct" },
-    SurveyEntry { software: "lighttpd", desc: "Web", convention: "struct" },
-    SurveyEntry { software: "Nginx", desc: "Web", convention: "struct" },
-    SurveyEntry { software: "OpenSSH", desc: "SSH", convention: "struct" },
-    SurveyEntry { software: "Postfix", desc: "Email", convention: "struct" },
-    SurveyEntry { software: "VSFTP", desc: "FTP", convention: "struct" },
-    SurveyEntry { software: "Squid", desc: "Proxy", convention: "comparison" },
-    SurveyEntry { software: "Redis", desc: "DB", convention: "comparison" },
-    SurveyEntry { software: "ntpd", desc: "NTP", convention: "comparison" },
-    SurveyEntry { software: "CVS", desc: "SCM", convention: "comparison" },
-    SurveyEntry { software: "Hypertable", desc: "DB", convention: "container" },
-    SurveyEntry { software: "MongoDB", desc: "DB", convention: "container" },
-    SurveyEntry { software: "AOLServer", desc: "Web", convention: "container" },
-    SurveyEntry { software: "Subversion", desc: "SCM", convention: "container" },
-    SurveyEntry { software: "OpenLDAP", desc: "LDAP", convention: "hybrid" },
+    SurveyEntry {
+        software: "Storage-A",
+        desc: "Storage",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "MySQL",
+        desc: "DB",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "PostgreSQL",
+        desc: "DB",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "Apache httpd",
+        desc: "Web",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "lighttpd",
+        desc: "Web",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "Nginx",
+        desc: "Web",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "OpenSSH",
+        desc: "SSH",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "Postfix",
+        desc: "Email",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "VSFTP",
+        desc: "FTP",
+        convention: "struct",
+    },
+    SurveyEntry {
+        software: "Squid",
+        desc: "Proxy",
+        convention: "comparison",
+    },
+    SurveyEntry {
+        software: "Redis",
+        desc: "DB",
+        convention: "comparison",
+    },
+    SurveyEntry {
+        software: "ntpd",
+        desc: "NTP",
+        convention: "comparison",
+    },
+    SurveyEntry {
+        software: "CVS",
+        desc: "SCM",
+        convention: "comparison",
+    },
+    SurveyEntry {
+        software: "Hypertable",
+        desc: "DB",
+        convention: "container",
+    },
+    SurveyEntry {
+        software: "MongoDB",
+        desc: "DB",
+        convention: "container",
+    },
+    SurveyEntry {
+        software: "AOLServer",
+        desc: "Web",
+        convention: "container",
+    },
+    SurveyEntry {
+        software: "Subversion",
+        desc: "SCM",
+        convention: "container",
+    },
+    SurveyEntry {
+        software: "OpenLDAP",
+        desc: "LDAP",
+        convention: "hybrid",
+    },
 ];
 
 #[cfg(test)]

@@ -8,9 +8,7 @@
 
 use crate::value::{LogLine, LogStream, RefTarget, Signal, Value};
 use crate::world::{FsNode, World};
-use spex_ir::{
-    Callee, ConstVal, FuncId, Instr, Module, Place, PlaceBase, PlaceElem, Terminator,
-};
+use spex_ir::{Callee, ConstVal, FuncId, Instr, Module, Place, PlaceBase, PlaceElem, Terminator};
 use spex_lang::ast::{BinOp, UnOp};
 use spex_lang::builtins::Builtin;
 use spex_lang::types::CType;
@@ -354,7 +352,9 @@ impl<'m> Vm<'m> {
 
     fn read_target(&self, t: &RefTarget) -> Result<Value, VmHalt> {
         let (root, path) = self.target_root(t)?;
-        navigate(root, path).cloned().ok_or(VmHalt::Fatal(Signal::Segv))
+        navigate(root, path)
+            .cloned()
+            .ok_or(VmHalt::Fatal(Signal::Segv))
     }
 
     fn write_target(&mut self, t: &RefTarget, value: Value) -> Result<(), VmHalt> {
@@ -381,7 +381,9 @@ impl<'m> Vm<'m> {
     fn target_root<'a>(&'a self, t: &'a RefTarget) -> Result<(&'a Value, &'a [u32]), VmHalt> {
         match t {
             RefTarget::Global(g, path) => Ok((
-                self.globals.get(g.index()).ok_or(VmHalt::Fatal(Signal::Segv))?,
+                self.globals
+                    .get(g.index())
+                    .ok_or(VmHalt::Fatal(Signal::Segv))?,
                 path,
             )),
             RefTarget::Slot(fi, s, path) => Ok((
@@ -628,15 +630,27 @@ impl<'m> Vm<'m> {
             Write => Value::Int(arg(2).as_int().unwrap_or(0)),
             Stat | Access => {
                 let path = want_str(arg(0))?;
-                Value::Int(if self.world.fs.contains_key(&path) { 0 } else { -1 })
+                Value::Int(if self.world.fs.contains_key(&path) {
+                    0
+                } else {
+                    -1
+                })
             }
             Unlink => {
                 let path = want_str(arg(0))?;
-                Value::Int(if self.world.fs.remove(&path).is_some() { 0 } else { -1 })
+                Value::Int(if self.world.fs.remove(&path).is_some() {
+                    0
+                } else {
+                    -1
+                })
             }
             Chmod => {
                 let path = want_str(arg(0))?;
-                Value::Int(if self.world.fs.contains_key(&path) { 0 } else { -1 })
+                Value::Int(if self.world.fs.contains_key(&path) {
+                    0
+                } else {
+                    -1
+                })
             }
             Mkdir => {
                 let path = want_str(arg(0))?;
@@ -742,7 +756,10 @@ impl<'m> Vm<'m> {
             Abort => return Err(VmHalt::Fatal(Signal::Abort)),
             Malloc | Calloc => {
                 let n = if b == Calloc {
-                    arg(0).as_int().unwrap_or(0).saturating_mul(arg(1).as_int().unwrap_or(0))
+                    arg(0)
+                        .as_int()
+                        .unwrap_or(0)
+                        .saturating_mul(arg(1).as_int().unwrap_or(0))
                 } else {
                     arg(0).as_int().unwrap_or(0)
                 };
@@ -794,7 +811,10 @@ impl<'m> Vm<'m> {
             }
             Getenv => Value::Null,
             Rand => {
-                self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.rng = self
+                    .rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Value::Int(((self.rng >> 33) & 0x7fff_ffff) as i64)
             }
             SockaddrSetPort => Value::Int(0),
@@ -816,7 +836,10 @@ impl<'m> Vm<'m> {
             match spec {
                 "%f" => {
                     let v = parse_c_float(src);
-                    if src.trim_start().starts_with(|c: char| c.is_ascii_digit() || c == '-') {
+                    if src
+                        .trim_start()
+                        .starts_with(|c: char| c.is_ascii_digit() || c == '-')
+                    {
                         self.write_target(t, Value::Float(v))?;
                         matched += 1;
                     }
@@ -867,9 +890,7 @@ impl<'m> Vm<'m> {
             ai += 1;
             let last = spec.chars().last().unwrap_or('s');
             match last {
-                'd' | 'i' | 'u' | 'l' | 'x' => {
-                    out.push_str(&arg.as_int().unwrap_or(0).to_string())
-                }
+                'd' | 'i' | 'u' | 'l' | 'x' => out.push_str(&arg.as_int().unwrap_or(0).to_string()),
                 'f' | 'g' => out.push_str(&format!("{:.3}", as_f64(&arg))),
                 'c' => out.push(arg.as_int().unwrap_or(63) as u8 as char),
                 's' => match arg {
@@ -991,9 +1012,7 @@ fn parse_c_int(s: &str) -> (i64, bool) {
     }
     let mut acc: i64 = 0;
     for d in digits.bytes() {
-        acc = acc
-            .saturating_mul(10)
-            .saturating_add((d - b'0') as i64);
+        acc = acc.saturating_mul(10).saturating_add((d - b'0') as i64);
     }
     ((if neg { -acc } else { acc }), true)
 }
@@ -1006,9 +1025,7 @@ fn parse_c_float(s: &str) -> f64 {
         end += 1;
     }
     let mut seen_dot = false;
-    while end < bytes.len()
-        && (bytes[end].is_ascii_digit() || (bytes[end] == b'.' && !seen_dot))
-    {
+    while end < bytes.len() && (bytes[end].is_ascii_digit() || (bytes[end] == b'.' && !seen_dot)) {
         if bytes[end] == b'.' {
             seen_dot = true;
         }
@@ -1045,9 +1062,8 @@ mod tests {
 
     #[test]
     fn arithmetic_and_control_flow() {
-        let (m, w) = vm_for(
-            "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }",
-        );
+        let (m, w) =
+            vm_for("int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }");
         let mut vm = Vm::new(&m, w);
         assert_eq!(vm.call("fib", &[Value::Int(10)]).unwrap(), Value::Int(55));
     }
@@ -1080,7 +1096,8 @@ mod tests {
             "#,
         );
         let mut vm = Vm::new(&m, w);
-        vm.call("set_opt", &[Value::Int(0), Value::str("32")]).unwrap();
+        vm.call("set_opt", &[Value::Int(0), Value::str("32")])
+            .unwrap();
         assert_eq!(vm.call("get_threads", &[]).unwrap(), Value::Int(32));
     }
 
@@ -1109,10 +1126,7 @@ mod tests {
              int go() { return read_it(NULL); }",
         );
         let mut vm = Vm::new(&m, w);
-        assert_eq!(
-            vm.call("go", &[]).unwrap_err(),
-            VmHalt::Fatal(Signal::Segv)
-        );
+        assert_eq!(vm.call("go", &[]).unwrap_err(), VmHalt::Fatal(Signal::Segv));
     }
 
     #[test]
@@ -1232,7 +1246,8 @@ mod tests {
             Value::Int(0)
         );
         assert_eq!(
-            vm.call("try_mkdir", &[Value::str("/no/parent/here")]).unwrap(),
+            vm.call("try_mkdir", &[Value::str("/no/parent/here")])
+                .unwrap(),
             Value::Int(-1)
         );
     }
@@ -1245,7 +1260,10 @@ mod tests {
         assert_eq!(vm.call("grab", &[Value::Int(80)]).unwrap(), Value::Int(-1));
         assert_eq!(vm.call("grab", &[Value::Int(8080)]).unwrap(), Value::Int(0));
         assert_eq!(vm.call("grab", &[Value::Int(0)]).unwrap(), Value::Int(-1));
-        assert_eq!(vm.call("grab", &[Value::Int(99999)]).unwrap(), Value::Int(-1));
+        assert_eq!(
+            vm.call("grab", &[Value::Int(99999)]).unwrap(),
+            Value::Int(-1)
+        );
     }
 
     #[test]
@@ -1280,7 +1298,10 @@ mod tests {
             "#,
         );
         let mut vm = Vm::new(&m, w);
-        assert_eq!(vm.call("parse", &[Value::str("77")]).unwrap(), Value::Int(77));
+        assert_eq!(
+            vm.call("parse", &[Value::str("77")]).unwrap(),
+            Value::Int(77)
+        );
         // Mismatch: v keeps its previous (garbage) value — Figure 6(d).
         assert_eq!(
             vm.call("parse", &[Value::str("abc")]).unwrap(),
@@ -1298,11 +1319,13 @@ mod tests {
         );
         let mut vm = Vm::new(&m, w);
         assert_eq!(
-            vm.call("eq", &[Value::str("on"), Value::str("ON")]).unwrap(),
+            vm.call("eq", &[Value::str("on"), Value::str("ON")])
+                .unwrap(),
             Value::Int(0)
         );
         assert_eq!(
-            vm.call("ieq", &[Value::str("on"), Value::str("ON")]).unwrap(),
+            vm.call("ieq", &[Value::str("on"), Value::str("ON")])
+                .unwrap(),
             Value::Int(1)
         );
     }

@@ -136,7 +136,10 @@ mod tests {
         assert!(!Value::Int(0).truthy());
         assert!(Value::Int(-1).truthy());
         assert!(!Value::Null.truthy());
-        assert!(Value::str("").truthy(), "empty string is a non-null pointer");
+        assert!(
+            Value::str("").truthy(),
+            "empty string is a non-null pointer"
+        );
         assert!(!Value::Handle(0).truthy());
     }
 

@@ -78,7 +78,8 @@ impl Default for World {
 impl World {
     /// Adds a regular file.
     pub fn add_file(&mut self, path: &str, content: &str) -> &mut Self {
-        self.fs.insert(path.to_string(), FsNode::File(content.into()));
+        self.fs
+            .insert(path.to_string(), FsNode::File(content.into()));
         self
     }
 
@@ -169,8 +170,10 @@ mod tests {
 
     #[test]
     fn allocation_budget() {
-        let mut w = World::default();
-        w.mem_limit = 100;
+        let mut w = World {
+            mem_limit: 100,
+            ..Default::default()
+        };
         assert!(w.alloc(60));
         assert!(!w.alloc(50), "over budget");
         assert!(!w.alloc(-1), "negative size");

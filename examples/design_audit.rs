@@ -62,7 +62,10 @@ fn main() {
 
     // Unsafe parsing APIs (Figure 6d).
     let affected = unsafe_api::affected_params(&report.unsafe_apis);
-    println!("\nparameters parsed through unsafe APIs: {}", affected.len());
+    println!(
+        "\nparameters parsed through unsafe APIs: {}",
+        affected.len()
+    );
     for f in report.unsafe_apis.iter().take(3) {
         println!("    {} on \"{}\" in {}", f.api, f.param, f.in_function);
     }

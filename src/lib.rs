@@ -17,7 +17,9 @@
 //! * [`vm`] — the IR interpreter with a modelled OS;
 //! * [`inject`] — SPEX-INJ: generation, injection, reaction classification;
 //! * [`design`] — the error-prone-design detectors;
-//! * [`systems`] — the seven generated subject systems of the evaluation.
+//! * [`systems`] — the seven generated subject systems of the evaluation;
+//! * [`check`] — the constraint-driven configuration validation engine
+//!   (infer → persist → check).
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@
 //! assert!(constraints.iter().any(|c| c.to_string().contains("[4, 255]")));
 //! ```
 
+pub use spex_check as check;
 pub use spex_conf as conf;
 pub use spex_core as core;
 pub use spex_dataflow as dataflow;

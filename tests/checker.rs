@@ -1,0 +1,239 @@
+//! Integration tests for `spex-check`: the infer → persist → check
+//! pipeline over the seven generated subject systems.
+//!
+//! The acceptance bar mirrors the paper's goal for proactive validation:
+//! each system's pristine default configuration must check clean, while
+//! ≥ 90% of the configurations corrupted by the SPEX-INJ generation rules
+//! must be flagged — without ever re-running inference (the checker only
+//! sees the persisted [`ConstraintDb`]).
+
+use spex::check::{BatchEngine, BatchJob, Checker, ConstraintDb, Severity, StaticEnv};
+use spex::core::{Annotation, Spex};
+use spex::inject::{genrule, standard_rules, Misconfig};
+use spex::systems::{all_systems, BuiltSystem};
+
+/// Builds one system, runs inference once, and persists the constraints
+/// plus the deployment-environment model the checker needs.
+fn infer_and_persist(built: &BuiltSystem) -> (ConstraintDb, StaticEnv) {
+    let anns = Annotation::parse(&built.gen.annotations).expect("annotations parse");
+    let analysis = Spex::analyze(built.module.clone(), &anns);
+    let mut db = ConstraintDb::from_analysis(built.spec.name, built.gen.dialect, &analysis);
+    // The full parameter universe is known from the system's documentation
+    // (here: the spec); parameters inference did not reach are still legal
+    // keys.
+    db.note_params(built.spec.params.iter().map(|p| p.name.as_str()));
+
+    // Mirror the modelled world of `BuiltSystem::world` (§4's harness):
+    // port 80 occupied, the template's files and dirs present, the stock
+    // users/groups/hosts known.
+    let mut env = StaticEnv::new();
+    env.occupy_port(80);
+    for (f, _) in &built.gen.world_files {
+        env.add_file(f);
+    }
+    for d in &built.gen.world_dirs {
+        env.add_dir(d);
+    }
+    for u in ["root", "nobody", "daemon"] {
+        env.add_user(u);
+    }
+    for g in ["root", "daemon"] {
+        env.add_group(g);
+    }
+    env.add_host("localhost");
+
+    // The save/load round-trip is part of the contract: the checker runs
+    // from the persisted form, never from the in-memory analysis.
+    let db = ConstraintDb::load_from_str(&db.save_to_string()).expect("db round-trips");
+    (db, env)
+}
+
+/// Applies one generated misconfiguration to the template config.
+fn corrupt(built: &BuiltSystem, m: &Misconfig) -> String {
+    let mut conf = spex::conf::ConfFile::parse(&built.gen.template_conf, built.gen.dialect);
+    conf.set(&m.param, &m.value);
+    for (p, v) in &m.also_set {
+        conf.set(p, v);
+    }
+    conf.serialize()
+}
+
+#[test]
+fn constraint_db_round_trips_losslessly_for_every_system() {
+    for spec in all_systems() {
+        let built = BuiltSystem::build(spec);
+        let anns = Annotation::parse(&built.gen.annotations).unwrap();
+        let analysis = Spex::analyze(built.module.clone(), &anns);
+        let db = ConstraintDb::from_analysis(built.spec.name, built.gen.dialect, &analysis);
+        let text = db.save_to_string();
+        let back = ConstraintDb::load_from_str(&text).unwrap();
+        assert_eq!(
+            db, back,
+            "{}: save/load changed the database",
+            built.spec.name
+        );
+        assert_eq!(
+            text,
+            back.save_to_string(),
+            "{}: re-serialization is not stable",
+            built.spec.name
+        );
+        assert!(
+            db.constraint_count() > 0,
+            "{}: empty database",
+            built.spec.name
+        );
+    }
+}
+
+#[test]
+fn pristine_defaults_check_clean_and_corrupted_configs_are_flagged() {
+    let mut engine = BatchEngine::new();
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut corrupted_per_system: Vec<(String, usize)> = Vec::new();
+
+    for spec in all_systems() {
+        let built = BuiltSystem::build(spec);
+        let (db, env) = infer_and_persist(&built);
+        let system = built.spec.name.to_string();
+
+        // Job 0 of each system: the pristine template.
+        jobs.push(BatchJob {
+            system: system.clone(),
+            file: format!("{system}/default.conf"),
+            text: built.gen.template_conf.clone(),
+        });
+
+        // Corrupted corpus: every SPEX-INJ generation rule applied to the
+        // persisted constraints, one corrupted file per misconfiguration
+        // (capped per system to keep the suite fast; the cap is far above
+        // the statistical noise floor).
+        let constraints: Vec<_> = db
+            .params
+            .iter()
+            .flat_map(|p| p.constraints.iter().cloned())
+            .collect();
+        let misconfigs = genrule::generate_all(&standard_rules(), &constraints);
+        assert!(
+            misconfigs.len() >= 20,
+            "{system}: too few generated misconfigurations ({})",
+            misconfigs.len()
+        );
+        let cap = 400;
+        let step = (misconfigs.len() / cap).max(1);
+        let sampled: Vec<&Misconfig> = misconfigs.iter().step_by(step).collect();
+        corrupted_per_system.push((system.clone(), sampled.len()));
+        for (i, m) in sampled.iter().enumerate() {
+            jobs.push(BatchJob {
+                system: system.clone(),
+                file: format!("{system}/corrupt_{i}.conf"),
+                text: corrupt(&built, m),
+            });
+        }
+
+        engine.add_db(db);
+        engine.add_env(&system, env);
+    }
+
+    let (reports, stats) = engine.run(&jobs);
+    assert_eq!(stats.files, jobs.len());
+    assert_eq!(stats.unknown_system_files, 0);
+
+    // Pristine templates: zero diagnostics, for every system.
+    for r in reports.iter().filter(|r| r.file.ends_with("/default.conf")) {
+        assert!(
+            r.is_clean(),
+            "{}: pristine default config flagged: {:#?}",
+            r.system,
+            r.diagnostics
+        );
+    }
+
+    // Corrupted corpus: ≥ 90% flagged overall.
+    let corrupted: Vec<_> = reports
+        .iter()
+        .filter(|r| !r.file.ends_with("/default.conf"))
+        .collect();
+    let total: usize = corrupted_per_system.iter().map(|(_, n)| n).sum();
+    assert_eq!(corrupted.len(), total);
+    let flagged = corrupted
+        .iter()
+        .filter(|r| !r.diagnostics.is_empty())
+        .count();
+    let rate = flagged as f64 / total as f64;
+    assert!(
+        rate >= 0.90,
+        "only {flagged}/{total} = {rate:.3} of corrupted configs flagged; per system: {:?}",
+        corrupted_per_system
+            .iter()
+            .map(|(s, n)| {
+                let missed: Vec<&str> = corrupted
+                    .iter()
+                    .filter(|r| &r.system == s && r.diagnostics.is_empty())
+                    .map(|r| r.file.as_str())
+                    .collect();
+                (s.clone(), *n, missed.len())
+            })
+            .collect::<Vec<_>>()
+    );
+
+    // The batch stats agree with the per-file reports.
+    assert_eq!(stats.flagged_files, flagged);
+    assert_eq!(stats.clean_files, stats.files - flagged);
+    assert!(stats.errors > 0);
+}
+
+#[test]
+fn checker_pinpoints_line_value_and_provenance() {
+    let spec = spex::systems::system_by_name("OpenLDAP").unwrap();
+    let built = BuiltSystem::build(spec);
+    let (db, env) = infer_and_persist(&built);
+
+    // Corrupt one known range parameter in place.
+    let mut conf = spex::conf::ConfFile::parse(&built.gen.template_conf, built.gen.dialect);
+    let victim = db
+        .params
+        .iter()
+        .find(|p| {
+            p.constraints
+                .iter()
+                .any(|c| matches!(c.kind, spex::core::ConstraintKind::Range(_)))
+        })
+        .expect("a range-constrained parameter");
+    conf.set(&victim.name, "99999999");
+    let line = conf.line_of(&victim.name).unwrap();
+
+    let diags = Checker::new(&db).with_env(&env).check(&conf);
+    let d = diags
+        .iter()
+        .find(|d| d.param == victim.name && d.category == "data-range")
+        .unwrap_or_else(|| panic!("no range diagnostic for {}: {diags:#?}", victim.name));
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.line, Some(line));
+    assert_eq!(d.value, "99999999");
+    assert!(d.origin.is_some(), "range diagnostics carry provenance");
+    let rendered = d.to_string();
+    assert!(rendered.contains(&victim.name), "{rendered}");
+    assert!(rendered.contains("99999999"), "{rendered}");
+}
+
+#[test]
+fn unknown_key_suggestions_survive_persistence() {
+    let spec = spex::systems::system_by_name("VSFTP").unwrap();
+    let built = BuiltSystem::build(spec);
+    let (db, _env) = infer_and_persist(&built);
+    let known = db.param_names().next().unwrap().to_string();
+    let typo = format!("{}x", &known[..known.len() - 1]);
+    let text = match built.gen.dialect {
+        spex::conf::Dialect::KeyValue => format!("{typo} = 1\n"),
+        _ => format!("{typo} 1\n"),
+    };
+    let diags = Checker::new(&db).check_text(&text);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].category, "unknown-key");
+    let suggestion = diags[0].suggestion.as_deref().expect("a did-you-mean");
+    assert!(
+        suggestion.contains(&known) || suggestion.contains("did you mean"),
+        "{suggestion}"
+    );
+}

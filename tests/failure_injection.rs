@@ -88,8 +88,16 @@ fn target(module: &spex::ir::Module) -> TestTarget<'_> {
         config_entry: "handle_config".into(),
         startup: "startup".into(),
         tests: vec![
-            TestCase { name: "flags".into(), func: "test_flags".into(), cost: 5 },
-            TestCase { name: "quick".into(), func: "test_quick".into(), cost: 1 },
+            TestCase {
+                name: "flags".into(),
+                func: "test_flags".into(),
+                cost: 5,
+            },
+            TestCase {
+                name: "quick".into(),
+                func: "test_quick".into(),
+                cost: 1,
+            },
         ],
         world: Box::new(World::default),
         param_globals,
@@ -111,7 +119,10 @@ fn every_reaction_class_is_reachable() {
             misconfig("crash_knob", "9999", "data-range"),
             Reaction::Crash(Signal::Segv),
         ),
-        (misconfig("hang_knob", "999999999", "semantic-type"), Reaction::Hang),
+        (
+            misconfig("hang_knob", "999999999", "semantic-type"),
+            Reaction::Hang,
+        ),
         (
             misconfig("term_knob", "100", "data-range"),
             Reaction::EarlyTermination,
@@ -124,7 +135,10 @@ fn every_reaction_class_is_reachable() {
             misconfig("clamp_knob", "500", "data-range"),
             Reaction::SilentViolation,
         ),
-        (misconfig("good_knob", "99", "data-range"), Reaction::GoodReaction),
+        (
+            misconfig("good_knob", "99", "data-range"),
+            Reaction::GoodReaction,
+        ),
         (misconfig("good_knob", "7", "data-range"), Reaction::Benign),
     ];
     for (m, expected) in cases {
@@ -140,7 +154,12 @@ fn every_reaction_class_is_reachable() {
     let mut dep = misconfig("dep_knob", "5", "control-dep");
     dep.also_set.push(("gate".into(), "off".into()));
     let out = campaign.run_one(&dep);
-    assert_eq!(out.reaction, Reaction::SilentIgnorance, "logs: {}", out.logs);
+    assert_eq!(
+        out.reaction,
+        Reaction::SilentIgnorance,
+        "logs: {}",
+        out.logs
+    );
     assert_eq!(out.phase, Phase::Done);
 }
 
@@ -197,7 +216,8 @@ fn vm_failure_modes() {
     let small = Value::str("tiny");
     let huge_payload = Value::str(&"x".repeat(200));
     assert_eq!(
-        vm.call("overflow_sprintf", &[small, huge_payload]).unwrap_err(),
+        vm.call("overflow_sprintf", &[small, huge_payload])
+            .unwrap_err(),
         VmHalt::Fatal(Signal::Segv)
     );
 }

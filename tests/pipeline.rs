@@ -4,7 +4,9 @@
 
 use spex::core::{evaluate_accuracy, Annotation, ConstraintKind, Spex};
 use spex::design::DesignReport;
-use spex::inject::{genrule, standard_rules, CampaignReport, InjectionCampaign, Reaction, TestTarget};
+use spex::inject::{
+    genrule, standard_rules, CampaignReport, InjectionCampaign, Reaction, TestTarget,
+};
 use spex::systems::BuiltSystem;
 use std::collections::HashMap;
 
@@ -241,7 +243,10 @@ fn generated_openldap_full_pipeline() {
         spex::conf::ConfFile::parse(&built.gen.template_conf, built.gen.dialect).settings()
     {
         let r = vm
-            .call("handle_config", &[spex::vm::Value::str(name), spex::vm::Value::str(value)])
+            .call(
+                "handle_config",
+                &[spex::vm::Value::str(name), spex::vm::Value::str(value)],
+            )
             .unwrap();
         assert_eq!(r, spex::vm::Value::Int(0), "default {name} rejected");
     }
@@ -270,7 +275,11 @@ fn generated_vsftp_exposes_silent_ignorance() {
         })
         .cloned()
         .collect();
-    assert!(deps.len() >= 20, "VSFTP is dependency-heavy, got {}", deps.len());
+    assert!(
+        deps.len() >= 20,
+        "VSFTP is dependency-heavy, got {}",
+        deps.len()
+    );
 
     // Inject one dependency violation and observe silent ignorance.
     let misconfigs = genrule::generate_all(&standard_rules(), &deps[..1]);

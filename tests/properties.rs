@@ -1,86 +1,186 @@
 //! Property-based tests over core invariants.
+//!
+//! The build environment has no network access, so instead of `proptest`
+//! these use a small deterministic case generator: each property is
+//! exercised over a few hundred pseudo-random inputs from a fixed seed,
+//! which keeps failures reproducible without an external shrinker.
 
-use proptest::prelude::*;
 use spex::conf::{ConfFile, Dialect};
 use spex::core::CmpOp;
 use spex::inject::harness::intended_value;
+use spex::systems::rng::SplitMix64;
 use spex::vm::{Value, Vm, World};
 
-// --- Configuration AR ---------------------------------------------------------
+/// Cases per property.
+const CASES: usize = 200;
 
-proptest! {
-    /// Parsing is idempotent through a serialize round-trip, for every
-    /// dialect.
-    #[test]
-    fn conf_roundtrip_is_stable(
-        names in proptest::collection::vec("[a-z][a-z0-9_]{0,12}", 0..8),
-        values in proptest::collection::vec("[a-zA-Z0-9/._-]{1,12}", 0..8),
-    ) {
+/// The shared splitmix64 generator plus the string-shaping helpers the
+/// properties need.
+struct Gen(SplitMix64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(SplitMix64::seed_from_u64(seed))
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        self.0.gen_range(lo, hi)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.int(lo as i64, hi as i64) as usize
+    }
+
+    fn pick(&mut self, chars: &[char]) -> char {
+        chars[self.usize(0, chars.len())]
+    }
+
+    /// A string of `len` characters drawn from `alphabet`.
+    fn string(&mut self, alphabet: &[char], len: usize) -> String {
+        (0..len).map(|_| self.pick(alphabet)).collect()
+    }
+}
+
+fn lower() -> Vec<char> {
+    ('a'..='z').collect()
+}
+
+fn lower_digit_underscore() -> Vec<char> {
+    let mut v: Vec<char> = ('a'..='z').collect();
+    v.extend('0'..='9');
+    v.push('_');
+    v
+}
+
+fn value_chars() -> Vec<char> {
+    let mut v: Vec<char> = ('a'..='z').collect();
+    v.extend('A'..='Z');
+    v.extend('0'..='9');
+    v.extend(['/', '.', '_', '-']);
+    v
+}
+
+/// A config-parameter name: `[a-z][a-z0-9_]{0,12}`.
+fn gen_name(g: &mut Gen) -> String {
+    let mut s = String::new();
+    s.push(g.pick(&lower()));
+    let tail = g.usize(0, 13);
+    s.push_str(&g.string(&lower_digit_underscore(), tail));
+    s
+}
+
+/// A config value: `[a-zA-Z0-9/._-]{1,12}`.
+fn gen_value(g: &mut Gen) -> String {
+    let len = g.usize(1, 13);
+    g.string(&value_chars(), len)
+}
+
+// --- Configuration AR -------------------------------------------------------
+
+/// Parsing is idempotent through a serialize round-trip, for every
+/// dialect.
+#[test]
+fn conf_roundtrip_is_stable() {
+    let mut g = Gen::new(0x01);
+    for _ in 0..CASES {
+        let n = g.usize(0, 8);
         // Suffix names with their index so `set` never collapses entries.
-        let pairs: Vec<(String, &String)> = names
-            .iter()
-            .zip(values.iter())
-            .enumerate()
-            .map(|(i, (n, v))| (format!("{n}_{i}"), v))
-            .collect();
-        for dialect in [Dialect::KeyValue, Dialect::Directive, Dialect::SpaceSeparated] {
-            let mut conf = ConfFile { entries: vec![], dialect };
+        let mut pairs: Vec<(String, String)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = format!("{}_{i}", gen_name(&mut g));
+            let value = gen_value(&mut g);
+            pairs.push((name, value));
+        }
+        for dialect in [
+            Dialect::KeyValue,
+            Dialect::Directive,
+            Dialect::SpaceSeparated,
+        ] {
+            let mut conf = ConfFile {
+                entries: vec![],
+                dialect,
+            };
             for (n, v) in &pairs {
                 conf.set(n, v);
             }
             let text = conf.serialize();
             let reparsed = ConfFile::parse(&text, dialect);
-            prop_assert_eq!(reparsed.serialize(), text);
+            assert_eq!(reparsed.serialize(), text);
             for (n, v) in &pairs {
-                prop_assert_eq!(reparsed.get(n), Some(v.as_str()));
+                assert_eq!(reparsed.get(n), Some(v.as_str()));
             }
         }
     }
+}
 
-    /// `set` then `get` observes the written value; `remove` erases it.
-    #[test]
-    fn conf_set_get_remove(
-        name in "[a-z][a-z0-9_]{0,10}",
-        v1 in "[a-z0-9]{1,8}",
-        v2 in "[a-z0-9]{1,8}",
-    ) {
+/// `set` then `get` observes the written value; `remove` erases it.
+#[test]
+fn conf_set_get_remove() {
+    let mut g = Gen::new(0x02);
+    for _ in 0..CASES {
+        let name = gen_name(&mut g);
+        let v1 = gen_value(&mut g);
+        let v2 = gen_value(&mut g);
         let mut conf = ConfFile::parse("", Dialect::KeyValue);
         conf.set(&name, &v1);
         conf.set(&name, &v2);
-        prop_assert_eq!(conf.get(&name), Some(v2.as_str()));
+        assert_eq!(conf.get(&name), Some(v2.as_str()));
         // Double-set keeps a single entry.
-        prop_assert_eq!(conf.settings().count(), 1);
+        assert_eq!(conf.settings().count(), 1);
         conf.remove(&name);
-        prop_assert_eq!(conf.get(&name), None);
+        assert_eq!(conf.get(&name), None);
     }
 }
 
-// --- Comparison-operator algebra -----------------------------------------------
+// --- Comparison-operator algebra --------------------------------------------
 
-proptest! {
-    /// Negation and flipping are involutions consistent with evaluation.
-    #[test]
-    fn cmp_op_algebra(a in -1000i64..1000, b in -1000i64..1000) {
-        for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
-            prop_assert_eq!(op.negated().negated(), op);
-            prop_assert_eq!(op.flipped().flipped(), op);
-            prop_assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
-            prop_assert_eq!(op.eval(a, b), op.flipped().eval(b, a));
+/// Negation and flipping are involutions consistent with evaluation.
+#[test]
+fn cmp_op_algebra() {
+    let mut g = Gen::new(0x03);
+    for _ in 0..CASES {
+        let a = g.int(-1000, 1000);
+        let b = g.int(-1000, 1000);
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Gt,
+            CmpOp::Le,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.flipped().flipped(), op);
+            assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
+            assert_eq!(op.eval(a, b), op.flipped().eval(b, a));
         }
     }
 }
 
-// --- VM semantics ----------------------------------------------------------------
+// --- VM semantics -----------------------------------------------------------
 
-proptest! {
-    /// The interpreter's `atoi` matches C semantics: leading digits with
-    /// optional sign, 32-bit wrap, garbage yields zero.
-    #[test]
-    fn vm_atoi_matches_c_model(s in "[ ]{0,2}-?[0-9]{0,12}[a-zA-Z]{0,3}") {
-        let program = spex::lang::parse_program(
-            "int conv(char* s) { return atoi(s); }",
-        ).unwrap();
-        let module = spex::ir::lower_program(&program).unwrap();
+/// The interpreter's `atoi` matches C semantics: leading digits with
+/// optional sign, 32-bit wrap, garbage yields zero.
+#[test]
+fn vm_atoi_matches_c_model() {
+    let program = spex::lang::parse_program("int conv(char* s) { return atoi(s); }").unwrap();
+    let module = spex::ir::lower_program(&program).unwrap();
+    let mut g = Gen::new(0x04);
+    let letters: Vec<char> = ('a'..='z').chain('A'..='Z').collect();
+    let digits: Vec<char> = ('0'..='9').collect();
+    for _ in 0..CASES {
+        // Shape: `[ ]{0,2}-?[0-9]{0,12}[a-zA-Z]{0,3}`.
+        let mut s = String::new();
+        s.push_str(&" ".repeat(g.usize(0, 3)));
+        if g.usize(0, 2) == 1 {
+            s.push('-');
+        }
+        let nd = g.usize(0, 13);
+        s.push_str(&g.string(&digits, nd));
+        let nl = g.usize(0, 4);
+        s.push_str(&g.string(&letters, nl));
+
         let mut vm = Vm::new(&module, World::default());
         let got = vm.call("conv", &[Value::str(&s)]).unwrap();
 
@@ -90,62 +190,69 @@ proptest! {
             Some(r) => (true, r),
             None => (false, t),
         };
-        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let ds: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
         let mut acc: i64 = 0;
-        for d in digits.bytes() {
+        for d in ds.bytes() {
             acc = acc.saturating_mul(10).saturating_add((d - b'0') as i64);
         }
         let expect = (if neg { -acc } else { acc }) as i32 as i64;
-        prop_assert_eq!(got, Value::Int(expect));
+        assert_eq!(got, Value::Int(expect), "input {s:?}");
     }
+}
 
-    /// Arithmetic expressions evaluate identically in the VM and a
-    /// reference evaluator (wrapping i64 semantics).
-    #[test]
-    fn vm_arithmetic_matches_reference(
-        a in -10_000i64..10_000,
-        b in -10_000i64..10_000,
-        c in 1i64..100,
-    ) {
-        let src = format!(
-            "long f() {{ return ({a} + {b}) * {c} - {b} / {c}; }}"
-        );
+/// Arithmetic expressions evaluate identically in the VM and a
+/// reference evaluator (wrapping i64 semantics).
+#[test]
+fn vm_arithmetic_matches_reference() {
+    let mut g = Gen::new(0x05);
+    for _ in 0..64 {
+        let a = g.int(-10_000, 10_000);
+        let b = g.int(-10_000, 10_000);
+        let c = g.int(1, 100);
+        let src = format!("long f() {{ return ({a} + {b}) * {c} - {b} / {c}; }}");
         let program = spex::lang::parse_program(&src).unwrap();
         let module = spex::ir::lower_program(&program).unwrap();
         let mut vm = Vm::new(&module, World::default());
         let got = vm.call("f", &[]).unwrap();
-        let expect = (a.wrapping_add(b)).wrapping_mul(c).wrapping_sub(b.wrapping_div(c));
-        prop_assert_eq!(got, Value::Int(expect));
-    }
-
-    /// Control flow: the VM's loop summation equals the closed form.
-    #[test]
-    fn vm_loops_match_closed_form(n in 0i64..200) {
-        let program = spex::lang::parse_program(
-            "long sum(int n) {
-                long total = 0;
-                for (int i = 1; i <= n; i++) { total += i; }
-                return total;
-            }",
-        ).unwrap();
-        let module = spex::ir::lower_program(&program).unwrap();
-        let mut vm = Vm::new(&module, World::default());
-        let got = vm.call("sum", &[Value::Int(n)]).unwrap();
-        prop_assert_eq!(got, Value::Int(n * (n + 1) / 2));
+        let expect = (a.wrapping_add(b))
+            .wrapping_mul(c)
+            .wrapping_sub(b.wrapping_div(c));
+        assert_eq!(got, Value::Int(expect));
     }
 }
 
-// --- SSA invariants over generated programs ---------------------------------------
+/// Control flow: the VM's loop summation equals the closed form.
+#[test]
+fn vm_loops_match_closed_form() {
+    let program = spex::lang::parse_program(
+        "long sum(int n) {
+            long total = 0;
+            for (int i = 1; i <= n; i++) { total += i; }
+            return total;
+        }",
+    )
+    .unwrap();
+    let module = spex::ir::lower_program(&program).unwrap();
+    let mut g = Gen::new(0x06);
+    for _ in 0..CASES {
+        let n = g.int(0, 200);
+        let mut vm = Vm::new(&module, World::default());
+        let got = vm.call("sum", &[Value::Int(n)]).unwrap();
+        assert_eq!(got, Value::Int(n * (n + 1) / 2));
+    }
+}
 
-proptest! {
-    /// Every function of a generated-style program stays verifier-clean
-    /// after SSA promotion, and each SSA value is defined exactly once.
-    #[test]
-    fn ssa_single_assignment_holds(
-        x in -50i64..50,
-        y in -50i64..50,
-        threshold in -20i64..20,
-    ) {
+// --- SSA invariants over generated programs ---------------------------------
+
+/// Every function of a generated-style program stays verifier-clean
+/// after SSA promotion, and each SSA value is defined exactly once.
+#[test]
+fn ssa_single_assignment_holds() {
+    let mut g = Gen::new(0x07);
+    for _ in 0..64 {
+        let x = g.int(-50, 50);
+        let y = g.int(-50, 50);
+        let threshold = g.int(-20, 20);
         let src = format!(
             "int knob = {x};
              int f(int v) {{
@@ -161,38 +268,44 @@ proptest! {
         for f in &module.functions {
             let ssa = spex::ir::promote_to_ssa(f);
             let errors = spex::ir::verify::verify_function(&ssa);
-            prop_assert!(errors.is_empty(), "verifier: {errors:?}");
+            assert!(errors.is_empty(), "verifier: {errors:?}");
             let mut defs = std::collections::HashSet::new();
             for (_, _, instr, _) in ssa.iter_instrs() {
                 if let Some(d) = instr.def() {
-                    prop_assert!(defs.insert(d), "double definition");
+                    assert!(defs.insert(d), "double definition");
                 }
             }
         }
     }
 }
 
-// --- Injection-harness value model ---------------------------------------------------
+// --- Injection-harness value model ------------------------------------------
 
-proptest! {
-    /// The user-intention parser honours plain integers exactly.
-    #[test]
-    fn intended_value_integers(v in -1_000_000i64..1_000_000) {
-        prop_assert_eq!(intended_value(&v.to_string()), Some(Value::Int(v)));
+/// The user-intention parser honours plain integers exactly.
+#[test]
+fn intended_value_integers() {
+    let mut g = Gen::new(0x08);
+    for _ in 0..CASES {
+        let v = g.int(-1_000_000, 1_000_000);
+        assert_eq!(intended_value(&v.to_string()), Some(Value::Int(v)));
     }
+}
 
-    /// Unit suffixes multiply as documented.
-    #[test]
-    fn intended_value_units(base in 1i64..1024) {
-        prop_assert_eq!(
+/// Unit suffixes multiply as documented.
+#[test]
+fn intended_value_units() {
+    let mut g = Gen::new(0x09);
+    for _ in 0..CASES {
+        let base = g.int(1, 1024);
+        assert_eq!(
             intended_value(&format!("{base}K")),
             Some(Value::Int(base << 10))
         );
-        prop_assert_eq!(
+        assert_eq!(
             intended_value(&format!("{base}MB")),
             Some(Value::Int(base << 20))
         );
-        prop_assert_eq!(
+        assert_eq!(
             intended_value(&format!("{base}G")),
             Some(Value::Int(base << 30))
         );
