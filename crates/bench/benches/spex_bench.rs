@@ -17,7 +17,7 @@
 
 use spex_bench::harness::{black_box, Runner};
 use spex_bench::make_target;
-use spex_check::{BatchEngine, BatchJob, Checker, ConstraintDb};
+use spex_check::{BatchEngine, BatchJob, Checker, ConstraintDb, Workspace};
 use spex_core::{Annotation, Spex};
 use spex_dataflow::{AnalyzedModule, TaintEngine};
 use spex_inj::{genrule, standard_rules, CampaignOptions, InjectionCampaign};
@@ -189,6 +189,44 @@ fn bench_check(r: &Runner) {
     });
 }
 
+fn bench_workspace(r: &Runner) {
+    // Incremental re-inference: the whole point of the workspace is that a
+    // small edit costs proportionally less than a full re-analysis.
+    let spec = spex_systems::system_by_name("OpenLDAP").unwrap();
+    let built = BuiltSystem::build(spec);
+
+    r.bench_with_setup(
+        "workspace/full_reanalyze_openldap",
+        || {
+            let mut ws = Workspace::new("OpenLDAP", built.gen.dialect);
+            ws.add_module("gen.c", &built.gen.source, &built.gen.annotations)
+                .unwrap();
+            ws
+        },
+        |mut ws| black_box(ws.reanalyze()),
+    );
+
+    // An edit that adds one fresh function: fingerprint diffing marks only
+    // it dirty, so re-analysis re-runs mapping and taint but skips every
+    // unaffected parameter's inference passes.
+    let edited = format!(
+        "{}\nvoid spex_bench_probe() {{ exit(1); }}\n",
+        built.gen.source
+    );
+    r.bench_with_setup(
+        "workspace/incremental_reanalyze_openldap",
+        || {
+            let mut ws = Workspace::new("OpenLDAP", built.gen.dialect);
+            ws.add_module("gen.c", &built.gen.source, &built.gen.annotations)
+                .unwrap();
+            ws.reanalyze();
+            ws.update_module("gen.c", &edited).unwrap();
+            ws
+        },
+        |mut ws| black_box(ws.reanalyze()),
+    );
+}
+
 fn main() {
     let r = Runner::from_args();
     bench_frontend(&r);
@@ -197,4 +235,5 @@ fn main() {
     bench_injection(&r);
     bench_mapping(&r);
     bench_check(&r);
+    bench_workspace(&r);
 }

@@ -5,13 +5,23 @@
 //! independent — so the engine fans jobs out over scoped threads with a
 //! shared atomic cursor and writes results back by job index, keeping the
 //! output order deterministic regardless of scheduling.
+//!
+//! Two front-ends share the pool:
+//!
+//! * [`BatchEngine::run`] — in-memory jobs, for callers that already hold
+//!   the texts;
+//! * [`BatchEngine::run_paths`] — a streaming walk over files and
+//!   directory trees: each worker reads one file, checks it, and drops the
+//!   text before taking the next, so peak memory is bounded by the worker
+//!   count (plus one small report per file) rather than the corpus size.
 
-use crate::checker::{Checker, StaticEnv};
+use crate::checker::{Checker, Environment, StaticEnv};
 use crate::db::ConstraintDb;
 use crate::diag::{Diagnostic, Severity};
 use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One file to validate.
 #[derive(Debug, Clone)]
@@ -35,19 +45,27 @@ pub struct FileReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Set when the job named a system the engine has no database for.
     pub unknown_system: bool,
+    /// Set when a streaming run could not read the file (the job is
+    /// counted, not dropped, so report order still mirrors the walk).
+    pub read_error: Option<String>,
 }
 
 impl FileReport {
     /// Whether the file passed with no findings at all.
     pub fn is_clean(&self) -> bool {
-        !self.unknown_system && self.diagnostics.is_empty()
+        !self.unknown_system && self.read_error.is_none() && self.diagnostics.is_empty()
     }
 
-    /// Whether any finding is an error (not just a warning).
+    /// Whether the file must block a deployment: any error-severity
+    /// finding, or a file that was never actually validated (unreadable,
+    /// or no database registered for its system).
     pub fn has_errors(&self) -> bool {
-        self.diagnostics
-            .iter()
-            .any(|d| d.severity == Severity::Error)
+        self.unknown_system
+            || self.read_error.is_some()
+            || self
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Error)
     }
 }
 
@@ -62,6 +80,8 @@ pub struct BatchStats {
     pub flagged_files: usize,
     /// Jobs naming a system without a database.
     pub unknown_system_files: usize,
+    /// Files a streaming run failed to read.
+    pub unreadable_files: usize,
     /// Total error-severity diagnostics.
     pub errors: usize,
     /// Total warning-severity diagnostics.
@@ -86,6 +106,12 @@ impl BatchStats {
                 self.unknown_system_files
             ));
         }
+        if self.unreadable_files > 0 {
+            out.push_str(&format!(
+                "  ({} file(s) could not be read)\n",
+                self.unreadable_files
+            ));
+        }
         out
     }
 }
@@ -93,7 +119,7 @@ impl BatchStats {
 /// The multi-system batch engine.
 pub struct BatchEngine {
     dbs: HashMap<String, ConstraintDb>,
-    envs: HashMap<String, StaticEnv>,
+    envs: HashMap<String, Arc<dyn Environment + Send + Sync>>,
     threads: usize,
 }
 
@@ -128,8 +154,18 @@ impl BatchEngine {
         self
     }
 
-    /// Registers an environment model for one system's checks.
+    /// Registers a declarative environment model for one system's checks.
     pub fn add_env(&mut self, system: &str, env: StaticEnv) -> &mut Self {
+        self.add_shared_env(system, Arc::new(env))
+    }
+
+    /// Registers any shared [`Environment`] (e.g. [`crate::FsEnv`]) for
+    /// one system's checks.
+    pub fn add_shared_env(
+        &mut self,
+        system: &str,
+        env: Arc<dyn Environment + Send + Sync>,
+    ) -> &mut Self {
         self.envs.insert(system.to_string(), env);
         self
     }
@@ -142,63 +178,77 @@ impl BatchEngine {
     }
 
     fn check_one(&self, job: &BatchJob) -> FileReport {
-        match self.dbs.get(&job.system) {
+        self.check_text(&job.system, &job.file, &job.text)
+    }
+
+    fn check_text(&self, system: &str, file: &str, text: &str) -> FileReport {
+        match self.dbs.get(system) {
             None => FileReport {
-                system: job.system.clone(),
-                file: job.file.clone(),
+                system: system.to_string(),
+                file: file.to_string(),
                 diagnostics: Vec::new(),
                 unknown_system: true,
+                read_error: None,
             },
             Some(db) => {
                 let mut checker = Checker::new(db);
-                if let Some(env) = self.envs.get(&job.system) {
-                    checker = checker.with_env(env);
+                if let Some(env) = self.envs.get(system) {
+                    checker = checker.with_env(env.as_ref());
                 }
                 FileReport {
-                    system: job.system.clone(),
-                    file: job.file.clone(),
-                    diagnostics: checker.check_text(&job.text),
+                    system: system.to_string(),
+                    file: file.to_string(),
+                    diagnostics: checker.check_text(text),
                     unknown_system: false,
+                    read_error: None,
                 }
             }
         }
     }
 
-    /// Validates every job, returning per-file reports in job order plus
-    /// aggregate statistics.
-    pub fn run(&self, jobs: &[BatchJob]) -> (Vec<FileReport>, BatchStats) {
-        let workers = self.threads.min(jobs.len().max(1));
-        let reports: Vec<FileReport> = if workers <= 1 {
-            jobs.iter().map(|j| self.check_one(j)).collect()
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<FileReport>>> =
-                jobs.iter().map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let report = self.check_one(&jobs[i]);
-                        *slots[i].lock().unwrap() = Some(report);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
-                .collect()
-        };
+    /// The scoped worker pool: produces `n` reports with `make`, sharing
+    /// an atomic cursor and writing results back by index so output order
+    /// is deterministic regardless of scheduling.
+    fn run_indexed<F>(&self, n: usize, make: F) -> Vec<FileReport>
+    where
+        F: Fn(usize) -> FileReport + Sync,
+    {
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            return (0..n).map(make).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<FileReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = make(i);
+                    *slots[i].lock().unwrap() = Some(report);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
+            .collect()
+    }
 
+    fn tally(reports: &[FileReport]) -> BatchStats {
         let mut stats = BatchStats {
             files: reports.len(),
             ..BatchStats::default()
         };
-        for r in &reports {
+        for r in reports {
             if r.unknown_system {
                 stats.unknown_system_files += 1;
+                continue;
+            }
+            if r.read_error.is_some() {
+                stats.unreadable_files += 1;
                 continue;
             }
             if r.diagnostics.is_empty() {
@@ -214,8 +264,150 @@ impl BatchEngine {
                 *stats.by_category.entry(d.category).or_insert(0) += 1;
             }
         }
+        stats
+    }
+
+    /// Validates every job, returning per-file reports in job order plus
+    /// aggregate statistics.
+    pub fn run(&self, jobs: &[BatchJob]) -> (Vec<FileReport>, BatchStats) {
+        let reports = self.run_indexed(jobs.len(), |i| self.check_one(&jobs[i]));
+        let stats = Self::tally(&reports);
         (reports, stats)
     }
+
+    /// Streaming batch validation: walks `roots` (files, or directories
+    /// descended in sorted order), then validates every discovered file
+    /// against `system`'s database on the worker pool. Each worker reads
+    /// one file at a time and drops the text once checked, so memory stays
+    /// bounded by the thread count no matter how large the corpus is.
+    /// Reports come back in walk order; a file that disappears or cannot
+    /// be read mid-run yields a report with
+    /// [`read_error`](FileReport::read_error) set rather than aborting the
+    /// batch. Only nonexistent roots are a hard error.
+    pub fn run_paths<P: AsRef<Path>>(
+        &self,
+        system: &str,
+        roots: &[P],
+    ) -> std::io::Result<(Vec<FileReport>, BatchStats)> {
+        let mut files: Vec<WalkEntry> = Vec::new();
+        // One visited set across all roots: overlapping roots (or a root
+        // symlinked into another) descend each physical directory once.
+        let mut visited = std::collections::BTreeSet::new();
+        for root in roots {
+            walk_sorted(root.as_ref(), &mut files, &mut visited)?;
+        }
+        let reports = self.run_indexed(files.len(), |i| {
+            let entry = &files[i];
+            let label = entry.path.display().to_string();
+            let unreadable = |message: String| FileReport {
+                system: system.to_string(),
+                file: label.clone(),
+                diagnostics: Vec::new(),
+                unknown_system: false,
+                read_error: Some(message),
+            };
+            if let Some(e) = &entry.walk_error {
+                return unreadable(e.clone());
+            }
+            // Refuse non-regular files *before* opening them: reading a
+            // FIFO with no writer blocks forever, and a device file can
+            // yield unbounded garbage.
+            match std::fs::metadata(&entry.path) {
+                Ok(m) if !m.is_file() => {
+                    return unreadable("not a regular file".to_string());
+                }
+                _ => {}
+            }
+            match std::fs::read_to_string(&entry.path) {
+                Ok(text) => self.check_text(system, &label, &text),
+                Err(e) => unreadable(e.to_string()),
+            }
+        });
+        let stats = Self::tally(&reports);
+        Ok((reports, stats))
+    }
+}
+
+/// One discovered path: a candidate file, or a location the walk could
+/// not descend (reported as unreadable rather than aborting the batch).
+struct WalkEntry {
+    path: PathBuf,
+    walk_error: Option<String>,
+}
+
+impl WalkEntry {
+    fn file(path: PathBuf) -> WalkEntry {
+        WalkEntry {
+            path,
+            walk_error: None,
+        }
+    }
+}
+
+/// Depth-first walk collecting regular files, visiting directory entries
+/// in sorted name order so the job list — and therefore the report order —
+/// is deterministic across platforms and runs. Directory symlinks are
+/// followed, but each physical directory in `visited` is descended at most
+/// once, so a symlink cycle (`ln -s . loop`) terminates instead of
+/// recursing forever. Explicit *file* roots are always pushed, even when a
+/// directory root also reaches them. Only a root whose metadata cannot be
+/// read at all (typically: it does not exist) is a hard error; everything
+/// below a root degrades to a per-path unreadable report.
+fn walk_sorted(
+    root: &Path,
+    out: &mut Vec<WalkEntry>,
+    visited: &mut std::collections::BTreeSet<PathBuf>,
+) -> std::io::Result<()> {
+    let meta = std::fs::metadata(root)?;
+    if meta.is_file() {
+        out.push(WalkEntry::file(root.to_path_buf()));
+        return Ok(());
+    }
+    if !meta.is_dir() {
+        // A FIFO/socket/device root: report it, don't try to list it.
+        out.push(WalkEntry::file(root.to_path_buf()));
+        return Ok(());
+    }
+    if let Ok(canon) = std::fs::canonicalize(root) {
+        if !visited.insert(canon) {
+            return Ok(());
+        }
+    }
+    let listing = std::fs::read_dir(root).and_then(|rd| {
+        rd.map(|e| e.map(|e| e.path()))
+            .collect::<std::io::Result<Vec<PathBuf>>>()
+    });
+    let mut entries = match listing {
+        Ok(entries) => entries,
+        // An unreadable (e.g. permission-denied) directory inside the
+        // tree is one bad location, not a batch abort.
+        Err(e) => {
+            out.push(WalkEntry {
+                path: root.to_path_buf(),
+                walk_error: Some(e.to_string()),
+            });
+            return Ok(());
+        }
+    };
+    entries.sort_unstable();
+    for entry in entries {
+        // A file deleted between listing and stat is the streaming racer's
+        // problem, not a batch abort: record it as unreadable.
+        match std::fs::metadata(&entry) {
+            Ok(m) if m.is_dir() => {
+                // The recursive call's only hard-error path is a re-stat
+                // race on this entry; degrade it like everything else.
+                if let Err(e) = walk_sorted(&entry, out, visited) {
+                    out.push(WalkEntry {
+                        path: entry,
+                        walk_error: Some(e.to_string()),
+                    });
+                }
+            }
+            _ => out.push(WalkEntry::file(entry)),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -322,6 +514,11 @@ mod tests {
         }];
         let (reports, stats) = engine(2).run(&js);
         assert!(reports[0].unknown_system);
+        assert!(
+            reports[0].has_errors(),
+            "an unvalidated file must gate deploys"
+        );
+        assert!(!reports[0].is_clean());
         assert_eq!(stats.unknown_system_files, 1);
         assert_eq!(stats.flagged_files, 0);
     }
@@ -331,5 +528,175 @@ mod tests {
         let (reports, stats) = engine(4).run(&[]);
         assert!(reports.is_empty());
         assert_eq!(stats.files, 0);
+    }
+
+    /// Builds a small on-disk corpus: root/{a.conf,z.conf,sub/{b.conf,c.conf}}.
+    fn corpus(tag: &str) -> std::path::PathBuf {
+        let root = std::env::temp_dir().join(format!("spex_batch_paths_{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("sub")).unwrap();
+        std::fs::write(root.join("a.conf"), "threads = 8\n").unwrap();
+        std::fs::write(root.join("z.conf"), "threads = 999\n").unwrap();
+        std::fs::write(root.join("sub/b.conf"), "threads = 1\n").unwrap();
+        std::fs::write(root.join("sub/c.conf"), "threads = -3\n").unwrap();
+        root
+    }
+
+    #[test]
+    fn run_paths_walks_deterministically_and_flags() {
+        let root = corpus("walk");
+        let (reports, stats) = engine(4)
+            .run_paths("S", std::slice::from_ref(&root))
+            .unwrap();
+        let files: Vec<String> = reports
+            .iter()
+            .map(|r| {
+                std::path::Path::new(&r.file)
+                    .strip_prefix(&root)
+                    .unwrap()
+                    .display()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(files, vec!["a.conf", "sub/b.conf", "sub/c.conf", "z.conf"]);
+        assert_eq!(stats.files, 4);
+        assert_eq!(stats.clean_files, 2);
+        assert_eq!(stats.flagged_files, 2);
+        // Same order and findings regardless of worker count.
+        let (seq, seq_stats) = engine(1)
+            .run_paths("S", std::slice::from_ref(&root))
+            .unwrap();
+        assert_eq!(seq, reports);
+        assert_eq!(seq_stats, stats);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn run_paths_accepts_explicit_files_in_argument_order() {
+        let root = corpus("explicit");
+        let (reports, _) = engine(2)
+            .run_paths("S", &[root.join("z.conf"), root.join("a.conf")])
+            .unwrap();
+        assert!(reports[0].file.ends_with("z.conf"));
+        assert!(reports[1].file.ends_with("a.conf"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn run_paths_survives_symlink_cycles() {
+        let root = corpus("symlink");
+        std::os::unix::fs::symlink(&root, root.join("sub/loop")).unwrap();
+        let (reports, stats) = engine(2)
+            .run_paths("S", std::slice::from_ref(&root))
+            .unwrap();
+        // The four real files are each seen exactly once (the cycle target
+        // is the already-visited root, so the link adds nothing).
+        assert_eq!(stats.files, 4);
+        assert_eq!(
+            reports
+                .iter()
+                .filter(|r| r.file.ends_with("a.conf"))
+                .count(),
+            1
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn run_paths_skips_non_regular_files_without_blocking() {
+        let root = corpus("fifo");
+        let status = std::process::Command::new("mkfifo")
+            .arg(root.join("sub/ctl"))
+            .status()
+            .expect("mkfifo runs");
+        assert!(status.success());
+        // Reading a writer-less FIFO would block forever; the run must
+        // complete and report it unreadable instead.
+        let (reports, stats) = engine(2)
+            .run_paths("S", std::slice::from_ref(&root))
+            .unwrap();
+        assert_eq!(stats.files, 5);
+        assert_eq!(stats.unreadable_files, 1);
+        let fifo = reports.iter().find(|r| r.file.ends_with("ctl")).unwrap();
+        assert_eq!(fifo.read_error.as_deref(), Some("not a regular file"));
+        assert!(fifo.has_errors(), "an unvalidated file must gate deploys");
+        assert!(!fifo.is_clean());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn run_paths_non_directory_root_reports_instead_of_aborting() {
+        let root = corpus("fiforoot");
+        let fifo = root.join("ctl");
+        let status = std::process::Command::new("mkfifo")
+            .arg(&fifo)
+            .status()
+            .expect("mkfifo runs");
+        assert!(status.success());
+        // A FIFO given directly as a root: per the contract, only
+        // nonexistent roots hard-error; this degrades to a report.
+        let (reports, stats) = engine(1)
+            .run_paths("S", std::slice::from_ref(&fifo))
+            .unwrap();
+        assert_eq!(stats.files, 1);
+        assert_eq!(stats.unreadable_files, 1);
+        assert_eq!(reports[0].read_error.as_deref(), Some("not a regular file"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn run_paths_overlapping_directory_roots_walk_once() {
+        let root = corpus("overlap");
+        let (reports, stats) = engine(2)
+            .run_paths("S", &[root.clone(), root.join("sub")])
+            .unwrap();
+        // The second root is inside the first: its directory was already
+        // descended, so nothing is double-counted.
+        assert_eq!(stats.files, 4);
+        assert_eq!(
+            reports
+                .iter()
+                .filter(|r| r.file.ends_with("b.conf"))
+                .count(),
+            1
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn run_paths_missing_root_is_an_error() {
+        let err = engine(2)
+            .run_paths("S", &[std::path::Path::new("/no/such/spex/dir")])
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn run_paths_shared_env_reaches_checkers() {
+        use spex_core::constraint::SemType;
+        let root = corpus("env");
+        std::fs::write(root.join("a.conf"), "pidfile = /no/such/file\n").unwrap();
+        std::fs::remove_file(root.join("z.conf")).unwrap();
+        std::fs::remove_dir_all(root.join("sub")).unwrap();
+        let mut db = db("S");
+        db.add(Constraint {
+            param: "pidfile".into(),
+            kind: ConstraintKind::SemanticType(SemType::FilePath),
+            in_function: "f".into(),
+            span: Span::unknown(),
+        });
+        let mut e = BatchEngine::new().with_threads(2);
+        e.add_db(db);
+        e.add_shared_env("S", std::sync::Arc::new(crate::FsEnv::new()));
+        let (reports, stats) = e.run_paths("S", std::slice::from_ref(&root)).unwrap();
+        assert_eq!(stats.flagged_files, 1);
+        assert!(reports[0]
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("does not exist")));
+        std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -14,9 +14,26 @@ use spex_conf::{ConfFile, Entry};
 use spex_core::constraint::{BasicType, ConstraintKind, EnumValue, SemType, SizeUnit, TimeUnit};
 use std::collections::BTreeSet;
 
-/// Absurdity bar for time values: one year, in the parameter's own unit
-/// (the paper's injection rule plants "absurdly large time value"s).
-const ABSURD_TIME_MICROS: i64 = 366 * 24 * 3600 * 1_000_000i64;
+/// Absurdity bar for a time value, in the parameter's own unit (the
+/// paper's injection rule plants "absurdly large time value"s).
+///
+/// The bar is per-unit: a single "over a year" bar lets sub-second units
+/// dodge it — `999999999 ms` is "only" 11.5 days, yet nobody writes a
+/// nine-digit millisecond count on purpose; they mistook the unit.
+/// Sub-second units express fine-grained intervals, so they must clear a
+/// proportionally lower bar.
+fn absurd_time_bar(unit: TimeUnit) -> (i64, &'static str) {
+    match unit {
+        // One hour of microseconds.
+        TimeUnit::Micro => (3600 * 1_000_000, "an hour"),
+        // One week of milliseconds.
+        TimeUnit::Milli => (7 * 24 * 3600 * 1000, "a week"),
+        // One year for coarse units.
+        TimeUnit::Sec => (366 * 24 * 3600, "a year"),
+        TimeUnit::Min => (366 * 24 * 60, "a year"),
+        TimeUnit::Hour => (366 * 24, "a year"),
+    }
+}
 
 /// What the checker may ask about the deployment environment. Everything
 /// defaults to "plausible", so a checker without an environment still
@@ -553,15 +570,13 @@ impl<'a> Checker<'a> {
                 "semantic-type",
             ));
         }
-        if v.checked_mul(unit.in_micros())
-            .map(|m| m > ABSURD_TIME_MICROS)
-            .unwrap_or(true)
-        {
+        let (bar, human) = absurd_time_bar(unit);
+        if v > bar {
             return Some(Diagnostic::new(
                 Severity::Error,
                 occ.name,
                 occ.value,
-                format!("{v} {unit} is over a year — almost certainly a unit mistake"),
+                format!("{v} {unit} is over {human} — almost certainly a unit mistake"),
                 "semantic-type",
             ));
         }
@@ -962,6 +977,14 @@ mod tests {
             ConstraintKind::SemanticType(SemType::Time(TimeUnit::Sec)),
         ));
         db.add(c(
+            "poll_ms",
+            ConstraintKind::SemanticType(SemType::Time(TimeUnit::Milli)),
+        ));
+        db.add(c(
+            "spin_us",
+            ConstraintKind::SemanticType(SemType::Time(TimeUnit::Micro)),
+        ));
+        db.add(c(
             "commit_siblings",
             ConstraintKind::ControlDep(ControlDep {
                 controller: "fsync".into(),
@@ -1067,6 +1090,26 @@ mod tests {
         let ds = check("nap_s = 10ms\n");
         assert_eq!(ds.len(), 1);
         assert!(ds[0].message.contains("suffix"));
+    }
+
+    #[test]
+    fn sub_second_units_have_their_own_absurdity_bar() {
+        // 999999999 ms is "only" 11.5 days — under a one-year bar it
+        // dodges detection, but nobody means a nine-digit millisecond
+        // count: the per-unit bar (a week of ms) must flag it.
+        let ds = check("poll_ms = 999999999\n");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("over a week"), "{}", ds[0]);
+        // Plausible sub-second values stay clean.
+        assert!(check("poll_ms = 250\n").is_empty());
+        assert!(check("poll_ms = 86400000\n").is_empty(), "a day of ms");
+        // Microseconds clear an even lower bar: an hour.
+        let ds = check("spin_us = 10000000000\n");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("over an hour"), "{}", ds[0]);
+        assert!(check("spin_us = 500000\n").is_empty());
+        // Coarse units keep the original year bar.
+        assert!(check("nap_s = 86400\n").is_empty());
     }
 
     #[test]

@@ -7,6 +7,21 @@
 //! system from an analysis, saved in a compact std-only text format, and
 //! loaded by every checker run without touching source code again
 //! (infer → persist → check).
+//!
+//! # Format versions
+//!
+//! * `v1` — `c <kind> | <func> <line> <col>` constraint lines, no
+//!   inference provenance;
+//! * `v2` (current) — each constraint line carries a trailing
+//!   `| <module>` provenance token naming the workspace module the
+//!   constraint was inferred from (empty for hand-built databases).
+//!
+//! [`ConstraintDb::load_from_str`] reads both and migrates `v1` databases
+//! in place (provenance becomes empty); [`ConstraintDb::save_to_string`]
+//! always writes `v2`. Databases from incremental or sharded analysis runs
+//! combine with [`ConstraintDb::merge`], which resolves conflicts
+//! deterministically (tightest constraint wins) and records every decision
+//! in a [`MergeReport`].
 
 use spex_conf::Dialect;
 use spex_core::constraint::{
@@ -17,8 +32,10 @@ use spex_lang::diag::Span;
 use std::fmt;
 use std::path::Path;
 
-/// Format magic line; bump the version when the format changes.
-const MAGIC: &str = "spex-constraint-db v1";
+/// Magic line of the legacy `v1` format (still loadable).
+const MAGIC_V1: &str = "spex-constraint-db v1";
+/// Magic line of the current `v2` format.
+const MAGIC_V2: &str = "spex-constraint-db v2";
 
 /// All constraints of one parameter.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -30,6 +47,31 @@ pub struct ParamEntry {
     /// passes attribute them to: the dependent for control dependencies,
     /// the left-hand side for value relationships).
     pub constraints: Vec<Constraint>,
+    /// Inference provenance, parallel to `constraints`: the workspace
+    /// module each constraint was inferred from, or empty for hand-built
+    /// and migrated-`v1` constraints. Maintained by the
+    /// [`ConstraintDb::add`]-family methods; keep the two vectors the same
+    /// length if constructing entries by hand.
+    pub provenance: Vec<String>,
+}
+
+impl ParamEntry {
+    /// Iterates `(constraint, provenance-module)` pairs. A hand-built
+    /// entry whose `provenance` is shorter than `constraints` reports the
+    /// missing tail as empty provenance.
+    pub fn with_provenance(&self) -> impl Iterator<Item = (&Constraint, &str)> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c, self.provenance.get(i).map(String::as_str).unwrap_or("")))
+    }
+
+    /// Restores the `provenance.len() == constraints.len()` invariant for
+    /// entries built by hand (missing slots become empty provenance).
+    fn sync_provenance(&mut self) {
+        self.provenance
+            .resize(self.constraints.len(), String::new());
+    }
 }
 
 /// The per-system constraint database.
@@ -109,6 +151,7 @@ impl ConstraintDb {
         self.params.push(ParamEntry {
             name: name.to_string(),
             constraints: Vec::new(),
+            provenance: Vec::new(),
         });
         self.params.last_mut().unwrap()
     }
@@ -120,10 +163,73 @@ impl ConstraintDb {
         }
     }
 
-    /// Adds one constraint under its parameter.
+    /// Adds one constraint under its parameter, with empty provenance.
     pub fn add(&mut self, c: Constraint) {
+        self.add_from(c, "");
+    }
+
+    /// Adds one constraint under its parameter, recording the workspace
+    /// module it was inferred from.
+    pub fn add_from(&mut self, c: Constraint, module: &str) {
         let name = c.param.clone();
-        self.note_param(&name).constraints.push(c);
+        let entry = self.note_param(&name);
+        entry.constraints.push(c);
+        entry.provenance.push(module.to_string());
+    }
+
+    /// Removes every constraint of `param` that was inferred from
+    /// `module`, returning how many were dropped. The parameter entry
+    /// itself stays (the name remains a legal key).
+    pub fn remove_source_param(&mut self, module: &str, param: &str) -> usize {
+        let Some(entry) = self.params.iter_mut().find(|p| p.name == param) else {
+            return 0;
+        };
+        entry.sync_provenance();
+        let before = entry.constraints.len();
+        let mut keep = entry.provenance.iter().map(|m| m != module);
+        entry.constraints.retain(|_| keep.next().unwrap_or(true));
+        entry.provenance.retain(|m| m != module);
+        before - entry.constraints.len()
+    }
+
+    /// Replaces `param`'s constraints from `module` with a fresh list
+    /// (removing the old ones, appending the new ones under that
+    /// provenance). Returns `(removed, added)` counts. Used by incremental
+    /// re-analysis to swap in one module's re-inferred constraints without
+    /// touching what other modules contributed.
+    pub fn replace_source_param(
+        &mut self,
+        module: &str,
+        param: &str,
+        fresh: Vec<Constraint>,
+    ) -> (usize, usize) {
+        let removed = self.remove_source_param(module, param);
+        let added = fresh.len();
+        let entry = self.note_param(param);
+        for c in fresh {
+            entry.constraints.push(c);
+            entry.provenance.push(module.to_string());
+        }
+        (removed, added)
+    }
+
+    /// Names of parameters holding at least one constraint inferred from
+    /// `module` (used to garbage-collect a module's stale contribution,
+    /// e.g. after a workspace resumes from a persisted database).
+    pub fn params_from_source(&self, module: &str) -> Vec<String> {
+        self.params
+            .iter()
+            .filter(|p| p.with_provenance().any(|(_, m)| m == module))
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// Drops a parameter entry entirely (name and constraints). Returns
+    /// whether it existed.
+    pub fn remove_param(&mut self, name: &str) -> bool {
+        let before = self.params.len();
+        self.params.retain(|p| p.name != name);
+        self.params.len() != before
     }
 
     /// Entry lookup by exact name.
@@ -150,29 +256,43 @@ impl ConstraintDb {
 
     // -- Serialization --------------------------------------------------
 
-    /// Serializes the database to its text format.
+    /// Detects the on-disk format version of a database text, if any.
+    pub fn detect_version(text: &str) -> Option<u32> {
+        match text.lines().next() {
+            Some(l) if l == MAGIC_V1 => Some(1),
+            Some(l) if l == MAGIC_V2 => Some(2),
+            _ => None,
+        }
+    }
+
+    /// Serializes the database to the current (`v2`) text format.
     pub fn save_to_string(&self) -> String {
         let mut out = String::new();
-        out.push_str(MAGIC);
+        out.push_str(MAGIC_V2);
         out.push('\n');
         out.push_str(&format!("system {}\n", esc(&self.system)));
         out.push_str(&format!("dialect {}\n", dialect_tag(self.dialect)));
         for p in &self.params {
             out.push_str(&format!("param {}\n", esc(&p.name)));
-            for c in &p.constraints {
+            for (i, c) in p.constraints.iter().enumerate() {
+                let module = p.provenance.get(i).map(String::as_str).unwrap_or("");
                 out.push_str(&format!(
-                    "c {} | {} {} {}\n",
+                    "c {} | {} {} {} | {}\n",
                     kind_to_tokens(&c.kind),
                     esc(&c.in_function),
                     c.span.line,
-                    c.span.col
+                    c.span.col,
+                    esc(module),
                 ));
             }
         }
         out
     }
 
-    /// Parses the text format back into a database.
+    /// Parses the text format back into a database. Both `v1` and `v2`
+    /// inputs are accepted; `v1` constraints migrate with empty
+    /// provenance, so `load → save` rewrites a legacy database as `v2`
+    /// without losing anything.
     pub fn load_from_str(text: &str) -> Result<ConstraintDb, DbError> {
         let mut lines = text.lines().enumerate();
         let expect = |lineno: usize, msg: &str| DbError {
@@ -180,9 +300,11 @@ impl ConstraintDb {
             message: msg.to_string(),
         };
         let (n0, magic) = lines.next().ok_or_else(|| expect(0, "empty file"))?;
-        if magic != MAGIC {
-            return Err(expect(n0, "bad magic line"));
-        }
+        let version = match magic {
+            m if m == MAGIC_V1 => 1,
+            m if m == MAGIC_V2 => 2,
+            _ => return Err(expect(n0, "bad magic line")),
+        };
         let (n1, sys) = lines
             .next()
             .ok_or_else(|| expect(1, "missing system line"))?;
@@ -212,9 +334,25 @@ impl ConstraintDb {
                 let param = current
                     .clone()
                     .ok_or_else(|| expect(n, "constraint before any `param`"))?;
-                let (kind_part, origin_part) = rest
-                    .split_once(" | ")
+                let mut fields = rest.split(" | ");
+                let kind_part = fields.next().expect("split yields at least one field");
+                let origin_part = fields
+                    .next()
                     .ok_or_else(|| expect(n, "constraint missing ` | ` origin separator"))?;
+                let module = match (version, fields.next()) {
+                    (1, None) => String::new(),
+                    (2, Some(m)) => unesc(m),
+                    (1, Some(_)) => {
+                        return Err(expect(n, "v1 constraint carries a v2 provenance field"))
+                    }
+                    (_, None) => {
+                        return Err(expect(n, "v2 constraint missing ` | <module>` provenance"))
+                    }
+                    _ => unreachable!("version is 1 or 2"),
+                };
+                if fields.next().is_some() {
+                    return Err(expect(n, "constraint has too many ` | ` fields"));
+                }
                 let kind = kind_from_tokens(kind_part).map_err(|m| DbError {
                     line: n + 1,
                     message: m,
@@ -227,12 +365,15 @@ impl ConstraintDb {
                     toks[1].parse().map_err(|_| expect(n, "bad origin line"))?,
                     toks[2].parse().map_err(|_| expect(n, "bad origin col"))?,
                 );
-                db.add(Constraint {
-                    param,
-                    kind,
-                    in_function: unesc(toks[0]),
-                    span,
-                });
+                db.add_from(
+                    Constraint {
+                        param,
+                        kind,
+                        in_function: unesc(toks[0]),
+                        span,
+                    },
+                    &module,
+                );
             } else {
                 return Err(expect(n, "unrecognised line"));
             }
@@ -251,6 +392,275 @@ impl ConstraintDb {
         ConstraintDb::load_from_str(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+
+    // -- Merging --------------------------------------------------------
+
+    /// Merges another database for the *same system* into this one, so
+    /// incremental re-analysis shards and per-module runs can combine.
+    ///
+    /// Resolution is deterministic:
+    ///
+    /// * a constraint identical in kind to one already present is dropped
+    ///   as a duplicate (the incumbent's origin and provenance win);
+    /// * two numeric ranges conflict → the **tightest** valid interval
+    ///   wins (finite beats infinite, narrower beats wider, ties keep the
+    ///   incumbent), and the losing side is recorded in the report;
+    /// * two integer basic types conflict → the narrower width wins;
+    /// * two enumerative ranges with *overlapping* alternative sets
+    ///   conflict → their alternatives are unioned, with *invalid*
+    ///   winning when the sides disagree about a value,
+    ///   `unmatched_is_error` ORed, and `case_insensitive` ANDed (each
+    ///   rule keeps the tighter behaviour); enums over disjoint domains
+    ///   (a word enum and a switch-arm integer enum) simply coexist;
+    /// * everything else coexists and is simply appended.
+    ///
+    /// Winning challengers carry their own provenance into the merged
+    /// database; every conflict decision is recorded in the returned
+    /// [`MergeReport`].
+    pub fn merge(&mut self, other: &ConstraintDb) -> Result<MergeReport, MergeError> {
+        if other.system != self.system {
+            return Err(MergeError::SystemMismatch {
+                ours: self.system.clone(),
+                theirs: other.system.clone(),
+            });
+        }
+        if other.dialect != self.dialect {
+            return Err(MergeError::DialectMismatch {
+                ours: self.dialect,
+                theirs: other.dialect,
+            });
+        }
+        let mut report = MergeReport::default();
+        for theirs in &other.params {
+            if self.param(&theirs.name).is_none() {
+                report.params_added += 1;
+            }
+            for (c, module) in theirs.with_provenance() {
+                self.merge_one(c, module, &mut report);
+            }
+            self.note_param(&theirs.name);
+        }
+        Ok(report)
+    }
+
+    fn merge_one(&mut self, c: &Constraint, module: &str, report: &mut MergeReport) {
+        let entry = self.note_param(&c.param);
+        entry.sync_provenance();
+        // Exact duplicate: the incumbent wins outright.
+        if entry.constraints.iter().any(|have| have.kind == c.kind) {
+            report.deduped += 1;
+            return;
+        }
+        // A same-class incumbent to resolve against, if any. Two
+        // enumerative ranges conflict only when their alternative sets
+        // overlap — a parameter legitimately carries disjoint word and
+        // integer enums (strcmp chain vs. switch), and blending a
+        // challenger into an unrelated domain would both corrupt it and
+        // make the merge order-dependent.
+        let rival = entry
+            .constraints
+            .iter()
+            .position(|have| match (&have.kind, &c.kind) {
+                (ConstraintKind::Range(_), ConstraintKind::Range(_))
+                | (ConstraintKind::BasicType(_), ConstraintKind::BasicType(_)) => true,
+                (ConstraintKind::EnumRange(a), ConstraintKind::EnumRange(b)) => a
+                    .alternatives
+                    .iter()
+                    .any(|x| b.alternatives.iter().any(|y| x.value == y.value)),
+                _ => false,
+            });
+        let Some(i) = rival else {
+            entry.constraints.push(c.clone());
+            entry.provenance.push(module.to_string());
+            report.added += 1;
+            return;
+        };
+        let incumbent = entry.constraints[i].clone();
+        let incumbent_module = entry.provenance[i].clone();
+        let resolved = resolve_conflict(&incumbent.kind, &c.kind);
+        report.conflicts.push(MergeConflict {
+            param: c.param.clone(),
+            category: c.kind.category(),
+            kept: match resolved {
+                ConflictWinner::Incumbent => incumbent.to_string(),
+                ConflictWinner::Challenger => c.to_string(),
+                ConflictWinner::Blend(_) => String::new(),
+            },
+            dropped: match resolved {
+                ConflictWinner::Incumbent => c.to_string(),
+                ConflictWinner::Challenger => incumbent.to_string(),
+                ConflictWinner::Blend(_) => String::new(),
+            },
+            kept_from: match resolved {
+                ConflictWinner::Challenger => module.to_string(),
+                _ => incumbent_module.clone(),
+            },
+            dropped_from: match resolved {
+                ConflictWinner::Challenger => incumbent_module.clone(),
+                _ => module.to_string(),
+            },
+        });
+        match resolved {
+            ConflictWinner::Incumbent => {}
+            ConflictWinner::Challenger => {
+                entry.constraints[i] = c.clone();
+                entry.provenance[i] = module.to_string();
+            }
+            ConflictWinner::Blend(kind) => {
+                let blended = report.conflicts.last_mut().expect("just pushed");
+                blended.kept = Constraint {
+                    param: c.param.clone(),
+                    kind: kind.clone(),
+                    in_function: incumbent.in_function.clone(),
+                    span: incumbent.span,
+                }
+                .to_string();
+                blended.dropped = c.to_string();
+                entry.constraints[i].kind = kind;
+            }
+        }
+    }
+}
+
+/// Who wins a merge conflict between two same-class constraints.
+enum ConflictWinner {
+    /// Keep the constraint already in the database.
+    Incumbent,
+    /// Replace it with the merged-in one (tighter).
+    Challenger,
+    /// Neither as-is: store this combined kind under the incumbent's slot.
+    Blend(ConstraintKind),
+}
+
+/// Resolves a same-class conflict per the tightest-wins rules of
+/// [`ConstraintDb::merge`].
+fn resolve_conflict(incumbent: &ConstraintKind, challenger: &ConstraintKind) -> ConflictWinner {
+    match (incumbent, challenger) {
+        (ConstraintKind::Range(a), ConstraintKind::Range(b)) => {
+            // Tightest wins: finite beats unbounded, narrower beats wider,
+            // ties keep the incumbent. (Careful: `Option`'s derived order
+            // puts `None` first, which would invert the rule.)
+            let challenger_tighter = match (interval_width(a), interval_width(b)) {
+                (None, Some(_)) => true,
+                (Some(wa), Some(wb)) => wb < wa,
+                (_, None) => false,
+            };
+            if challenger_tighter {
+                ConflictWinner::Challenger
+            } else {
+                ConflictWinner::Incumbent
+            }
+        }
+        (ConstraintKind::BasicType(a), ConstraintKind::BasicType(b)) => match (a, b) {
+            (
+                BasicType::Int { bits: wa, .. },
+                BasicType::Int {
+                    bits: wb,
+                    signed: sb,
+                },
+            ) if wb < wa || (wa == wb && !sb) => ConflictWinner::Challenger,
+            _ => ConflictWinner::Incumbent,
+        },
+        (ConstraintKind::EnumRange(a), ConstraintKind::EnumRange(b)) => {
+            let mut merged = a.clone();
+            for alt in &b.alternatives {
+                match merged
+                    .alternatives
+                    .iter_mut()
+                    .find(|m| m.value == alt.value)
+                {
+                    // Disagreeing validity: invalid (tighter) wins.
+                    Some(m) => m.valid = m.valid && alt.valid,
+                    None => merged.alternatives.push(alt.clone()),
+                }
+            }
+            merged.unmatched_is_error = a.unmatched_is_error || b.unmatched_is_error;
+            merged.unmatched_overwrites = a.unmatched_overwrites || b.unmatched_overwrites;
+            merged.case_insensitive = a.case_insensitive && b.case_insensitive;
+            if merged == *a {
+                ConflictWinner::Incumbent
+            } else {
+                ConflictWinner::Blend(ConstraintKind::EnumRange(merged))
+            }
+        }
+        _ => ConflictWinner::Incumbent,
+    }
+}
+
+/// Width of a range's valid interval, for tightest-wins comparison.
+/// `None` means unbounded on at least one side (always looser than any
+/// finite interval); a range with no valid interval at all is treated as
+/// maximally loose.
+fn interval_width(r: &NumericRange) -> Option<u128> {
+    let (lo, hi) = r.valid_interval()?;
+    match (lo, hi) {
+        (Some(lo), Some(hi)) => Some(hi.abs_diff(lo) as u128),
+        _ => None,
+    }
+}
+
+/// Why two databases cannot merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The databases describe different systems.
+    SystemMismatch {
+        /// The receiving database's system.
+        ours: String,
+        /// The merged-in database's system.
+        theirs: String,
+    },
+    /// The databases use different config dialects.
+    DialectMismatch {
+        /// The receiving database's dialect.
+        ours: Dialect,
+        /// The merged-in database's dialect.
+        theirs: Dialect,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::SystemMismatch { ours, theirs } => {
+                write!(f, "cannot merge db for system {theirs:?} into {ours:?}")
+            }
+            MergeError::DialectMismatch { ours, theirs } => {
+                write!(f, "cannot merge db with dialect {theirs:?} into {ours:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// One resolved merge conflict, for auditability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeConflict {
+    /// The parameter both constraints describe.
+    pub param: String,
+    /// The conflicting constraints' category.
+    pub category: &'static str,
+    /// Rendering of the constraint that survived (possibly a blend).
+    pub kept: String,
+    /// Rendering of the constraint that lost.
+    pub dropped: String,
+    /// Provenance module of the surviving constraint.
+    pub kept_from: String,
+    /// Provenance module of the losing constraint.
+    pub dropped_from: String,
+}
+
+/// What a [`ConstraintDb::merge`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Parameters that did not exist in the receiving database.
+    pub params_added: usize,
+    /// Constraints appended without conflict.
+    pub added: usize,
+    /// Constraints dropped as exact duplicates.
+    pub deduped: usize,
+    /// Same-class conflicts and how each was resolved.
+    pub conflicts: Vec<MergeConflict>,
 }
 
 // -- Token helpers ------------------------------------------------------
@@ -755,9 +1165,14 @@ mod tests {
         assert!(ConstraintDb::load_from_str("").is_err());
         assert!(ConstraintDb::load_from_str("not a db\n").is_err());
         let mut text = sample_db().save_to_string();
-        text.push_str("c bogus tokens | f 1 1\n");
+        text.push_str("c bogus tokens | f 1 1 | %_\n");
         let err = ConstraintDb::load_from_str(&text).unwrap_err();
         assert!(err.message.contains("malformed"), "{err}");
+        // A v2 constraint line without its provenance field is malformed.
+        let mut text = sample_db().save_to_string();
+        text.push_str("c basic bool | f 1 1\n");
+        let err = ConstraintDb::load_from_str(&text).unwrap_err();
+        assert!(err.message.contains("provenance"), "{err}");
     }
 
     #[test]
@@ -766,13 +1181,393 @@ mod tests {
         // checker's bounds computation later.
         for bits in [0, 7, 63, 255] {
             let mut text = sample_db().save_to_string();
-            text.push_str(&format!("param hacked\nc basic int {bits} 1 | f 1 1\n"));
+            text.push_str(&format!(
+                "param hacked\nc basic int {bits} 1 | f 1 1 | %_\n"
+            ));
             let err = ConstraintDb::load_from_str(&text).unwrap_err();
             assert!(
                 err.message.contains("unsupported integer width"),
                 "bits={bits}: {err}"
             );
         }
+    }
+
+    /// Renders a database in the legacy v1 format (what a pre-workspace
+    /// deployment would have on disk).
+    fn save_as_v1(db: &ConstraintDb) -> String {
+        let v2 = db.save_to_string();
+        let mut out = String::new();
+        for (i, line) in v2.lines().enumerate() {
+            if i == 0 {
+                out.push_str("spex-constraint-db v1\n");
+                continue;
+            }
+            if line.starts_with("c ") {
+                let (head, _module) = line.rsplit_once(" | ").unwrap();
+                out.push_str(head);
+                out.push('\n');
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn v1_database_loads_and_migrates_losslessly() {
+        let db = sample_db();
+        let v1_text = save_as_v1(&db);
+        assert_eq!(ConstraintDb::detect_version(&v1_text), Some(1));
+        let migrated = ConstraintDb::load_from_str(&v1_text).unwrap();
+        // Everything v1 could express survives the migration…
+        assert_eq!(migrated, db);
+        // …and the rewrite is the current version.
+        let rewritten = migrated.save_to_string();
+        assert_eq!(ConstraintDb::detect_version(&rewritten), Some(2));
+        assert_eq!(ConstraintDb::load_from_str(&rewritten).unwrap(), migrated);
+    }
+
+    #[test]
+    fn v1_lines_must_not_carry_provenance() {
+        let mut text = String::from("spex-constraint-db v1\nsystem X\ndialect key-value\n");
+        text.push_str("param p\nc basic bool | f 1 1 | mod\n");
+        let err = ConstraintDb::load_from_str(&text).unwrap_err();
+        assert!(err.message.contains("v1"), "{err}");
+    }
+
+    #[test]
+    fn provenance_round_trips() {
+        let mut db = ConstraintDb::new("X", Dialect::KeyValue);
+        db.add_from(
+            Constraint {
+                param: "a".into(),
+                kind: ConstraintKind::BasicType(BasicType::Bool),
+                in_function: "f".into(),
+                span: Span::new(1, 1),
+            },
+            "mod one", // space: exercises provenance escaping
+        );
+        let back = ConstraintDb::load_from_str(&db.save_to_string()).unwrap();
+        assert_eq!(back, db);
+        assert_eq!(back.param("a").unwrap().provenance, vec!["mod one"]);
+    }
+
+    fn range_c(param: &str, lo: i64, hi: i64, module: &str) -> (Constraint, String) {
+        (
+            Constraint {
+                param: param.into(),
+                kind: ConstraintKind::Range(NumericRange {
+                    cutpoints: vec![lo, hi],
+                    segments: vec![
+                        RangeSegment {
+                            lo: None,
+                            hi: Some(lo - 1),
+                            valid: false,
+                        },
+                        RangeSegment {
+                            lo: Some(lo),
+                            hi: Some(hi),
+                            valid: true,
+                        },
+                        RangeSegment {
+                            lo: Some(hi + 1),
+                            hi: None,
+                            valid: false,
+                        },
+                    ],
+                }),
+                in_function: "f".into(),
+                span: Span::new(1, 1),
+            },
+            module.to_string(),
+        )
+    }
+
+    #[test]
+    fn merge_requires_same_system_and_dialect() {
+        let mut a = ConstraintDb::new("A", Dialect::KeyValue);
+        let b = ConstraintDb::new("B", Dialect::KeyValue);
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::SystemMismatch { .. })
+        ));
+        let c = ConstraintDb::new("A", Dialect::Directive);
+        assert!(matches!(
+            a.merge(&c),
+            Err(MergeError::DialectMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_dedupes_identical_and_appends_new() {
+        let mut a = ConstraintDb::new("S", Dialect::KeyValue);
+        let (c1, m1) = range_c("threads", 1, 16, "shard-a");
+        a.add_from(c1.clone(), &m1);
+        let mut b = ConstraintDb::new("S", Dialect::KeyValue);
+        b.add_from(c1.clone(), "shard-b");
+        b.add_from(
+            Constraint {
+                param: "mode".into(),
+                kind: ConstraintKind::BasicType(BasicType::Str),
+                in_function: "g".into(),
+                span: Span::new(2, 2),
+            },
+            "shard-b",
+        );
+        let report = a.merge(&b).unwrap();
+        assert_eq!(report.deduped, 1);
+        assert_eq!(report.added, 1);
+        assert_eq!(report.params_added, 1);
+        assert!(report.conflicts.is_empty());
+        // The duplicate kept shard-a's provenance; the new one is shard-b's.
+        assert_eq!(a.param("threads").unwrap().provenance, vec!["shard-a"]);
+        assert_eq!(a.param("mode").unwrap().provenance, vec!["shard-b"]);
+    }
+
+    #[test]
+    fn merge_overlapping_ranges_tightest_wins() {
+        // Challenger tighter: replaces the incumbent and takes provenance.
+        let mut a = ConstraintDb::new("S", Dialect::KeyValue);
+        let (wide, m) = range_c("threads", 1, 1000, "shard-a");
+        a.add_from(wide, &m);
+        let mut b = ConstraintDb::new("S", Dialect::KeyValue);
+        let (tight, m) = range_c("threads", 1, 16, "shard-b");
+        b.add_from(tight.clone(), &m);
+        let report = a.merge(&b).unwrap();
+        assert_eq!(report.conflicts.len(), 1);
+        let conflict = &report.conflicts[0];
+        assert_eq!(conflict.kept_from, "shard-b");
+        assert_eq!(conflict.dropped_from, "shard-a");
+        assert!(conflict.kept.contains("[1, 16]"), "{}", conflict.kept);
+        let entry = a.param("threads").unwrap();
+        assert_eq!(entry.constraints, vec![tight.clone()]);
+        assert_eq!(entry.provenance, vec!["shard-b"]);
+
+        // Incumbent tighter: merging the wide shard back changes nothing.
+        let mut c = ConstraintDb::new("S", Dialect::KeyValue);
+        let (wide, m) = range_c("threads", 1, 1000, "shard-a");
+        c.add_from(wide, &m);
+        let report = a.merge(&c).unwrap();
+        assert_eq!(report.conflicts.len(), 1);
+        assert_eq!(report.conflicts[0].kept_from, "shard-b");
+        assert_eq!(a.param("threads").unwrap().constraints, vec![tight]);
+    }
+
+    #[test]
+    fn merge_disagreeing_enums_blend_invalid_wins() {
+        let enum_kind = |alts: Vec<(&str, bool)>| {
+            ConstraintKind::EnumRange(EnumRange {
+                alternatives: alts
+                    .into_iter()
+                    .map(|(s, valid)| EnumAlternative {
+                        value: EnumValue::Str(s.into()),
+                        valid,
+                    })
+                    .collect(),
+                unmatched_is_error: false,
+                unmatched_overwrites: false,
+                case_insensitive: true,
+            })
+        };
+        let mut a = ConstraintDb::new("S", Dialect::KeyValue);
+        a.add_from(
+            Constraint {
+                param: "mode".into(),
+                kind: enum_kind(vec![("fast", true), ("safe", true)]),
+                in_function: "f".into(),
+                span: Span::new(1, 1),
+            },
+            "shard-a",
+        );
+        let mut b = ConstraintDb::new("S", Dialect::KeyValue);
+        b.add_from(
+            Constraint {
+                param: "mode".into(),
+                kind: enum_kind(vec![("safe", false), ("paranoid", true)]),
+                in_function: "g".into(),
+                span: Span::new(2, 2),
+            },
+            "shard-b",
+        );
+        let report = a.merge(&b).unwrap();
+        assert_eq!(report.conflicts.len(), 1);
+        let ConstraintKind::EnumRange(merged) = &a.param("mode").unwrap().constraints[0].kind
+        else {
+            panic!("enum survived as enum");
+        };
+        let validity: Vec<(String, bool)> = merged
+            .alternatives
+            .iter()
+            .map(|alt| (alt.value.to_string(), alt.valid))
+            .collect();
+        assert_eq!(
+            validity,
+            vec![
+                ("\"fast\"".to_string(), true),
+                ("\"safe\"".to_string(), false), // disagreement → invalid wins
+                ("\"paranoid\"".to_string(), true),
+            ]
+        );
+        // Blends keep the incumbent's provenance slot.
+        assert_eq!(a.param("mode").unwrap().provenance, vec!["shard-a"]);
+    }
+
+    #[test]
+    fn merge_unbounded_range_never_beats_finite() {
+        // A one-sided range has no finite valid interval: it is maximally
+        // loose and must lose to any finite incumbent — and vice versa.
+        let half_open = |param: &str| Constraint {
+            param: param.into(),
+            kind: ConstraintKind::Range(NumericRange {
+                cutpoints: vec![1],
+                segments: vec![
+                    RangeSegment {
+                        lo: None,
+                        hi: Some(0),
+                        valid: false,
+                    },
+                    RangeSegment {
+                        lo: Some(1),
+                        hi: None,
+                        valid: true,
+                    },
+                ],
+            }),
+            in_function: "f".into(),
+            span: Span::new(1, 1),
+        };
+        // Unbounded challenger loses.
+        let mut a = ConstraintDb::new("S", Dialect::KeyValue);
+        let (tight, m) = range_c("threads", 1, 16, "shard-a");
+        a.add_from(tight.clone(), &m);
+        let mut b = ConstraintDb::new("S", Dialect::KeyValue);
+        b.add_from(half_open("threads"), "shard-b");
+        a.merge(&b).unwrap();
+        assert_eq!(a.param("threads").unwrap().constraints, vec![tight.clone()]);
+        assert_eq!(a.param("threads").unwrap().provenance, vec!["shard-a"]);
+        // Unbounded incumbent loses.
+        let mut c = ConstraintDb::new("S", Dialect::KeyValue);
+        c.add_from(half_open("threads"), "shard-b");
+        let mut d = ConstraintDb::new("S", Dialect::KeyValue);
+        let (tight2, m) = range_c("threads", 1, 16, "shard-a");
+        d.add_from(tight2.clone(), &m);
+        c.merge(&d).unwrap();
+        assert_eq!(c.param("threads").unwrap().constraints, vec![tight2]);
+        assert_eq!(c.param("threads").unwrap().provenance, vec!["shard-a"]);
+    }
+
+    #[test]
+    fn merge_disjoint_enums_coexist_instead_of_blending() {
+        // A param can hold a word enum (strcmp chain) and an integer enum
+        // (switch); a shard's word enum must pair with the word incumbent,
+        // not blend into the unrelated integer domain.
+        let word_enum = |alts: Vec<(&str, bool)>| {
+            ConstraintKind::EnumRange(EnumRange {
+                alternatives: alts
+                    .into_iter()
+                    .map(|(s, valid)| EnumAlternative {
+                        value: EnumValue::Str(s.into()),
+                        valid,
+                    })
+                    .collect(),
+                unmatched_is_error: true,
+                unmatched_overwrites: false,
+                case_insensitive: false,
+            })
+        };
+        let int_enum = ConstraintKind::EnumRange(EnumRange {
+            alternatives: vec![
+                EnumAlternative {
+                    value: EnumValue::Int(0),
+                    valid: true,
+                },
+                EnumAlternative {
+                    value: EnumValue::Int(1),
+                    valid: true,
+                },
+            ],
+            unmatched_is_error: true,
+            unmatched_overwrites: false,
+            case_insensitive: false,
+        });
+        let c = |kind: ConstraintKind| Constraint {
+            param: "mode".into(),
+            kind,
+            in_function: "f".into(),
+            span: Span::new(1, 1),
+        };
+        let mut a = ConstraintDb::new("S", Dialect::KeyValue);
+        a.add_from(c(int_enum.clone()), "shard-a");
+        a.add_from(c(word_enum(vec![("fast", true)])), "shard-a");
+        let mut b = ConstraintDb::new("S", Dialect::KeyValue);
+        b.add_from(
+            c(word_enum(vec![("fast", true), ("safe", false)])),
+            "shard-b",
+        );
+        let report = a.merge(&b).unwrap();
+        // Paired with the overlapping word incumbent (second), not the
+        // first same-class constraint; the integer enum is untouched.
+        assert_eq!(report.conflicts.len(), 1);
+        let entry = a.param("mode").unwrap();
+        assert_eq!(entry.constraints.len(), 2);
+        assert_eq!(entry.constraints[0].kind, int_enum);
+        let ConstraintKind::EnumRange(merged) = &entry.constraints[1].kind else {
+            panic!("word enum stayed an enum");
+        };
+        assert_eq!(merged.alternatives.len(), 2);
+
+        // A fully disjoint enum is not a conflict at all: it coexists.
+        let mut d = ConstraintDb::new("S", Dialect::KeyValue);
+        d.add_from(c(word_enum(vec![("paranoid", true)])), "shard-d");
+        let report = a.merge(&d).unwrap();
+        assert!(report.conflicts.is_empty());
+        assert_eq!(report.added, 1);
+        assert_eq!(a.param("mode").unwrap().constraints.len(), 3);
+    }
+
+    #[test]
+    fn merge_tolerates_hand_built_entries_without_provenance() {
+        // Entries built by struct literal may have an empty provenance
+        // vec; merging into them must neither panic nor misalign.
+        let (c1, _) = range_c("threads", 1, 1000, "");
+        let mut a = ConstraintDb::new("S", Dialect::KeyValue);
+        a.params.push(ParamEntry {
+            name: "threads".into(),
+            constraints: vec![c1],
+            provenance: Vec::new(), // deliberately out of sync
+        });
+        let mut b = ConstraintDb::new("S", Dialect::KeyValue);
+        let (tight, m) = range_c("threads", 1, 16, "shard-b");
+        b.add_from(tight.clone(), &m);
+        let report = a.merge(&b).unwrap();
+        assert_eq!(report.conflicts.len(), 1);
+        let entry = a.param("threads").unwrap();
+        assert_eq!(entry.constraints, vec![tight]);
+        assert_eq!(entry.provenance, vec!["shard-b"]);
+    }
+
+    #[test]
+    fn merge_int_widths_narrower_wins() {
+        let int_c = |bits, signed| Constraint {
+            param: "n".into(),
+            kind: ConstraintKind::BasicType(BasicType::Int { bits, signed }),
+            in_function: "f".into(),
+            span: Span::new(1, 1),
+        };
+        let mut a = ConstraintDb::new("S", Dialect::KeyValue);
+        a.add_from(int_c(64, true), "shard-a");
+        let mut b = ConstraintDb::new("S", Dialect::KeyValue);
+        b.add_from(int_c(16, true), "shard-b");
+        a.merge(&b).unwrap();
+        assert_eq!(
+            a.param("n").unwrap().constraints[0].kind,
+            ConstraintKind::BasicType(BasicType::Int {
+                bits: 16,
+                signed: true
+            })
+        );
+        assert_eq!(a.param("n").unwrap().provenance, vec!["shard-b"]);
     }
 
     #[test]

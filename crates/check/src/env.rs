@@ -1,0 +1,278 @@
+//! A filesystem-backed [`Environment`]: inspect the real deployment host.
+//!
+//! Without an environment model the checker silently skips semantic
+//! existence checks (missing files, unknown users, occupied ports) — the
+//! very class of misconfiguration the paper found hardest for users to
+//! debug. [`FsEnv`] answers those questions from the actual host the
+//! checker runs on, opt-in via [`Checker::with_env`](crate::Checker):
+//!
+//! * file/directory existence from the filesystem;
+//! * users and groups from the account databases (`/etc/passwd`,
+//!   `/etc/group`);
+//! * host resolution from the hosts file plus the literal cases that never
+//!   need DNS (no network traffic is ever generated);
+//! * port occupancy from the kernel's socket tables (`/proc/net/tcp*`,
+//!   Linux only; other platforms conservatively report ports free).
+//!
+//! The database file locations are overridable, which keeps the
+//! implementation honest and testable without root.
+
+use crate::checker::Environment;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// An [`Environment`] that inspects the real host.
+///
+/// The account, hosts and socket databases are read and parsed **once per
+/// instance** (lazily, on first query) — an `FsEnv` shared across a batch
+/// pool answers thousands of per-setting queries from in-memory sets
+/// instead of re-reading `/etc/passwd` for every occurrence. Construct a
+/// fresh `FsEnv` per run if the host may change underneath you.
+#[derive(Debug, Clone)]
+pub struct FsEnv {
+    passwd: PathBuf,
+    group: PathBuf,
+    hosts: PathBuf,
+    proc_net: PathBuf,
+    /// `None` inside the cell means the database was unreadable (checks
+    /// become vacuous rather than flagging every name on a host we cannot
+    /// inspect).
+    users: OnceLock<Option<BTreeSet<String>>>,
+    groups: OnceLock<Option<BTreeSet<String>>>,
+    host_aliases: OnceLock<Option<BTreeSet<String>>>,
+    listen_ports: OnceLock<BTreeSet<u16>>,
+}
+
+impl Default for FsEnv {
+    fn default() -> Self {
+        FsEnv::new()
+    }
+}
+
+impl FsEnv {
+    /// An environment reading the standard system databases.
+    pub fn new() -> FsEnv {
+        FsEnv {
+            passwd: PathBuf::from("/etc/passwd"),
+            group: PathBuf::from("/etc/group"),
+            hosts: PathBuf::from("/etc/hosts"),
+            proc_net: PathBuf::from("/proc/net"),
+            users: OnceLock::new(),
+            groups: OnceLock::new(),
+            host_aliases: OnceLock::new(),
+            listen_ports: OnceLock::new(),
+        }
+    }
+
+    /// Overrides the account/hosts database directory (testing, chroots,
+    /// container images mounted for offline audit).
+    pub fn with_etc(mut self, dir: impl AsRef<Path>) -> FsEnv {
+        let dir = dir.as_ref();
+        self.passwd = dir.join("passwd");
+        self.group = dir.join("group");
+        self.hosts = dir.join("hosts");
+        self.users = OnceLock::new();
+        self.groups = OnceLock::new();
+        self.host_aliases = OnceLock::new();
+        self
+    }
+
+    /// Overrides the `proc`-style network table directory.
+    pub fn with_proc_net(mut self, dir: impl AsRef<Path>) -> FsEnv {
+        self.proc_net = dir.as_ref().to_path_buf();
+        self.listen_ports = OnceLock::new();
+        self
+    }
+
+    /// First `:`-separated field of every line of an `/etc/passwd`-style
+    /// database; `None` when unreadable.
+    fn load_colon_db(path: &Path) -> Option<BTreeSet<String>> {
+        let text = std::fs::read_to_string(path).ok()?;
+        Some(
+            text.lines()
+                .filter_map(|l| l.split(':').next())
+                .map(str::to_string)
+                .collect(),
+        )
+    }
+
+    /// Every alias (non-address column) of every non-comment hosts line;
+    /// `None` when unreadable.
+    fn load_hosts(path: &Path) -> Option<BTreeSet<String>> {
+        let text = std::fs::read_to_string(path).ok()?;
+        Some(
+            text.lines()
+                .flat_map(|l| {
+                    l.split('#')
+                        .next()
+                        .unwrap_or("")
+                        .split_whitespace()
+                        .skip(1)
+                        .map(str::to_string)
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        )
+    }
+
+    /// Ports of all local sockets in the LISTEN state (`st == 0A`) across
+    /// the tcp tables; unreadable tables contribute nothing.
+    fn load_listen_ports(proc_net: &Path) -> BTreeSet<u16> {
+        let mut ports = BTreeSet::new();
+        for table in ["tcp", "tcp6"] {
+            let Ok(text) = std::fs::read_to_string(proc_net.join(table)) else {
+                continue;
+            };
+            for line in text.lines().skip(1) {
+                let mut fields = line.split_whitespace();
+                let local = fields.nth(1);
+                let state = fields.nth(1); // skip rem_address; `st` is next
+                if let (Some(local), Some("0A")) = (local, state) {
+                    if let Some(p) = local
+                        .rsplit_once(':')
+                        .and_then(|(_, p)| u16::from_str_radix(p, 16).ok())
+                    {
+                        ports.insert(p);
+                    }
+                }
+            }
+        }
+        ports
+    }
+}
+
+impl Environment for FsEnv {
+    fn file_exists(&self, path: &str) -> bool {
+        match std::fs::metadata(path) {
+            Ok(m) => m.is_file(),
+            // Definitely absent vs. merely uninspectable (EACCES on a
+            // parent): only the former is a finding.
+            Err(e) => e.kind() != std::io::ErrorKind::NotFound,
+        }
+    }
+
+    fn dir_exists(&self, path: &str) -> bool {
+        match std::fs::metadata(path) {
+            Ok(m) => m.is_dir(),
+            Err(e) => e.kind() != std::io::ErrorKind::NotFound,
+        }
+    }
+
+    fn user_exists(&self, name: &str) -> bool {
+        self.users
+            .get_or_init(|| Self::load_colon_db(&self.passwd))
+            .as_ref()
+            .is_none_or(|s| s.contains(name))
+    }
+
+    fn group_exists(&self, name: &str) -> bool {
+        self.groups
+            .get_or_init(|| Self::load_colon_db(&self.group))
+            .as_ref()
+            .is_none_or(|s| s.contains(name))
+    }
+
+    fn host_resolves(&self, host: &str) -> bool {
+        if host == "localhost" || host.parse::<std::net::IpAddr>().is_ok() {
+            return true;
+        }
+        self.host_aliases
+            .get_or_init(|| Self::load_hosts(&self.hosts))
+            .as_ref()
+            .is_none_or(|s| s.contains(host))
+    }
+
+    fn port_in_use(&self, port: u16) -> bool {
+        self.listen_ports
+            .get_or_init(|| Self::load_listen_ports(&self.proc_net))
+            .contains(&port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn etc(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spex_fsenv_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("passwd"),
+            "root:x:0:0:root:/root:/bin/sh\npostgres:x:70:70::/var/lib/postgresql:/bin/sh\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("group"), "wheel:x:0:root\ndaemon:x:2:\n").unwrap();
+        std::fs::write(
+            dir.join("hosts"),
+            "127.0.0.1 localhost\n10.0.0.7 db-primary db # the database\n",
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn files_and_dirs_come_from_the_real_filesystem() {
+        let dir = etc("fs");
+        let env = FsEnv::new();
+        let passwd = dir.join("passwd");
+        assert!(env.file_exists(passwd.to_str().unwrap()));
+        assert!(!env.dir_exists(passwd.to_str().unwrap()));
+        assert!(env.dir_exists(dir.to_str().unwrap()));
+        assert!(!env.file_exists("/no/such/spex/file"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn users_and_groups_come_from_the_account_databases() {
+        let dir = etc("acct");
+        let env = FsEnv::new().with_etc(&dir);
+        assert!(env.user_exists("postgres"));
+        assert!(!env.user_exists("postgre"));
+        assert!(env.group_exists("daemon"));
+        assert!(!env.group_exists("nosuchgroup"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_databases_are_vacuous_not_flagging() {
+        let env = FsEnv::new().with_etc("/no/such/etc");
+        assert!(env.user_exists("anyone"));
+        assert!(env.group_exists("anything"));
+        assert!(env.host_resolves("any-host"));
+    }
+
+    #[test]
+    fn hosts_resolution_covers_literals_and_aliases() {
+        let dir = etc("hosts");
+        let env = FsEnv::new().with_etc(&dir);
+        assert!(env.host_resolves("localhost"));
+        assert!(env.host_resolves("192.168.0.1"));
+        assert!(env.host_resolves("::1"));
+        assert!(env.host_resolves("db-primary"));
+        assert!(env.host_resolves("db"), "second alias on the line");
+        assert!(!env.host_resolves("db-secondary"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn port_occupancy_reads_the_socket_table() {
+        let dir = std::env::temp_dir().join("spex_fsenv_net");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // 0x1F90 = 8080 listening; 0x0016 = 22 established (not listening).
+        std::fs::write(
+            dir.join("tcp"),
+            "  sl  local_address rem_address   st tx_queue rx_queue\n\
+             0: 00000000:1F90 00000000:0000 0A 00000000:00000000\n\
+             1: 0100007F:0016 0100007F:9999 01 00000000:00000000\n",
+        )
+        .unwrap();
+        let env = FsEnv::new().with_proc_net(&dir);
+        assert!(env.port_in_use(8080));
+        assert!(!env.port_in_use(22), "established != listening");
+        assert!(!env.port_in_use(80));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

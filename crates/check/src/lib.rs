@@ -61,8 +61,12 @@ pub mod batch;
 pub mod checker;
 pub mod db;
 pub mod diag;
+pub mod env;
+pub mod workspace;
 
 pub use batch::{BatchEngine, BatchJob, BatchStats, FileReport};
 pub use checker::{Checker, Environment, StaticEnv};
-pub use db::{ConstraintDb, DbError, ParamEntry};
+pub use db::{ConstraintDb, DbError, MergeConflict, MergeError, MergeReport, ParamEntry};
 pub use diag::{Diagnostic, Severity};
+pub use env::FsEnv;
+pub use workspace::{ReanalyzeReport, Workspace, WorkspaceError};

@@ -1,0 +1,684 @@
+//! The incremental workspace: a long-lived session over sources,
+//! annotations and a persisted constraint database.
+//!
+//! The paper's thesis — the *system*, not the user, should catch
+//! misconfigurations — only holds in practice if constraint inference and
+//! checking are cheap enough to run on every change. The one-shot
+//! `Spex::analyze` facade re-walks the whole program per run; a
+//! [`Workspace`] instead keeps state between runs:
+//!
+//! * each module's functions are **fingerprinted** over their lowered IR,
+//!   so [`Workspace::update_module`] knows exactly which bodies changed
+//!   (whitespace and comment edits dirty nothing);
+//! * [`Workspace::reanalyze`] re-runs the five inference passes only for
+//!   parameters whose data flow touches a dirty function, and merges the
+//!   fresh constraints into the owned [`ConstraintDb`] by provenance —
+//!   work is proportional to the change, and the result is identical to a
+//!   full re-analysis;
+//! * [`Workspace::check_paths`] streams whole config trees through the
+//!   batch pool with bounded memory, so the persisted constraints vet
+//!   every deployment the moment it is staged.
+//!
+//! # Example
+//!
+//! ```
+//! use spex_check::Workspace;
+//! use spex_conf::Dialect;
+//!
+//! let mut ws = Workspace::new("demo", Dialect::KeyValue);
+//! ws.add_module(
+//!     "main.c",
+//!     r#"
+//!     int threads = 4;
+//!     struct opt { char* name; int* var; };
+//!     struct opt options[] = { { "threads", &threads } };
+//!     void startup() { if (threads > 16) { exit(1); } }
+//!     "#,
+//!     "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }",
+//! )
+//! .unwrap();
+//! let report = ws.reanalyze();
+//! assert_eq!(report.params_reinferred, 1);
+//! assert!(!ws.check_text("threads = 64\n").is_empty());
+//!
+//! // Editing nothing re-infers nothing.
+//! assert_eq!(ws.reanalyze().params_reinferred, 0);
+//! ```
+
+use crate::batch::{BatchEngine, BatchStats, FileReport};
+use crate::checker::{Checker, Environment, StaticEnv};
+use crate::db::ConstraintDb;
+use crate::diag::Diagnostic;
+use crate::env::FsEnv;
+use spex_conf::{ConfFile, Dialect};
+use spex_core::apispec::ApiSpec;
+use spex_core::fingerprint::{
+    diff_fingerprints, function_fingerprints, header_fingerprint, FingerprintDiff,
+};
+use spex_core::infer::{InferScope, PassCounts, Spex};
+use spex_core::Annotation;
+use spex_ir::Module;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What still needs re-inference in one module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Dirty {
+    /// Fingerprints match the last analysis; the db is current.
+    Clean,
+    /// Only these functions changed since the last analysis.
+    Functions(BTreeSet<String>),
+    /// Everything must be re-inferred (new module, header or annotation
+    /// change).
+    All,
+}
+
+impl Dirty {
+    fn absorb_functions(&mut self, names: impl IntoIterator<Item = String>) {
+        match self {
+            Dirty::All => {}
+            Dirty::Functions(set) => set.extend(names),
+            Dirty::Clean => *self = Dirty::Functions(names.into_iter().collect()),
+        }
+    }
+}
+
+/// One source module owned by the workspace.
+#[derive(Debug, Clone)]
+struct SourceModule {
+    /// The lowered IR (kept so `reanalyze` never re-parses).
+    module: Module,
+    /// Mapping annotations for this module.
+    anns: Vec<Annotation>,
+    /// Per-function fingerprints as of the stored `module`.
+    fn_fps: BTreeMap<String, u64>,
+    /// Fingerprint of globals/structs/enum constants.
+    header_fp: u64,
+    /// What changed since the last analysis.
+    dirty: Dirty,
+    /// From the last analysis: each parameter's touched-function names
+    /// (used to find parameters whose old slice reached a now-removed
+    /// function, and to garbage-collect parameters that un-mapped).
+    touched: BTreeMap<String, BTreeSet<String>>,
+    /// From the last analysis: direct caller → callee function names.
+    /// Scoped re-analysis closes the dirty set over these *old* edges —
+    /// an edit that removes a call still dirties the formerly reached
+    /// callees (whose inherited guards may have vanished with the call),
+    /// while the core closes over the *new* edges symmetrically.
+    callees: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Transitive closure of `names` over a caller → callees edge map.
+fn close_over_calls(
+    edges: &BTreeMap<String, BTreeSet<String>>,
+    names: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    let mut closed = names.clone();
+    let mut work: Vec<String> = closed.iter().cloned().collect();
+    while let Some(f) = work.pop() {
+        for callee in edges.get(&f).into_iter().flatten() {
+            if closed.insert(callee.clone()) {
+                work.push(callee.clone());
+            }
+        }
+    }
+    closed
+}
+
+/// A failure while feeding sources into the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkspaceError {
+    /// The module's source failed to parse or lower.
+    Parse {
+        /// The offending module.
+        module: String,
+        /// The front-end's diagnostic.
+        message: String,
+    },
+    /// The module's annotation block failed to parse.
+    Annotations {
+        /// The offending module.
+        module: String,
+        /// The annotation parser's complaint.
+        message: String,
+    },
+    /// An operation named a module the workspace does not own.
+    UnknownModule(String),
+    /// `add_module` reused an existing module name.
+    DuplicateModule(String),
+}
+
+impl fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkspaceError::Parse { module, message } => {
+                write!(f, "module {module:?}: {message}")
+            }
+            WorkspaceError::Annotations { module, message } => {
+                write!(f, "module {module:?} annotations: {message}")
+            }
+            WorkspaceError::UnknownModule(m) => write!(f, "no module named {m:?}"),
+            WorkspaceError::DuplicateModule(m) => write!(f, "module {m:?} already added"),
+        }
+    }
+}
+
+impl std::error::Error for WorkspaceError {}
+
+/// What one [`Workspace::reanalyze`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReanalyzeReport {
+    /// Modules that had dirty state and were (re-)analyzed.
+    pub modules_analyzed: usize,
+    /// Parameters seen across analyzed modules (fresh and stale).
+    pub params_total: usize,
+    /// Parameters whose five inference passes actually re-ran.
+    pub params_reinferred: usize,
+    /// Constraints inserted into the database.
+    pub constraints_added: usize,
+    /// Constraints dropped from the database (superseded or orphaned).
+    pub constraints_removed: usize,
+    /// Inference-pass invocation counts, summed over analyzed modules.
+    pub passes: PassCounts,
+}
+
+/// An incremental analysis-and-validation session (see the module docs).
+///
+/// This is the primary entry point of the crate: build one per subject
+/// system, feed it sources with [`add_module`](Workspace::add_module),
+/// call [`reanalyze`](Workspace::reanalyze) after every change, and vet
+/// configuration files against the always-current database with
+/// [`check_text`](Workspace::check_text) or
+/// [`check_paths`](Workspace::check_paths).
+pub struct Workspace {
+    system: String,
+    dialect: Dialect,
+    spec: ApiSpec,
+    threads: usize,
+    env: Option<Arc<dyn Environment + Send + Sync>>,
+    modules: BTreeMap<String, SourceModule>,
+    /// Parameter names declared legal without inference (option tables
+    /// parsed elsewhere, documentation imports, ...).
+    noted: BTreeSet<String>,
+    db: ConstraintDb,
+}
+
+impl Workspace {
+    /// An empty workspace for one system.
+    pub fn new(system: impl Into<String>, dialect: Dialect) -> Workspace {
+        let system = system.into();
+        Workspace {
+            db: ConstraintDb::new(system.clone(), dialect),
+            system,
+            dialect,
+            spec: ApiSpec::standard(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            env: None,
+            modules: BTreeMap::new(),
+            noted: BTreeSet::new(),
+        }
+    }
+
+    /// A workspace seeded from a persisted database (`v1` databases are
+    /// migrated on load, so this is also the upgrade path). Constraints
+    /// already in the database survive until a module claiming their
+    /// provenance is re-analyzed; entries with no constraints at all are
+    /// treated as explicitly noted legal keys and survive indefinitely.
+    pub fn from_db(db: ConstraintDb) -> Workspace {
+        let mut ws = Workspace::new(db.system.clone(), db.dialect);
+        ws.noted = db
+            .params
+            .iter()
+            .filter(|p| p.constraints.is_empty())
+            .map(|p| p.name.clone())
+            .collect();
+        ws.db = db;
+        ws
+    }
+
+    /// Overrides the API registry used by semantic-type inference.
+    pub fn with_spec(mut self, spec: ApiSpec) -> Workspace {
+        self.spec = spec;
+        self
+    }
+
+    /// Overrides the worker-thread count for batch checking.
+    pub fn with_threads(mut self, threads: usize) -> Workspace {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a shared environment model for semantic existence checks.
+    pub fn with_env(mut self, env: Arc<dyn Environment + Send + Sync>) -> Workspace {
+        self.env = Some(env);
+        self
+    }
+
+    /// Attaches a declarative environment model.
+    pub fn with_static_env(self, env: StaticEnv) -> Workspace {
+        self.with_env(Arc::new(env))
+    }
+
+    /// Attaches the real host's filesystem as the environment model.
+    pub fn with_fs_env(self) -> Workspace {
+        self.with_env(Arc::new(FsEnv::new()))
+    }
+
+    /// The system this workspace analyzes.
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    /// The owned, always-current constraint database.
+    pub fn db(&self) -> &ConstraintDb {
+        &self.db
+    }
+
+    /// Consumes the workspace, yielding the database (e.g. to persist).
+    pub fn into_db(self) -> ConstraintDb {
+        self.db
+    }
+
+    /// Persists the database to a file in the current (`v2`) format.
+    pub fn save_db(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.db.save(path)
+    }
+
+    /// Declares parameter names legal without inferring anything for them.
+    pub fn note_params<I: IntoIterator<Item = S>, S: AsRef<str>>(&mut self, names: I) {
+        for n in names {
+            self.noted.insert(n.as_ref().to_string());
+            self.db.note_param(n.as_ref());
+        }
+    }
+
+    /// Module names with un-analyzed changes, sorted.
+    pub fn dirty_modules(&self) -> Vec<&str> {
+        self.modules
+            .iter()
+            .filter(|(_, m)| m.dirty != Dirty::Clean)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    fn parse_source(module: &str, source: &str) -> Result<Module, WorkspaceError> {
+        let program = spex_lang::parse_program(source).map_err(|e| WorkspaceError::Parse {
+            module: module.to_string(),
+            message: e.to_string(),
+        })?;
+        spex_ir::lower_program(&program).map_err(|e| WorkspaceError::Parse {
+            module: module.to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    fn parse_annotations(module: &str, text: &str) -> Result<Vec<Annotation>, WorkspaceError> {
+        Annotation::parse(text).map_err(|message| WorkspaceError::Annotations {
+            module: module.to_string(),
+            message,
+        })
+    }
+
+    /// Adds a source module with its mapping annotations. The source is
+    /// parsed, lowered and fingerprinted now; inference happens at the
+    /// next [`reanalyze`](Workspace::reanalyze).
+    pub fn add_module(
+        &mut self,
+        name: impl Into<String>,
+        source: &str,
+        annotations: &str,
+    ) -> Result<(), WorkspaceError> {
+        let name = name.into();
+        if self.modules.contains_key(&name) {
+            return Err(WorkspaceError::DuplicateModule(name));
+        }
+        let module = Self::parse_source(&name, source)?;
+        let anns = Self::parse_annotations(&name, annotations)?;
+        let fn_fps = function_fingerprints(&module);
+        let header_fp = header_fingerprint(&module);
+        self.modules.insert(
+            name,
+            SourceModule {
+                module,
+                anns,
+                fn_fps,
+                header_fp,
+                dirty: Dirty::All,
+                touched: BTreeMap::new(),
+                callees: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Replaces a module's source, fingerprinting the lowered IR to
+    /// compute the dirty function set. Returns which functions changed; an
+    /// empty diff (e.g. a comment-only edit) leaves the module clean if it
+    /// already was.
+    pub fn update_module(
+        &mut self,
+        name: &str,
+        source: &str,
+    ) -> Result<FingerprintDiff, WorkspaceError> {
+        let module = Self::parse_source(name, source)?;
+        let entry = self
+            .modules
+            .get_mut(name)
+            .ok_or_else(|| WorkspaceError::UnknownModule(name.to_string()))?;
+        let fn_fps = function_fingerprints(&module);
+        let header_fp = header_fingerprint(&module);
+        let diff = diff_fingerprints(&entry.fn_fps, &fn_fps);
+        if header_fp != entry.header_fp {
+            // Globals, struct layouts or enum constants moved: mappings
+            // and declared-type fallbacks may shift for any parameter.
+            entry.dirty = Dirty::All;
+        } else if !diff.is_empty() {
+            entry.dirty.absorb_functions(diff.dirty_names());
+        }
+        entry.module = module;
+        entry.fn_fps = fn_fps;
+        entry.header_fp = header_fp;
+        Ok(diff)
+    }
+
+    /// Replaces a module's mapping annotations (always a full re-inference
+    /// for that module: mappings decide what a parameter even is).
+    pub fn update_annotations(
+        &mut self,
+        name: &str,
+        annotations: &str,
+    ) -> Result<(), WorkspaceError> {
+        let anns = Self::parse_annotations(name, annotations)?;
+        let entry = self
+            .modules
+            .get_mut(name)
+            .ok_or_else(|| WorkspaceError::UnknownModule(name.to_string()))?;
+        entry.anns = anns;
+        entry.dirty = Dirty::All;
+        Ok(())
+    }
+
+    /// Removes a module and garbage-collects its contribution to the
+    /// database — both what this session's analyses touched and what a
+    /// seeded database credits to the module's provenance (the
+    /// [`from_db`](Workspace::from_db) resume case, where the module may
+    /// never have been re-analyzed).
+    pub fn remove_module(&mut self, name: &str) -> Result<(), WorkspaceError> {
+        let entry = self
+            .modules
+            .remove(name)
+            .ok_or_else(|| WorkspaceError::UnknownModule(name.to_string()))?;
+        let mut params: BTreeSet<String> = entry.touched.keys().cloned().collect();
+        params.extend(self.db.params_from_source(name));
+        for param in &params {
+            self.db.remove_source_param(name, param);
+            self.drop_param_if_orphaned(param);
+        }
+        Ok(())
+    }
+
+    /// Drops a parameter entry that no longer has constraints, is not
+    /// explicitly noted, and is not mapped by any module.
+    fn drop_param_if_orphaned(&mut self, param: &str) {
+        let claimed = self.noted.contains(param)
+            || self.modules.values().any(|m| m.touched.contains_key(param))
+            || self
+                .db
+                .param(param)
+                .is_some_and(|e| !e.constraints.is_empty());
+        if !claimed {
+            self.db.remove_param(param);
+        }
+    }
+
+    /// Re-infers constraints for everything dirty and folds the results
+    /// into the database. Work is proportional to the change: parameters
+    /// whose data flow does not touch any dirty function keep their
+    /// persisted constraints untouched, and their inference passes do not
+    /// run (see [`ReanalyzeReport::passes`]).
+    pub fn reanalyze(&mut self) -> ReanalyzeReport {
+        let mut report = ReanalyzeReport::default();
+        let names: Vec<String> = self.modules.keys().cloned().collect();
+        for name in names {
+            let entry = self.modules.get(&name).expect("listed above");
+            let scope = match &entry.dirty {
+                Dirty::Clean => continue,
+                Dirty::All => None,
+                Dirty::Functions(fns) => {
+                    // Close the dirty names over the *previous* analysis's
+                    // call edges: an edit that removed a call must still
+                    // dirty the callees it used to reach (their inherited
+                    // guards may have vanished with the call). The core
+                    // closes over the new edges symmetrically.
+                    let closed = close_over_calls(&entry.callees, fns);
+                    // Force parameters whose *previous* slice reached any
+                    // of those functions (possibly removed ones): their
+                    // fresh slice may no longer touch them, but their
+                    // constraints must still be recomputed.
+                    let forced: Vec<&String> = entry
+                        .touched
+                        .iter()
+                        .filter(|(_, t)| !t.is_disjoint(&closed))
+                        .map(|(p, _)| p)
+                        .collect();
+                    Some(InferScope::functions(closed.iter().cloned()).with_params(forced))
+                }
+            };
+            report.modules_analyzed += 1;
+            let analysis = Spex::analyze_scoped(
+                entry.module.clone(),
+                &entry.anns,
+                self.spec.clone(),
+                scope.as_ref(),
+            );
+            report.passes.accumulate(&analysis.passes);
+            report.params_total += analysis.reports.len();
+
+            // Fold the fresh results into the database.
+            let mut touched: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+            for r in &analysis.reports {
+                touched.insert(
+                    r.param.name.clone(),
+                    r.taint
+                        .touched_functions()
+                        .into_iter()
+                        .map(|fid| analysis.am.module.func(fid).name.clone())
+                        .collect(),
+                );
+                self.db.note_param(&r.param.name);
+                if r.stale {
+                    continue;
+                }
+                report.params_reinferred += 1;
+                let (removed, added) =
+                    self.db
+                        .replace_source_param(&name, &r.param.name, r.constraints.clone());
+                report.constraints_removed += removed;
+                report.constraints_added += added;
+            }
+
+            // Garbage-collect parameters this module no longer maps.
+            // "Previously owned" is the union of what the last in-session
+            // analysis touched and what the database credits to this
+            // module — the latter matters when resuming from a persisted
+            // db, where `touched` starts empty but stale provenance-tagged
+            // constraints may exist.
+            let gone: Vec<String> = {
+                let entry = self.modules.get(&name).expect("still present");
+                entry
+                    .touched
+                    .keys()
+                    .cloned()
+                    .chain(self.db.params_from_source(&name))
+                    .filter(|p| !touched.contains_key(p))
+                    .collect()
+            };
+            // Record this analysis's call edges (by name) for the next
+            // scoped run's old-edge closure.
+            let mut callees: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+            for (callee, sites) in &analysis.am.callgraph.callers_of {
+                let callee_name = &analysis.am.module.func(*callee).name;
+                for site in sites {
+                    callees
+                        .entry(analysis.am.module.func(site.caller).name.clone())
+                        .or_default()
+                        .insert(callee_name.clone());
+                }
+            }
+            let entry = self.modules.get_mut(&name).expect("still present");
+            entry.touched = touched;
+            entry.callees = callees;
+            entry.dirty = Dirty::Clean;
+            for param in gone {
+                report.constraints_removed += self.db.remove_source_param(&name, &param);
+                self.drop_param_if_orphaned(&param);
+            }
+        }
+        report
+    }
+
+    // -- Checking -------------------------------------------------------
+
+    /// Checks one config text against the current database.
+    pub fn check_text(&self, text: &str) -> Vec<Diagnostic> {
+        self.check_conf(&ConfFile::parse(text, self.dialect))
+    }
+
+    /// Checks a parsed config file against the current database.
+    pub fn check_conf(&self, conf: &ConfFile) -> Vec<Diagnostic> {
+        let mut checker = Checker::new(&self.db);
+        if let Some(env) = &self.env {
+            checker = checker.with_env(env.as_ref());
+        }
+        checker.check(conf)
+    }
+
+    /// Streaming batch validation of files and directory trees against the
+    /// current database (see [`BatchEngine::run_paths`] for the walking,
+    /// memory and ordering guarantees).
+    pub fn check_paths<P: AsRef<Path>>(
+        &self,
+        roots: &[P],
+    ) -> std::io::Result<(Vec<FileReport>, BatchStats)> {
+        let mut engine = BatchEngine::new().with_threads(self.threads);
+        engine.add_db(self.db.clone());
+        if let Some(env) = &self.env {
+            engine.add_shared_env(&self.system, Arc::clone(env));
+        }
+        engine.run_paths(&self.system, roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ANN: &str = "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }";
+
+    const BASE: &str = r#"
+        int threads = 4;
+        int nap = 30;
+        struct opt { char* name; int* var; };
+        struct opt options[] = { { "threads", &threads }, { "nap", &nap } };
+        void startup() {
+            if (threads < 1) { exit(1); }
+            if (threads > 16) { exit(1); }
+        }
+        void napper() { sleep(nap); }
+    "#;
+
+    fn ws() -> Workspace {
+        let mut ws = Workspace::new("Test", Dialect::KeyValue);
+        ws.add_module("main.c", BASE, ANN).unwrap();
+        ws
+    }
+
+    #[test]
+    fn first_reanalyze_is_full_then_clean_is_free() {
+        let mut ws = ws();
+        assert_eq!(ws.dirty_modules(), vec!["main.c"]);
+        let r = ws.reanalyze();
+        assert_eq!(r.modules_analyzed, 1);
+        assert_eq!(r.params_reinferred, 2);
+        assert_eq!(r.passes.basic_type, 2);
+        assert!(ws.dirty_modules().is_empty());
+        let r = ws.reanalyze();
+        assert_eq!(r, ReanalyzeReport::default());
+    }
+
+    #[test]
+    fn checker_sees_inferred_constraints() {
+        let mut ws = ws();
+        ws.reanalyze();
+        assert!(ws.check_text("threads = 8\nnap = 30\n").is_empty());
+        let ds = ws.check_text("threads = 64\n");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("[1, 16]"), "{}", ds[0]);
+    }
+
+    #[test]
+    fn comment_edit_dirties_nothing() {
+        let mut ws = ws();
+        ws.reanalyze();
+        let diff = ws
+            .update_module("main.c", &format!("// nothing\n{BASE}"))
+            .unwrap();
+        assert!(diff.is_empty());
+        assert!(ws.dirty_modules().is_empty());
+        assert_eq!(ws.reanalyze().params_reinferred, 0);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_modules_error() {
+        let mut ws = ws();
+        assert!(matches!(
+            ws.add_module("main.c", BASE, ANN),
+            Err(WorkspaceError::DuplicateModule(_))
+        ));
+        assert!(matches!(
+            ws.update_module("other.c", BASE),
+            Err(WorkspaceError::UnknownModule(_))
+        ));
+        assert!(matches!(
+            ws.add_module("bad.c", "int = ;", ANN),
+            Err(WorkspaceError::Parse { .. })
+        ));
+        assert!(matches!(
+            ws.add_module("badann.c", BASE, "{ @NOT = a thing }"),
+            Err(WorkspaceError::Annotations { .. })
+        ));
+    }
+
+    #[test]
+    fn removed_module_garbage_collects_its_params() {
+        let mut ws = ws();
+        ws.reanalyze();
+        assert!(ws.db().param("threads").is_some());
+        ws.remove_module("main.c").unwrap();
+        assert!(ws.db().param("threads").is_none());
+        assert_eq!(ws.db().constraint_count(), 0);
+    }
+
+    #[test]
+    fn noted_params_survive_module_removal() {
+        let mut ws = ws();
+        ws.note_params(["threads"]);
+        ws.reanalyze();
+        ws.remove_module("main.c").unwrap();
+        let entry = ws.db().param("threads").expect("noted name stays legal");
+        assert!(entry.constraints.is_empty());
+    }
+
+    #[test]
+    fn from_db_keeps_seeded_constraints_checkable() {
+        let mut ws = ws();
+        ws.reanalyze();
+        let text = ws.db().save_to_string();
+        let ws2 = Workspace::from_db(ConstraintDb::load_from_str(&text).unwrap());
+        assert_eq!(ws2.check_text("threads = 64\n").len(), 1);
+    }
+}

@@ -20,7 +20,7 @@ use crate::constraint::Constraint;
 use crate::mapping::{extract_mappings, MappedParam};
 use spex_dataflow::{AnalyzedModule, TaintEngine, TaintResult};
 use spex_ir::{FuncId, Module, ValueId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 pub use evidence::{Evidence, ResetEvidence, StringCmpEvidence};
 
@@ -35,6 +35,79 @@ pub struct ParamReport {
     pub constraints: Vec<Constraint>,
     /// Raw evidence consumed by the error-prone-design detectors (§3.2).
     pub evidence: Evidence,
+    /// Set when a scoped analysis skipped this parameter's inference
+    /// passes: the mapping and taint slice are fresh, but `constraints`
+    /// and `evidence` are empty and previously persisted results remain
+    /// authoritative.
+    pub stale: bool,
+}
+
+/// How many times each inference pass ran during one analysis.
+///
+/// The per-parameter passes (basic type, semantic type, data range) count
+/// one invocation per parameter they processed; the whole-module passes
+/// (control dependency, value relationship) count one invocation per run.
+/// Incremental callers use these to assert that a scoped re-analysis did
+/// proportionally less work than a full one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassCounts {
+    /// Basic-type pass invocations (per parameter).
+    pub basic_type: usize,
+    /// Semantic-type pass invocations (per parameter).
+    pub semantic_type: usize,
+    /// Data-range pass invocations (per parameter).
+    pub range: usize,
+    /// Control-dependency pass invocations (per run).
+    pub control_dep: usize,
+    /// Value-relationship pass invocations (per run).
+    pub value_rel: usize,
+}
+
+impl PassCounts {
+    /// Sum over all five passes.
+    pub fn total(&self) -> usize {
+        self.basic_type + self.semantic_type + self.range + self.control_dep + self.value_rel
+    }
+
+    /// Accumulates another run's counts.
+    pub fn accumulate(&mut self, other: &PassCounts) {
+        self.basic_type += other.basic_type;
+        self.semantic_type += other.semantic_type;
+        self.range += other.range;
+        self.control_dep += other.control_dep;
+        self.value_rel += other.value_rel;
+    }
+}
+
+/// Limits a re-analysis to the parameters a code change could affect.
+///
+/// A parameter is *in scope* — and has its five inference passes re-run —
+/// when its fresh taint slice touches any function in `functions`, or when
+/// its name is listed in `params` (used for parameters whose *previous*
+/// slice touched a function that no longer exists). Everything else is
+/// returned as a [`stale`](ParamReport::stale) report with no constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InferScope {
+    /// Names of functions whose bodies changed (including added ones).
+    pub functions: BTreeSet<String>,
+    /// Parameter names forced into scope regardless of current data flow.
+    pub params: BTreeSet<String>,
+}
+
+impl InferScope {
+    /// A scope over a set of dirty function names.
+    pub fn functions<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> InferScope {
+        InferScope {
+            functions: names.into_iter().map(Into::into).collect(),
+            params: BTreeSet::new(),
+        }
+    }
+
+    /// Additionally forces parameters into scope by name.
+    pub fn with_params<I: IntoIterator<Item = S>, S: Into<String>>(mut self, names: I) -> Self {
+        self.params.extend(names.into_iter().map(Into::into));
+        self
+    }
 }
 
 /// The full analysis result for one system.
@@ -43,6 +116,8 @@ pub struct SpexAnalysis {
     pub am: AnalyzedModule,
     /// One report per configuration parameter, in mapping order.
     pub reports: Vec<ParamReport>,
+    /// How many times each inference pass ran (see [`PassCounts`]).
+    pub passes: PassCounts,
 }
 
 impl SpexAnalysis {
@@ -78,6 +153,23 @@ impl Spex {
     /// Analyzes a module with a custom API registry (the paper imported
     /// Storage-A's proprietary APIs this way).
     pub fn analyze_with_spec(module: Module, anns: &[Annotation], spec: ApiSpec) -> SpexAnalysis {
+        Self::analyze_scoped(module, anns, spec, None)
+    }
+
+    /// Analyzes a module, optionally restricted to a change [`InferScope`].
+    ///
+    /// With `scope = None` this is the classic full analysis. With a scope,
+    /// mapping extraction and taint tracking still run for every parameter
+    /// (they are cheap and needed to decide scope membership), but the five
+    /// constraint-inference passes run only for in-scope parameters; the
+    /// rest come back as [`stale`](ParamReport::stale) reports. Incremental
+    /// callers merge the fresh constraints into a persisted database.
+    pub fn analyze_scoped(
+        module: Module,
+        anns: &[Annotation],
+        spec: ApiSpec,
+        scope: Option<&InferScope>,
+    ) -> SpexAnalysis {
         let am = AnalyzedModule::build(module);
         let params = extract_mappings(&am, anns).unwrap_or_default();
         let engine = TaintEngine::new(&am);
@@ -87,13 +179,42 @@ impl Spex {
         // multi-parameter passes.
         let vindex = build_value_index(&taints);
 
+        let in_scope: Vec<bool> = match scope {
+            None => vec![true; params.len()],
+            Some(s) => {
+                let dirty = expand_dirty_functions(&am, &s.functions);
+                params
+                    .iter()
+                    .zip(taints.iter())
+                    .map(|(p, t)| {
+                        s.params.contains(&p.name)
+                            || t.touched_functions().iter().any(|fid| dirty.contains(fid))
+                    })
+                    .collect()
+            }
+        };
+
+        let mut passes = PassCounts::default();
         let mut reports: Vec<ParamReport> = params
             .into_iter()
             .zip(taints.iter().cloned())
-            .map(|(param, taint)| {
+            .zip(in_scope.iter().copied())
+            .map(|((param, taint), live)| {
+                if !live {
+                    return ParamReport {
+                        param,
+                        taint,
+                        constraints: Vec::new(),
+                        evidence: Evidence::default(),
+                        stale: true,
+                    };
+                }
                 let mut constraints = Vec::new();
+                passes.basic_type += 1;
                 constraints.extend(basic_type::infer(&am, &param, &taint));
+                passes.semantic_type += 1;
                 constraints.extend(semantic_type::infer(&am, &spec, &param, &taint));
+                passes.range += 1;
                 constraints.extend(range::infer(&am, &param, &taint));
                 let evidence = evidence::collect(&am, &param, &taint);
                 ParamReport {
@@ -101,31 +222,84 @@ impl Spex {
                     taint,
                     constraints,
                     evidence,
+                    stale: false,
                 }
             })
             .collect();
 
-        // Second pass: multi-parameter constraints over the slices.
-        let names: Vec<String> = reports.iter().map(|r| r.param.name.clone()).collect();
-        let deps = control_dep::infer(&am, &names, &taints, &vindex);
-        for c in deps {
-            if let crate::constraint::ConstraintKind::ControlDep(d) = &c.kind {
-                if let Some(r) = reports.iter_mut().find(|r| r.param.name == d.dependent) {
-                    r.constraints.push(c);
+        // Second pass: multi-parameter constraints over the slices. These
+        // scan branch sites once for the whole module; constraints are
+        // attributed to the dependent / left-hand parameter, and under a
+        // scope only in-scope parameters receive fresh attributions.
+        if in_scope.iter().any(|live| *live) {
+            let names: Vec<String> = reports.iter().map(|r| r.param.name.clone()).collect();
+            passes.control_dep += 1;
+            let deps = control_dep::infer(&am, &names, &taints, &vindex);
+            for c in deps {
+                if let crate::constraint::ConstraintKind::ControlDep(d) = &c.kind {
+                    if let Some(r) = reports
+                        .iter_mut()
+                        .find(|r| r.param.name == d.dependent && !r.stale)
+                    {
+                        r.constraints.push(c);
+                    }
                 }
             }
-        }
-        let rels = value_rel::infer(&am, &names, &vindex);
-        for c in rels {
-            if let crate::constraint::ConstraintKind::ValueRel(v) = &c.kind {
-                if let Some(r) = reports.iter_mut().find(|r| r.param.name == v.lhs) {
-                    r.constraints.push(c);
+            passes.value_rel += 1;
+            let rels = value_rel::infer(&am, &names, &vindex);
+            for c in rels {
+                if let crate::constraint::ConstraintKind::ValueRel(v) = &c.kind {
+                    if let Some(r) = reports
+                        .iter_mut()
+                        .find(|r| r.param.name == v.lhs && !r.stale)
+                    {
+                        r.constraints.push(c);
+                    }
                 }
             }
         }
 
-        SpexAnalysis { am, reports }
+        SpexAnalysis {
+            am,
+            reports,
+            passes,
+        }
     }
+}
+
+/// Closes a set of dirty function names over the call graph: dirty
+/// functions plus every transitive *callee* of one. Editing a caller can
+/// change the guards its callees inherit (the control-dependency pass
+/// propagates branch conditions caller → callee), so a parameter used only
+/// inside a callee still needs re-inference when the caller changes.
+fn expand_dirty_functions(
+    am: &AnalyzedModule,
+    names: &BTreeSet<String>,
+) -> std::collections::HashSet<FuncId> {
+    // Caller → callees adjacency (the call graph stores the reverse).
+    let mut callees_of: HashMap<FuncId, Vec<FuncId>> = HashMap::new();
+    for (callee, sites) in &am.callgraph.callers_of {
+        for site in sites {
+            callees_of.entry(site.caller).or_default().push(*callee);
+        }
+    }
+    let mut dirty: std::collections::HashSet<FuncId> = am
+        .module
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| names.contains(&f.name))
+        .map(|(i, _)| FuncId(i as u32))
+        .collect();
+    let mut work: Vec<FuncId> = dirty.iter().copied().collect();
+    while let Some(f) = work.pop() {
+        for callee in callees_of.get(&f).into_iter().flatten() {
+            if dirty.insert(*callee) {
+                work.push(*callee);
+            }
+        }
+    }
+    dirty
 }
 
 /// Maps every tainted SSA value to the parameters whose flow reaches it.

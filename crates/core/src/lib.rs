@@ -45,6 +45,7 @@ pub mod accuracy;
 pub mod annotations;
 pub mod apispec;
 pub mod constraint;
+pub mod fingerprint;
 pub mod infer;
 pub mod mapping;
 
@@ -54,5 +55,8 @@ pub use constraint::{
     BasicType, CmpOp, Constraint, ConstraintKind, ControlDep, EnumAlternative, EnumValue,
     NumericRange, RangeSegment, SemType, SizeUnit, TimeUnit, ValueRel,
 };
-pub use infer::{ParamReport, Spex, SpexAnalysis};
+pub use fingerprint::{
+    diff_fingerprints, function_fingerprints, header_fingerprint, FingerprintDiff,
+};
+pub use infer::{InferScope, ParamReport, PassCounts, Spex, SpexAnalysis};
 pub use mapping::MappedParam;

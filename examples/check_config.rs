@@ -99,5 +99,21 @@ fn main() {
     let (_, stats) = engine.run(&jobs);
     println!("\nbatch validation of a 64-host fleet:\n{}", stats.render());
 
+    // 5. Stream: the same fleet on disk, walked lazily with bounded
+    //    memory (each worker holds one file text at a time).
+    let fleet = std::env::temp_dir().join(format!("{}_fleet", built.spec.name));
+    std::fs::create_dir_all(&fleet).expect("fleet dir");
+    for job in &jobs {
+        std::fs::write(fleet.join(&job.file), &job.text).expect("fleet file");
+    }
+    let (_, stats) = engine
+        .run_paths(built.spec.name, std::slice::from_ref(&fleet))
+        .expect("fleet walks");
+    println!(
+        "streaming validation of the on-disk fleet:\n{}",
+        stats.render()
+    );
+    std::fs::remove_dir_all(&fleet).ok();
+
     std::fs::remove_file(&path).ok();
 }

@@ -21,14 +21,21 @@
 //! * [`check`] — the constraint-driven configuration validation engine
 //!   (infer → persist → check).
 //!
-//! # Examples
+//! # The primary entry point: [`Workspace`]
 //!
-//! The complete pipeline on one of the paper's worked examples:
+//! A [`Workspace`] is a long-lived session owning sources, annotations and
+//! a persisted constraint database. It fingerprints functions, re-infers
+//! only what a change dirtied, merges results into a versioned database,
+//! and streams whole configuration trees through the batch checker:
 //!
 //! ```
-//! use spex::core::{Annotation, Spex};
+//! use spex::conf::Dialect;
+//! use spex::Workspace;
 //!
-//! let source = r#"
+//! let mut ws = Workspace::new("demo", Dialect::KeyValue);
+//! ws.add_module(
+//!     "config.c",
+//!     r#"
 //!     int index_intlen = 4;
 //!     struct opt { char* name; int* var; };
 //!     struct opt options[] = { { "index_intlen", &index_intlen } };
@@ -36,17 +43,21 @@
 //!         if (index_intlen < 4) { index_intlen = 4; }
 //!         else if (index_intlen > 255) { index_intlen = 255; }
 //!     }
-//! "#;
-//! let program = spex::lang::parse_program(source).unwrap();
-//! let module = spex::ir::lower_program(&program).unwrap();
-//! let anns = Annotation::parse(
+//!     "#,
 //!     "{ @STRUCT = options\n  @PAR = [opt, 1]\n  @VAR = [opt, 2] }",
 //! )
 //! .unwrap();
-//! let analysis = Spex::analyze(module, &anns);
-//! let constraints = &analysis.param("index_intlen").unwrap().constraints;
-//! assert!(constraints.iter().any(|c| c.to_string().contains("[4, 255]")));
+//! ws.reanalyze();
+//! assert!(!ws.check_text("index_intlen = 1024\n").is_empty());
+//!
+//! // Later edits re-infer only what they touched:
+//! // ws.update_module("config.c", edited)?; ws.reanalyze();
 //! ```
+//!
+//! The one-shot pipeline (`Spex::analyze` on a hand-lowered module) is
+//! still available through [`core`] and the deprecated [`analyze`] shim,
+//! but new code should hold a `Workspace` so re-analysis stays
+//! proportional to the change.
 
 pub use spex_check as check;
 pub use spex_conf as conf;
@@ -58,3 +69,29 @@ pub use spex_ir as ir;
 pub use spex_lang as lang;
 pub use spex_systems as systems;
 pub use spex_vm as vm;
+
+pub use spex_check::{ReanalyzeReport, Workspace, WorkspaceError};
+
+/// One-shot whole-module analysis with the standard API registry.
+///
+/// Thin shim over [`core::Spex::analyze`] for pre-workspace callers.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `spex::Workspace`, `add_module` your sources, and call \
+            `reanalyze` — it persists constraints and re-infers incrementally"
+)]
+pub fn analyze(module: ir::Module, anns: &[core::Annotation]) -> core::SpexAnalysis {
+    core::Spex::analyze(module, anns)
+}
+
+/// A fresh in-memory batch engine.
+///
+/// Thin shim over [`check::BatchEngine::new`] for pre-workspace callers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spex::Workspace::check_paths` — it streams files with \
+            bounded memory and always checks against the current database"
+)]
+pub fn batch_engine() -> check::BatchEngine {
+    check::BatchEngine::new()
+}

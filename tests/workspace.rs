@@ -1,0 +1,380 @@
+//! Integration tests for the incremental `Workspace` API: scoped
+//! re-inference equivalence, `v1 → v2` database lifecycle, sharded merge,
+//! and streaming batch checking.
+
+use spex::check::ConstraintDb;
+use spex::conf::Dialect;
+use spex::Workspace;
+
+const ANN: &str = "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }";
+
+/// Two parameters, each used by its own function, so a change to one
+/// function dirties exactly one parameter's slice.
+const BASE: &str = r#"
+    int threads = 4;
+    int nap = 30;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "threads", &threads }, { "nap", &nap } };
+    void startup() {
+        if (threads < 1) { exit(1); }
+        if (threads > 16) { exit(1); }
+    }
+    void napper() { sleep(nap); }
+"#;
+
+/// `napper` edited: `nap` gains an upper bound; `startup` is untouched.
+const EDITED: &str = r#"
+    int threads = 4;
+    int nap = 30;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "threads", &threads }, { "nap", &nap } };
+    void startup() {
+        if (threads < 1) { exit(1); }
+        if (threads > 16) { exit(1); }
+    }
+    void napper() {
+        if (nap > 600) { exit(1); }
+        sleep(nap);
+    }
+"#;
+
+fn workspace_over(source: &str) -> Workspace {
+    let mut ws = Workspace::new("Test", Dialect::KeyValue);
+    ws.add_module("main.c", source, ANN).unwrap();
+    ws
+}
+
+/// The tentpole acceptance criterion: after editing one function,
+/// `reanalyze` re-runs the per-parameter inference passes only for the
+/// dirty function's parameter (asserted via pass-invocation counters), and
+/// the incrementally updated database equals a from-scratch full analysis
+/// of the edited source.
+#[test]
+fn incremental_reanalysis_is_scoped_and_equivalent_to_full() {
+    let mut ws = workspace_over(BASE);
+    let full = ws.reanalyze();
+    assert_eq!(full.params_reinferred, 2);
+    assert_eq!(full.passes.basic_type, 2, "full run infers every param");
+    assert_eq!(full.passes.range, 2);
+
+    let diff = ws.update_module("main.c", EDITED).unwrap();
+    assert_eq!(diff.changed, vec!["napper".to_string()]);
+    assert_eq!(ws.dirty_modules(), vec!["main.c"]);
+
+    let incr = ws.reanalyze();
+    assert_eq!(incr.params_reinferred, 1, "only `nap` is dirty");
+    assert_eq!(incr.passes.basic_type, 1, "one param → one pass invocation");
+    assert_eq!(incr.passes.semantic_type, 1);
+    assert_eq!(incr.passes.range, 1);
+
+    // The incremental database is byte-for-byte the full re-analysis.
+    let mut fresh = workspace_over(EDITED);
+    fresh.reanalyze();
+    assert_eq!(ws.db(), fresh.db());
+    assert_eq!(ws.db().save_to_string(), fresh.db().save_to_string());
+
+    // And the new constraint is actually live in the checker.
+    assert!(ws.check_text("nap = 30\n").is_empty());
+    assert!(!ws.check_text("nap = 9999\n").is_empty());
+}
+
+/// A control dependency can be *inherited*: the guard lives in a caller
+/// the dependent parameter's own slice never touches. Editing that caller
+/// must still re-infer the dependent, or the db keeps an obsolete
+/// dependency a full re-analysis would not produce.
+#[test]
+fn editing_a_caller_reinfers_inherited_control_deps() {
+    const GUARDED: &str = r#"
+        int fsync_on = 1;
+        int commit_siblings = 5;
+        struct opt { char* name; int* var; };
+        struct opt options[] = {
+            { "fsync", &fsync_on }, { "commit_siblings", &commit_siblings }
+        };
+        void flush() {
+            if (commit_siblings > 0) { sleep(commit_siblings); }
+        }
+        void main_loop() {
+            if (fsync_on) { flush(); }
+        }
+    "#;
+    // `main_loop` edited: the guard is gone; `flush` is untouched.
+    const UNGUARDED: &str = r#"
+        int fsync_on = 1;
+        int commit_siblings = 5;
+        struct opt { char* name; int* var; };
+        struct opt options[] = {
+            { "fsync", &fsync_on }, { "commit_siblings", &commit_siblings }
+        };
+        void flush() {
+            if (commit_siblings > 0) { sleep(commit_siblings); }
+        }
+        void main_loop() {
+            flush();
+        }
+    "#;
+    let dep_warnings = |ws: &Workspace| {
+        ws.check_text("commit_siblings = 5\nfsync = 0\n")
+            .into_iter()
+            .filter(|d| d.category == "control-dep")
+            .count()
+    };
+    let mut ws = workspace_over(GUARDED);
+    ws.reanalyze();
+    assert_eq!(
+        dep_warnings(&ws),
+        1,
+        "guarded build warns about the disabled controller"
+    );
+
+    let diff = ws.update_module("main.c", UNGUARDED).unwrap();
+    assert_eq!(diff.changed, vec!["main_loop".to_string()]);
+    ws.reanalyze();
+
+    let mut fresh = workspace_over(UNGUARDED);
+    fresh.reanalyze();
+    assert_eq!(
+        ws.db(),
+        fresh.db(),
+        "incremental db must drop the inherited dependency"
+    );
+    assert_eq!(dep_warnings(&ws), 0);
+}
+
+/// The dual case: the edit *removes the call* to the function the
+/// dependent lives in. The old call graph reached it, the new one does
+/// not — the closure over previous call edges must still re-infer it.
+#[test]
+fn removing_a_call_edge_reinfers_formerly_inherited_deps() {
+    const GUARDED: &str = r#"
+        int fsync_on = 1;
+        int commit_siblings = 5;
+        struct opt { char* name; int* var; };
+        struct opt options[] = {
+            { "fsync", &fsync_on }, { "commit_siblings", &commit_siblings }
+        };
+        void flush() {
+            if (commit_siblings > 0) { sleep(commit_siblings); }
+        }
+        void main_loop() {
+            if (fsync_on) { flush(); }
+        }
+    "#;
+    // `main_loop` edited: it no longer calls `flush` at all.
+    const CALL_REMOVED: &str = r#"
+        int fsync_on = 1;
+        int commit_siblings = 5;
+        struct opt { char* name; int* var; };
+        struct opt options[] = {
+            { "fsync", &fsync_on }, { "commit_siblings", &commit_siblings }
+        };
+        void flush() {
+            if (commit_siblings > 0) { sleep(commit_siblings); }
+        }
+        void main_loop() {
+            if (fsync_on) { exit(0); }
+        }
+    "#;
+    let mut ws = workspace_over(GUARDED);
+    ws.reanalyze();
+
+    let diff = ws.update_module("main.c", CALL_REMOVED).unwrap();
+    assert_eq!(diff.changed, vec!["main_loop".to_string()]);
+    ws.reanalyze();
+
+    let mut fresh = workspace_over(CALL_REMOVED);
+    fresh.reanalyze();
+    assert_eq!(
+        ws.db(),
+        fresh.db(),
+        "a removed call edge must still re-infer the formerly reached callee"
+    );
+    assert!(!ws
+        .check_text("commit_siblings = 5\nfsync = 0\n")
+        .iter()
+        .any(|d| d.category == "control-dep"));
+}
+
+/// Editing nothing (or only comments) is free.
+#[test]
+fn no_op_edits_reinfer_nothing() {
+    let mut ws = workspace_over(BASE);
+    ws.reanalyze();
+    let diff = ws
+        .update_module("main.c", &format!("// audit note\n{BASE}"))
+        .unwrap();
+    assert!(diff.is_empty());
+    let r = ws.reanalyze();
+    assert_eq!(r.modules_analyzed, 0);
+    assert_eq!(r.passes.total(), 0);
+}
+
+/// Renders a database in the legacy v1 format, as a pre-workspace
+/// deployment would have written it.
+fn as_v1(db: &ConstraintDb) -> String {
+    let mut out = String::new();
+    for (i, line) in db.save_to_string().lines().enumerate() {
+        if i == 0 {
+            out.push_str("spex-constraint-db v1\n");
+        } else if line.starts_with("c ") {
+            out.push_str(line.rsplit_once(" | ").unwrap().0);
+            out.push('\n');
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The db-lifecycle acceptance criterion: a `v1` database loads, migrates
+/// and merges into a `v2` database losslessly.
+#[test]
+fn v1_db_loads_migrates_and_merges_losslessly() {
+    let mut ws = workspace_over(BASE);
+    ws.reanalyze();
+    let v1_text = as_v1(ws.db());
+    assert_eq!(ConstraintDb::detect_version(&v1_text), Some(1));
+
+    // Load: the v1 payload arrives intact, with empty provenance.
+    let migrated = ConstraintDb::load_from_str(&v1_text).expect("v1 loads");
+    assert_eq!(migrated.constraint_count(), ws.db().constraint_count());
+    for (theirs, ours) in migrated.params.iter().zip(ws.db().params.iter()) {
+        assert_eq!(theirs.name, ours.name);
+        assert_eq!(theirs.constraints, ours.constraints);
+        assert!(theirs.provenance.iter().all(String::is_empty));
+    }
+
+    // Merge into a v2 database: everything lands, nothing conflicts.
+    let mut v2 = ConstraintDb::new("Test", Dialect::KeyValue);
+    let report = v2.merge(&migrated).expect("same system merges");
+    assert_eq!(report.added, migrated.constraint_count());
+    assert!(report.conflicts.is_empty());
+    assert_eq!(v2.constraint_count(), ws.db().constraint_count());
+
+    // Re-saving writes the current format, round-trippable.
+    let rewritten = v2.save_to_string();
+    assert_eq!(ConstraintDb::detect_version(&rewritten), Some(2));
+    assert_eq!(ConstraintDb::load_from_str(&rewritten).unwrap(), v2);
+
+    // A migrated db also seeds a workspace directly (the upgrade path).
+    let ws2 = Workspace::from_db(migrated);
+    assert!(!ws2.check_text("threads = 64\n").is_empty());
+}
+
+/// Resuming from a persisted database and re-analyzing a module must
+/// garbage-collect constraints for parameters the module no longer maps —
+/// a restart must behave like a continuous session.
+#[test]
+fn from_db_resume_garbage_collects_unmapped_params() {
+    // Session 1: `old_opt` is mapped and constrained; persist the db.
+    let mut ws = Workspace::new("Test", Dialect::KeyValue);
+    ws.add_module(
+        "main.c",
+        r#"
+        int old_opt = 4;
+        struct opt { char* name; int* var; };
+        struct opt options[] = { { "old_opt", &old_opt } };
+        void startup() { if (old_opt > 16) { exit(1); } }
+        "#,
+        ANN,
+    )
+    .unwrap();
+    ws.reanalyze();
+    let persisted = ConstraintDb::load_from_str(&ws.db().save_to_string()).unwrap();
+
+    // Session 2: resume from the db; main.c no longer maps old_opt.
+    let mut resumed = Workspace::from_db(persisted);
+    resumed.add_module("main.c", BASE, ANN).unwrap();
+    resumed.reanalyze();
+    assert!(
+        resumed.db().param("old_opt").is_none(),
+        "stale constraints must not survive the resumed re-analysis"
+    );
+    let ds = resumed.check_text("old_opt = 64\n");
+    assert_eq!(ds.len(), 1);
+    assert_eq!(ds[0].category, "unknown-key");
+
+    // Matches a continuous session over the same final source.
+    let mut fresh = workspace_over(BASE);
+    fresh.reanalyze();
+    assert_eq!(resumed.db(), fresh.db());
+}
+
+/// Removing a module right after resuming from a persisted database (no
+/// intervening reanalyze) must still purge its provenance-tagged
+/// constraints.
+#[test]
+fn from_db_then_remove_module_purges_provenance() {
+    let mut ws = workspace_over(BASE);
+    ws.reanalyze();
+    let persisted = ConstraintDb::load_from_str(&ws.db().save_to_string()).unwrap();
+
+    let mut resumed = Workspace::from_db(persisted);
+    resumed.add_module("main.c", BASE, ANN).unwrap();
+    resumed.remove_module("main.c").unwrap();
+    assert_eq!(resumed.db().constraint_count(), 0);
+    assert!(resumed.db().param("threads").is_none());
+}
+
+/// Sharded analysis: two workspaces analyzing different modules of the
+/// same system combine via `merge`, keeping per-shard provenance.
+#[test]
+fn sharded_databases_merge_with_provenance() {
+    let mut shard_a = Workspace::new("Test", Dialect::KeyValue);
+    shard_a
+        .add_module(
+            "net.c",
+            r#"
+            int port = 8080;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "port", &port } };
+            void serve() { listen(0, port); }
+            "#,
+            ANN,
+        )
+        .unwrap();
+    shard_a.reanalyze();
+
+    let mut shard_b = workspace_over(BASE);
+    shard_b.reanalyze();
+
+    let mut combined = shard_a.into_db();
+    let report = combined.merge(shard_b.db()).unwrap();
+    assert_eq!(report.params_added, 2);
+    assert!(combined.param("port").is_some());
+    let threads = combined.param("threads").unwrap();
+    assert!(threads.provenance.iter().all(|m| m == "main.c"));
+    assert!(combined
+        .param("port")
+        .unwrap()
+        .provenance
+        .iter()
+        .all(|m| m == "net.c"));
+}
+
+/// Streaming validation: a config tree checks with deterministic order
+/// and per-file reports, straight off the workspace.
+#[test]
+fn check_paths_streams_a_config_tree() {
+    let mut ws = workspace_over(BASE);
+    ws.reanalyze();
+
+    let root = std::env::temp_dir().join("spex_ws_check_paths");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("hosts")).unwrap();
+    std::fs::write(root.join("base.conf"), "threads = 8\nnap = 30\n").unwrap();
+    std::fs::write(root.join("hosts/h1.conf"), "threads = 64\n").unwrap();
+    std::fs::write(root.join("hosts/h2.conf"), "threds = 8\n").unwrap();
+
+    let (reports, stats) = ws.check_paths(std::slice::from_ref(&root)).unwrap();
+    assert_eq!(stats.files, 3);
+    assert_eq!(stats.clean_files, 1);
+    assert_eq!(stats.flagged_files, 2);
+    assert!(reports[0].file.ends_with("base.conf"));
+    assert!(reports[0].is_clean());
+    assert!(reports[1].file.ends_with("h1.conf"));
+    assert!(reports[2].file.ends_with("h2.conf"));
+    assert_eq!(reports[2].diagnostics[0].category, "unknown-key");
+    std::fs::remove_dir_all(&root).ok();
+}
