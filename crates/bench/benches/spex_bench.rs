@@ -17,7 +17,7 @@
 
 use spex_bench::harness::{black_box, Runner};
 use spex_bench::make_target;
-use spex_check::{BatchEngine, BatchJob, Checker, ConstraintDb, Workspace};
+use spex_check::{CheckSession, ConstraintDb, Workspace};
 use spex_core::{Annotation, Spex};
 use spex_dataflow::{AnalyzedModule, TaintEngine};
 use spex_inj::{genrule, standard_rules, CampaignOptions, InjectionCampaign};
@@ -148,44 +148,55 @@ fn bench_check(r: &Runner) {
         ConstraintDb::load_from_str(&text).unwrap()
     });
 
-    // Single-file validation latency, clean and corrupt.
-    let checker = Checker::new(db0);
+    // Single-file validation latency, clean and corrupt, on the borrowed
+    // session (construction indexes names once; no db copy).
+    let session = CheckSession::new(db0);
     r.bench("check/single_file_clean_openldap", || {
-        black_box(checker.check_text(template0))
+        black_box(session.check_text(template0))
     });
     let corrupt = format!("{template0}listener-threads 9999999\nno_such_param on\n");
     r.bench("check/single_file_corrupt_openldap", || {
-        black_box(checker.check_text(&corrupt))
+        black_box(session.check_text(&corrupt))
+    });
+    r.bench("check/session_construction_openldap", || {
+        black_box(CheckSession::new(db0).check_text("x 1\n"))
     });
 
-    // Batch throughput: a fleet of config files across three systems.
-    let mut engine = BatchEngine::new();
-    let mut jobs = Vec::new();
+    // Batch throughput: a fleet of config files, one session per system.
+    let mut fleets: Vec<(&ConstraintDb, Vec<(String, String)>)> = Vec::new();
     for (db, template) in &dbs {
         let system = db.system.clone();
-        for i in 0..200 {
-            jobs.push(BatchJob {
-                system: system.clone(),
-                file: format!("{system}/{i}.conf"),
-                text: if i % 4 == 0 {
-                    format!("{template}bogus_key_{i} 1\n")
-                } else {
-                    template.clone()
-                },
-            });
-        }
-        engine.add_db(db.clone());
+        let files: Vec<(String, String)> = (0..200)
+            .map(|i| {
+                (
+                    format!("{system}/{i}.conf"),
+                    if i % 4 == 0 {
+                        format!("{template}bogus_key_{i} 1\n")
+                    } else {
+                        template.clone()
+                    },
+                )
+            })
+            .collect();
+        fleets.push((db, files));
     }
-    let serial = BatchEngine::new().with_threads(1);
-    let mut serial = serial;
-    for (db, _) in &dbs {
-        serial.add_db(db.clone());
-    }
+    let parallel: Vec<(CheckSession<'_>, &Vec<(String, String)>)> = fleets
+        .iter()
+        .map(|(db, files)| (CheckSession::new(db), files))
+        .collect();
+    let serial: Vec<(CheckSession<'_>, &Vec<(String, String)>)> = fleets
+        .iter()
+        .map(|(db, files)| (CheckSession::new(db).with_threads(1), files))
+        .collect();
     r.bench("check/batch_600_files_parallel", || {
-        black_box(engine.run(&jobs))
+        for (session, files) in &parallel {
+            black_box(session.check_texts(files));
+        }
     });
     r.bench("check/batch_600_files_1_thread", || {
-        black_box(serial.run(&jobs))
+        for (session, files) in &serial {
+            black_box(session.check_texts(files));
+        }
     });
 }
 
@@ -225,6 +236,39 @@ fn bench_workspace(r: &Runner) {
         },
         |mut ws| black_box(ws.reanalyze()),
     );
+
+    // The cached borrowed session: repeated `check_paths` off one
+    // workspace must pay per-file work only — no per-call O(db) copy, no
+    // per-call index rebuild (compare with `check/session_construction_*`
+    // for the uncached construction cost).
+    let mut ws = Workspace::new("OpenLDAP", built.gen.dialect);
+    ws.add_module("gen.c", &built.gen.source, &built.gen.annotations)
+        .unwrap();
+    ws.reanalyze();
+    let fleet = std::env::temp_dir().join("spex_bench_check_cached");
+    let _ = std::fs::remove_dir_all(&fleet);
+    std::fs::create_dir_all(&fleet).expect("fleet dir");
+    for i in 0..32 {
+        let text = if i % 4 == 0 {
+            format!("{}bogus_key_{i} 1\n", built.gen.template_conf)
+        } else {
+            built.gen.template_conf.clone()
+        };
+        std::fs::write(fleet.join(format!("host{i:02}.conf")), text).expect("fleet file");
+    }
+    let clones_before = ws.db().clone_count();
+    r.bench("workspace/check_cached", || {
+        black_box(ws.check_paths(std::slice::from_ref(&fleet)).unwrap())
+    });
+    if r.selected("workspace/check_cached") {
+        assert_eq!(
+            ws.db().clone_count(),
+            clones_before,
+            "cached checking must not clone the db"
+        );
+        assert_eq!(ws.session_rebuilds(), 1, "one index build for the run");
+    }
+    std::fs::remove_dir_all(&fleet).ok();
 }
 
 fn main() {

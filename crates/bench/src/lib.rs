@@ -412,7 +412,9 @@ pub mod harness {
             }
         }
 
-        fn selected(&self, name: &str) -> bool {
+        /// Whether `name` passes the command-line filter (public so bench
+        /// files can gate invariant asserts to the benches that ran).
+        pub fn selected(&self, name: &str) -> bool {
             self.filter
                 .as_deref()
                 .map(|f| name.contains(f))

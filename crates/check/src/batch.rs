@@ -1,27 +1,32 @@
-//! The batch validation engine: many config files, many systems, all
-//! cores.
+//! The legacy batch front-end: an *owning* engine over many systems'
+//! databases.
 //!
-//! Fleet-scale validation is embarrassingly parallel — every file is
-//! independent — so the engine fans jobs out over scoped threads with a
-//! shared atomic cursor and writes results back by job index, keeping the
-//! output order deterministic regardless of scheduling.
+//! Since the 0.3 API redesign the checking engine is the borrowed
+//! [`CheckSession`] — it never copies a database, and
+//! [`Workspace`](crate::Workspace) caches one across calls. `BatchEngine`
+//! remains as a thin owning wrapper for callers that genuinely hold
+//! databases for **multiple systems** and route per-job: it builds one
+//! session per registered database *once per run* (not per file, as the
+//! pre-0.3 engine did) and fans the jobs out on the shared pool.
 //!
-//! Two front-ends share the pool:
+//! Migration (see the README's "Migrating to 0.3" notes):
 //!
-//! * [`BatchEngine::run`] — in-memory jobs, for callers that already hold
-//!   the texts;
-//! * [`BatchEngine::run_paths`] — a streaming walk over files and
-//!   directory trees: each worker reads one file, checks it, and drops the
-//!   text before taking the next, so peak memory is bounded by the worker
-//!   count (plus one small report per file) rather than the corpus size.
+//! * one system, in-memory texts → [`CheckSession::check_texts`];
+//! * one system, files on disk → [`CheckSession::check_paths`] or
+//!   [`Workspace::check_paths`](crate::Workspace::check_paths);
+//! * many systems → keep `BatchEngine`, or hold one `CheckSession` per
+//!   database yourself.
 
-use crate::checker::{Checker, Environment, StaticEnv};
+#![allow(deprecated)]
+
 use crate::db::ConstraintDb;
-use crate::diag::{Diagnostic, Severity};
-use std::collections::{BTreeMap, HashMap};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::env::{Environment, StaticEnv};
+use crate::pool;
+use crate::report::{BatchStats, FileReport};
+use crate::session::CheckSession;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
 
 /// One file to validate.
 #[derive(Debug, Clone)]
@@ -34,89 +39,14 @@ pub struct BatchJob {
     pub text: String,
 }
 
-/// Validation result for one job, in job order.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FileReport {
-    /// The job's system.
-    pub system: String,
-    /// The job's file label.
-    pub file: String,
-    /// Diagnostics in file order; empty means the file is clean.
-    pub diagnostics: Vec<Diagnostic>,
-    /// Set when the job named a system the engine has no database for.
-    pub unknown_system: bool,
-    /// Set when a streaming run could not read the file (the job is
-    /// counted, not dropped, so report order still mirrors the walk).
-    pub read_error: Option<String>,
-}
-
-impl FileReport {
-    /// Whether the file passed with no findings at all.
-    pub fn is_clean(&self) -> bool {
-        !self.unknown_system && self.read_error.is_none() && self.diagnostics.is_empty()
-    }
-
-    /// Whether the file must block a deployment: any error-severity
-    /// finding, or a file that was never actually validated (unreadable,
-    /// or no database registered for its system).
-    pub fn has_errors(&self) -> bool {
-        self.unknown_system
-            || self.read_error.is_some()
-            || self
-                .diagnostics
-                .iter()
-                .any(|d| d.severity == Severity::Error)
-    }
-}
-
-/// Aggregate statistics over one batch run.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct BatchStats {
-    /// Total files validated.
-    pub files: usize,
-    /// Files with no findings.
-    pub clean_files: usize,
-    /// Files with at least one finding.
-    pub flagged_files: usize,
-    /// Jobs naming a system without a database.
-    pub unknown_system_files: usize,
-    /// Files a streaming run failed to read.
-    pub unreadable_files: usize,
-    /// Total error-severity diagnostics.
-    pub errors: usize,
-    /// Total warning-severity diagnostics.
-    pub warnings: usize,
-    /// Diagnostics per violated-constraint category.
-    pub by_category: BTreeMap<&'static str, usize>,
-}
-
-impl BatchStats {
-    /// Renders a one-screen summary table.
-    pub fn render(&self) -> String {
-        let mut out = format!(
-            "checked {} file(s): {} clean, {} flagged ({} error(s), {} warning(s))\n",
-            self.files, self.clean_files, self.flagged_files, self.errors, self.warnings,
-        );
-        for (cat, n) in &self.by_category {
-            out.push_str(&format!("  {cat:<14} {n}\n"));
-        }
-        if self.unknown_system_files > 0 {
-            out.push_str(&format!(
-                "  (skipped {} file(s) with no constraint database)\n",
-                self.unknown_system_files
-            ));
-        }
-        if self.unreadable_files > 0 {
-            out.push_str(&format!(
-                "  ({} file(s) could not be read)\n",
-                self.unreadable_files
-            ));
-        }
-        out
-    }
-}
-
-/// The multi-system batch engine.
+/// The multi-system batch engine (legacy owning wrapper; see the module
+/// docs for the migration paths).
+#[deprecated(
+    since = "0.3.0",
+    note = "prefer the borrowed `CheckSession` (`check_texts`/`check_paths`) \
+            or `Workspace::check_paths`; `BatchEngine` remains only for \
+            multi-system job routing"
+)]
 pub struct BatchEngine {
     dbs: HashMap<String, ConstraintDb>,
     envs: HashMap<String, Arc<dyn Environment + Send + Sync>>,
@@ -177,12 +107,28 @@ impl BatchEngine {
         names
     }
 
-    fn check_one(&self, job: &BatchJob) -> FileReport {
-        self.check_text(&job.system, &job.file, &job.text)
+    /// One borrowed session per registered database — built once per run,
+    /// shared read-only by every worker.
+    fn sessions(&self) -> HashMap<&str, CheckSession<'_>> {
+        self.dbs
+            .iter()
+            .map(|(name, db)| {
+                let mut session = CheckSession::new(db);
+                if let Some(env) = self.envs.get(name) {
+                    session = session.with_env(env.as_ref());
+                }
+                (name.as_str(), session)
+            })
+            .collect()
     }
 
-    fn check_text(&self, system: &str, file: &str, text: &str) -> FileReport {
-        match self.dbs.get(system) {
+    fn check_text(
+        sessions: &HashMap<&str, CheckSession<'_>>,
+        system: &str,
+        file: &str,
+        text: &str,
+    ) -> FileReport {
+        match sessions.get(system) {
             None => FileReport {
                 system: system.to_string(),
                 file: file.to_string(),
@@ -190,224 +136,78 @@ impl BatchEngine {
                 unknown_system: true,
                 read_error: None,
             },
-            Some(db) => {
-                let mut checker = Checker::new(db);
-                if let Some(env) = self.envs.get(system) {
-                    checker = checker.with_env(env.as_ref());
-                }
-                FileReport {
-                    system: system.to_string(),
-                    file: file.to_string(),
-                    diagnostics: checker.check_text(text),
-                    unknown_system: false,
-                    read_error: None,
-                }
-            }
+            Some(session) => FileReport {
+                system: system.to_string(),
+                file: file.to_string(),
+                diagnostics: session.check_text(text),
+                unknown_system: false,
+                read_error: None,
+            },
         }
-    }
-
-    /// The scoped worker pool: produces `n` reports with `make`, sharing
-    /// an atomic cursor and writing results back by index so output order
-    /// is deterministic regardless of scheduling.
-    fn run_indexed<F>(&self, n: usize, make: F) -> Vec<FileReport>
-    where
-        F: Fn(usize) -> FileReport + Sync,
-    {
-        let workers = self.threads.min(n.max(1));
-        if workers <= 1 {
-            return (0..n).map(make).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<FileReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let report = make(i);
-                    *slots[i].lock().unwrap() = Some(report);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
-            .collect()
-    }
-
-    fn tally(reports: &[FileReport]) -> BatchStats {
-        let mut stats = BatchStats {
-            files: reports.len(),
-            ..BatchStats::default()
-        };
-        for r in reports {
-            if r.unknown_system {
-                stats.unknown_system_files += 1;
-                continue;
-            }
-            if r.read_error.is_some() {
-                stats.unreadable_files += 1;
-                continue;
-            }
-            if r.diagnostics.is_empty() {
-                stats.clean_files += 1;
-            } else {
-                stats.flagged_files += 1;
-            }
-            for d in &r.diagnostics {
-                match d.severity {
-                    Severity::Error => stats.errors += 1,
-                    Severity::Warning => stats.warnings += 1,
-                }
-                *stats.by_category.entry(d.category).or_insert(0) += 1;
-            }
-        }
-        stats
     }
 
     /// Validates every job, returning per-file reports in job order plus
     /// aggregate statistics.
     pub fn run(&self, jobs: &[BatchJob]) -> (Vec<FileReport>, BatchStats) {
-        let reports = self.run_indexed(jobs.len(), |i| self.check_one(&jobs[i]));
-        let stats = Self::tally(&reports);
+        let sessions = self.sessions();
+        let reports = pool::run_indexed(self.threads, jobs.len(), |i| {
+            let job = &jobs[i];
+            Self::check_text(&sessions, &job.system, &job.file, &job.text)
+        });
+        let stats = BatchStats::tally(&reports);
         (reports, stats)
     }
 
-    /// Streaming batch validation: walks `roots` (files, or directories
-    /// descended in sorted order), then validates every discovered file
-    /// against `system`'s database on the worker pool. Each worker reads
-    /// one file at a time and drops the text once checked, so memory stays
-    /// bounded by the thread count no matter how large the corpus is.
-    /// Reports come back in walk order; a file that disappears or cannot
-    /// be read mid-run yields a report with
-    /// [`read_error`](FileReport::read_error) set rather than aborting the
-    /// batch. Only nonexistent roots are a hard error.
+    /// Streaming batch validation of `roots` against `system`'s database
+    /// (see [`CheckSession::check_paths`] for the walking, memory and
+    /// ordering guarantees — this wrapper only adds the unknown-system
+    /// report when no database is registered).
     pub fn run_paths<P: AsRef<Path>>(
         &self,
         system: &str,
         roots: &[P],
     ) -> std::io::Result<(Vec<FileReport>, BatchStats)> {
-        let mut files: Vec<WalkEntry> = Vec::new();
-        // One visited set across all roots: overlapping roots (or a root
-        // symlinked into another) descend each physical directory once.
-        let mut visited = std::collections::BTreeSet::new();
-        for root in roots {
-            walk_sorted(root.as_ref(), &mut files, &mut visited)?;
+        let Some(db) = self.dbs.get(system) else {
+            // No database: mirror the pre-0.3 behaviour exactly — a file
+            // the walk or the read fails on is still an *unreadable*
+            // report (the I/O message matters to monitoring); only files
+            // that could have been checked become unknown-system.
+            let files = pool::walk_roots(roots)?;
+            let reports: Vec<FileReport> = files
+                .iter()
+                .map(|entry| {
+                    let mut report = FileReport {
+                        system: system.to_string(),
+                        file: entry.path.display().to_string(),
+                        diagnostics: Vec::new(),
+                        unknown_system: false,
+                        read_error: None,
+                    };
+                    if let Some(e) = &entry.walk_error {
+                        report.read_error = Some(e.clone());
+                    } else if !std::fs::metadata(&entry.path)
+                        .map(|m| m.is_file())
+                        .unwrap_or(false)
+                    {
+                        report.read_error = Some("not a regular file".to_string());
+                    } else if let Err(e) = std::fs::read_to_string(&entry.path) {
+                        report.read_error = Some(e.to_string());
+                    } else {
+                        report.unknown_system = true;
+                    }
+                    report
+                })
+                .collect();
+            let stats = BatchStats::tally(&reports);
+            return Ok((reports, stats));
+        };
+        let mut session = CheckSession::new(db).with_threads(self.threads);
+        if let Some(env) = self.envs.get(system) {
+            session = session.with_env(env.as_ref());
         }
-        let reports = self.run_indexed(files.len(), |i| {
-            let entry = &files[i];
-            let label = entry.path.display().to_string();
-            let unreadable = |message: String| FileReport {
-                system: system.to_string(),
-                file: label.clone(),
-                diagnostics: Vec::new(),
-                unknown_system: false,
-                read_error: Some(message),
-            };
-            if let Some(e) = &entry.walk_error {
-                return unreadable(e.clone());
-            }
-            // Refuse non-regular files *before* opening them: reading a
-            // FIFO with no writer blocks forever, and a device file can
-            // yield unbounded garbage.
-            match std::fs::metadata(&entry.path) {
-                Ok(m) if !m.is_file() => {
-                    return unreadable("not a regular file".to_string());
-                }
-                _ => {}
-            }
-            match std::fs::read_to_string(&entry.path) {
-                Ok(text) => self.check_text(system, &label, &text),
-                Err(e) => unreadable(e.to_string()),
-            }
-        });
-        let stats = Self::tally(&reports);
-        Ok((reports, stats))
+        let report = session.check_paths(roots)?;
+        Ok((report.files, report.stats))
     }
-}
-
-/// One discovered path: a candidate file, or a location the walk could
-/// not descend (reported as unreadable rather than aborting the batch).
-struct WalkEntry {
-    path: PathBuf,
-    walk_error: Option<String>,
-}
-
-impl WalkEntry {
-    fn file(path: PathBuf) -> WalkEntry {
-        WalkEntry {
-            path,
-            walk_error: None,
-        }
-    }
-}
-
-/// Depth-first walk collecting regular files, visiting directory entries
-/// in sorted name order so the job list — and therefore the report order —
-/// is deterministic across platforms and runs. Directory symlinks are
-/// followed, but each physical directory in `visited` is descended at most
-/// once, so a symlink cycle (`ln -s . loop`) terminates instead of
-/// recursing forever. Explicit *file* roots are always pushed, even when a
-/// directory root also reaches them. Only a root whose metadata cannot be
-/// read at all (typically: it does not exist) is a hard error; everything
-/// below a root degrades to a per-path unreadable report.
-fn walk_sorted(
-    root: &Path,
-    out: &mut Vec<WalkEntry>,
-    visited: &mut std::collections::BTreeSet<PathBuf>,
-) -> std::io::Result<()> {
-    let meta = std::fs::metadata(root)?;
-    if meta.is_file() {
-        out.push(WalkEntry::file(root.to_path_buf()));
-        return Ok(());
-    }
-    if !meta.is_dir() {
-        // A FIFO/socket/device root: report it, don't try to list it.
-        out.push(WalkEntry::file(root.to_path_buf()));
-        return Ok(());
-    }
-    if let Ok(canon) = std::fs::canonicalize(root) {
-        if !visited.insert(canon) {
-            return Ok(());
-        }
-    }
-    let listing = std::fs::read_dir(root).and_then(|rd| {
-        rd.map(|e| e.map(|e| e.path()))
-            .collect::<std::io::Result<Vec<PathBuf>>>()
-    });
-    let mut entries = match listing {
-        Ok(entries) => entries,
-        // An unreadable (e.g. permission-denied) directory inside the
-        // tree is one bad location, not a batch abort.
-        Err(e) => {
-            out.push(WalkEntry {
-                path: root.to_path_buf(),
-                walk_error: Some(e.to_string()),
-            });
-            return Ok(());
-        }
-    };
-    entries.sort_unstable();
-    for entry in entries {
-        // A file deleted between listing and stat is the streaming racer's
-        // problem, not a batch abort: record it as unreadable.
-        match std::fs::metadata(&entry) {
-            Ok(m) if m.is_dir() => {
-                // The recursive call's only hard-error path is a re-stat
-                // race on this entry; degrade it like everything else.
-                if let Err(e) = walk_sorted(&entry, out, visited) {
-                    out.push(WalkEntry {
-                        path: entry,
-                        walk_error: Some(e.to_string()),
-                    });
-                }
-            }
-            _ => out.push(WalkEntry::file(entry)),
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -461,7 +261,7 @@ mod tests {
     fn jobs(n: usize) -> Vec<BatchJob> {
         (0..n)
             .map(|i| BatchJob {
-                system: "S".into(),
+                system: if i % 5 == 0 { "S2" } else { "S" }.into(),
                 file: format!("conf_{i}"),
                 // Every third file is corrupt.
                 text: if i % 3 == 0 {
@@ -476,6 +276,7 @@ mod tests {
     fn engine(threads: usize) -> BatchEngine {
         let mut e = BatchEngine::new().with_threads(threads);
         e.add_db(db("S"));
+        e.add_db(db("S2"));
         e
     }
 
@@ -494,15 +295,18 @@ mod tests {
     }
 
     #[test]
-    fn stats_partition_clean_and_flagged() {
+    fn multi_system_jobs_route_to_their_own_database() {
         let js = jobs(30);
-        let (_, stats) = engine(4).run(&js);
+        let (reports, stats) = engine(4).run(&js);
         assert_eq!(stats.files, 30);
         assert_eq!(stats.flagged_files, 10);
         assert_eq!(stats.clean_files, 20);
         assert_eq!(stats.errors, 10);
         assert_eq!(stats.by_category.get("data-range"), Some(&10));
+        assert_eq!(stats.by_code.get("SPEX-R003"), Some(&10));
         assert!(stats.render().contains("30 file(s)"));
+        assert!(reports.iter().any(|r| r.system == "S2"));
+        assert_eq!(stats.unknown_system_files, 0);
     }
 
     #[test]
@@ -530,157 +334,62 @@ mod tests {
         assert_eq!(stats.files, 0);
     }
 
-    /// Builds a small on-disk corpus: root/{a.conf,z.conf,sub/{b.conf,c.conf}}.
-    fn corpus(tag: &str) -> std::path::PathBuf {
-        let root = std::env::temp_dir().join(format!("spex_batch_paths_{tag}"));
+    #[test]
+    fn run_paths_delegates_to_the_borrowed_session() {
+        let root = std::env::temp_dir().join("spex_batch_delegate");
         let _ = std::fs::remove_dir_all(&root);
-        std::fs::create_dir_all(root.join("sub")).unwrap();
+        std::fs::create_dir_all(&root).unwrap();
         std::fs::write(root.join("a.conf"), "threads = 8\n").unwrap();
         std::fs::write(root.join("z.conf"), "threads = 999\n").unwrap();
-        std::fs::write(root.join("sub/b.conf"), "threads = 1\n").unwrap();
-        std::fs::write(root.join("sub/c.conf"), "threads = -3\n").unwrap();
-        root
-    }
-
-    #[test]
-    fn run_paths_walks_deterministically_and_flags() {
-        let root = corpus("walk");
-        let (reports, stats) = engine(4)
-            .run_paths("S", std::slice::from_ref(&root))
-            .unwrap();
-        let files: Vec<String> = reports
-            .iter()
-            .map(|r| {
-                std::path::Path::new(&r.file)
-                    .strip_prefix(&root)
-                    .unwrap()
-                    .display()
-                    .to_string()
-            })
-            .collect();
-        assert_eq!(files, vec!["a.conf", "sub/b.conf", "sub/c.conf", "z.conf"]);
-        assert_eq!(stats.files, 4);
-        assert_eq!(stats.clean_files, 2);
-        assert_eq!(stats.flagged_files, 2);
-        // Same order and findings regardless of worker count.
-        let (seq, seq_stats) = engine(1)
-            .run_paths("S", std::slice::from_ref(&root))
-            .unwrap();
-        assert_eq!(seq, reports);
-        assert_eq!(seq_stats, stats);
-        std::fs::remove_dir_all(&root).ok();
-    }
-
-    #[test]
-    fn run_paths_accepts_explicit_files_in_argument_order() {
-        let root = corpus("explicit");
-        let (reports, _) = engine(2)
-            .run_paths("S", &[root.join("z.conf"), root.join("a.conf")])
-            .unwrap();
-        assert!(reports[0].file.ends_with("z.conf"));
-        assert!(reports[1].file.ends_with("a.conf"));
-        std::fs::remove_dir_all(&root).ok();
-    }
-
-    #[cfg(unix)]
-    #[test]
-    fn run_paths_survives_symlink_cycles() {
-        let root = corpus("symlink");
-        std::os::unix::fs::symlink(&root, root.join("sub/loop")).unwrap();
         let (reports, stats) = engine(2)
             .run_paths("S", std::slice::from_ref(&root))
             .unwrap();
-        // The four real files are each seen exactly once (the cycle target
-        // is the already-visited root, so the link adds nothing).
-        assert_eq!(stats.files, 4);
-        assert_eq!(
-            reports
-                .iter()
-                .filter(|r| r.file.ends_with("a.conf"))
-                .count(),
-            1
-        );
+        assert_eq!(stats.files, 2);
+        assert_eq!(stats.flagged_files, 1);
+        assert!(reports[0].file.ends_with("a.conf"));
+        // An unregistered system degrades every file to unknown-system.
+        let (reports, stats) = engine(2)
+            .run_paths("NoSuch", std::slice::from_ref(&root))
+            .unwrap();
+        assert_eq!(stats.unknown_system_files, 2);
+        assert!(reports.iter().all(|r| r.unknown_system));
         std::fs::remove_dir_all(&root).ok();
     }
 
+    /// Even without a database, a file that could not have been read is
+    /// reported unreadable (with its I/O message), not unknown-system —
+    /// the pre-0.3 classification.
     #[cfg(unix)]
     #[test]
-    fn run_paths_skips_non_regular_files_without_blocking() {
-        let root = corpus("fifo");
+    fn run_paths_unknown_system_still_reports_unreadable_files() {
+        let root = std::env::temp_dir().join("spex_batch_nosys_fifo");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("a.conf"), "threads = 8\n").unwrap();
         let status = std::process::Command::new("mkfifo")
-            .arg(root.join("sub/ctl"))
+            .arg(root.join("ctl"))
             .status()
             .expect("mkfifo runs");
         assert!(status.success());
-        // Reading a writer-less FIFO would block forever; the run must
-        // complete and report it unreadable instead.
-        let (reports, stats) = engine(2)
-            .run_paths("S", std::slice::from_ref(&root))
+        let (reports, stats) = engine(1)
+            .run_paths("NoSuch", std::slice::from_ref(&root))
             .unwrap();
-        assert_eq!(stats.files, 5);
+        assert_eq!(stats.files, 2);
+        assert_eq!(stats.unknown_system_files, 1);
         assert_eq!(stats.unreadable_files, 1);
         let fifo = reports.iter().find(|r| r.file.ends_with("ctl")).unwrap();
         assert_eq!(fifo.read_error.as_deref(), Some("not a regular file"));
-        assert!(fifo.has_errors(), "an unvalidated file must gate deploys");
-        assert!(!fifo.is_clean());
-        std::fs::remove_dir_all(&root).ok();
-    }
-
-    #[cfg(unix)]
-    #[test]
-    fn run_paths_non_directory_root_reports_instead_of_aborting() {
-        let root = corpus("fiforoot");
-        let fifo = root.join("ctl");
-        let status = std::process::Command::new("mkfifo")
-            .arg(&fifo)
-            .status()
-            .expect("mkfifo runs");
-        assert!(status.success());
-        // A FIFO given directly as a root: per the contract, only
-        // nonexistent roots hard-error; this degrades to a report.
-        let (reports, stats) = engine(1)
-            .run_paths("S", std::slice::from_ref(&fifo))
-            .unwrap();
-        assert_eq!(stats.files, 1);
-        assert_eq!(stats.unreadable_files, 1);
-        assert_eq!(reports[0].read_error.as_deref(), Some("not a regular file"));
+        assert!(!fifo.unknown_system);
         std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]
-    fn run_paths_overlapping_directory_roots_walk_once() {
-        let root = corpus("overlap");
-        let (reports, stats) = engine(2)
-            .run_paths("S", &[root.clone(), root.join("sub")])
-            .unwrap();
-        // The second root is inside the first: its directory was already
-        // descended, so nothing is double-counted.
-        assert_eq!(stats.files, 4);
-        assert_eq!(
-            reports
-                .iter()
-                .filter(|r| r.file.ends_with("b.conf"))
-                .count(),
-            1
-        );
-        std::fs::remove_dir_all(&root).ok();
-    }
-
-    #[test]
-    fn run_paths_missing_root_is_an_error() {
-        let err = engine(2)
-            .run_paths("S", &[std::path::Path::new("/no/such/spex/dir")])
-            .unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
-    }
-
-    #[test]
-    fn run_paths_shared_env_reaches_checkers() {
+    fn run_paths_shared_env_reaches_sessions() {
         use spex_core::constraint::SemType;
-        let root = corpus("env");
+        let root = std::env::temp_dir().join("spex_batch_env");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
         std::fs::write(root.join("a.conf"), "pidfile = /no/such/file\n").unwrap();
-        std::fs::remove_file(root.join("z.conf")).unwrap();
-        std::fs::remove_dir_all(root.join("sub")).unwrap();
         let mut db = db("S");
         db.add(Constraint {
             param: "pidfile".into(),

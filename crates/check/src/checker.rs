@@ -1,1181 +1,37 @@
-//! The constraint checker: validates one parsed config file against a
-//! [`ConstraintDb`].
+//! Backwards-compatibility shims for the pre-0.3 checker API.
 //!
-//! Each setting in the file is vetted against every constraint inferred
-//! for its parameter: basic-type conformance, semantic-type plausibility
-//! (unit-aware for time and size parameters), numeric- and enumerative-
-//! range membership, control-dependency activation, and cross-parameter
-//! value relationships. Keys not present in the database are reported with
-//! an edit-distance "did you mean" suggestion.
+//! The checking logic lives in [`crate::session`] since the 0.3 API
+//! redesign; this module keeps the old paths importable. See the README's
+//! "Migrating to 0.3" notes: `Checker::new(&db)` is spelled
+//! [`CheckSession::new(&db)`](crate::CheckSession::new) now, and the
+//! engine additionally offers cached construction, multi-file checking
+//! and structured [`Report`](crate::Report)s.
 
-use crate::db::{ConstraintDb, ParamEntry};
-use crate::diag::{Diagnostic, Severity};
-use spex_conf::{ConfFile, Entry};
-use spex_core::constraint::{BasicType, ConstraintKind, EnumValue, SemType, SizeUnit, TimeUnit};
-use std::collections::BTreeSet;
+pub use crate::env::{Environment, StaticEnv};
+pub use crate::session::{levenshtein, parse_bool_word, parse_plain_int, split_unit_suffix};
 
-/// Absurdity bar for a time value, in the parameter's own unit (the
-/// paper's injection rule plants "absurdly large time value"s).
-///
-/// The bar is per-unit: a single "over a year" bar lets sub-second units
-/// dodge it — `999999999 ms` is "only" 11.5 days, yet nobody writes a
-/// nine-digit millisecond count on purpose; they mistook the unit.
-/// Sub-second units express fine-grained intervals, so they must clear a
-/// proportionally lower bar.
-fn absurd_time_bar(unit: TimeUnit) -> (i64, &'static str) {
-    match unit {
-        // One hour of microseconds.
-        TimeUnit::Micro => (3600 * 1_000_000, "an hour"),
-        // One week of milliseconds.
-        TimeUnit::Milli => (7 * 24 * 3600 * 1000, "a week"),
-        // One year for coarse units.
-        TimeUnit::Sec => (366 * 24 * 3600, "a year"),
-        TimeUnit::Min => (366 * 24 * 60, "a year"),
-        TimeUnit::Hour => (366 * 24, "a year"),
-    }
-}
-
-/// What the checker may ask about the deployment environment. Everything
-/// defaults to "plausible", so a checker without an environment still
-/// performs all syntactic and numeric checks.
-pub trait Environment {
-    /// Whether `path` names an existing regular file.
-    fn file_exists(&self, _path: &str) -> bool {
-        true
-    }
-    /// Whether `path` names an existing directory.
-    fn dir_exists(&self, _path: &str) -> bool {
-        true
-    }
-    /// Whether `name` is a known user.
-    fn user_exists(&self, _name: &str) -> bool {
-        true
-    }
-    /// Whether `name` is a known group.
-    fn group_exists(&self, _name: &str) -> bool {
-        true
-    }
-    /// Whether `host` resolves.
-    fn host_resolves(&self, _host: &str) -> bool {
-        true
-    }
-    /// Whether another process already owns `port`.
-    fn port_in_use(&self, _port: u16) -> bool {
-        false
-    }
-}
-
-/// A declarative environment model (mirrors `spex_vm::World` without
-/// depending on the interpreter).
-#[derive(Debug, Clone, Default)]
-pub struct StaticEnv {
-    files: BTreeSet<String>,
-    dirs: BTreeSet<String>,
-    users: BTreeSet<String>,
-    groups: BTreeSet<String>,
-    hosts: BTreeSet<String>,
-    used_ports: BTreeSet<u16>,
-}
-
-impl StaticEnv {
-    /// An empty environment (nothing exists, no port taken).
-    pub fn new() -> StaticEnv {
-        StaticEnv::default()
-    }
-
-    /// Registers a regular file (and its parent directories).
-    pub fn add_file(&mut self, path: &str) -> &mut Self {
-        self.files.insert(path.to_string());
-        let mut p = path;
-        while let Some(i) = p.rfind('/') {
-            if i == 0 {
-                self.dirs.insert("/".to_string());
-                break;
-            }
-            p = &p[..i];
-            self.dirs.insert(p.to_string());
-        }
-        self
-    }
-
-    /// Registers a directory.
-    pub fn add_dir(&mut self, path: &str) -> &mut Self {
-        self.dirs.insert(path.to_string());
-        self
-    }
-
-    /// Registers a user.
-    pub fn add_user(&mut self, name: &str) -> &mut Self {
-        self.users.insert(name.to_string());
-        self
-    }
-
-    /// Registers a group.
-    pub fn add_group(&mut self, name: &str) -> &mut Self {
-        self.groups.insert(name.to_string());
-        self
-    }
-
-    /// Registers a resolvable host.
-    pub fn add_host(&mut self, name: &str) -> &mut Self {
-        self.hosts.insert(name.to_string());
-        self
-    }
-
-    /// Marks a port as occupied by another process.
-    pub fn occupy_port(&mut self, port: u16) -> &mut Self {
-        self.used_ports.insert(port);
-        self
-    }
-}
-
-impl Environment for StaticEnv {
-    fn file_exists(&self, path: &str) -> bool {
-        self.files.contains(path)
-    }
-    fn dir_exists(&self, path: &str) -> bool {
-        self.dirs.contains(path)
-    }
-    fn user_exists(&self, name: &str) -> bool {
-        self.users.contains(name)
-    }
-    fn group_exists(&self, name: &str) -> bool {
-        self.groups.contains(name)
-    }
-    fn host_resolves(&self, host: &str) -> bool {
-        self.hosts.contains(host)
-    }
-    fn port_in_use(&self, port: u16) -> bool {
-        self.used_ports.contains(&port)
-    }
-}
-
-/// The validation engine for one system.
-pub struct Checker<'a> {
-    db: &'a ConstraintDb,
-    /// Name → entry index over `db.params` (built once; per-setting
-    /// lookups are the batch hot path).
-    index: std::collections::HashMap<&'a str, &'a ParamEntry>,
-    env: Option<&'a dyn Environment>,
-    /// Maximum Levenshtein distance for "did you mean" suggestions.
-    pub max_suggest_distance: usize,
-}
-
-/// One setting occurrence in the file, with its serialized line number.
-struct Occurrence<'c> {
-    name: &'c str,
-    value: &'c str,
-    line: usize,
-}
-
-impl<'a> Checker<'a> {
-    /// A checker over a database, with no environment model.
-    pub fn new(db: &'a ConstraintDb) -> Checker<'a> {
-        // Per-setting lookups are the batch hot path; index the entries
-        // once instead of scanning the Vec per setting.
-        let index = db.params.iter().map(|p| (p.name.as_str(), p)).collect();
-        Checker {
-            db,
-            index,
-            env: None,
-            max_suggest_distance: 3,
-        }
-    }
-
-    /// Attaches an environment model enabling existence checks.
-    pub fn with_env(mut self, env: &'a dyn Environment) -> Checker<'a> {
-        self.env = Some(env);
-        self
-    }
-
-    /// Parses `text` under the database's dialect and checks it.
-    pub fn check_text(&self, text: &str) -> Vec<Diagnostic> {
-        self.check(&ConfFile::parse(text, self.db.dialect))
-    }
-
-    /// Checks a parsed config file, returning diagnostics in file order.
-    /// Cross-parameter findings (control dependencies, value relation-
-    /// ships) are attached to the constrained setting — the dependent or
-    /// left-hand side — wherever it appears in the file.
-    pub fn check(&self, conf: &ConfFile) -> Vec<Diagnostic> {
-        let occurrences: Vec<Occurrence> = conf
-            .entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| match e {
-                Entry::Setting { name, args } => Some(Occurrence {
-                    name,
-                    value: args.first().map(|s| s.as_str()).unwrap_or(""),
-                    line: i + 1,
-                }),
-                _ => None,
-            })
-            .collect();
-
-        let mut out = Vec::new();
-        for occ in &occurrences {
-            match self.index.get(occ.name) {
-                Some(entry) => self.check_setting(entry, occ, &occurrences, &mut out),
-                None => out.push(self.unknown_key(occ)),
-            }
-        }
-        out
-    }
-
-    // -- Unknown keys ----------------------------------------------------
-
-    fn unknown_key(&self, occ: &Occurrence) -> Diagnostic {
-        let mut d = Diagnostic::new(
-            Severity::Error,
-            occ.name,
-            occ.value,
-            "unknown configuration parameter",
-            "unknown-key",
-        )
-        .at_line(occ.line);
-        if let Some(entry) = self.db.param_ignore_case(occ.name) {
-            return d.suggest(format!(
-                "parameter names are case-sensitive here; did you mean \"{}\"?",
-                entry.name
-            ));
-        }
-        let mut best: Option<(usize, &str)> = None;
-        for known in self.db.param_names() {
-            let dist = levenshtein(occ.name, known, self.max_suggest_distance + 1);
-            if dist <= self.max_suggest_distance && best.map(|(b, _)| dist < b).unwrap_or(true) {
-                best = Some((dist, known));
-            }
-        }
-        if let Some((_, known)) = best {
-            d = d.suggest(format!("did you mean \"{known}\"?"));
-        }
-        d
-    }
-
-    // -- Per-setting checks ----------------------------------------------
-
-    fn check_setting(
-        &self,
-        entry: &ParamEntry,
-        occ: &Occurrence,
-        all: &[Occurrence],
-        out: &mut Vec<Diagnostic>,
-    ) {
-        // A value that matches a word alternative of one of the parameter's
-        // enumerative constraints is a word-typed setting ("on", "full");
-        // numeric basic-type and range checks do not apply to it.
-        let word_ok = entry.constraints.iter().any(|c| match &c.kind {
-            ConstraintKind::EnumRange(e) => e.alternatives.iter().any(|a| match &a.value {
-                EnumValue::Str(s) => {
-                    a.valid
-                        && (s == occ.value
-                            || (e.case_insensitive && s.eq_ignore_ascii_case(occ.value)))
-                }
-                EnumValue::Int(_) => false,
-            }),
-            _ => false,
-        });
-
-        for c in &entry.constraints {
-            let diag = match &c.kind {
-                ConstraintKind::BasicType(bt) => {
-                    if word_ok {
-                        None
-                    } else {
-                        self.check_basic(bt, occ)
-                    }
-                }
-                ConstraintKind::SemanticType(st) => self.check_semantic(st, occ),
-                ConstraintKind::Range(r) => {
-                    if word_ok {
-                        None
-                    } else {
-                        self.check_range(r, occ)
-                    }
-                }
-                ConstraintKind::EnumRange(e) => self.check_enum(e, occ),
-                ConstraintKind::ControlDep(d) => self.check_control_dep(d, occ, all),
-                ConstraintKind::ValueRel(r) => self.check_value_rel(r, occ, all),
-            };
-            if let Some(d) = diag {
-                out.push(d.at_line(occ.line).from_origin(&c.in_function, c.span));
-            }
-        }
-    }
-
-    fn check_basic(&self, bt: &BasicType, occ: &Occurrence) -> Option<Diagnostic> {
-        match bt {
-            BasicType::Str | BasicType::Enum => None,
-            BasicType::Bool => {
-                if parse_bool_word(occ.value).is_some() {
-                    None
-                } else {
-                    Some(
-                        Diagnostic::new(
-                            Severity::Error,
-                            occ.name,
-                            occ.value,
-                            "expects a boolean",
-                            "basic-type",
-                        )
-                        .suggest("use \"on\" or \"off\""),
-                    )
-                }
-            }
-            BasicType::Int { bits, signed } => match parse_plain_int(occ.value) {
-                Some(v) => {
-                    let (lo, hi) = int_bounds(*bits, *signed);
-                    if v < lo || v > hi {
-                        Some(
-                            Diagnostic::new(
-                                Severity::Error,
-                                occ.name,
-                                occ.value,
-                                format!("overflows the {bt} the system stores it in"),
-                                "basic-type",
-                            )
-                            .suggest(format!("use a value between {lo} and {hi}")),
-                        )
-                    } else {
-                        None
-                    }
-                }
-                None => {
-                    let mut d = Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        occ.value,
-                        format!("expects a {bt}"),
-                        "basic-type",
-                    );
-                    if let Some((_, suffix)) = split_unit_suffix(occ.value) {
-                        d = d.suggest(format!(
-                            "the system parses this with an integer API and would silently \
-                             drop the \"{suffix}\" suffix; write the value converted to base \
-                             units, without a suffix"
-                        ));
-                    }
-                    Some(d)
-                }
-            },
-            BasicType::Float { .. } => {
-                if occ.value.parse::<f64>().is_ok() {
-                    None
-                } else {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        occ.value,
-                        format!("expects a {bt}"),
-                        "basic-type",
-                    ))
-                }
-            }
-        }
-    }
-
-    fn check_semantic(&self, st: &SemType, occ: &Occurrence) -> Option<Diagnostic> {
-        let v = occ.value;
-        match st {
-            SemType::FilePath => {
-                let env = self.env?;
-                if env.file_exists(v) {
-                    None
-                } else if env.dir_exists(v) {
-                    Some(
-                        Diagnostic::new(
-                            Severity::Error,
-                            occ.name,
-                            v,
-                            "names a directory, but a regular file is expected",
-                            "semantic-type",
-                        )
-                        .suggest("point it at a file inside the directory"),
-                    )
-                } else {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        v,
-                        "file does not exist",
-                        "semantic-type",
-                    ))
-                }
-            }
-            SemType::DirPath => {
-                let env = self.env?;
-                if env.dir_exists(v) {
-                    None
-                } else if env.file_exists(v) {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        v,
-                        "names a regular file, but a directory is expected",
-                        "semantic-type",
-                    ))
-                } else {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        v,
-                        "directory does not exist",
-                        "semantic-type",
-                    ))
-                }
-            }
-            SemType::Port => {
-                let port = match parse_plain_int(v) {
-                    Some(p) if (1..=65535).contains(&p) => p as u16,
-                    Some(p) => {
-                        return Some(
-                            Diagnostic::new(
-                                Severity::Error,
-                                occ.name,
-                                v,
-                                format!("{p} is outside the valid TCP/UDP port range"),
-                                "semantic-type",
-                            )
-                            .suggest("use a port between 1 and 65535"),
-                        )
-                    }
-                    None => {
-                        return Some(Diagnostic::new(
-                            Severity::Error,
-                            occ.name,
-                            v,
-                            "expects a numeric port",
-                            "semantic-type",
-                        ))
-                    }
-                };
-                if self.env.map(|e| e.port_in_use(port)).unwrap_or(false) {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        v,
-                        format!("port {port} is already in use by another process"),
-                        "semantic-type",
-                    ))
-                } else {
-                    None
-                }
-            }
-            SemType::IpAddr => {
-                if is_dotted_quad(v) {
-                    None
-                } else {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        v,
-                        "is not a dotted-quad IP address",
-                        "semantic-type",
-                    ))
-                }
-            }
-            SemType::Hostname => {
-                let env = self.env?;
-                if env.host_resolves(v) {
-                    None
-                } else {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        v,
-                        "host name does not resolve",
-                        "semantic-type",
-                    ))
-                }
-            }
-            SemType::UserName => {
-                let env = self.env?;
-                if env.user_exists(v) {
-                    None
-                } else {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        v,
-                        "unknown user",
-                        "semantic-type",
-                    ))
-                }
-            }
-            SemType::GroupName => {
-                let env = self.env?;
-                if env.group_exists(v) {
-                    None
-                } else {
-                    Some(Diagnostic::new(
-                        Severity::Error,
-                        occ.name,
-                        v,
-                        "unknown group",
-                        "semantic-type",
-                    ))
-                }
-            }
-            SemType::Time(unit) => self.check_time(*unit, occ),
-            SemType::Size(unit) => self.check_size(*unit, occ),
-            SemType::Permission => {
-                let ok =
-                    !v.is_empty() && v.len() <= 4 && v.chars().all(|c| ('0'..='7').contains(&c));
-                if ok {
-                    None
-                } else {
-                    Some(
-                        Diagnostic::new(
-                            Severity::Error,
-                            occ.name,
-                            v,
-                            "is not an octal permission mask",
-                            "semantic-type",
-                        )
-                        .suggest("use up to four octal digits, e.g. 0644"),
-                    )
-                }
-            }
-        }
-    }
-
-    fn check_time(&self, unit: TimeUnit, occ: &Occurrence) -> Option<Diagnostic> {
-        if let Some((_, suffix)) = split_unit_suffix(occ.value) {
-            // An explicit unit that differs from what the code expects is
-            // the paper's Figure 5(a)/7(d) trap: the integer parser drops
-            // the suffix and silently mis-scales the value.
-            return Some(
-                Diagnostic::new(
-                    Severity::Error,
-                    occ.name,
-                    occ.value,
-                    format!(
-                        "carries a \"{suffix}\" unit suffix, but the system reads a plain \
-                         number of {unit}"
-                    ),
-                    "semantic-type",
-                )
-                .suggest(format!(
-                    "write the value converted to {unit}, without a suffix"
-                )),
-            );
-        }
-        let v = parse_plain_int(occ.value)?;
-        if v < 0 {
-            return Some(Diagnostic::new(
-                Severity::Error,
-                occ.name,
-                occ.value,
-                "time durations cannot be negative",
-                "semantic-type",
-            ));
-        }
-        let (bar, human) = absurd_time_bar(unit);
-        if v > bar {
-            return Some(Diagnostic::new(
-                Severity::Error,
-                occ.name,
-                occ.value,
-                format!("{v} {unit} is over {human} — almost certainly a unit mistake"),
-                "semantic-type",
-            ));
-        }
-        None
-    }
-
-    fn check_size(&self, unit: SizeUnit, occ: &Occurrence) -> Option<Diagnostic> {
-        if let Some((_, suffix)) = split_unit_suffix(occ.value) {
-            return Some(
-                Diagnostic::new(
-                    Severity::Error,
-                    occ.name,
-                    occ.value,
-                    format!(
-                        "carries a \"{suffix}\" unit suffix, but the system reads a plain \
-                         number of {unit}"
-                    ),
-                    "semantic-type",
-                )
-                .suggest(format!(
-                    "write the value converted to {unit}, without a suffix"
-                )),
-            );
-        }
-        let v = parse_plain_int(occ.value)?;
-        if v < 0 {
-            return Some(Diagnostic::new(
-                Severity::Error,
-                occ.name,
-                occ.value,
-                "sizes cannot be negative",
-                "semantic-type",
-            ));
-        }
-        None
-    }
-
-    fn check_range(
-        &self,
-        r: &spex_core::constraint::NumericRange,
-        occ: &Occurrence,
-    ) -> Option<Diagnostic> {
-        let v = parse_plain_int(occ.value)?;
-        if r.is_valid(v) {
-            return None;
-        }
-        let mut d = Diagnostic::new(
-            Severity::Error,
-            occ.name,
-            occ.value,
-            match r.valid_interval() {
-                Some((lo, hi)) => format!(
-                    "out of the valid range [{}, {}]",
-                    lo.map(|v| v.to_string()).unwrap_or_else(|| "-inf".into()),
-                    hi.map(|v| v.to_string()).unwrap_or_else(|| "+inf".into()),
-                ),
-                None => "out of the valid range".to_string(),
-            },
-            "data-range",
-        );
-        if let Some((Some(lo), Some(hi))) = r.valid_interval() {
-            d = d.suggest(format!("use a value between {lo} and {hi}"));
-        }
-        Some(d)
-    }
-
-    fn check_enum(
-        &self,
-        e: &spex_core::constraint::EnumRange,
-        occ: &Occurrence,
-    ) -> Option<Diagnostic> {
-        if e.alternatives.is_empty() {
-            return None;
-        }
-        let as_int = parse_plain_int(occ.value);
-        let has_int_alts = e
-            .alternatives
-            .iter()
-            .any(|a| matches!(a.value, EnumValue::Int(_)));
-        // Integer-enum parameters (switch ranges): membership over the arms.
-        if let (Some(v), true) = (as_int, has_int_alts) {
-            let matched = e.alternatives.iter().find(|a| a.value == EnumValue::Int(v));
-            return match matched {
-                Some(a) if a.valid => None,
-                _ => {
-                    let valid: Vec<String> = e
-                        .alternatives
-                        .iter()
-                        .filter(|a| a.valid)
-                        .map(|a| a.value.to_string())
-                        .collect();
-                    Some(
-                        Diagnostic::new(
-                            Severity::Error,
-                            occ.name,
-                            occ.value,
-                            "is not one of the accepted values",
-                            "data-range",
-                        )
-                        .suggest(format!("accepted values: {}", valid.join(", "))),
-                    )
-                }
-            };
-        }
-        // Word-enum parameters.
-        let exact = e.alternatives.iter().find(|a| match &a.value {
-            EnumValue::Str(s) => {
-                s == occ.value || (e.case_insensitive && s.eq_ignore_ascii_case(occ.value))
-            }
-            EnumValue::Int(_) => false,
-        });
-        if let Some(a) = exact {
-            return if a.valid {
-                None
-            } else {
-                Some(Diagnostic::new(
-                    Severity::Error,
-                    occ.name,
-                    occ.value,
-                    "is an explicitly rejected value",
-                    "data-range",
-                ))
-            };
-        }
-        // Not a member: distinguish the case-mismatch trap (Figure 1's
-        // iSCSI initiator-name failure) from a plainly wrong word.
-        let case_twin = e.alternatives.iter().find_map(|a| match &a.value {
-            EnumValue::Str(s) if s.eq_ignore_ascii_case(occ.value) => Some(s.as_str()),
-            _ => None,
-        });
-        let valid: Vec<String> = e
-            .alternatives
-            .iter()
-            .filter(|a| a.valid)
-            .map(|a| a.value.to_string())
-            .collect();
-        let mut d = Diagnostic::new(
-            Severity::Error,
-            occ.name,
-            occ.value,
-            if case_twin.is_some() {
-                "differs from an accepted word only by letter case, and matching here \
-                 is case-sensitive"
-            } else {
-                "is not one of the accepted words"
-            },
-            "data-range",
-        );
-        d = match case_twin {
-            Some(twin) => d.suggest(format!("write it exactly as \"{twin}\"")),
-            None => d.suggest(format!("accepted values: {}", valid.join(", "))),
-        };
-        Some(d)
-    }
-
-    fn check_control_dep(
-        &self,
-        dep: &spex_core::constraint::ControlDep,
-        occ: &Occurrence,
-        all: &[Occurrence],
-    ) -> Option<Diagnostic> {
-        // Fires only when the controller is explicitly configured in the
-        // same file and its value falsifies the dependency guard.
-        let controller = all.iter().find(|o| o.name == dep.controller)?;
-        let cv = parse_controller_value(controller.value)?;
-        if dep.op.eval(cv, dep.value) {
-            return None;
-        }
-        Some(
-            Diagnostic::new(
-                Severity::Warning,
-                occ.name,
-                occ.value,
-                format!(
-                    "takes effect only when \"{}\" {} {}, but line {} sets \"{}\" to \
-                     \"{}\" — this setting will be silently ignored",
-                    dep.controller,
-                    dep.op,
-                    dep.value,
-                    controller.line,
-                    dep.controller,
-                    controller.value,
-                ),
-                "control-dep",
-            )
-            .suggest(format!(
-                "enable \"{}\" or remove this setting",
-                dep.controller
-            )),
-        )
-    }
-
-    fn check_value_rel(
-        &self,
-        rel: &spex_core::constraint::ValueRel,
-        occ: &Occurrence,
-        all: &[Occurrence],
-    ) -> Option<Diagnostic> {
-        // The constraint is stored under its lhs; both sides must be
-        // explicitly configured for the file to violate it.
-        let rhs = all.iter().find(|o| o.name == rel.rhs)?;
-        let lv = parse_plain_int(occ.value)?;
-        let rv = parse_plain_int(rhs.value)?;
-        if rel.op.eval(lv, rv) {
-            return None;
-        }
-        Some(
-            Diagnostic::new(
-                Severity::Error,
-                occ.name,
-                occ.value,
-                format!(
-                    "must satisfy \"{}\" {} \"{}\", but \"{}\" is {} (line {})",
-                    rel.lhs, rel.op, rel.rhs, rel.rhs, rhs.value, rhs.line,
-                ),
-                "value-rel",
-            )
-            .suggest(format!(
-                "pick values with {} {} {}",
-                rel.lhs, rel.op, rel.rhs
-            )),
-        )
-    }
-}
-
-// -- Value parsing helpers ---------------------------------------------
-
-/// Parses a plain decimal integer (optional sign, digits only).
-pub fn parse_plain_int(v: &str) -> Option<i64> {
-    let t = v.trim();
-    if t.is_empty() {
-        return None;
-    }
-    t.parse::<i64>().ok()
-}
-
-/// Boolean words as the subject systems' shared on/off helpers accept
-/// them.
-pub fn parse_bool_word(v: &str) -> Option<bool> {
-    match v.trim().to_ascii_lowercase().as_str() {
-        "on" | "true" | "yes" | "1" => Some(true),
-        "off" | "false" | "no" | "0" => Some(false),
-        _ => None,
-    }
-}
-
-/// The value of a controller parameter: boolean words or plain integers.
-fn parse_controller_value(v: &str) -> Option<i64> {
-    parse_plain_int(v).or_else(|| parse_bool_word(v).map(i64::from))
-}
-
-/// Splits `"512MB"` into `(512, "MB")`. Returns `None` when the value is
-/// not a number followed by a recognised time/size unit suffix.
-pub fn split_unit_suffix(v: &str) -> Option<(i64, &str)> {
-    let t = v.trim();
-    let digits_end = t
-        .char_indices()
-        .skip_while(|(i, c)| *i == 0 && (*c == '-' || *c == '+'))
-        .find(|(_, c)| !c.is_ascii_digit())
-        .map(|(i, _)| i)?;
-    let (num, suffix) = t.split_at(digits_end);
-    let num: i64 = num.parse().ok()?;
-    let known = [
-        "us", "ms", "s", "m", "h", "min", "sec", "B", "K", "KB", "M", "MB", "G", "GB", "T", "TB",
-        "k", "g",
-    ];
-    known.contains(&suffix).then_some((num, suffix))
-}
-
-/// Inclusive bounds of an integer type. Widths outside 1..=63 (including
-/// anything a hand-edited database might carry) saturate to the i64
-/// bounds instead of overflowing the shift.
-fn int_bounds(bits: u8, signed: bool) -> (i64, i64) {
-    match (bits, signed) {
-        (0 | 64.., true) => (i64::MIN, i64::MAX),
-        (0 | 63.., false) => (0, i64::MAX),
-        (b, true) => {
-            let hi = (1i64 << (b - 1)) - 1;
-            (-hi - 1, hi)
-        }
-        (b, false) => (0, (1i64 << b) - 1),
-    }
-}
-
-/// Whether `v` is a valid dotted-quad IPv4 address.
-fn is_dotted_quad(v: &str) -> bool {
-    let octets: Vec<&str> = v.split('.').collect();
-    octets.len() == 4
-        && octets.iter().all(|o| {
-            !o.is_empty()
-                && o.len() <= 3
-                && o.chars().all(|c| c.is_ascii_digit())
-                && o.parse::<u16>().map(|n| n <= 255).unwrap_or(false)
-        })
-}
-
-/// Levenshtein distance with an early-exit `cap` (returns `cap` when the
-/// true distance is at least `cap`).
-pub fn levenshtein(a: &str, b: &str, cap: usize) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.len().abs_diff(b.len()) >= cap {
-        return cap;
-    }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0; b.len() + 1];
-    for (i, ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        let mut row_min = cur[0];
-        for (j, cb) in b.iter().enumerate() {
-            let cost = usize::from(ca != cb);
-            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
-            row_min = row_min.min(cur[j + 1]);
-        }
-        if row_min >= cap {
-            return cap;
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[b.len()].min(cap)
-}
+/// The pre-0.3 name of the borrowed checking engine.
+#[deprecated(
+    since = "0.3.0",
+    note = "renamed to `CheckSession`; construction and single-file \
+            checking are unchanged (`CheckSession::new(&db).check_text(..)`)"
+)]
+pub type Checker<'db> = crate::session::CheckSession<'db>;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    #![allow(deprecated)]
+    use crate::db::ConstraintDb;
+    use crate::Checker;
     use spex_conf::Dialect;
-    use spex_core::constraint::{
-        CmpOp, Constraint, ControlDep, EnumAlternative, EnumRange, NumericRange, RangeSegment,
-        ValueRel,
-    };
-    use spex_lang::diag::Span;
 
-    fn c(param: &str, kind: ConstraintKind) -> Constraint {
-        Constraint {
-            param: param.into(),
-            kind,
-            in_function: "startup".into(),
-            span: Span::new(1, 1),
-        }
-    }
-
-    fn db() -> ConstraintDb {
-        let mut db = ConstraintDb::new("Test", Dialect::KeyValue);
-        db.add(c(
-            "threads",
-            ConstraintKind::BasicType(BasicType::Int {
-                bits: 32,
-                signed: true,
-            }),
-        ));
-        db.add(c(
-            "threads",
-            ConstraintKind::Range(NumericRange {
-                cutpoints: vec![1, 16],
-                segments: vec![
-                    RangeSegment {
-                        lo: None,
-                        hi: Some(0),
-                        valid: false,
-                    },
-                    RangeSegment {
-                        lo: Some(1),
-                        hi: Some(16),
-                        valid: true,
-                    },
-                    RangeSegment {
-                        lo: Some(17),
-                        hi: None,
-                        valid: false,
-                    },
-                ],
-            }),
-        ));
-        db.add(c(
-            "log_level",
-            ConstraintKind::EnumRange(EnumRange {
-                alternatives: vec![
-                    EnumAlternative {
-                        value: EnumValue::Str("info".into()),
-                        valid: true,
-                    },
-                    EnumAlternative {
-                        value: EnumValue::Str("debug".into()),
-                        valid: true,
-                    },
-                ],
-                unmatched_is_error: true,
-                unmatched_overwrites: false,
-                case_insensitive: false,
-            }),
-        ));
-        db.add(c(
-            "listen_port",
-            ConstraintKind::SemanticType(SemType::Port),
-        ));
-        db.add(c(
-            "nap_s",
-            ConstraintKind::SemanticType(SemType::Time(TimeUnit::Sec)),
-        ));
-        db.add(c(
-            "poll_ms",
-            ConstraintKind::SemanticType(SemType::Time(TimeUnit::Milli)),
-        ));
-        db.add(c(
-            "spin_us",
-            ConstraintKind::SemanticType(SemType::Time(TimeUnit::Micro)),
-        ));
-        db.add(c(
-            "commit_siblings",
-            ConstraintKind::ControlDep(ControlDep {
-                controller: "fsync".into(),
-                value: 0,
-                op: CmpOp::Ne,
-                dependent: "commit_siblings".into(),
-                confidence: 1.0,
-            }),
-        ));
-        db.add(c(
-            "min_len",
-            ConstraintKind::ValueRel(ValueRel {
-                lhs: "min_len".into(),
-                op: CmpOp::Lt,
-                rhs: "max_len".into(),
-            }),
-        ));
-        db.note_params(["fsync", "max_len"]);
-        db
-    }
-
-    fn check(text: &str) -> Vec<Diagnostic> {
-        let db = db();
-        Checker::new(&db).check_text(text)
-    }
-
+    /// The deprecated alias still constructs and checks.
     #[test]
-    fn clean_config_produces_no_diagnostics() {
-        let ds = check("threads = 8\nlog_level = info\nlisten_port = 8080\nnap_s = 30\n");
-        assert!(ds.is_empty(), "{ds:?}");
-    }
-
-    #[test]
-    fn flags_non_numeric_and_overflow_and_unit_suffix() {
-        assert_eq!(check("threads = not_a_number\n").len(), 1);
-        // Violates both the basic-type (32-bit) and range constraints.
-        let ds = check("threads = 9000000000\n");
-        assert_eq!(ds.len(), 2);
-        assert!(ds.iter().any(|d| d.message.contains("overflows")));
-        let ds = check("threads = 9G\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].suggestion.as_deref().unwrap().contains("suffix"));
-    }
-
-    #[test]
-    fn flags_out_of_range_with_interval_suggestion() {
-        let ds = check("threads = 64\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].message.contains("[1, 16]"), "{}", ds[0]);
-        assert!(ds[0]
-            .suggestion
-            .as_deref()
-            .unwrap()
-            .contains("between 1 and 16"));
-        assert_eq!(ds[0].line, Some(1));
-    }
-
-    #[test]
-    fn flags_case_mismatch_on_sensitive_enums() {
-        let ds = check("log_level = INFO\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].message.contains("letter case"), "{}", ds[0]);
-        assert_eq!(
-            ds[0].suggestion.as_deref(),
-            Some("write it exactly as \"info\"")
-        );
-    }
-
-    #[test]
-    fn flags_unknown_word_with_accepted_set() {
-        let ds = check("log_level = verbose\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].suggestion.as_deref().unwrap().contains("info"));
-    }
-
-    #[test]
-    fn port_checks_are_syntactic_without_env() {
-        assert_eq!(check("listen_port = 70000\n").len(), 1);
-        assert_eq!(check("listen_port = 0\n").len(), 1);
-        assert!(
-            check("listen_port = 80\n").is_empty(),
-            "occupancy needs an env"
-        );
-    }
-
-    #[test]
-    fn port_occupancy_with_env() {
-        let db = db();
-        let mut env = StaticEnv::new();
-        env.occupy_port(80);
-        let ds = Checker::new(&db)
-            .with_env(&env)
-            .check_text("listen_port = 80\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].message.contains("already in use"));
-    }
-
-    #[test]
-    fn time_checks_flag_negative_absurd_and_suffixed() {
-        assert!(check("nap_s = 30\n").is_empty());
-        assert_eq!(check("nap_s = -5\n").len(), 1);
-        assert_eq!(check("nap_s = 999999999\n").len(), 1);
-        let ds = check("nap_s = 10ms\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].message.contains("suffix"));
-    }
-
-    #[test]
-    fn sub_second_units_have_their_own_absurdity_bar() {
-        // 999999999 ms is "only" 11.5 days — under a one-year bar it
-        // dodges detection, but nobody means a nine-digit millisecond
-        // count: the per-unit bar (a week of ms) must flag it.
-        let ds = check("poll_ms = 999999999\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].message.contains("over a week"), "{}", ds[0]);
-        // Plausible sub-second values stay clean.
-        assert!(check("poll_ms = 250\n").is_empty());
-        assert!(check("poll_ms = 86400000\n").is_empty(), "a day of ms");
-        // Microseconds clear an even lower bar: an hour.
-        let ds = check("spin_us = 10000000000\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].message.contains("over an hour"), "{}", ds[0]);
-        assert!(check("spin_us = 500000\n").is_empty());
-        // Coarse units keep the original year bar.
-        assert!(check("nap_s = 86400\n").is_empty());
-    }
-
-    #[test]
-    fn control_dep_warns_only_when_controller_disables() {
-        assert!(check("commit_siblings = 5\nfsync = on\n").is_empty());
-        assert!(
-            check("commit_siblings = 5\n").is_empty(),
-            "controller unset"
-        );
-        let ds = check("commit_siblings = 5\nfsync = off\n");
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].severity, Severity::Warning);
-        assert!(ds[0].message.contains("silently ignored"));
-    }
-
-    #[test]
-    fn value_rel_flags_violating_pairs() {
-        assert!(check("min_len = 4\nmax_len = 84\n").is_empty());
-        let ds = check("min_len = 90\nmax_len = 84\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0].message.contains("must satisfy"));
-    }
-
-    #[test]
-    fn unknown_key_gets_edit_distance_suggestion() {
-        let ds = check("thread = 8\n");
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].category, "unknown-key");
-        assert_eq!(
-            ds[0].suggestion.as_deref(),
-            Some("did you mean \"threads\"?")
-        );
-    }
-
-    #[test]
-    fn unknown_key_detects_wrong_case() {
-        let ds = check("Threads = 8\n");
-        assert_eq!(ds.len(), 1);
-        assert!(ds[0]
-            .suggestion
-            .as_deref()
-            .unwrap()
-            .contains("case-sensitive"));
-    }
-
-    #[test]
-    fn duplicate_keys_are_each_checked() {
-        let ds = check("threads = 8\nthreads = 99\n");
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].line, Some(2));
-    }
-
-    #[test]
-    fn levenshtein_basics() {
-        assert_eq!(levenshtein("kitten", "sitting", 10), 3);
-        assert_eq!(levenshtein("abc", "abc", 10), 0);
-        assert_eq!(levenshtein("abc", "zzzzzz", 2), 2, "capped");
-    }
-
-    #[test]
-    fn unit_suffix_splitting() {
-        assert_eq!(split_unit_suffix("512MB"), Some((512, "MB")));
-        assert_eq!(split_unit_suffix("9G"), Some((9, "G")));
-        assert_eq!(split_unit_suffix("10ms"), Some((10, "ms")));
-        assert_eq!(split_unit_suffix("42"), None);
-        assert_eq!(split_unit_suffix("hello"), None);
-        assert_eq!(split_unit_suffix("12half"), None);
+    fn checker_alias_keeps_working() {
+        let mut db = ConstraintDb::new("Compat", Dialect::KeyValue);
+        db.note_param("threads");
+        let checker = Checker::new(&db);
+        assert!(checker.check_text("threads = 8\n").is_empty());
+        assert_eq!(checker.check_text("treads = 8\n").len(), 1);
     }
 }

@@ -31,6 +31,8 @@ use spex_core::constraint::{
 use spex_lang::diag::Span;
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Magic line of the legacy `v1` format (still loadable).
 const MAGIC_V1: &str = "spex-constraint-db v1";
@@ -75,7 +77,7 @@ impl ParamEntry {
 }
 
 /// The per-system constraint database.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct ConstraintDb {
     /// The subject system's name.
     pub system: String,
@@ -83,6 +85,33 @@ pub struct ConstraintDb {
     pub dialect: Dialect,
     /// Per-parameter entries, in first-seen order.
     pub params: Vec<ParamEntry>,
+    /// How many times this database lineage has been cloned (shared by
+    /// every clone; see [`ConstraintDb::clone_count`]).
+    clones: Arc<AtomicUsize>,
+}
+
+/// Cloning a database is an O(db) copy of every constraint — exactly the
+/// cost the borrowed [`CheckSession`](crate::CheckSession) exists to
+/// avoid — so each clone ticks a lineage-shared counter that regression
+/// tests and benchmarks assert against.
+impl Clone for ConstraintDb {
+    fn clone(&self) -> ConstraintDb {
+        self.clones.fetch_add(1, Ordering::Relaxed);
+        ConstraintDb {
+            system: self.system.clone(),
+            dialect: self.dialect,
+            params: self.params.clone(),
+            clones: Arc::clone(&self.clones),
+        }
+    }
+}
+
+/// Equality is over content (system, dialect, entries in order); the
+/// clone counter is instrumentation, not state.
+impl PartialEq for ConstraintDb {
+    fn eq(&self, other: &ConstraintDb) -> bool {
+        self.system == other.system && self.dialect == other.dialect && self.params == other.params
+    }
 }
 
 /// A malformed database file.
@@ -109,7 +138,16 @@ impl ConstraintDb {
             system: system.into(),
             dialect,
             params: Vec::new(),
+            clones: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// How many times this database — or any database in its clone
+    /// lineage — has been cloned. Each clone copies every constraint
+    /// (O(db)), so hot paths are expected to keep this flat; the
+    /// workspace regression tests assert exactly that.
+    pub fn clone_count(&self) -> usize {
+        self.clones.load(Ordering::Relaxed)
     }
 
     /// Builds a database from a finished analysis. Every analyzed
@@ -265,17 +303,33 @@ impl ConstraintDb {
         }
     }
 
-    /// Serializes the database to the current (`v2`) text format.
+    /// Serializes the database to the current (`v2`) text format, in
+    /// **canonical order**: parameters sorted by name, each parameter's
+    /// constraints sorted by serialized kind, origin and provenance.
+    ///
+    /// Canonical ordering makes the byte-equality guarantee hold across
+    /// build histories: an incrementally maintained multi-module
+    /// workspace appends re-inferred constraints at the end of an entry,
+    /// so its in-memory order can differ from a from-scratch analysis of
+    /// the same sources — but both serialize to the same bytes, which is
+    /// what fleet config-distribution and content-addressed caching key
+    /// on. Loading preserves file order, so `load(save(db))` yields a
+    /// canonically ordered database (see
+    /// [`canonicalize`](ConstraintDb::canonicalize)).
     pub fn save_to_string(&self) -> String {
         let mut out = String::new();
         out.push_str(MAGIC_V2);
         out.push('\n');
         out.push_str(&format!("system {}\n", esc(&self.system)));
         out.push_str(&format!("dialect {}\n", dialect_tag(self.dialect)));
-        for p in &self.params {
+        let mut order: Vec<usize> = (0..self.params.len()).collect();
+        order.sort_by(|&a, &b| self.params[a].name.cmp(&self.params[b].name));
+        for pi in order {
+            let p = &self.params[pi];
             out.push_str(&format!("param {}\n", esc(&p.name)));
-            for (i, c) in p.constraints.iter().enumerate() {
-                let module = p.provenance.get(i).map(String::as_str).unwrap_or("");
+            let mut rows: Vec<(&Constraint, &str)> = p.with_provenance().collect();
+            rows.sort_by_cached_key(|(c, m)| canonical_key(c, m));
+            for (c, module) in rows {
                 out.push_str(&format!(
                     "c {} | {} {} {} | {}\n",
                     kind_to_tokens(&c.kind),
@@ -287,6 +341,28 @@ impl ConstraintDb {
             }
         }
         out
+    }
+
+    /// Reorders the database in place into the canonical order
+    /// [`save_to_string`](ConstraintDb::save_to_string) serializes:
+    /// parameters by name, constraints by (kind, origin, provenance).
+    /// After this, the in-memory database equals what `load(save(self))`
+    /// returns.
+    pub fn canonicalize(&mut self) {
+        self.params.sort_by(|a, b| a.name.cmp(&b.name));
+        for p in &mut self.params {
+            p.sync_provenance();
+            let mut rows: Vec<(Constraint, String)> = p
+                .constraints
+                .drain(..)
+                .zip(p.provenance.drain(..))
+                .collect();
+            rows.sort_by_cached_key(|(c, m)| canonical_key(c, m));
+            for (c, m) in rows {
+                p.constraints.push(c);
+                p.provenance.push(m);
+            }
+        }
     }
 
     /// Parses the text format back into a database. Both `v1` and `v2`
@@ -661,6 +737,20 @@ pub struct MergeReport {
     pub deduped: usize,
     /// Same-class conflicts and how each was resolved.
     pub conflicts: Vec<MergeConflict>,
+}
+
+/// The canonical sort key of one constraint row: the serialized kind
+/// first (total, content-derived order), then origin and provenance as
+/// tie-breakers. Derived from the exact tokens [`ConstraintDb::save_to_string`]
+/// writes, so sorting by it and sorting the output lines agree.
+fn canonical_key(c: &Constraint, module: &str) -> (String, String, u32, u32, String) {
+    (
+        kind_to_tokens(&c.kind),
+        c.in_function.clone(),
+        c.span.line,
+        c.span.col,
+        module.to_string(),
+    )
 }
 
 // -- Token helpers ------------------------------------------------------
@@ -1134,9 +1224,43 @@ mod tests {
         let db = sample_db();
         let text = db.save_to_string();
         let back = ConstraintDb::load_from_str(&text).unwrap();
-        assert_eq!(db, back);
+        // Loading yields the canonical order `save` writes.
+        let mut want = db.clone();
+        want.canonicalize();
+        assert_eq!(want, back);
         // And the re-serialization is byte-identical.
         assert_eq!(text, back.save_to_string());
+    }
+
+    #[test]
+    fn save_order_is_canonical_regardless_of_insertion_history() {
+        // Two databases with the same content, built in different orders
+        // (the incremental-vs-from-scratch situation), must serialize to
+        // identical bytes.
+        let forward = sample_db();
+        let mut reversed = ConstraintDb::new("Test", Dialect::KeyValue);
+        let mut rows: Vec<(Constraint, String)> = Vec::new();
+        for p in &forward.params {
+            for (c, m) in p.with_provenance() {
+                rows.push((c.clone(), m.to_string()));
+            }
+        }
+        for (c, m) in rows.into_iter().rev() {
+            reversed.add_from(c, &m);
+        }
+        reversed.note_param("unconstrained_key");
+        assert_ne!(
+            forward.params.iter().map(|p| &p.name).collect::<Vec<_>>(),
+            reversed.params.iter().map(|p| &p.name).collect::<Vec<_>>(),
+            "the histories really differ in memory"
+        );
+        assert_eq!(forward.save_to_string(), reversed.save_to_string());
+        // `canonicalize` brings the in-memory form to the saved order.
+        let mut canon_fwd = forward.clone();
+        let mut canon_rev = reversed.clone();
+        canon_fwd.canonicalize();
+        canon_rev.canonicalize();
+        assert_eq!(canon_fwd, canon_rev);
     }
 
     #[test]
@@ -1216,7 +1340,8 @@ mod tests {
 
     #[test]
     fn v1_database_loads_and_migrates_losslessly() {
-        let db = sample_db();
+        let mut db = sample_db();
+        db.canonicalize();
         let v1_text = save_as_v1(&db);
         assert_eq!(ConstraintDb::detect_version(&v1_text), Some(1));
         let migrated = ConstraintDb::load_from_str(&v1_text).unwrap();
@@ -1572,7 +1697,8 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let db = sample_db();
+        let mut db = sample_db();
+        db.canonicalize();
         let dir = std::env::temp_dir().join("spex_check_db_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("test.spexdb");
@@ -1580,6 +1706,20 @@ mod tests {
         let back = ConstraintDb::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(db, back);
+    }
+
+    #[test]
+    fn clone_counter_ticks_per_lineage() {
+        let db = sample_db();
+        assert_eq!(db.clone_count(), 0);
+        let copy = db.clone();
+        assert_eq!(db.clone_count(), 1, "the original sees the clone");
+        let _again = copy.clone();
+        assert_eq!(db.clone_count(), 2, "lineage-wide, not per-instance");
+        let other = sample_db();
+        assert_eq!(other.clone_count(), 0, "fresh lineages start at zero");
+        // Equality ignores the instrumentation.
+        assert_eq!(db, copy);
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! (§3.1): each one pinpoints the faulty parameter by name, value and
 //! config-file line, says which inferred constraint is violated and where
 //! the constraint's evidence lives in the source, and — where possible —
-//! suggests a fix.
+//! suggests a fix. On top of that bar, every diagnostic carries a stable
+//! [`DiagCode`] (`SPEX-Rxxx`) so machine consumers never parse prose, and
+//! a machine-applicable [`Fix`] where one is computable.
 
+use spex_conf::ConfFile;
+use spex_core::constraint::DiagCode;
 use spex_lang::diag::Span;
 use std::fmt;
 
@@ -28,9 +32,96 @@ impl fmt::Display for Severity {
     }
 }
 
+/// Where the violated constraint's evidence lives: the workspace module
+/// (v2 database provenance), the function, and the source span.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Origin {
+    /// The workspace module the constraint was inferred from (empty for
+    /// hand-built or migrated-`v1` constraints).
+    pub module: String,
+    /// The function holding the evidence (empty when not applicable).
+    pub function: String,
+    /// The evidence's source location.
+    pub span: Span,
+}
+
+impl Origin {
+    /// Whether the origin carries any information worth rendering.
+    pub fn is_known(&self) -> bool {
+        !self.module.is_empty() || !self.function.is_empty() || self.span.line != 0
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint inferred")?;
+        if !self.function.is_empty() {
+            write!(f, " in {}", self.function)?;
+        }
+        if self.span.line != 0 {
+            write!(f, " at {}:{}", self.span.line, self.span.col)?;
+        }
+        if !self.module.is_empty() {
+            write!(f, ", from {}", self.module)?;
+        }
+        Ok(())
+    }
+}
+
+/// A machine-applicable repair for one finding.
+///
+/// A `Fix` is data, not prose: callers can [`apply`](Fix::apply) it to the
+/// parsed config file and re-check, or render it in a UI as a one-click
+/// action. The checker only attaches a `Fix` when the repaired file is
+/// expected to clear the violated constraint (clamp to the valid range,
+/// nearest accepted enum variant, rename a misspelled key); advisory prose
+/// stays in [`Diagnostic::suggestion`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fix {
+    /// Replace the value of `param` with `value`.
+    ReplaceValue {
+        /// The parameter to rewrite.
+        param: String,
+        /// The replacement value.
+        value: String,
+    },
+    /// Rename the key `from` to `to`, keeping the value.
+    RenameKey {
+        /// The misspelled key as written.
+        from: String,
+        /// The intended key.
+        to: String,
+    },
+}
+
+impl Fix {
+    /// Applies the fix to a parsed config file. Returns whether anything
+    /// changed.
+    pub fn apply(&self, conf: &mut ConfFile) -> bool {
+        match self {
+            Fix::ReplaceValue { param, value } => conf.set(param, value),
+            Fix::RenameKey { from, to } => conf.rename(from, to) > 0,
+        }
+    }
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fix::ReplaceValue { param, value } => {
+                write!(f, "set \"{param}\" = \"{value}\"")
+            }
+            Fix::RenameKey { from, to } => write!(f, "rename \"{from}\" to \"{to}\""),
+        }
+    }
+}
+
 /// One checker finding.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
+    /// The stable diagnostic code (see [`DiagCode`] for the namespace
+    /// stability guarantees).
+    pub code: DiagCode,
     /// Severity of the finding.
     pub severity: Severity,
     /// The offending parameter.
@@ -41,35 +132,41 @@ pub struct Diagnostic {
     pub line: Option<usize>,
     /// What is wrong.
     pub message: String,
-    /// A suggested fix, when one is computable.
+    /// A suggested fix in prose, when one is computable.
     pub suggestion: Option<String>,
-    /// Violated-constraint category (Table 11 vocabulary), or
-    /// `"unknown-key"` for unrecognised parameters.
-    pub category: &'static str,
-    /// Where the violated constraint's evidence lives in the subject
-    /// system's source (function name and span), when applicable.
-    pub origin: Option<(String, Span)>,
+    /// A machine-applicable repair, when one is computable.
+    pub fix: Option<Fix>,
+    /// Where the violated constraint's evidence lives, when applicable.
+    pub origin: Option<Origin>,
 }
 
 impl Diagnostic {
-    /// A new diagnostic with no line, suggestion or provenance attached.
+    /// A new diagnostic with no line, suggestion, fix or provenance
+    /// attached.
     pub fn new(
         severity: Severity,
         param: &str,
         value: &str,
         message: impl Into<String>,
-        category: &'static str,
+        code: DiagCode,
     ) -> Diagnostic {
         Diagnostic {
+            code,
             severity,
             param: param.to_string(),
             value: value.to_string(),
             line: None,
             message: message.into(),
             suggestion: None,
-            category,
+            fix: None,
             origin: None,
         }
+    }
+
+    /// Violated-constraint category (Table 11 vocabulary), or
+    /// `"unknown-key"` for unrecognised parameters.
+    pub fn category(&self) -> &'static str {
+        self.code.category()
     }
 
     /// Attaches the config-file line.
@@ -78,16 +175,28 @@ impl Diagnostic {
         self
     }
 
-    /// Attaches a suggested fix.
+    /// Attaches a suggested fix in prose.
     pub fn suggest(mut self, s: impl Into<String>) -> Diagnostic {
         self.suggestion = Some(s.into());
         self
     }
 
-    /// Attaches constraint provenance.
-    pub fn from_origin(mut self, function: &str, span: Span) -> Diagnostic {
-        if !function.is_empty() || span.line != 0 {
-            self.origin = Some((function.to_string(), span));
+    /// Attaches a machine-applicable repair.
+    pub fn with_fix(mut self, fix: Fix) -> Diagnostic {
+        self.fix = Some(fix);
+        self
+    }
+
+    /// Attaches constraint provenance (module, function, span). An origin
+    /// with no information at all is dropped.
+    pub fn from_origin(mut self, module: &str, function: &str, span: Span) -> Diagnostic {
+        let origin = Origin {
+            module: module.to_string(),
+            function: function.to_string(),
+            span,
+        };
+        if origin.is_known() {
+            self.origin = Some(origin);
         }
         self
     }
@@ -95,7 +204,7 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: ", self.severity)?;
+        write!(f, "{}[{}]: ", self.severity, self.code)?;
         if let Some(line) = self.line {
             write!(f, "line {line}: ")?;
         }
@@ -104,15 +213,8 @@ impl fmt::Display for Diagnostic {
             "\"{}\" = \"{}\": {}",
             self.param, self.value, self.message
         )?;
-        if let Some((func, span)) = &self.origin {
-            write!(f, " [constraint inferred")?;
-            if !func.is_empty() {
-                write!(f, " in {func}")?;
-            }
-            if span.line != 0 {
-                write!(f, " at {}:{}", span.line, span.col)?;
-            }
-            write!(f, "]")?;
+        if let Some(origin) = &self.origin {
+            write!(f, " [{origin}]")?;
         }
         if let Some(s) = &self.suggestion {
             write!(f, "; {s}")?;
@@ -124,28 +226,65 @@ impl fmt::Display for Diagnostic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spex_conf::Dialect;
 
     #[test]
-    fn renders_in_the_paper_report_style() {
+    fn renders_in_the_paper_report_style_with_code() {
         let d = Diagnostic::new(
             Severity::Error,
             "listener-threads",
             "9999",
             "out of valid range [1, 16]",
-            "data-range",
+            DiagCode::Range,
         )
         .at_line(12)
         .suggest("use a value between 1 and 16")
-        .from_origin("startup", Span::new(40, 9));
+        .from_origin("main.c", "startup", Span::new(40, 9));
         let s = d.to_string();
-        assert!(s.contains("error: line 12"));
+        assert!(s.contains("error[SPEX-R003]: line 12"), "{s}");
         assert!(s.contains("\"listener-threads\" = \"9999\""));
-        assert!(s.contains("inferred in startup at 40:9"));
+        assert!(
+            s.contains("inferred in startup at 40:9, from main.c"),
+            "{s}"
+        );
         assert!(s.contains("use a value between 1 and 16"));
+        assert_eq!(d.category(), "data-range");
     }
 
     #[test]
     fn severity_orders_warning_below_error() {
         assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn origin_without_information_is_dropped() {
+        let d = Diagnostic::new(Severity::Error, "p", "v", "m", DiagCode::BasicType).from_origin(
+            "",
+            "",
+            Span::unknown(),
+        );
+        assert!(d.origin.is_none());
+    }
+
+    #[test]
+    fn fixes_apply_to_parsed_configs() {
+        let mut conf = ConfFile::parse("threads = 9999\nthread_min = 1\n", Dialect::KeyValue);
+        assert!(Fix::ReplaceValue {
+            param: "threads".into(),
+            value: "16".into(),
+        }
+        .apply(&mut conf));
+        assert_eq!(conf.get("threads"), Some("16"));
+        assert!(Fix::RenameKey {
+            from: "thread_min".into(),
+            to: "threads_min".into(),
+        }
+        .apply(&mut conf));
+        assert_eq!(conf.get("threads_min"), Some("1"));
+        assert!(!Fix::RenameKey {
+            from: "no_such".into(),
+            to: "x".into(),
+        }
+        .apply(&mut conf));
     }
 }

@@ -1,26 +1,143 @@
-//! A filesystem-backed [`Environment`]: inspect the real deployment host.
+//! Environment models: what the checker may ask about the deployment
+//! host.
 //!
 //! Without an environment model the checker silently skips semantic
 //! existence checks (missing files, unknown users, occupied ports) — the
 //! very class of misconfiguration the paper found hardest for users to
-//! debug. [`FsEnv`] answers those questions from the actual host the
-//! checker runs on, opt-in via [`Checker::with_env`](crate::Checker):
+//! debug. Two models ship in-tree, both opt-in via
+//! [`CheckSession::with_env`](crate::CheckSession::with_env):
 //!
-//! * file/directory existence from the filesystem;
-//! * users and groups from the account databases (`/etc/passwd`,
-//!   `/etc/group`);
-//! * host resolution from the hosts file plus the literal cases that never
-//!   need DNS (no network traffic is ever generated);
-//! * port occupancy from the kernel's socket tables (`/proc/net/tcp*`,
-//!   Linux only; other platforms conservatively report ports free).
+//! * [`StaticEnv`] — a declarative model (tests, hermetic CI, "what the
+//!   target host will look like");
+//! * [`FsEnv`] — the real host: file/directory existence from the
+//!   filesystem, users and groups from the account databases
+//!   (`/etc/passwd`, `/etc/group`), host resolution from the hosts file
+//!   plus the literal cases that never need DNS (no network traffic is
+//!   ever generated), and port occupancy from the kernel's socket tables
+//!   (`/proc/net/tcp*`, Linux only; other platforms conservatively report
+//!   ports free).
 //!
 //! The database file locations are overridable, which keeps the
 //! implementation honest and testable without root.
 
-use crate::checker::Environment;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
+
+/// What the checker may ask about the deployment environment. Everything
+/// defaults to "plausible", so a checker without an environment still
+/// performs all syntactic and numeric checks.
+pub trait Environment {
+    /// Whether `path` names an existing regular file.
+    fn file_exists(&self, _path: &str) -> bool {
+        true
+    }
+    /// Whether `path` names an existing directory.
+    fn dir_exists(&self, _path: &str) -> bool {
+        true
+    }
+    /// Whether `name` is a known user.
+    fn user_exists(&self, _name: &str) -> bool {
+        true
+    }
+    /// Whether `name` is a known group.
+    fn group_exists(&self, _name: &str) -> bool {
+        true
+    }
+    /// Whether `host` resolves.
+    fn host_resolves(&self, _host: &str) -> bool {
+        true
+    }
+    /// Whether another process already owns `port`.
+    fn port_in_use(&self, _port: u16) -> bool {
+        false
+    }
+}
+
+/// A declarative environment model (mirrors `spex_vm::World` without
+/// depending on the interpreter).
+#[derive(Debug, Clone, Default)]
+pub struct StaticEnv {
+    files: BTreeSet<String>,
+    dirs: BTreeSet<String>,
+    users: BTreeSet<String>,
+    groups: BTreeSet<String>,
+    hosts: BTreeSet<String>,
+    used_ports: BTreeSet<u16>,
+}
+
+impl StaticEnv {
+    /// An empty environment (nothing exists, no port taken).
+    pub fn new() -> StaticEnv {
+        StaticEnv::default()
+    }
+
+    /// Registers a regular file (and its parent directories).
+    pub fn add_file(&mut self, path: &str) -> &mut Self {
+        self.files.insert(path.to_string());
+        let mut p = path;
+        while let Some(i) = p.rfind('/') {
+            if i == 0 {
+                self.dirs.insert("/".to_string());
+                break;
+            }
+            p = &p[..i];
+            self.dirs.insert(p.to_string());
+        }
+        self
+    }
+
+    /// Registers a directory.
+    pub fn add_dir(&mut self, path: &str) -> &mut Self {
+        self.dirs.insert(path.to_string());
+        self
+    }
+
+    /// Registers a user.
+    pub fn add_user(&mut self, name: &str) -> &mut Self {
+        self.users.insert(name.to_string());
+        self
+    }
+
+    /// Registers a group.
+    pub fn add_group(&mut self, name: &str) -> &mut Self {
+        self.groups.insert(name.to_string());
+        self
+    }
+
+    /// Registers a resolvable host.
+    pub fn add_host(&mut self, name: &str) -> &mut Self {
+        self.hosts.insert(name.to_string());
+        self
+    }
+
+    /// Marks a port as occupied by another process.
+    pub fn occupy_port(&mut self, port: u16) -> &mut Self {
+        self.used_ports.insert(port);
+        self
+    }
+}
+
+impl Environment for StaticEnv {
+    fn file_exists(&self, path: &str) -> bool {
+        self.files.contains(path)
+    }
+    fn dir_exists(&self, path: &str) -> bool {
+        self.dirs.contains(path)
+    }
+    fn user_exists(&self, name: &str) -> bool {
+        self.users.contains(name)
+    }
+    fn group_exists(&self, name: &str) -> bool {
+        self.groups.contains(name)
+    }
+    fn host_resolves(&self, host: &str) -> bool {
+        self.hosts.contains(host)
+    }
+    fn port_in_use(&self, port: u16) -> bool {
+        self.used_ports.contains(&port)
+    }
+}
 
 /// An [`Environment`] that inspects the real host.
 ///

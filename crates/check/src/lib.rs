@@ -10,25 +10,33 @@
 //!
 //! The pipeline is **infer → persist → check**:
 //!
-//! 1. [`ConstraintDb`] — run `Spex::analyze` once per system, persist the
-//!    inferred constraints in a compact text format, and never pay for
-//!    inference again;
-//! 2. [`Checker`] — validate one parsed [`spex_conf::ConfFile`] against a
-//!    database: basic- and semantic-type conformance (unit-aware for time
-//!    and size values), numeric- and enumerative-range membership,
-//!    control-dependency activation, cross-parameter value relationships,
-//!    and unknown-key detection with "did you mean" suggestions;
-//! 3. [`Diagnostic`] — findings that meet the paper's pinpointing bar:
-//!    parameter, value, config line, violated constraint, source-code
-//!    provenance, suggested fix;
-//! 4. [`BatchEngine`] — fleet-scale validation of many files across many
-//!    systems on all cores, with deterministic output order and aggregate
-//!    statistics.
+//! 1. [`ConstraintDb`] — run inference once per system, persist the
+//!    constraints in a compact, canonically ordered text format, and
+//!    never pay for inference again;
+//! 2. [`CheckSession`] — the *borrowed* validation engine: constructed
+//!    over `&ConstraintDb` with zero copies, it validates parsed
+//!    [`spex_conf::ConfFile`]s (basic- and semantic-type conformance,
+//!    unit-aware values, numeric/enumerative ranges, control
+//!    dependencies, value relationships, unknown-key detection) for one
+//!    file, many in-memory texts, or streamed directory trees;
+//! 3. [`Diagnostic`] — structured findings bearing a stable [`DiagCode`]
+//!    (`SPEX-Rxxx`), severity, config line, the violated constraint's
+//!    provenance (module + function + span) and, where computable, a
+//!    machine-applicable [`Fix`];
+//! 4. [`Report`] — per-file results plus statistics, rendered through any
+//!    [`Renderer`] ([`HumanRenderer`], [`JsonLinesRenderer`],
+//!    [`SarifRenderer`]) and mapped to stable exit codes.
+//!
+//! [`Workspace`] ties it together as a long-lived session: incremental
+//! re-inference on edit, a cached `CheckSession` invalidated only when
+//! the database changes, and database merging for sharded analysis.
+//! (The pre-0.3 [`BatchEngine`]/`Checker` front-ends remain as thin
+//! deprecated wrappers; see the README's migration notes.)
 //!
 //! # Examples
 //!
 //! ```
-//! use spex_check::{Checker, ConstraintDb};
+//! use spex_check::{CheckSession, ConstraintDb};
 //! use spex_conf::Dialect;
 //! use spex_core::constraint::{
 //!     Constraint, ConstraintKind, NumericRange, RangeSegment,
@@ -51,9 +59,10 @@
 //! });
 //! let db = ConstraintDb::load_from_str(&db.save_to_string()).unwrap();
 //!
-//! // Checked on every deployment.
-//! let diags = Checker::new(&db).check_text("listener-threads = 9999\n");
+//! // Checked on every deployment: the session borrows the database.
+//! let diags = CheckSession::new(&db).check_text("listener-threads = 9999\n");
 //! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].code.as_str(), "SPEX-R003");
 //! assert!(diags[0].to_string().contains("[1, 16]"));
 //! ```
 
@@ -62,11 +71,22 @@ pub mod checker;
 pub mod db;
 pub mod diag;
 pub mod env;
+pub mod json;
+mod pool;
+pub mod report;
+pub mod session;
 pub mod workspace;
 
-pub use batch::{BatchEngine, BatchJob, BatchStats, FileReport};
-pub use checker::{Checker, Environment, StaticEnv};
+#[allow(deprecated)]
+pub use batch::{BatchEngine, BatchJob};
+#[allow(deprecated)]
+pub use checker::Checker;
 pub use db::{ConstraintDb, DbError, MergeConflict, MergeError, MergeReport, ParamEntry};
-pub use diag::{Diagnostic, Severity};
-pub use env::FsEnv;
+pub use diag::{Diagnostic, Fix, Origin, Severity};
+pub use env::{Environment, FsEnv, StaticEnv};
+pub use report::{
+    BatchStats, FileReport, HumanRenderer, JsonLinesRenderer, Renderer, Report, SarifRenderer,
+};
+pub use session::CheckSession;
+pub use spex_core::constraint::DiagCode;
 pub use workspace::{ReanalyzeReport, Workspace, WorkspaceError};

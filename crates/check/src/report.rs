@@ -1,0 +1,689 @@
+//! The structured report model and its pluggable renderers.
+//!
+//! Every result leaves the checking layer as a [`Report`]: per-file
+//! [`FileReport`]s plus aggregate [`BatchStats`]. A report renders through
+//! any [`Renderer`] — human terminal text, JSON Lines for log pipelines,
+//! or a SARIF-style document for code-scanning UIs — and maps to a stable
+//! process [`exit code`](Report::exit_code) for CI gates.
+//!
+//! # Stability guarantees
+//!
+//! The machine formats are part of the public contract:
+//!
+//! * every finding object carries a `code` field holding a stable
+//!   [`DiagCode`] string (`SPEX-Rxxx`, never
+//!   renumbered) that parses back via `DiagCode::parse`;
+//! * JSON Lines objects are flat-keyed and tagged with a `type` field
+//!   (`"finding"`, `"file-error"`, `"summary"`); keys are only ever
+//!   *added*, never removed or re-typed;
+//! * exit codes are `0` clean, `1` errors (or unvalidated files),
+//!   `2` warnings only.
+//!
+//! # Example
+//!
+//! ```
+//! use spex_check::{CheckSession, ConstraintDb, JsonLinesRenderer, Renderer, Report};
+//! use spex_conf::Dialect;
+//! use spex_core::constraint::{Constraint, ConstraintKind, NumericRange, RangeSegment};
+//!
+//! let mut db = ConstraintDb::new("demo", Dialect::KeyValue);
+//! db.add(Constraint {
+//!     param: "threads".into(),
+//!     kind: ConstraintKind::Range(NumericRange {
+//!         cutpoints: vec![1, 16],
+//!         segments: vec![
+//!             RangeSegment { lo: None, hi: Some(0), valid: false },
+//!             RangeSegment { lo: Some(1), hi: Some(16), valid: true },
+//!             RangeSegment { lo: Some(17), hi: None, valid: false },
+//!         ],
+//!     }),
+//!     in_function: "startup".into(),
+//!     span: spex_lang::diag::Span::new(40, 9),
+//! });
+//! let session = CheckSession::new(&db);
+//! let report = Report::single(session.check_file("prod.conf", "threads = 99\n"));
+//! assert_eq!(report.exit_code(), 1);
+//! let jsonl = JsonLinesRenderer.render(&report);
+//! assert!(jsonl.contains("\"code\":\"SPEX-R003\""));
+//! ```
+
+use crate::diag::{Diagnostic, Fix, Severity};
+use crate::json::{quote, Json};
+use spex_core::constraint::DiagCode;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Validation result for one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileReport {
+    /// The file's system.
+    pub system: String,
+    /// A label for the file (path, host name, tenant id, ...).
+    pub file: String,
+    /// Diagnostics in file order; empty means the file is clean.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Set when the job named a system the engine has no database for.
+    pub unknown_system: bool,
+    /// Set when a streaming run could not read the file (the job is
+    /// counted, not dropped, so report order still mirrors the walk).
+    pub read_error: Option<String>,
+}
+
+impl FileReport {
+    /// A report holding plain findings (validated file, no I/O trouble).
+    pub fn new(
+        system: impl Into<String>,
+        file: impl Into<String>,
+        diagnostics: Vec<Diagnostic>,
+    ) -> FileReport {
+        FileReport {
+            system: system.into(),
+            file: file.into(),
+            diagnostics,
+            unknown_system: false,
+            read_error: None,
+        }
+    }
+
+    /// Whether the file passed with no findings at all.
+    pub fn is_clean(&self) -> bool {
+        !self.unknown_system && self.read_error.is_none() && self.diagnostics.is_empty()
+    }
+
+    /// Whether the file must block a deployment: any error-severity
+    /// finding, or a file that was never actually validated (unreadable,
+    /// or no database registered for its system).
+    pub fn has_errors(&self) -> bool {
+        self.unknown_system
+            || self.read_error.is_some()
+            || self
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Aggregate statistics over one validation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Total files validated.
+    pub files: usize,
+    /// Files with no findings.
+    pub clean_files: usize,
+    /// Files with at least one finding.
+    pub flagged_files: usize,
+    /// Jobs naming a system without a database.
+    pub unknown_system_files: usize,
+    /// Files a streaming run failed to read.
+    pub unreadable_files: usize,
+    /// Total error-severity diagnostics.
+    pub errors: usize,
+    /// Total warning-severity diagnostics.
+    pub warnings: usize,
+    /// Diagnostics per violated-constraint category.
+    pub by_category: BTreeMap<&'static str, usize>,
+    /// Diagnostics per stable diagnostic code.
+    pub by_code: BTreeMap<&'static str, usize>,
+}
+
+impl BatchStats {
+    /// Tallies per-file reports into aggregate statistics.
+    pub fn tally(reports: &[FileReport]) -> BatchStats {
+        let mut stats = BatchStats {
+            files: reports.len(),
+            ..BatchStats::default()
+        };
+        for r in reports {
+            if r.unknown_system {
+                stats.unknown_system_files += 1;
+                continue;
+            }
+            if r.read_error.is_some() {
+                stats.unreadable_files += 1;
+                continue;
+            }
+            if r.diagnostics.is_empty() {
+                stats.clean_files += 1;
+            } else {
+                stats.flagged_files += 1;
+            }
+            for d in &r.diagnostics {
+                match d.severity {
+                    Severity::Error => stats.errors += 1,
+                    Severity::Warning => stats.warnings += 1,
+                }
+                *stats.by_category.entry(d.category()).or_insert(0) += 1;
+                *stats.by_code.entry(d.code.as_str()).or_insert(0) += 1;
+            }
+        }
+        stats
+    }
+
+    /// Renders a one-screen summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "checked {} file(s): {} clean, {} flagged ({} error(s), {} warning(s))\n",
+            self.files, self.clean_files, self.flagged_files, self.errors, self.warnings,
+        );
+        for (cat, n) in &self.by_category {
+            out.push_str(&format!("  {cat:<14} {n}\n"));
+        }
+        if self.unknown_system_files > 0 {
+            out.push_str(&format!(
+                "  (skipped {} file(s) with no constraint database)\n",
+                self.unknown_system_files
+            ));
+        }
+        if self.unreadable_files > 0 {
+            out.push_str(&format!(
+                "  ({} file(s) could not be read)\n",
+                self.unreadable_files
+            ));
+        }
+        out
+    }
+}
+
+/// The result of one validation run: per-file reports plus aggregate
+/// statistics, renderable through any [`Renderer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Per-file results, in walk/job order.
+    pub files: Vec<FileReport>,
+    /// Aggregate statistics over `files`.
+    pub stats: BatchStats,
+}
+
+impl Report {
+    /// Builds a report from per-file results, tallying the statistics.
+    pub fn from_files(files: Vec<FileReport>) -> Report {
+        let stats = BatchStats::tally(&files);
+        Report { files, stats }
+    }
+
+    /// A report over one file.
+    pub fn single(file: FileReport) -> Report {
+        Report::from_files(vec![file])
+    }
+
+    /// Every finding with its file, in report order.
+    pub fn findings(&self) -> impl Iterator<Item = (&FileReport, &Diagnostic)> {
+        self.files
+            .iter()
+            .flat_map(|f| f.diagnostics.iter().map(move |d| (f, d)))
+    }
+
+    /// Whether every file validated clean.
+    pub fn is_clean(&self) -> bool {
+        self.files.iter().all(FileReport::is_clean)
+    }
+
+    /// Whether any file must block a deployment.
+    pub fn has_errors(&self) -> bool {
+        self.files.iter().any(FileReport::has_errors)
+    }
+
+    /// The stable process exit code for CI gates: `0` when every file is
+    /// clean, `1` when any file [`has_errors`](FileReport::has_errors)
+    /// (error findings, unreadable, or unvalidated), `2` when the only
+    /// findings are warnings.
+    pub fn exit_code(&self) -> i32 {
+        if self.has_errors() {
+            1
+        } else if self.is_clean() {
+            0
+        } else {
+            2
+        }
+    }
+
+    /// Renders through the given renderer (sugar for `r.render(self)`).
+    pub fn render(&self, renderer: &dyn Renderer) -> String {
+        renderer.render(self)
+    }
+}
+
+/// A pluggable report format.
+///
+/// Implementations must preserve diagnostic codes verbatim (they are the
+/// machine contract); everything else — layout, verbosity, which fields
+/// surface — is the renderer's choice.
+pub trait Renderer {
+    /// Renders a full report to a string.
+    fn render(&self, report: &Report) -> String;
+}
+
+/// Human-oriented terminal text: flagged files with their findings in the
+/// paper's pinpointing style, then the summary table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HumanRenderer;
+
+impl Renderer for HumanRenderer {
+    fn render(&self, report: &Report) -> String {
+        let mut out = String::new();
+        for f in &report.files {
+            if f.is_clean() {
+                continue;
+            }
+            out.push_str(&f.file);
+            out.push('\n');
+            if f.unknown_system {
+                let _ = writeln!(
+                    out,
+                    "  error: no constraint database for system \"{}\"",
+                    f.system
+                );
+            }
+            if let Some(e) = &f.read_error {
+                let _ = writeln!(out, "  error: unreadable: {e}");
+            }
+            for d in &f.diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+        out.push_str(&report.stats.render());
+        out
+    }
+}
+
+/// JSON Lines: one flat JSON object per line, tagged `"type":"finding"`,
+/// `"type":"file-error"` or (last line) `"type":"summary"` — the format
+/// log pipelines and `jq` consume without buffering the whole run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonLinesRenderer;
+
+impl JsonLinesRenderer {
+    fn finding_line(out: &mut String, f: &FileReport, d: &Diagnostic) {
+        let _ = write!(
+            out,
+            "{{\"type\":\"finding\",\"code\":{code},\"severity\":{sev},\"category\":{cat},\
+             \"system\":{sys},\"file\":{file},\"param\":{param},\"value\":{value},\"line\":{line},\
+             \"message\":{msg}",
+            code = quote(d.code.as_str()),
+            sev = quote(&d.severity.to_string()),
+            cat = quote(d.category()),
+            sys = quote(&f.system),
+            file = quote(&f.file),
+            param = quote(&d.param),
+            value = quote(&d.value),
+            line = d
+                .line
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "null".into()),
+            msg = quote(&d.message),
+        );
+        match &d.suggestion {
+            Some(s) => {
+                let _ = write!(out, ",\"suggestion\":{}", quote(s));
+            }
+            None => out.push_str(",\"suggestion\":null"),
+        }
+        match &d.fix {
+            Some(Fix::ReplaceValue { param, value }) => {
+                let _ = write!(
+                    out,
+                    ",\"fix\":{{\"kind\":\"replace-value\",\"param\":{},\"value\":{}}}",
+                    quote(param),
+                    quote(value)
+                );
+            }
+            Some(Fix::RenameKey { from, to }) => {
+                let _ = write!(
+                    out,
+                    ",\"fix\":{{\"kind\":\"rename-key\",\"from\":{},\"to\":{}}}",
+                    quote(from),
+                    quote(to)
+                );
+            }
+            None => out.push_str(",\"fix\":null"),
+        }
+        match &d.origin {
+            Some(o) => {
+                let _ = write!(
+                    out,
+                    ",\"origin\":{{\"module\":{},\"function\":{},\"line\":{},\"col\":{}}}",
+                    quote(&o.module),
+                    quote(&o.function),
+                    o.span.line,
+                    o.span.col
+                );
+            }
+            None => out.push_str(",\"origin\":null"),
+        }
+        out.push_str("}\n");
+    }
+
+    /// Structurally validates JSON Lines output this renderer produced:
+    /// every line parses as a tagged object, every finding's `code` parses
+    /// back to a [`DiagCode`], and the trailing summary's counts match the
+    /// finding lines. Returns the validated finding count.
+    ///
+    /// This is the in-tree check CI runs against
+    /// `examples/report_formats.rs` — no schema downloads, no network.
+    pub fn validate(text: &str) -> Result<usize, String> {
+        let mut findings = 0usize;
+        let mut errors = 0usize;
+        let mut warnings = 0usize;
+        let mut file_errors = 0usize;
+        let mut summary: Option<Json> = None;
+        for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+            let lineno = i + 1;
+            if summary.is_some() {
+                return Err(format!("line {lineno}: content after the summary line"));
+            }
+            let obj = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let tag = obj
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {lineno}: missing \"type\" tag"))?;
+            match tag {
+                "finding" => {
+                    findings += 1;
+                    let code = obj
+                        .get("code")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {lineno}: finding without a code"))?;
+                    if DiagCode::parse(code).is_none() {
+                        return Err(format!("line {lineno}: unknown code {code:?}"));
+                    }
+                    match obj.get("severity").and_then(Json::as_str) {
+                        Some("error") => errors += 1,
+                        Some("warning") => warnings += 1,
+                        other => {
+                            return Err(format!("line {lineno}: bad severity {other:?}"));
+                        }
+                    }
+                    for key in ["system", "file", "param", "value", "message", "category"] {
+                        if obj.get(key).and_then(Json::as_str).is_none() {
+                            return Err(format!("line {lineno}: missing string field {key:?}"));
+                        }
+                    }
+                }
+                "file-error" => {
+                    file_errors += 1;
+                    for key in ["system", "file", "error"] {
+                        if obj.get(key).and_then(Json::as_str).is_none() {
+                            return Err(format!("line {lineno}: missing string field {key:?}"));
+                        }
+                    }
+                }
+                "summary" => summary = Some(obj),
+                other => return Err(format!("line {lineno}: unknown type {other:?}")),
+            }
+        }
+        let summary = summary.ok_or_else(|| "missing trailing summary line".to_string())?;
+        let count = |key: &str| {
+            summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("summary missing numeric field {key:?}"))
+        };
+        if count("errors")? != errors || count("warnings")? != warnings {
+            return Err("summary severity counts disagree with the finding lines".to_string());
+        }
+        if count("unknown_system_files")? + count("unreadable_files")? != file_errors {
+            return Err("summary file-error counts disagree with the file-error lines".to_string());
+        }
+        count("files")?;
+        Ok(findings)
+    }
+}
+
+impl Renderer for JsonLinesRenderer {
+    fn render(&self, report: &Report) -> String {
+        let mut out = String::new();
+        for f in &report.files {
+            if f.unknown_system {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"file-error\",\"system\":{},\"file\":{},\"error\":{}}}",
+                    quote(&f.system),
+                    quote(&f.file),
+                    quote("no constraint database for this system"),
+                );
+            }
+            if let Some(e) = &f.read_error {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"file-error\",\"system\":{},\"file\":{},\"error\":{}}}",
+                    quote(&f.system),
+                    quote(&f.file),
+                    quote(e),
+                );
+            }
+            for d in &f.diagnostics {
+                Self::finding_line(&mut out, f, d);
+            }
+        }
+        let s = &report.stats;
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"summary\",\"files\":{},\"clean_files\":{},\"flagged_files\":{},\
+             \"unknown_system_files\":{},\"unreadable_files\":{},\"errors\":{},\"warnings\":{}}}",
+            s.files,
+            s.clean_files,
+            s.flagged_files,
+            s.unknown_system_files,
+            s.unreadable_files,
+            s.errors,
+            s.warnings,
+        );
+        out
+    }
+}
+
+/// A SARIF-style JSON document (one run, rules from the stable code
+/// namespace, one result per finding) for code-scanning UIs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SarifRenderer;
+
+impl Renderer for SarifRenderer {
+    fn render(&self, report: &Report) -> String {
+        let mut out = String::from("{\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+        out.push_str("\"name\":\"spex-check\",\"rules\":[");
+        for (i, code) in DiagCode::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+                quote(code.as_str()),
+                quote(code.summary()),
+            );
+        }
+        out.push_str("]}},\"results\":[");
+        let mut first = true;
+        for (f, d) in report.findings() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = write!(
+                out,
+                "{{\"ruleId\":{rule},\"level\":{level},\"message\":{{\"text\":{msg}}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{uri}}}",
+                rule = quote(d.code.as_str()),
+                level = quote(level),
+                msg = quote(&format!("\"{}\" = \"{}\": {}", d.param, d.value, d.message)),
+                uri = quote(&f.file),
+            );
+            if let Some(line) = d.line {
+                let _ = write!(out, ",\"region\":{{\"startLine\":{line}}}");
+            }
+            let _ = write!(
+                out,
+                "}}}}],\"properties\":{{\"system\":{},\"param\":{},\"value\":{}}}}}",
+                quote(&f.system),
+                quote(&d.param),
+                quote(&d.value),
+            );
+        }
+        out.push_str("],\"invocations\":[{\"executionSuccessful\":true");
+        let troubles: Vec<&FileReport> = report
+            .files
+            .iter()
+            .filter(|f| f.unknown_system || f.read_error.is_some())
+            .collect();
+        if !troubles.is_empty() {
+            out.push_str(",\"toolExecutionNotifications\":[");
+            for (i, f) in troubles.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let why = f
+                    .read_error
+                    .clone()
+                    .unwrap_or_else(|| "no constraint database for this system".to_string());
+                let _ = write!(
+                    out,
+                    "{{\"level\":\"error\",\"message\":{{\"text\":{}}},\
+                     \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                     {{\"uri\":{}}}}}}}]}}",
+                    quote(&why),
+                    quote(&f.file),
+                );
+            }
+            out.push(']');
+        }
+        out.push_str("}]}]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_lang::diag::Span;
+
+    fn sample_report() -> Report {
+        let range = Diagnostic::new(
+            Severity::Error,
+            "threads",
+            "99",
+            "out of the valid range [1, 16]",
+            DiagCode::Range,
+        )
+        .at_line(2)
+        .suggest("use a value between 1 and 16")
+        .with_fix(Fix::ReplaceValue {
+            param: "threads".into(),
+            value: "16".into(),
+        })
+        .from_origin("main.c", "startup", Span::new(40, 9));
+        let unknown = Diagnostic::new(
+            Severity::Warning,
+            "naptime",
+            "5",
+            "takes effect only when \"fsync\" != 0",
+            DiagCode::ControlDep,
+        )
+        .at_line(3);
+        let mut unreadable = FileReport::new("demo", "gone.conf", Vec::new());
+        unreadable.read_error = Some("not a regular file".into());
+        Report::from_files(vec![
+            FileReport::new("demo", "clean.conf", Vec::new()),
+            FileReport::new("demo", "bad \"quoted\".conf", vec![range, unknown]),
+            unreadable,
+        ])
+    }
+
+    #[test]
+    fn exit_codes_partition_clean_warnings_errors() {
+        assert_eq!(Report::from_files(vec![]).exit_code(), 0);
+        assert_eq!(
+            Report::single(FileReport::new("s", "f", Vec::new())).exit_code(),
+            0
+        );
+        assert_eq!(sample_report().exit_code(), 1);
+        let warn_only = Report::single(FileReport::new(
+            "s",
+            "f",
+            vec![Diagnostic::new(
+                Severity::Warning,
+                "p",
+                "v",
+                "m",
+                DiagCode::ControlDep,
+            )],
+        ));
+        assert_eq!(warn_only.exit_code(), 2);
+    }
+
+    #[test]
+    fn human_renderer_shows_findings_and_summary() {
+        let text = HumanRenderer.render(&sample_report());
+        assert!(text.contains("error[SPEX-R003]"), "{text}");
+        assert!(text.contains("checked 3 file(s)"), "{text}");
+        assert!(!text.contains("clean.conf"), "clean files stay quiet");
+        assert!(text.contains("unreadable: not a regular file"), "{text}");
+    }
+
+    #[test]
+    fn json_lines_validates_and_codes_round_trip() {
+        let report = sample_report();
+        let text = JsonLinesRenderer.render(&report);
+        let findings = JsonLinesRenderer::validate(&text).expect("output validates");
+        assert_eq!(findings, 2);
+        // Every finding line's code parses back to the code that made it.
+        let mut seen = Vec::new();
+        for line in text.lines() {
+            let obj = Json::parse(line).unwrap();
+            if obj.get("type").and_then(Json::as_str) == Some("finding") {
+                let code = obj.get("code").and_then(Json::as_str).unwrap();
+                seen.push(DiagCode::parse(code).expect("stable code"));
+            }
+        }
+        assert_eq!(seen, vec![DiagCode::Range, DiagCode::ControlDep]);
+        // The machine fix survives as structured data.
+        assert!(
+            text.contains("\"fix\":{\"kind\":\"replace-value\""),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_lines_validator_rejects_tampering() {
+        let good = JsonLinesRenderer.render(&sample_report());
+        assert!(JsonLinesRenderer::validate(&good.replace("SPEX-R003", "SPEX-R999")).is_err());
+        assert!(JsonLinesRenderer::validate(&good.replace("\"error\"", "\"fatal\"")).is_err());
+        let truncated: String = good.lines().take(1).map(|l| format!("{l}\n")).collect();
+        assert!(
+            JsonLinesRenderer::validate(&truncated).is_err(),
+            "no summary"
+        );
+        assert!(JsonLinesRenderer::validate("not json\n").is_err());
+    }
+
+    #[test]
+    fn sarif_document_parses_with_rules_and_results() {
+        let text = SarifRenderer.render(&sample_report());
+        let doc = Json::parse(&text).expect("SARIF output is valid JSON");
+        let run = &doc.get("runs").and_then(Json::as_array).unwrap()[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(rules.len(), DiagCode::ALL.len());
+        let results = run.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Json::as_str),
+            Some("SPEX-R003")
+        );
+        let notifications = run
+            .get("invocations")
+            .and_then(Json::as_array)
+            .and_then(|i| i[0].get("toolExecutionNotifications"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(notifications.len(), 1, "the unreadable file surfaces");
+    }
+}

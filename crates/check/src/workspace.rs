@@ -15,8 +15,12 @@
 //!   fresh constraints into the owned [`ConstraintDb`] by provenance —
 //!   work is proportional to the change, and the result is identical to a
 //!   full re-analysis;
+//! * [`Workspace::session`] hands out a borrowed [`CheckSession`] over
+//!   the owned database — the parameter index behind it is cached and
+//!   invalidated only when `reanalyze`/`merge_db` actually change the
+//!   database, so checking never copies a constraint;
 //! * [`Workspace::check_paths`] streams whole config trees through the
-//!   batch pool with bounded memory, so the persisted constraints vet
+//!   worker pool with bounded memory, so the persisted constraints vet
 //!   every deployment the moment it is staged.
 //!
 //! # Example
@@ -45,11 +49,11 @@
 //! assert_eq!(ws.reanalyze().params_reinferred, 0);
 //! ```
 
-use crate::batch::{BatchEngine, BatchStats, FileReport};
-use crate::checker::{Checker, Environment, StaticEnv};
-use crate::db::ConstraintDb;
+use crate::db::{ConstraintDb, MergeError, MergeReport};
 use crate::diag::Diagnostic;
-use crate::env::FsEnv;
+use crate::env::{Environment, FsEnv, StaticEnv};
+use crate::report::Report;
+use crate::session::{CheckSession, ParamIndex};
 use spex_conf::{ConfFile, Dialect};
 use spex_core::apispec::ApiSpec;
 use spex_core::fingerprint::{
@@ -61,7 +65,7 @@ use spex_ir::Module;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// What still needs re-inference in one module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -203,6 +207,28 @@ pub struct Workspace {
     /// parsed elsewhere, documentation imports, ...).
     noted: BTreeSet<String>,
     db: ConstraintDb,
+    /// Bumped by every database mutation —
+    /// [`reanalyze`](Workspace::reanalyze),
+    /// [`merge_db`](Workspace::merge_db),
+    /// [`note_params`](Workspace::note_params),
+    /// [`remove_module`](Workspace::remove_module) — so the session
+    /// cache rebuilds when its version falls behind.
+    db_version: u64,
+    /// The cached parameter index checking sessions are built from
+    /// (interior-mutable: `check_*` take `&self`).
+    cache: Mutex<SessionCache>,
+}
+
+/// The lazily (re)built state behind [`Workspace::session`].
+#[derive(Default)]
+struct SessionCache {
+    /// `db_version` the index was built against.
+    version: u64,
+    /// The owned name index, shared into each borrowed session.
+    index: Option<Arc<ParamIndex>>,
+    /// How many times the index was (re)built — the cache-effectiveness
+    /// counter regression tests assert on.
+    rebuilds: usize,
 }
 
 impl Workspace {
@@ -220,6 +246,8 @@ impl Workspace {
             env: None,
             modules: BTreeMap::new(),
             noted: BTreeSet::new(),
+            db_version: 0,
+            cache: Mutex::new(SessionCache::default()),
         }
     }
 
@@ -294,6 +322,18 @@ impl Workspace {
             self.noted.insert(n.as_ref().to_string());
             self.db.note_param(n.as_ref());
         }
+        self.db_version += 1;
+    }
+
+    /// Merges another database for the same system into the owned one
+    /// (cross-process sharding: N workers analyze module subsets, the
+    /// coordinator folds their databases in). Conflicts resolve exactly
+    /// as in [`ConstraintDb::merge`]; the cached checking session is
+    /// invalidated.
+    pub fn merge_db(&mut self, other: &ConstraintDb) -> Result<MergeReport, MergeError> {
+        let report = self.db.merge(other)?;
+        self.db_version += 1;
+        Ok(report)
     }
 
     /// Module names with un-analyzed changes, sorted.
@@ -418,6 +458,7 @@ impl Workspace {
             self.db.remove_source_param(name, param);
             self.drop_param_if_orphaned(param);
         }
+        self.db_version += 1;
         Ok(())
     }
 
@@ -538,10 +579,45 @@ impl Workspace {
                 self.drop_param_if_orphaned(&param);
             }
         }
+        self.db_version += 1;
         report
     }
 
     // -- Checking -------------------------------------------------------
+
+    /// A borrowed [`CheckSession`] over the current database — **zero
+    /// copies**. The parameter index behind it is cached inside the
+    /// workspace and rebuilt only after the database changes
+    /// ([`reanalyze`](Workspace::reanalyze),
+    /// [`merge_db`](Workspace::merge_db), ...), so calling this per
+    /// keystroke or per file costs a mutex lock and an `Arc` bump,
+    /// nothing more.
+    ///
+    /// The returned session borrows the workspace; drop it before the
+    /// next `&mut self` call.
+    pub fn session(&self) -> CheckSession<'_> {
+        let index = {
+            let mut cache = self.cache.lock().unwrap();
+            if cache.index.is_none() || cache.version != self.db_version {
+                cache.index = Some(Arc::new(ParamIndex::build(&self.db)));
+                cache.version = self.db_version;
+                cache.rebuilds += 1;
+            }
+            Arc::clone(cache.index.as_ref().expect("just built"))
+        };
+        let mut session = CheckSession::with_index(&self.db, index).with_threads(self.threads);
+        if let Some(env) = &self.env {
+            session = session.with_env(env.as_ref());
+        }
+        session
+    }
+
+    /// How many times the cached session index has been (re)built — one
+    /// per database generation, regardless of how many checks ran (the
+    /// regression tests for the borrowed engine assert on this).
+    pub fn session_rebuilds(&self) -> usize {
+        self.cache.lock().unwrap().rebuilds
+    }
 
     /// Checks one config text against the current database.
     pub fn check_text(&self, text: &str) -> Vec<Diagnostic> {
@@ -550,26 +626,25 @@ impl Workspace {
 
     /// Checks a parsed config file against the current database.
     pub fn check_conf(&self, conf: &ConfFile) -> Vec<Diagnostic> {
-        let mut checker = Checker::new(&self.db);
-        if let Some(env) = &self.env {
-            checker = checker.with_env(env.as_ref());
-        }
-        checker.check(conf)
+        self.session().check(conf)
+    }
+
+    /// Checks many in-memory `(label, text)` files on the worker pool
+    /// (see [`CheckSession::check_texts`]).
+    pub fn check_texts<L, T>(&self, files: &[(L, T)]) -> Report
+    where
+        L: AsRef<str> + Sync,
+        T: AsRef<str> + Sync,
+    {
+        self.session().check_texts(files)
     }
 
     /// Streaming batch validation of files and directory trees against the
-    /// current database (see [`BatchEngine::run_paths`] for the walking,
-    /// memory and ordering guarantees).
-    pub fn check_paths<P: AsRef<Path>>(
-        &self,
-        roots: &[P],
-    ) -> std::io::Result<(Vec<FileReport>, BatchStats)> {
-        let mut engine = BatchEngine::new().with_threads(self.threads);
-        engine.add_db(self.db.clone());
-        if let Some(env) = &self.env {
-            engine.add_shared_env(&self.system, Arc::clone(env));
-        }
-        engine.run_paths(&self.system, roots)
+    /// current database (see [`CheckSession::check_paths`] for the
+    /// walking, memory and ordering guarantees). Runs on the cached
+    /// borrowed session: no `ConstraintDb` copy, per call or per file.
+    pub fn check_paths<P: AsRef<Path>>(&self, roots: &[P]) -> std::io::Result<Report> {
+        self.session().check_paths(roots)
     }
 }
 

@@ -163,6 +163,21 @@ impl ConfFile {
         false
     }
 
+    /// Renames all settings of `from` to `to`, keeping their values and
+    /// positions. Returns how many were renamed.
+    pub fn rename(&mut self, from: &str, to: &str) -> usize {
+        let mut renamed = 0;
+        for e in &mut self.entries {
+            if let Entry::Setting { name, .. } = e {
+                if name == from {
+                    *name = to.to_string();
+                    renamed += 1;
+                }
+            }
+        }
+        renamed
+    }
+
     /// Removes all settings of `name`. Returns how many were removed.
     pub fn remove(&mut self, name: &str) -> usize {
         let before = self.entries.len();
@@ -197,6 +212,16 @@ mod tests {
         assert_eq!(c.get("a"), Some("1"));
         assert_eq!(c.get("b"), Some("2"));
         assert_eq!(c.get("c"), None);
+    }
+
+    #[test]
+    fn rename_keeps_value_and_position() {
+        let mut c = ConfFile::parse("a = 1\ntypo = 2\nb = 3\n", Dialect::KeyValue);
+        assert_eq!(c.rename("typo", "fixed"), 1);
+        assert_eq!(c.rename("no_such", "x"), 0);
+        assert_eq!(c.get("fixed"), Some("2"));
+        assert_eq!(c.get("typo"), None);
+        assert_eq!(c.line_of("fixed"), Some(2));
     }
 
     #[test]

@@ -453,6 +453,116 @@ impl fmt::Display for ValueRel {
     }
 }
 
+/// A stable diagnostic code in the `SPEX-Rxxx` namespace.
+///
+/// Every finding the checking layer emits carries exactly one code, so
+/// machine consumers (CI gates, dashboards, SARIF viewers) can filter and
+/// suppress findings without parsing prose. One code exists per
+/// constraint/check kind.
+///
+/// # Stability guarantees
+///
+/// The code namespace is append-only and part of the public contract:
+///
+/// * a code is **never renumbered, reused or re-purposed** — `SPEX-R003`
+///   means "numeric-range violation" forever;
+/// * new check kinds get **new** codes at the end of the namespace;
+/// * the string form is always `SPEX-R` followed by three digits, and
+///   [`DiagCode::parse`] accepts exactly the strings [`DiagCode::as_str`]
+///   produces.
+///
+/// Renderers must preserve the code verbatim; it is the primary key for
+/// deduplicating and tracking findings across tool versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// `SPEX-R001` — the value does not conform to the parameter's basic
+    /// data type (wrong lexical class, or overflows the stored width).
+    BasicType,
+    /// `SPEX-R002` — the value violates the parameter's semantic type
+    /// (nonexistent path/user/host, invalid port, absurd or mis-unit'd
+    /// time/size, ...).
+    SemanticType,
+    /// `SPEX-R003` — the value falls in an invalid segment of the
+    /// parameter's inferred numeric range.
+    Range,
+    /// `SPEX-R004` — the value is not an accepted alternative of the
+    /// parameter's enumerative range (or is an explicitly rejected one).
+    Enum,
+    /// `SPEX-R005` — the setting is control-dependent on another
+    /// parameter whose configured value disables it (it would be
+    /// silently ignored).
+    ControlDep,
+    /// `SPEX-R006` — the value violates a relationship with another
+    /// parameter's value (e.g. `min_len < max_len`).
+    ValueRel,
+    /// `SPEX-R007` — the key names no known parameter.
+    UnknownKey,
+}
+
+impl DiagCode {
+    /// Every code, in namespace order.
+    pub const ALL: [DiagCode; 7] = [
+        DiagCode::BasicType,
+        DiagCode::SemanticType,
+        DiagCode::Range,
+        DiagCode::Enum,
+        DiagCode::ControlDep,
+        DiagCode::ValueRel,
+        DiagCode::UnknownKey,
+    ];
+
+    /// The stable string form (`"SPEX-R003"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DiagCode::BasicType => "SPEX-R001",
+            DiagCode::SemanticType => "SPEX-R002",
+            DiagCode::Range => "SPEX-R003",
+            DiagCode::Enum => "SPEX-R004",
+            DiagCode::ControlDep => "SPEX-R005",
+            DiagCode::ValueRel => "SPEX-R006",
+            DiagCode::UnknownKey => "SPEX-R007",
+        }
+    }
+
+    /// Parses the stable string form back ([`as_str`](DiagCode::as_str)'s
+    /// exact output; anything else is `None`).
+    pub fn parse(s: &str) -> Option<DiagCode> {
+        DiagCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// The coarse category this code reports on (Table 11 vocabulary,
+    /// plus `"unknown-key"`).
+    pub fn category(&self) -> &'static str {
+        match self {
+            DiagCode::BasicType => "basic-type",
+            DiagCode::SemanticType => "semantic-type",
+            DiagCode::Range | DiagCode::Enum => "data-range",
+            DiagCode::ControlDep => "control-dep",
+            DiagCode::ValueRel => "value-rel",
+            DiagCode::UnknownKey => "unknown-key",
+        }
+    }
+
+    /// A one-line description of what the code means (SARIF rule help).
+    pub fn summary(&self) -> &'static str {
+        match self {
+            DiagCode::BasicType => "value does not conform to the parameter's basic data type",
+            DiagCode::SemanticType => "value violates the parameter's semantic type",
+            DiagCode::Range => "value is outside the parameter's valid numeric range",
+            DiagCode::Enum => "value is not an accepted enumerative alternative",
+            DiagCode::ControlDep => "setting is disabled by its controlling parameter",
+            DiagCode::ValueRel => "value violates a cross-parameter relationship",
+            DiagCode::UnknownKey => "key names no known configuration parameter",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The payload of a constraint.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConstraintKind {
@@ -473,12 +583,19 @@ pub enum ConstraintKind {
 impl ConstraintKind {
     /// Coarse category name, matching the columns of Table 11.
     pub fn category(&self) -> &'static str {
+        self.code().category()
+    }
+
+    /// The stable diagnostic code a violation of this constraint kind is
+    /// reported under (see [`DiagCode`] for the namespace guarantees).
+    pub fn code(&self) -> DiagCode {
         match self {
-            ConstraintKind::BasicType(_) => "basic-type",
-            ConstraintKind::SemanticType(_) => "semantic-type",
-            ConstraintKind::Range(_) | ConstraintKind::EnumRange(_) => "data-range",
-            ConstraintKind::ControlDep(_) => "control-dep",
-            ConstraintKind::ValueRel(_) => "value-rel",
+            ConstraintKind::BasicType(_) => DiagCode::BasicType,
+            ConstraintKind::SemanticType(_) => DiagCode::SemanticType,
+            ConstraintKind::Range(_) => DiagCode::Range,
+            ConstraintKind::EnumRange(_) => DiagCode::Enum,
+            ConstraintKind::ControlDep(_) => DiagCode::ControlDep,
+            ConstraintKind::ValueRel(_) => DiagCode::ValueRel,
         }
     }
 }
@@ -624,5 +741,23 @@ mod tests {
         };
         assert_eq!(c.to_string(), "(\"fsync\", 0, !=) -> \"commit_siblings\"");
         assert_eq!(c.kind.category(), "control-dep");
+        assert_eq!(c.kind.code(), DiagCode::ControlDep);
+    }
+
+    #[test]
+    fn diag_codes_are_stable_unique_and_parse_back() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in DiagCode::ALL {
+            let s = code.as_str();
+            assert!(s.starts_with("SPEX-R") && s.len() == 9, "{s}");
+            assert!(s[6..].chars().all(|c| c.is_ascii_digit()), "{s}");
+            assert!(seen.insert(s), "duplicate code {s}");
+            assert_eq!(DiagCode::parse(s), Some(code));
+        }
+        assert_eq!(DiagCode::parse("SPEX-R999"), None);
+        assert_eq!(DiagCode::parse("spex-r003"), None, "codes are exact");
+        // The documented anchor: R003 is and stays the range violation.
+        assert_eq!(DiagCode::Range.as_str(), "SPEX-R003");
+        assert_eq!(DiagCode::Range.category(), "data-range");
     }
 }

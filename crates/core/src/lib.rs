@@ -52,7 +52,7 @@ pub mod mapping;
 pub use accuracy::{evaluate_accuracy, AccuracyReport};
 pub use annotations::Annotation;
 pub use constraint::{
-    BasicType, CmpOp, Constraint, ConstraintKind, ControlDep, EnumAlternative, EnumValue,
+    BasicType, CmpOp, Constraint, ConstraintKind, ControlDep, DiagCode, EnumAlternative, EnumValue,
     NumericRange, RangeSegment, SemType, SizeUnit, TimeUnit, ValueRel,
 };
 pub use fingerprint::{

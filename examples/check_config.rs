@@ -4,15 +4,17 @@
 //! constraint database on disk, reloads the database, and validates both a
 //! clean and a broken configuration file — the proactive workflow the
 //! paper argues for: the system, not the user, catches the mistake before
-//! deployment.
+//! deployment. Checking runs on a borrowed [`CheckSession`]: the database
+//! is never copied, whether one file or a whole fleet is validated.
 //!
 //! ```text
 //! cargo run --example check_config [system]
 //! ```
 
-use spex::check::{BatchEngine, BatchJob, Checker, ConstraintDb, StaticEnv};
+use spex::check::{CheckSession, ConstraintDb, Report, StaticEnv};
 use spex::core::{Annotation, Spex};
 use spex::systems::BuiltSystem;
+use spex::HumanRenderer;
 
 fn main() {
     let name = std::env::args()
@@ -56,9 +58,10 @@ fn main() {
         env.add_user(u);
     }
 
-    // 3. Check: the pristine template is clean...
-    let checker = Checker::new(&db).with_env(&env);
-    let clean = checker.check_text(&built.gen.template_conf);
+    // 3. Check: one borrowed session serves every check below — building
+    //    it indexes the parameter names once and copies nothing.
+    let session = CheckSession::new(&db).with_env(&env);
+    let clean = session.check_text(&built.gen.template_conf);
     println!(
         "\npristine {}.conf: {} diagnostic(s)",
         built.spec.name,
@@ -75,44 +78,64 @@ fn main() {
     }
     conf.set("typo_paramater", "1");
     let broken = conf.serialize();
-    let diags = checker.check(&conf);
+    let diags = session.check(&conf);
     println!("\nbroken copy: {} diagnostic(s)", diags.len());
     for d in diags.iter().take(8) {
         println!("  {d}");
     }
 
-    // 4. Scale out: validate a whole directory's worth of files at once.
-    let mut engine = BatchEngine::new();
-    engine.add_db(db);
-    engine.add_env(built.spec.name, env);
-    let jobs: Vec<BatchJob> = (0..64)
-        .map(|i| BatchJob {
-            system: built.spec.name.to_string(),
-            file: format!("host{i:02}.conf"),
-            text: if i % 4 == 0 {
-                broken.clone()
-            } else {
-                built.gen.template_conf.clone()
-            },
+    // Machine-applicable fixes: apply every computed repair and re-check.
+    let fixable = diags.iter().filter_map(|d| d.fix.as_ref());
+    let mut repaired = conf.clone();
+    let applied = fixable.map(|f| f.apply(&mut repaired)).count();
+    println!(
+        "applied {applied} machine fix(es); repaired copy: {} diagnostic(s)",
+        session.check(&repaired).len()
+    );
+
+    // 4. Scale out: validate a whole fleet's worth of files at once, on
+    //    all cores, through the same borrowed session.
+    let files: Vec<(String, String)> = (0..64)
+        .map(|i| {
+            (
+                format!("host{i:02}.conf"),
+                if i % 4 == 0 {
+                    broken.clone()
+                } else {
+                    built.gen.template_conf.clone()
+                },
+            )
         })
         .collect();
-    let (_, stats) = engine.run(&jobs);
-    println!("\nbatch validation of a 64-host fleet:\n{}", stats.render());
+    let report = session.check_texts(&files);
+    println!(
+        "\nbatch validation of a 64-host fleet:\n{}",
+        report.stats.render()
+    );
 
     // 5. Stream: the same fleet on disk, walked lazily with bounded
-    //    memory (each worker holds one file text at a time).
+    //    memory (each worker holds one file text at a time), rendered as
+    //    a deployment gate would consume it.
     let fleet = std::env::temp_dir().join(format!("{}_fleet", built.spec.name));
     std::fs::create_dir_all(&fleet).expect("fleet dir");
-    for job in &jobs {
-        std::fs::write(fleet.join(&job.file), &job.text).expect("fleet file");
+    for (file, text) in &files {
+        std::fs::write(fleet.join(file), text).expect("fleet file");
     }
-    let (_, stats) = engine
-        .run_paths(built.spec.name, std::slice::from_ref(&fleet))
+    let report: Report = session
+        .check_paths(std::slice::from_ref(&fleet))
         .expect("fleet walks");
     println!(
-        "streaming validation of the on-disk fleet:\n{}",
-        stats.render()
+        "streaming validation of the on-disk fleet (exit code {}):\n{}",
+        report.exit_code(),
+        report.stats.render()
     );
+    // Human rendering of the first flagged file, as a CI log would show it.
+    if let Some(first_bad) = report.files.iter().find(|f| !f.is_clean()) {
+        print!(
+            "{}",
+            Report::single(first_bad.clone()).render(&HumanRenderer)
+        );
+    }
     std::fs::remove_dir_all(&fleet).ok();
 
     std::fs::remove_file(&path).ok();

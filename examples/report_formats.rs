@@ -1,0 +1,100 @@
+//! One validation run, rendered for every consumer: a human in a
+//! terminal, a log pipeline eating JSON Lines, and a code-scanning UI
+//! eating a SARIF-style document.
+//!
+//! The same [`Report`] feeds all three renderers; the diagnostic codes
+//! (`SPEX-Rxxx`) are the stable machine contract across them. The example
+//! finishes by structurally validating its own JSON Lines output with the
+//! in-tree checker (no schema downloads, no network) and exits nonzero if
+//! the contract is broken — CI runs it exactly for that.
+//!
+//! ```text
+//! cargo run --example report_formats
+//! ```
+
+use spex::check::JsonLinesRenderer;
+use spex::conf::Dialect;
+use spex::{DiagCode, HumanRenderer, SarifRenderer, Workspace};
+
+/// A small subject: two constrained parameters and a control dependency.
+const SOURCE: &str = r#"
+    int listener_threads = 16;
+    int idle_timeout = 60;
+    int keepalive = 1;
+    struct opt { char* name; int* var; };
+    struct opt options[] = {
+        { "listener-threads", &listener_threads },
+        { "idle-timeout", &idle_timeout },
+        { "keepalive", &keepalive }
+    };
+    void startup() {
+        if (listener_threads < 1) { exit(1); }
+        if (listener_threads > 16) { exit(1); }
+    }
+    void reaper() {
+        if (keepalive) { sleep(idle_timeout); }
+    }
+"#;
+
+const ANN: &str = "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }";
+
+fn main() {
+    let mut ws = Workspace::new("demo", Dialect::KeyValue);
+    ws.add_module("server.c", SOURCE, ANN)
+        .expect("source parses");
+    ws.reanalyze();
+
+    // A fleet with one clean file and two broken ones.
+    let files: Vec<(String, String)> = vec![
+        (
+            "fleet/ok.conf".into(),
+            "listener-threads = 8\nidle-timeout = 60\n".into(),
+        ),
+        (
+            "fleet/typo.conf".into(),
+            "listener-threds = 8\nidle-timeout = 86400000\n".into(),
+        ),
+        (
+            "fleet/ignored.conf".into(),
+            "listener-threads = 9999\nidle-timeout = 60\nkeepalive = off\n".into(),
+        ),
+    ];
+    let report = ws.check_texts(&files);
+
+    println!("== human terminal text ==");
+    print!("{}", report.render(&HumanRenderer));
+
+    println!("\n== JSON Lines (one finding per line) ==");
+    let jsonl = report.render(&JsonLinesRenderer);
+    print!("{jsonl}");
+
+    println!("\n== SARIF-style document (truncated to one line here) ==");
+    let sarif = report.render(&SarifRenderer);
+    println!(
+        "{} bytes: {}...",
+        sarif.len(),
+        &sarif[..80.min(sarif.len())]
+    );
+
+    // The machine contract, checked in-tree: every line parses, every
+    // code is a stable SPEX-Rxxx that round-trips, the summary adds up.
+    match JsonLinesRenderer::validate(&jsonl) {
+        Ok(findings) => {
+            assert!(findings > 0, "the broken fleet must produce findings");
+            // And the codes we expect from this fleet are all present.
+            for code in [DiagCode::UnknownKey, DiagCode::Range, DiagCode::ControlDep] {
+                assert!(
+                    jsonl.contains(code.as_str()),
+                    "expected a {code} finding in:\n{jsonl}"
+                );
+            }
+            println!("\njson-lines structural check: OK ({findings} findings validated)");
+        }
+        Err(e) => {
+            eprintln!("\njson-lines structural check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The run gates a deployment: broken fleet => exit code 1 semantics.
+    assert_eq!(report.exit_code(), 1);
+}

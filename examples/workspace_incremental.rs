@@ -80,10 +80,25 @@ fn main() {
         r.passes.total(),
     );
 
-    // The same config is now caught before deployment.
+    // The same config is now caught before deployment. Checking runs on
+    // the workspace's cached borrowed session: the database was not
+    // cloned for this (or any) check, and the cache was rebuilt exactly
+    // once per release's reanalyze.
     for d in ws.check_text(conf) {
         println!("  {d}");
     }
+    println!(
+        "  (db clones during checking: {}; session index builds: {})",
+        ws.db().clone_count(),
+        ws.session_rebuilds(),
+    );
+
+    // Machine consumers get the same findings as coded JSON Lines.
+    let report = ws.check_texts(&[("staging.conf".to_string(), conf.to_string())]);
+    print!(
+        "\nas JSON Lines:\n{}",
+        report.render(&spex::JsonLinesRenderer)
+    );
 
     // The database persists (v2 format, with provenance) for the fleet's
     // checkers; a v1-era file would migrate transparently on load.

@@ -54,6 +54,14 @@
 //! // ws.update_module("config.c", edited)?; ws.reanalyze();
 //! ```
 //!
+//! Checking runs on a **borrowed** [`CheckSession`] the workspace caches
+//! across calls (no database copies; invalidated automatically when
+//! `reanalyze`/`merge_db` change constraints). Every finding carries a
+//! stable [`DiagCode`] (`SPEX-Rxxx`), the violated constraint's
+//! provenance, and — where computable — a machine-applicable fix; whole
+//! runs leave the system as a [`Report`] renderable as human text, JSON
+//! Lines or a SARIF-style document (see [`Renderer`]).
+//!
 //! The one-shot pipeline (`Spex::analyze` on a hand-lowered module) is
 //! still available through [`core`] and the deprecated [`analyze`] shim,
 //! but new code should hold a `Workspace` so re-analysis stays
@@ -70,7 +78,10 @@ pub use spex_lang as lang;
 pub use spex_systems as systems;
 pub use spex_vm as vm;
 
-pub use spex_check::{ReanalyzeReport, Workspace, WorkspaceError};
+pub use spex_check::{
+    CheckSession, DiagCode, HumanRenderer, JsonLinesRenderer, ReanalyzeReport, Renderer, Report,
+    SarifRenderer, Workspace, WorkspaceError,
+};
 
 /// One-shot whole-module analysis with the standard API registry.
 ///
@@ -92,6 +103,7 @@ pub fn analyze(module: ir::Module, anns: &[core::Annotation]) -> core::SpexAnaly
     note = "use `spex::Workspace::check_paths` — it streams files with \
             bounded memory and always checks against the current database"
 )]
+#[allow(deprecated)]
 pub fn batch_engine() -> check::BatchEngine {
     check::BatchEngine::new()
 }

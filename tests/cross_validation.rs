@@ -1,0 +1,183 @@
+//! Checker-vs-injection cross-validation (ROADMAP item).
+//!
+//! The injection campaign (§3.1) tells us how the *system* reacts to each
+//! generated misconfiguration (Table 5's reaction classes); the static
+//! checker tells us whether the same misconfiguration would have been
+//! caught *before deployment*. Crossing the two quantifies how much of
+//! the injection campaign the proactive checker obsoletes: every
+//! vulnerability row the checker flags is a crash/hang/silent-violation a
+//! user never gets blamed for.
+//!
+//! The summary table is asserted byte-for-byte — the campaign, the
+//! generation rules and the checker are all deterministic, so any drift
+//! in either side must be a conscious change.
+
+use spex::check::{CheckSession, ConstraintDb, StaticEnv};
+use spex::core::{Annotation, Spex};
+use spex::inject::{genrule, standard_rules, InjectionCampaign, Misconfig, Reaction, TestTarget};
+use spex::systems::BuiltSystem;
+use std::collections::BTreeMap;
+
+/// The injection target for a built system (mirrors the evaluation
+/// driver's harness wiring: port 80 occupied, template world on disk).
+fn make_target(built: &BuiltSystem) -> TestTarget<'_> {
+    let world_files = built.gen.world_files.clone();
+    let world_dirs = built.gen.world_dirs.clone();
+    TestTarget {
+        name: built.spec.name.to_string(),
+        module: &built.module,
+        dialect: built.gen.dialect,
+        template_conf: built.gen.template_conf.clone(),
+        config_entry: "handle_config".into(),
+        startup: "startup".into(),
+        tests: built.gen.tests.clone(),
+        world: Box::new(move || {
+            let mut w = spex::vm::World::default();
+            w.occupy_port(80);
+            for (f, c) in &world_files {
+                w.add_file(f, c);
+            }
+            for d in &world_dirs {
+                w.add_dir(d);
+            }
+            w
+        }),
+        param_globals: built.gen.param_globals.clone(),
+    }
+}
+
+/// The checker-side environment mirroring the same modelled world.
+fn make_env(built: &BuiltSystem) -> StaticEnv {
+    let mut env = StaticEnv::new();
+    env.occupy_port(80);
+    for (f, _) in &built.gen.world_files {
+        env.add_file(f);
+    }
+    for d in &built.gen.world_dirs {
+        env.add_dir(d);
+    }
+    for u in ["root", "nobody", "daemon"] {
+        env.add_user(u);
+    }
+    for g in ["root", "daemon"] {
+        env.add_group(g);
+    }
+    env.add_host("localhost");
+    env
+}
+
+/// Applies one generated misconfiguration to the template config.
+fn corrupt(built: &BuiltSystem, m: &Misconfig) -> String {
+    let mut conf = spex::conf::ConfFile::parse(&built.gen.template_conf, built.gen.dialect);
+    conf.set(&m.param, &m.value);
+    for (p, v) in &m.also_set {
+        conf.set(p, v);
+    }
+    conf.serialize()
+}
+
+/// Table 5's reaction-class label, extended with the two non-vulnerable
+/// outcomes.
+fn class_of(reaction: &Reaction) -> &'static str {
+    reaction.column().unwrap_or_else(|| match reaction {
+        Reaction::GoodReaction => "good-reaction",
+        Reaction::Benign => "benign",
+        _ => unreachable!("vulnerabilities have a column"),
+    })
+}
+
+/// Renders the cross-validation table: one row per reaction class, the
+/// checker verdict split into flagged (caught before deployment) and
+/// missed.
+fn render_table(rows: &BTreeMap<&'static str, (usize, usize)>) -> String {
+    let mut out = String::from("reaction class       flagged  missed\n");
+    let (mut tf, mut tm) = (0, 0);
+    for (class, (flagged, missed)) in rows {
+        out.push_str(&format!("{class:<20} {flagged:>7} {missed:>7}\n"));
+        tf += flagged;
+        tm += missed;
+    }
+    out.push_str(&format!("{:<20} {tf:>7} {tm:>7}\n", "total"));
+    out
+}
+
+#[test]
+fn checker_verdicts_cross_validate_against_injection_reactions() {
+    let spec = spex::systems::system_by_name("OpenLDAP").unwrap();
+    let built = BuiltSystem::build(spec);
+    let anns = Annotation::parse(&built.gen.annotations).expect("annotations parse");
+    let analysis = Spex::analyze(built.module.clone(), &anns);
+    let mut db = ConstraintDb::from_analysis(built.spec.name, built.gen.dialect, &analysis);
+    db.note_params(built.spec.params.iter().map(|p| p.name.as_str()));
+    let db = ConstraintDb::load_from_str(&db.save_to_string()).expect("db round-trips");
+    let env = make_env(&built);
+    let session = CheckSession::new(&db).with_env(&env);
+
+    // A deterministic sample of the generated misconfigurations (the
+    // injection campaign dominates the runtime; the sample covers every
+    // rule family).
+    let constraints: Vec<_> = db
+        .params
+        .iter()
+        .flat_map(|p| p.constraints.iter().cloned())
+        .collect();
+    let misconfigs = genrule::generate_all(&standard_rules(), &constraints);
+    let step = (misconfigs.len() / 120).max(1);
+    let sample: Vec<Misconfig> = misconfigs.iter().step_by(step).cloned().collect();
+    assert!(sample.len() >= 40, "sample too small: {}", sample.len());
+
+    // Injection side: how the system reacts to each misconfiguration.
+    let campaign = InjectionCampaign::new(make_target(&built));
+    let outcomes = campaign.run(&sample);
+    assert_eq!(outcomes.len(), sample.len());
+
+    // Checker side: would the same misconfiguration have been caught
+    // before deployment? Cross the verdicts per reaction class.
+    let mut rows: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    for outcome in &outcomes {
+        let flagged = !session
+            .check_text(&corrupt(&built, &outcome.misconfig))
+            .is_empty();
+        let row = rows.entry(class_of(&outcome.reaction)).or_insert((0, 0));
+        if flagged {
+            row.0 += 1;
+        } else {
+            row.1 += 1;
+        }
+    }
+    let table = render_table(&rows);
+
+    // The campaign and the checker are deterministic: the table is a
+    // stable artifact (update it consciously when rules change).
+    let expected = "\
+reaction class       flagged  missed
+benign                    57       0
+crash-hang                13       0
+early-termination          4       0
+functional-failure        10       0
+good-reaction             32       0
+silent-violation          41       0
+total                    157       0
+";
+    assert_eq!(table, expected, "cross-validation table drifted:\n{table}");
+
+    // Structural invariants behind the snapshot: every *vulnerability*
+    // (a reaction a user would be blamed for) is caught by the checker —
+    // the static check obsoletes the entire bad-reaction surface of this
+    // campaign sample.
+    let vulnerable: usize = rows
+        .iter()
+        .filter(|(class, _)| !matches!(**class, "good-reaction" | "benign"))
+        .map(|(_, (f, m))| f + m)
+        .sum();
+    let vulnerable_missed: usize = rows
+        .iter()
+        .filter(|(class, _)| !matches!(**class, "good-reaction" | "benign"))
+        .map(|(_, (_, m))| m)
+        .sum();
+    assert!(vulnerable > 0, "the campaign must expose vulnerabilities");
+    assert_eq!(
+        vulnerable_missed, 0,
+        "a vulnerability the checker misses is exactly the paper's blamed user:\n{table}"
+    );
+}

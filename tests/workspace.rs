@@ -38,6 +38,29 @@ const EDITED: &str = r#"
     }
 "#;
 
+/// `startup` edited relative to [`BASE`] (lower bound 1 → 2); everything
+/// else — including source layout, so constraint spans match — is
+/// unchanged. Used by the multi-module ordering test.
+const MAIN_V2: &str = r#"
+    int threads = 4;
+    int nap = 30;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "threads", &threads }, { "nap", &nap } };
+    void startup() {
+        if (threads < 2) { exit(1); }
+        if (threads > 16) { exit(1); }
+    }
+    void napper() { sleep(nap); }
+"#;
+
+/// A second module constraining the same `threads` parameter.
+const NET: &str = r#"
+    int threads = 4;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "threads", &threads } };
+    void serve() { if (threads > 64) { exit(1); } }
+"#;
+
 fn workspace_over(source: &str) -> Workspace {
     let mut ws = Workspace::new("Test", Dialect::KeyValue);
     ws.add_module("main.c", source, ANN).unwrap();
@@ -116,7 +139,7 @@ fn editing_a_caller_reinfers_inherited_control_deps() {
     let dep_warnings = |ws: &Workspace| {
         ws.check_text("commit_siblings = 5\nfsync = 0\n")
             .into_iter()
-            .filter(|d| d.category == "control-dep")
+            .filter(|d| d.category() == "control-dep")
             .count()
     };
     let mut ws = workspace_over(GUARDED);
@@ -192,7 +215,7 @@ fn removing_a_call_edge_reinfers_formerly_inherited_deps() {
     assert!(!ws
         .check_text("commit_siblings = 5\nfsync = 0\n")
         .iter()
-        .any(|d| d.category == "control-dep"));
+        .any(|d| d.category() == "control-dep"));
 }
 
 /// Editing nothing (or only comments) is free.
@@ -236,10 +259,13 @@ fn v1_db_loads_migrates_and_merges_losslessly() {
     let v1_text = as_v1(ws.db());
     assert_eq!(ConstraintDb::detect_version(&v1_text), Some(1));
 
-    // Load: the v1 payload arrives intact, with empty provenance.
+    // Load: the v1 payload arrives intact, with empty provenance (the
+    // file carries the canonical save order, so compare against that).
     let migrated = ConstraintDb::load_from_str(&v1_text).expect("v1 loads");
     assert_eq!(migrated.constraint_count(), ws.db().constraint_count());
-    for (theirs, ours) in migrated.params.iter().zip(ws.db().params.iter()) {
+    let mut canonical = ws.db().clone();
+    canonical.canonicalize();
+    for (theirs, ours) in migrated.params.iter().zip(canonical.params.iter()) {
         assert_eq!(theirs.name, ours.name);
         assert_eq!(theirs.constraints, ours.constraints);
         assert!(theirs.provenance.iter().all(String::is_empty));
@@ -293,12 +319,14 @@ fn from_db_resume_garbage_collects_unmapped_params() {
     );
     let ds = resumed.check_text("old_opt = 64\n");
     assert_eq!(ds.len(), 1);
-    assert_eq!(ds[0].category, "unknown-key");
+    assert_eq!(ds[0].category(), "unknown-key");
 
-    // Matches a continuous session over the same final source.
+    // Matches a continuous session over the same final source (orders
+    // may differ between a resumed and a continuous history; the
+    // canonical serialization may not).
     let mut fresh = workspace_over(BASE);
     fresh.reanalyze();
-    assert_eq!(resumed.db(), fresh.db());
+    assert_eq!(resumed.db().save_to_string(), fresh.db().save_to_string());
 }
 
 /// Removing a module right after resuming from a persisted database (no
@@ -367,14 +395,152 @@ fn check_paths_streams_a_config_tree() {
     std::fs::write(root.join("hosts/h1.conf"), "threads = 64\n").unwrap();
     std::fs::write(root.join("hosts/h2.conf"), "threds = 8\n").unwrap();
 
-    let (reports, stats) = ws.check_paths(std::slice::from_ref(&root)).unwrap();
-    assert_eq!(stats.files, 3);
-    assert_eq!(stats.clean_files, 1);
-    assert_eq!(stats.flagged_files, 2);
-    assert!(reports[0].file.ends_with("base.conf"));
-    assert!(reports[0].is_clean());
-    assert!(reports[1].file.ends_with("h1.conf"));
-    assert!(reports[2].file.ends_with("h2.conf"));
-    assert_eq!(reports[2].diagnostics[0].category, "unknown-key");
+    let report = ws.check_paths(std::slice::from_ref(&root)).unwrap();
+    assert_eq!(report.stats.files, 3);
+    assert_eq!(report.stats.clean_files, 1);
+    assert_eq!(report.stats.flagged_files, 2);
+    assert!(report.files[0].file.ends_with("base.conf"));
+    assert!(report.files[0].is_clean());
+    assert!(report.files[1].file.ends_with("h1.conf"));
+    assert!(report.files[2].file.ends_with("h2.conf"));
+    assert_eq!(report.files[2].diagnostics[0].category(), "unknown-key");
+    assert_eq!(report.exit_code(), 1, "a flagged tree gates the deploy");
     std::fs::remove_dir_all(&root).ok();
+}
+
+/// The borrowed-engine acceptance criterion: the cached session performs
+/// **zero** `ConstraintDb` clones across any number of `check_text`/
+/// `check_paths` calls, and the parameter index is rebuilt only when the
+/// database actually changes.
+#[test]
+fn cached_checking_performs_zero_db_clones() {
+    let mut ws = workspace_over(BASE);
+    ws.reanalyze();
+
+    let root = std::env::temp_dir().join("spex_ws_zero_clone");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    for i in 0..8 {
+        std::fs::write(
+            root.join(format!("h{i}.conf")),
+            if i % 2 == 0 {
+                "threads = 8\n"
+            } else {
+                "threads = 99\n"
+            },
+        )
+        .unwrap();
+    }
+
+    let clones_before = ws.db().clone_count();
+    assert_eq!(ws.session_rebuilds(), 0, "nothing checked yet");
+
+    for _ in 0..3 {
+        let report = ws.check_paths(std::slice::from_ref(&root)).unwrap();
+        assert_eq!(report.stats.files, 8);
+        assert_eq!(report.stats.flagged_files, 4);
+    }
+    for _ in 0..20 {
+        assert_eq!(ws.check_text("threads = 99\n").len(), 1);
+    }
+    ws.check_texts(&[("a".to_string(), "threads = 1\n".to_string())]);
+
+    assert_eq!(
+        ws.db().clone_count(),
+        clones_before,
+        "checking must never copy the database"
+    );
+    assert_eq!(
+        ws.session_rebuilds(),
+        1,
+        "one index build serves every check of one db generation"
+    );
+
+    // A real change invalidates the cache: exactly one more rebuild, and
+    // the fresh constraint is live.
+    ws.update_module("main.c", EDITED).unwrap();
+    ws.reanalyze();
+    assert!(!ws.check_text("nap = 9999\n").is_empty());
+    ws.check_text("nap = 30\n");
+    assert_eq!(ws.session_rebuilds(), 2, "one rebuild per db generation");
+    assert_eq!(
+        ws.db().clone_count(),
+        clones_before,
+        "reanalysis does not clone the checking db either"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `merge_db` folds a shard into the owned database and invalidates the
+/// cached session, so merged constraints are immediately checkable.
+#[test]
+fn merge_db_invalidates_the_cached_session() {
+    let mut ws = workspace_over(BASE);
+    ws.reanalyze();
+    assert!(ws.check_text("port = 0\n").len() == 1, "unknown key so far");
+    assert_eq!(ws.session_rebuilds(), 1);
+
+    let mut shard = Workspace::new("Test", Dialect::KeyValue);
+    shard
+        .add_module(
+            "net.c",
+            r#"
+            int port = 8080;
+            struct opt { char* name; int* var; };
+            struct opt options[] = { { "port", &port } };
+            void serve() { listen(0, port); }
+            "#,
+            ANN,
+        )
+        .unwrap();
+    shard.reanalyze();
+
+    let report = ws.merge_db(shard.db()).unwrap();
+    assert!(report.params_added >= 1);
+    // The merged `port` parameter is known (and semantically checked) now.
+    let ds = ws.check_text("port = 0\n");
+    assert!(ds.iter().all(|d| d.category() != "unknown-key"), "{ds:#?}");
+    assert_eq!(ws.session_rebuilds(), 2, "merge invalidated the cache");
+}
+
+/// The multi-module ordering guarantee: an incrementally updated
+/// workspace and a from-scratch one can hold the same constraints in
+/// different in-memory orders (re-inferred constraints are appended at
+/// the end of an entry), but their canonical serializations are
+/// byte-identical — so fleet distribution and content-addressed caching
+/// see one artifact.
+#[test]
+fn incremental_multi_module_db_serializes_byte_identical_to_fresh() {
+    let build = |main: &str| {
+        let mut ws = Workspace::new("Test", Dialect::KeyValue);
+        ws.add_module("main.c", main, ANN).unwrap();
+        ws.add_module("net.c", NET, ANN).unwrap();
+        ws.reanalyze();
+        ws
+    };
+
+    // Incremental history: analyze, then edit main.c (the module the
+    // from-scratch order lists *first*). Its re-inferred constraints are
+    // appended at the end of the shared `threads` entry, after net.c's.
+    let mut incremental = build(BASE);
+    incremental.update_module("main.c", MAIN_V2).unwrap();
+    let r = incremental.reanalyze();
+    assert!(r.params_reinferred >= 1);
+
+    // From-scratch history over the same final sources.
+    let fresh = build(MAIN_V2);
+
+    let entry_order = |ws: &Workspace| ws.db().param("threads").unwrap().provenance.clone();
+    assert_ne!(
+        entry_order(&incremental),
+        entry_order(&fresh),
+        "the histories really interleave the entry differently in memory"
+    );
+    let a = incremental.db().save_to_string();
+    let b = fresh.db().save_to_string();
+    assert_eq!(a, b, "canonical save order is history-independent");
+
+    // And the canonical bytes round-trip.
+    let back = ConstraintDb::load_from_str(&a).unwrap();
+    assert_eq!(back.save_to_string(), a);
 }
