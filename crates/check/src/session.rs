@@ -662,21 +662,37 @@ impl<'db> CheckSession<'db> {
             // An explicit unit that differs from what the code expects is
             // the paper's Figure 5(a)/7(d) trap: the integer parser drops
             // the suffix and silently mis-scales the value.
-            return Some(
-                Diagnostic::new(
-                    Severity::Error,
-                    occ.name,
-                    occ.value,
-                    format!(
-                        "carries a \"{suffix}\" unit suffix, but the system reads a plain \
-                         number of {unit}"
-                    ),
-                    DiagCode::SemanticType,
-                )
-                .suggest(format!(
-                    "write the value converted to {unit}, without a suffix"
-                )),
+            let mut d = Diagnostic::new(
+                Severity::Error,
+                occ.name,
+                occ.value,
+                format!(
+                    "carries a \"{suffix}\" unit suffix, but the system reads a plain \
+                     number of {unit}"
+                ),
+                DiagCode::SemanticType,
             );
+            // The conversion is computable, so repair it, not just report
+            // it: `10s` for a milliseconds parameter becomes `10000`.
+            let bar = absurd_time_bar(unit).0;
+            match suffix_conversion(occ.value, SuffixKind::Time(unit.in_micros()))
+                .filter(|&c| c <= bar && self.fix_value_is_clean(occ.name, c))
+            {
+                Some(converted) => {
+                    d = d
+                        .suggest(format!("write it as \"{converted}\" ({unit}, no suffix)"))
+                        .with_fix(Fix::ReplaceValue {
+                            param: occ.name.to_string(),
+                            value: converted.to_string(),
+                        });
+                }
+                None => {
+                    d = d.suggest(format!(
+                        "write the value converted to {unit}, without a suffix"
+                    ));
+                }
+            }
+            return Some(d);
         }
         let v = parse_plain_int(occ.value)?;
         if v < 0 {
@@ -703,21 +719,34 @@ impl<'db> CheckSession<'db> {
 
     fn check_size(&self, unit: SizeUnit, occ: &Occurrence) -> Option<Diagnostic> {
         if let Some((_, suffix)) = split_unit_suffix(occ.value) {
-            return Some(
-                Diagnostic::new(
-                    Severity::Error,
-                    occ.name,
-                    occ.value,
-                    format!(
-                        "carries a \"{suffix}\" unit suffix, but the system reads a plain \
-                         number of {unit}"
-                    ),
-                    DiagCode::SemanticType,
-                )
-                .suggest(format!(
-                    "write the value converted to {unit}, without a suffix"
-                )),
+            let mut d = Diagnostic::new(
+                Severity::Error,
+                occ.name,
+                occ.value,
+                format!(
+                    "carries a \"{suffix}\" unit suffix, but the system reads a plain \
+                     number of {unit}"
+                ),
+                DiagCode::SemanticType,
             );
+            match suffix_conversion(occ.value, SuffixKind::Size(unit.in_bytes()))
+                .filter(|&c| self.fix_value_is_clean(occ.name, c))
+            {
+                Some(converted) => {
+                    d = d
+                        .suggest(format!("write it as \"{converted}\" ({unit}, no suffix)"))
+                        .with_fix(Fix::ReplaceValue {
+                            param: occ.name.to_string(),
+                            value: converted.to_string(),
+                        });
+                }
+                None => {
+                    d = d.suggest(format!(
+                        "write the value converted to {unit}, without a suffix"
+                    ));
+                }
+            }
+            return Some(d);
         }
         let v = parse_plain_int(occ.value)?;
         if v < 0 {
@@ -730,6 +759,20 @@ impl<'db> CheckSession<'db> {
             ));
         }
         None
+    }
+
+    /// Whether `value` would pass every numeric range constraint on the
+    /// parameter. A fix must never introduce a new finding, so a unit
+    /// conversion is only emitted as machine-applicable when the converted
+    /// value checks clean; otherwise the diagnostic keeps its prose
+    /// suggestion and the user decides.
+    fn fix_value_is_clean(&self, name: &str, value: i64) -> bool {
+        self.entry(name).is_none_or(|e| {
+            e.constraints.iter().all(|c| match &c.kind {
+                ConstraintKind::Range(r) => r.is_valid(value),
+                _ => true,
+            })
+        })
     }
 
     fn check_range(
@@ -991,22 +1034,138 @@ fn parse_controller_value(v: &str) -> Option<i64> {
     parse_plain_int(v).or_else(|| parse_bool_word(v).map(i64::from))
 }
 
-/// Splits `"512MB"` into `(512, "MB")`. Returns `None` when the value is
-/// not a number followed by a recognised time/size unit suffix.
-pub fn split_unit_suffix(v: &str) -> Option<(i64, &str)> {
+/// A decimal magnitude `mantissa / 10^scale`, kept exact (no float
+/// rounding) so unit conversions are emitted as machine fixes only when
+/// the converted value really is the written one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Decimal {
+    mantissa: i128,
+    scale: u32,
+}
+
+impl Decimal {
+    fn as_f64(self) -> f64 {
+        self.mantissa as f64 / 10f64.powi(self.scale as i32)
+    }
+}
+
+/// What a recognised unit suffix means, as a factor over the family's
+/// base unit (microseconds for time, bytes for size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SuffixKind {
+    /// A time suffix worth this many microseconds.
+    Time(i64),
+    /// A size suffix worth this many bytes.
+    Size(i64),
+}
+
+/// Resolves a unit suffix, case-insensitively where unambiguous.
+///
+/// The one ambiguous spelling is `m`/`M` — minutes versus mebibytes — so
+/// only there does letter case decide; every other suffix is accepted in
+/// any case (`10S`, `64Kb`, `5MS` are misconfigurations users actually
+/// write, and rejecting the spelling would let them pass unflagged).
+fn suffix_kind(suffix: &str) -> Option<SuffixKind> {
+    match suffix {
+        "m" => return Some(SuffixKind::Time(60 * 1_000_000)),
+        "M" => return Some(SuffixKind::Size(1 << 20)),
+        _ => {}
+    }
+    Some(match suffix.to_ascii_lowercase().as_str() {
+        "us" => SuffixKind::Time(1),
+        "ms" => SuffixKind::Time(1_000),
+        "s" | "sec" => SuffixKind::Time(1_000_000),
+        "min" => SuffixKind::Time(60 * 1_000_000),
+        "h" => SuffixKind::Time(3_600 * 1_000_000),
+        "b" => SuffixKind::Size(1),
+        "k" | "kb" => SuffixKind::Size(1 << 10),
+        "mb" => SuffixKind::Size(1 << 20),
+        "g" | "gb" => SuffixKind::Size(1 << 30),
+        "t" | "tb" => SuffixKind::Size(1i64 << 40),
+        _ => return None,
+    })
+}
+
+/// Splits a trimmed value into an exact decimal magnitude and the
+/// trailing suffix text; `None` unless the shape is `[sign]digits[.digits]
+/// suffix` with a nonempty suffix.
+fn split_number_suffix(v: &str) -> Option<(Decimal, &str)> {
     let t = v.trim();
-    let digits_end = t
-        .char_indices()
-        .skip_while(|(i, c)| *i == 0 && (*c == '-' || *c == '+'))
-        .find(|(_, c)| !c.is_ascii_digit())
-        .map(|(i, _)| i)?;
-    let (num, suffix) = t.split_at(digits_end);
-    let num: i64 = num.parse().ok()?;
-    let known = [
-        "us", "ms", "s", "m", "h", "min", "sec", "B", "K", "KB", "M", "MB", "G", "GB", "T", "TB",
-        "k", "g",
-    ];
-    known.contains(&suffix).then_some((num, suffix))
+    let (sign, rest) = match t.as_bytes().first()? {
+        b'-' => (-1i128, &t[1..]),
+        b'+' => (1, &t[1..]),
+        _ => (1, t),
+    };
+    let int_end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if int_end == 0 {
+        return None;
+    }
+    let (frac, suffix_at) = match rest[int_end..].strip_prefix('.') {
+        Some(after_dot) => {
+            let frac_len = after_dot
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(after_dot.len());
+            if frac_len == 0 {
+                return None;
+            }
+            (&after_dot[..frac_len], int_end + 1 + frac_len)
+        }
+        None => ("", int_end),
+    };
+    let suffix = &rest[suffix_at..];
+    if suffix.is_empty() {
+        return None;
+    }
+    let mut mantissa: i128 = 0;
+    for c in rest[..int_end].chars().chain(frac.chars()) {
+        mantissa = mantissa
+            .checked_mul(10)?
+            .checked_add((c as u8 - b'0') as i128)?;
+    }
+    Some((
+        Decimal {
+            mantissa: sign * mantissa,
+            scale: frac.len() as u32,
+        },
+        suffix,
+    ))
+}
+
+/// Splits `"512MB"` into `(512.0, "MB")` and `"1.5s"` into `(1.5, "s")`.
+/// Returns `None` when the value is not a decimal number followed by a
+/// recognised time/size unit suffix (matched case-insensitively where
+/// unambiguous — see [`Fix`]-emitting checks for the conversion rules).
+pub fn split_unit_suffix(v: &str) -> Option<(f64, &str)> {
+    let (num, suffix) = split_number_suffix(v)?;
+    suffix_kind(suffix)?;
+    Some((num.as_f64(), suffix))
+}
+
+/// The magnitude converted from `per_unit` base units into `target`
+/// base units, when the result is an exact, `i64`-representable integer
+/// (overflow-safe: all arithmetic is checked `i128`).
+fn convert_exact(num: Decimal, per_unit: i64, target: i64) -> Option<i64> {
+    let numer = num.mantissa.checked_mul(per_unit as i128)?;
+    let denom = 10i128.checked_pow(num.scale)?.checked_mul(target as i128)?;
+    (numer % denom == 0)
+        .then(|| numer / denom)
+        .and_then(|q| i64::try_from(q).ok())
+}
+
+/// The repair value for a unit-suffixed setting of a parameter the system
+/// reads in `target_kind` base units: the magnitude converted to those
+/// units, when the suffix is of the same family and the conversion is
+/// exact and non-negative (a fix must never introduce a new finding).
+fn suffix_conversion(value: &str, target_kind: SuffixKind) -> Option<i64> {
+    let (num, suffix) = split_number_suffix(value)?;
+    let converted = match (suffix_kind(suffix)?, target_kind) {
+        (SuffixKind::Time(micros), SuffixKind::Time(target)) => convert_exact(num, micros, target)?,
+        (SuffixKind::Size(bytes), SuffixKind::Size(target)) => convert_exact(num, bytes, target)?,
+        _ => return None,
+    };
+    (converted >= 0).then_some(converted)
 }
 
 /// Inclusive bounds of an integer type. Widths outside 1..=63 (including
@@ -1141,12 +1300,43 @@ mod tests {
             ConstraintKind::SemanticType(SemType::Time(TimeUnit::Sec)),
         ));
         db.add(c(
+            "grace_s",
+            ConstraintKind::SemanticType(SemType::Time(TimeUnit::Sec)),
+        ));
+        db.add(c(
+            "grace_s",
+            ConstraintKind::Range(NumericRange {
+                cutpoints: vec![0, 60],
+                segments: vec![
+                    RangeSegment {
+                        lo: None,
+                        hi: Some(-1),
+                        valid: false,
+                    },
+                    RangeSegment {
+                        lo: Some(0),
+                        hi: Some(60),
+                        valid: true,
+                    },
+                    RangeSegment {
+                        lo: Some(61),
+                        hi: None,
+                        valid: false,
+                    },
+                ],
+            }),
+        ));
+        db.add(c(
             "poll_ms",
             ConstraintKind::SemanticType(SemType::Time(TimeUnit::Milli)),
         ));
         db.add(c(
             "spin_us",
             ConstraintKind::SemanticType(SemType::Time(TimeUnit::Micro)),
+        ));
+        db.add(c(
+            "buf_b",
+            ConstraintKind::SemanticType(SemType::Size(SizeUnit::B)),
         ));
         db.add(c(
             "commit_siblings",
@@ -1665,11 +1855,171 @@ mod tests {
 
     #[test]
     fn unit_suffix_splitting() {
-        assert_eq!(split_unit_suffix("512MB"), Some((512, "MB")));
-        assert_eq!(split_unit_suffix("9G"), Some((9, "G")));
-        assert_eq!(split_unit_suffix("10ms"), Some((10, "ms")));
+        assert_eq!(split_unit_suffix("512MB"), Some((512.0, "MB")));
+        assert_eq!(split_unit_suffix("9G"), Some((9.0, "G")));
+        assert_eq!(split_unit_suffix("10ms"), Some((10.0, "ms")));
         assert_eq!(split_unit_suffix("42"), None);
         assert_eq!(split_unit_suffix("hello"), None);
         assert_eq!(split_unit_suffix("12half"), None);
+    }
+
+    #[test]
+    fn unit_suffix_accepts_uppercase_and_decimal_spellings() {
+        // These spellings used to be rejected by the splitter, so the
+        // suffix misconfigurations they carry passed silently.
+        assert_eq!(split_unit_suffix("10S"), Some((10.0, "S")));
+        assert_eq!(split_unit_suffix("5MS"), Some((5.0, "MS")));
+        assert_eq!(split_unit_suffix("64Kb"), Some((64.0, "Kb")));
+        assert_eq!(split_unit_suffix("2gB"), Some((2.0, "gB")));
+        assert_eq!(split_unit_suffix("1.5s"), Some((1.5, "s")));
+        assert_eq!(split_unit_suffix("0.25h"), Some((0.25, "h")));
+        // Malformed decimals are not numbers with suffixes.
+        assert_eq!(split_unit_suffix("1.5"), None);
+        assert_eq!(split_unit_suffix("1.s"), None);
+        assert_eq!(split_unit_suffix(".5s"), None);
+        // `m`/`M` is the one case-ambiguous pair: minutes vs mebibytes.
+        assert_eq!(suffix_kind("m"), Some(SuffixKind::Time(60_000_000)));
+        assert_eq!(suffix_kind("M"), Some(SuffixKind::Size(1 << 20)));
+    }
+
+    #[test]
+    fn suffixed_time_values_get_conversion_fixes() {
+        // `10s` for a milliseconds parameter: the paper's silent
+        // mis-scaling trap, now repaired, not just reported.
+        let ds = check("poll_ms = 10s\n");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(
+            ds[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "poll_ms".into(),
+                value: "10000".into(),
+            })
+        );
+        assert!(ds[0].suggestion.as_deref().unwrap().contains("10000"));
+        // Uppercase and decimal spellings convert too.
+        assert_eq!(
+            check("nap_s = 2M\n")[0].fix,
+            None,
+            "mebibytes are not a time; no cross-family fix"
+        );
+        assert_eq!(
+            check("nap_s = 2m\n")[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "nap_s".into(),
+                value: "120".into(),
+            })
+        );
+        assert_eq!(
+            check("nap_s = 10S\n")[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "nap_s".into(),
+                value: "10".into(),
+            })
+        );
+        assert_eq!(
+            check("poll_ms = 1.5s\n")[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "poll_ms".into(),
+                value: "1500".into(),
+            })
+        );
+        // Inexact conversions stay prose-only: 10 ms is 0.01 s.
+        let ds = check("nap_s = 10ms\n");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].fix.is_none());
+        // Overflow-safe: an absurd magnitude cannot panic or wrap into a
+        // bogus fix.
+        let ds = check(&format!("nap_s = {}h\n", "9".repeat(30)));
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].fix.is_none());
+        // Negative durations never get a fix (it would re-flag).
+        assert!(check("poll_ms = -10s\n")[0].fix.is_none());
+    }
+
+    #[test]
+    fn conversion_fixes_that_would_still_flag_stay_prose_only() {
+        // A fix must never introduce a new finding. 9000 hours converts
+        // exactly to 32400000 s — which is over the one-year absurdity bar
+        // the very same check enforces, so applying the "repair" would
+        // re-flag. Keep the prose suggestion instead.
+        let ds = check("nap_s = 9000h\n");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].fix.is_none(), "{:?}", ds[0].fix);
+        assert!(ds[0]
+            .suggestion
+            .as_deref()
+            .unwrap()
+            .contains("without a suffix"));
+
+        // Likewise for a conversion that lands outside the parameter's
+        // inferred range: `5m` on `grace_s` (valid range [0, 60]) is
+        // exactly 300 s, but 300 violates the range, so no fix.
+        let ds = check("grace_s = 5m\n");
+        assert!(ds.iter().all(|d| d.fix.is_none()), "{ds:?}");
+
+        // An in-range conversion still gets its machine fix, and applying
+        // it leaves the config fully clean.
+        let db = db();
+        let session = CheckSession::new(&db);
+        let mut conf = ConfFile::parse("grace_s = 0.5m\n", Dialect::KeyValue);
+        let before = session.check(&conf);
+        assert_eq!(before.len(), 1);
+        assert_eq!(
+            before[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "grace_s".into(),
+                value: "30".into(),
+            })
+        );
+        assert!(before[0].fix.as_ref().unwrap().apply(&mut conf));
+        assert!(session.check(&conf).is_empty());
+    }
+
+    #[test]
+    fn suffixed_size_values_get_conversion_fixes() {
+        let ds = check("buf_b = 64Kb\n");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::SemanticType);
+        assert_eq!(
+            ds[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "buf_b".into(),
+                value: "65536".into(),
+            })
+        );
+        assert_eq!(
+            check("buf_b = 10M\n")[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "buf_b".into(),
+                value: "10485760".into(),
+            })
+        );
+        assert_eq!(
+            check("buf_b = 1.5K\n")[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "buf_b".into(),
+                value: "1536".into(),
+            })
+        );
+        // A time suffix on a size parameter is flagged but not "fixed".
+        assert!(check("buf_b = 10m\n")[0].fix.is_none());
+    }
+
+    #[test]
+    fn suffix_conversion_fixes_round_trip() {
+        let db = db();
+        let session = CheckSession::new(&db);
+        let text = "poll_ms = 10s\nnap_s = 1.5m\nbuf_b = 64Kb\n";
+        let mut conf = ConfFile::parse(text, Dialect::KeyValue);
+        let before = session.check(&conf);
+        assert_eq!(before.len(), 3);
+        for d in &before {
+            assert!(d.fix.as_ref().expect("all convertible").apply(&mut conf));
+        }
+        let after = session.check(&conf);
+        assert!(after.is_empty(), "{after:?}");
+        assert_eq!(conf.get("poll_ms"), Some("10000"));
+        assert_eq!(conf.get("nap_s"), Some("90"));
+        assert_eq!(conf.get("buf_b"), Some("65536"));
     }
 }

@@ -59,7 +59,7 @@ use spex_core::apispec::ApiSpec;
 use spex_core::fingerprint::{
     diff_fingerprints, function_fingerprints, header_fingerprint, FingerprintDiff,
 };
-use spex_core::infer::{InferScope, PassCounts, Spex};
+use spex_core::infer::{InferScope, PassCache, PassCounts, Spex};
 use spex_core::Annotation;
 use spex_ir::Module;
 use std::collections::{BTreeMap, BTreeSet};
@@ -90,10 +90,15 @@ impl Dirty {
 }
 
 /// One source module owned by the workspace.
-#[derive(Debug, Clone)]
 struct SourceModule {
-    /// The lowered IR (kept so `reanalyze` never re-parses).
-    module: Module,
+    /// The lowered IR (kept so `reanalyze` never re-parses), shared so
+    /// analysis never deep-clones it — see [`Workspace::module_clones`].
+    module: Arc<Module>,
+    /// The pass-level cache: prepared SSA state, mapping extraction and
+    /// per-parameter taint slices from the last analysis, keyed by the
+    /// function fingerprints so `reanalyze` recomputes only what an edit
+    /// could have touched.
+    cache: PassCache,
     /// Mapping annotations for this module.
     anns: Vec<Annotation>,
     /// Per-function fingerprints as of the stored `module`.
@@ -383,7 +388,8 @@ impl Workspace {
         self.modules.insert(
             name,
             SourceModule {
-                module,
+                module: Arc::new(module),
+                cache: PassCache::default(),
                 anns,
                 fn_fps,
                 header_fp,
@@ -419,7 +425,7 @@ impl Workspace {
         } else if !diff.is_empty() {
             entry.dirty.absorb_functions(diff.dirty_names());
         }
-        entry.module = module;
+        entry.module = Arc::new(module);
         entry.fn_fps = fn_fps;
         entry.header_fp = header_fp;
         Ok(diff)
@@ -477,18 +483,29 @@ impl Workspace {
     }
 
     /// Re-infers constraints for everything dirty and folds the results
-    /// into the database. Work is proportional to the change: parameters
-    /// whose data flow does not touch any dirty function keep their
-    /// persisted constraints untouched, and their inference passes do not
-    /// run (see [`ReanalyzeReport::passes`]).
+    /// into the database. Work is proportional to the change, at two
+    /// granularities: parameters whose data flow does not touch any dirty
+    /// function keep their persisted constraints untouched and their
+    /// inference passes do not run, and the expensive intermediate
+    /// artifacts — SSA preparation, mapping extraction, per-parameter
+    /// taint slices — are served from a fingerprint-keyed [`PassCache`]
+    /// whenever the edit provably cannot affect them (see
+    /// [`ReanalyzeReport::passes`] for both the pass and the cache
+    /// accounting). The stored module is shared into the analysis and
+    /// never deep-cloned ([`Workspace::module_clones`] stays flat).
     pub fn reanalyze(&mut self) -> ReanalyzeReport {
         let mut report = ReanalyzeReport::default();
         let names: Vec<String> = self.modules.keys().cloned().collect();
         for name in names {
-            let entry = self.modules.get(&name).expect("listed above");
-            let scope = match &entry.dirty {
+            let entry = self.modules.get_mut(&name).expect("listed above");
+            let (scope, dirty_fns) = match &entry.dirty {
                 Dirty::Clean => continue,
-                Dirty::All => None,
+                Dirty::All => {
+                    // Header or annotation change: every cached artifact's
+                    // id space is suspect.
+                    entry.cache.clear();
+                    (None, None)
+                }
                 Dirty::Functions(fns) => {
                     // Close the dirty names over the *previous* analysis's
                     // call edges: an edit that removed a call must still
@@ -506,16 +523,33 @@ impl Workspace {
                         .filter(|(_, t)| !t.is_disjoint(&closed))
                         .map(|(p, _)| p)
                         .collect();
-                    Some(InferScope::functions(closed.iter().cloned()).with_params(forced))
+                    (
+                        Some(InferScope::functions(closed.iter().cloned()).with_params(forced)),
+                        // The raw (unclosed) dirty set keys the slice
+                        // cache: a changed caller invalidates only slices
+                        // it can actually reach.
+                        Some(fns.clone()),
+                    )
                 }
             };
             report.modules_analyzed += 1;
-            let analysis = Spex::analyze_scoped(
-                entry.module.clone(),
-                &entry.anns,
-                self.spec.clone(),
-                scope.as_ref(),
-            );
+            let analysis = {
+                let spec = self.spec.clone();
+                let SourceModule {
+                    module,
+                    anns,
+                    cache,
+                    ..
+                } = entry;
+                Spex::analyze_cached(
+                    module,
+                    anns,
+                    spec,
+                    scope.as_ref(),
+                    dirty_fns.as_ref(),
+                    cache,
+                )
+            };
             report.passes.accumulate(&analysis.passes);
             report.params_total += analysis.reports.len();
 
@@ -617,6 +651,15 @@ impl Workspace {
     /// regression tests for the borrowed engine assert on this).
     pub fn session_rebuilds(&self) -> usize {
         self.cache.lock().unwrap().rebuilds
+    }
+
+    /// Total deep-clone count across the lineages of every stored module
+    /// (see [`Module::clone_count`]). Analysis shares the stored modules
+    /// by reference, so [`reanalyze`](Workspace::reanalyze) — full or
+    /// incremental — must keep this flat; the pass-cache regression tests
+    /// assert exactly that.
+    pub fn module_clones(&self) -> usize {
+        self.modules.values().map(|m| m.module.clone_count()).sum()
     }
 
     /// Checks one config text against the current database.

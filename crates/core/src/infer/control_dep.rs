@@ -41,7 +41,7 @@ struct Guard {
 pub fn infer(
     am: &AnalyzedModule,
     names: &[String],
-    taints: &[TaintResult],
+    taints: &[std::sync::Arc<TaintResult>],
     vindex: &HashMap<(FuncId, ValueId), Vec<usize>>,
 ) -> Vec<Constraint> {
     let mut intra = IntraGuards::compute(am, vindex);

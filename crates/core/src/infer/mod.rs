@@ -17,10 +17,11 @@ pub mod value_rel;
 use crate::annotations::Annotation;
 use crate::apispec::ApiSpec;
 use crate::constraint::Constraint;
-use crate::mapping::{extract_mappings, MappedParam};
-use spex_dataflow::{AnalyzedModule, TaintEngine, TaintResult};
-use spex_ir::{FuncId, Module, ValueId};
+use crate::mapping::{extract_mappings, mapping_relevant, MappedParam};
+use spex_dataflow::{AnalyzedModule, MemLoc, TaintEngine, TaintResult, TaintRoot};
+use spex_ir::{Callee, FuncId, Instr, Module, ValueId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 pub use evidence::{Evidence, ResetEvidence, StringCmpEvidence};
 
@@ -29,8 +30,10 @@ pub use evidence::{Evidence, ResetEvidence, StringCmpEvidence};
 pub struct ParamReport {
     /// The mapped parameter.
     pub param: MappedParam,
-    /// The parameter's data-flow (its "program slice").
-    pub taint: TaintResult,
+    /// The parameter's data-flow (its "program slice"), shared with the
+    /// pass-level cache — an unchanged slice is reused across analysis
+    /// generations by reference-count bump.
+    pub taint: Arc<TaintResult>,
     /// All constraints inferred for the parameter.
     pub constraints: Vec<Constraint>,
     /// Raw evidence consumed by the error-prone-design detectors (§3.2).
@@ -42,13 +45,17 @@ pub struct ParamReport {
     pub stale: bool,
 }
 
-/// How many times each inference pass ran during one analysis.
+/// How many times each inference pass ran during one analysis, and how the
+/// pass-level cache fared.
 ///
 /// The per-parameter passes (basic type, semantic type, data range) count
 /// one invocation per parameter they processed; the whole-module passes
 /// (control dependency, value relationship) count one invocation per run.
-/// Incremental callers use these to assert that a scoped re-analysis did
-/// proportionally less work than a full one.
+/// The cache counters record, for the expensive intermediate artifacts
+/// (config-mapping extraction and per-parameter taint slices), how many
+/// were recomputed versus served from a [`PassCache`]. Incremental callers
+/// use these to assert that a scoped re-analysis did proportionally less
+/// work than a full one.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PassCounts {
     /// Basic-type pass invocations (per parameter).
@@ -61,12 +68,28 @@ pub struct PassCounts {
     pub control_dep: usize,
     /// Value-relationship pass invocations (per run).
     pub value_rel: usize,
+    /// Mapping extractions that actually ran (per analysis).
+    pub mapping_extractions: usize,
+    /// Mapping extractions answered from the cache (per analysis).
+    pub mapping_cache_hits: usize,
+    /// Taint-slice computations that actually ran (per parameter).
+    pub taint_runs: usize,
+    /// Taint slices reused from the cache (per parameter).
+    pub taint_cache_hits: usize,
 }
 
 impl PassCounts {
-    /// Sum over all five passes.
+    /// Sum over the five inference passes (cache counters excluded).
     pub fn total(&self) -> usize {
         self.basic_type + self.semantic_type + self.range + self.control_dep + self.value_rel
+    }
+
+    /// Fraction of cacheable artifacts (mappings + taint slices) served
+    /// from the cache, or `None` when nothing cacheable was requested.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.mapping_cache_hits + self.taint_cache_hits;
+        let total = hits + self.mapping_extractions + self.taint_runs;
+        (total > 0).then(|| hits as f64 / total as f64)
     }
 
     /// Accumulates another run's counts.
@@ -76,6 +99,10 @@ impl PassCounts {
         self.range += other.range;
         self.control_dep += other.control_dep;
         self.value_rel += other.value_rel;
+        self.mapping_extractions += other.mapping_extractions;
+        self.mapping_cache_hits += other.mapping_cache_hits;
+        self.taint_runs += other.taint_runs;
+        self.taint_cache_hits += other.taint_cache_hits;
     }
 }
 
@@ -112,8 +139,10 @@ impl InferScope {
 
 /// The full analysis result for one system.
 pub struct SpexAnalysis {
-    /// The prepared module (SSA form plus analysis caches).
-    pub am: AnalyzedModule,
+    /// The prepared module (SSA form plus analysis caches), shared with
+    /// the [`PassCache`] so incremental re-analyses reuse per-function
+    /// state instead of rebuilding it.
+    pub am: Arc<AnalyzedModule>,
     /// One report per configuration parameter, in mapping order.
     pub reports: Vec<ParamReport>,
     /// How many times each inference pass ran (see [`PassCounts`]).
@@ -141,6 +170,205 @@ impl SpexAnalysis {
     }
 }
 
+/// The fingerprint-keyed cache for the expensive intermediate artifacts
+/// of one module's analysis: the prepared [`AnalyzedModule`] (SSA form,
+/// CFGs, dominators, use-def chains), the config-mapping extraction
+/// result, and the per-parameter taint slices.
+///
+/// One cache belongs to one module lineage. [`Spex::analyze_cached`]
+/// consults it when given the set of dirty function names and refills it
+/// after every run, so a warm re-analysis after a small edit recomputes
+/// only the artifacts the edit could have touched and reuses the rest by
+/// `Arc` bump. Dropping the cache (or passing `dirty = None`) degrades
+/// gracefully to a full analysis.
+#[derive(Default)]
+pub struct PassCache {
+    state: Option<CacheState>,
+}
+
+impl PassCache {
+    /// Forgets everything (e.g. after an annotation or header change the
+    /// caller knows invalidates all artifacts).
+    pub fn clear(&mut self) {
+        self.state = None;
+    }
+
+    /// Whether the cache currently holds a prior analysis generation.
+    pub fn is_warm(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+struct CacheState {
+    /// The previous generation's prepared module.
+    am: Arc<AnalyzedModule>,
+    /// Fingerprint of the annotations the artifacts were extracted under.
+    ann_fp: u64,
+    /// Cached mapping-extraction result.
+    mappings: Arc<Vec<MappedParam>>,
+    /// Cached per-parameter slices, by parameter name.
+    slices: HashMap<String, CachedSlice>,
+}
+
+/// One parameter's cached taint slice plus the summaries its validity
+/// checks need (see [`slice_survives_edit`]).
+struct CachedSlice {
+    /// The roots the slice was computed from (id-exact; any change in the
+    /// fresh mapping misses the cache).
+    roots: Vec<TaintRoot>,
+    /// The slice itself.
+    taint: Arc<TaintResult>,
+    /// Names of the functions the slice touches.
+    touched: BTreeSet<String>,
+    /// Parameter counts of the touched functions (possible arities for
+    /// indirect calls *into* the slice from edited code).
+    touched_arities: BTreeSet<usize>,
+    /// Arities of indirect calls *made by* touched functions (an edited
+    /// function with a matching parameter count could become a callee).
+    indirect_arities: BTreeSet<usize>,
+}
+
+/// What an edited (or added) function could do to existing slices:
+/// everything a taint run could newly traverse through it.
+struct DirtyFnSummary {
+    /// Abstract locations the function loads from.
+    loads: Vec<MemLoc>,
+    /// Names of functions it calls directly.
+    callees: BTreeSet<String>,
+    /// Arities of indirect calls it makes.
+    indirect_arities: BTreeSet<usize>,
+    /// Arities of functions whose address it takes (each becomes a new
+    /// potential indirect-call target).
+    funcref_arities: BTreeSet<usize>,
+    /// Its own parameter count (it may itself be an indirect-call target).
+    param_count: usize,
+}
+
+fn summarize_dirty_fn(am: &AnalyzedModule, fid: FuncId) -> DirtyFnSummary {
+    let f = am.module.func(fid);
+    let mut s = DirtyFnSummary {
+        loads: Vec::new(),
+        callees: BTreeSet::new(),
+        indirect_arities: BTreeSet::new(),
+        funcref_arities: BTreeSet::new(),
+        param_count: f.params.len(),
+    };
+    for (_, _, instr, _) in f.iter_instrs() {
+        match instr {
+            Instr::Load { place, .. } => {
+                if let Some(loc) = MemLoc::from_place(fid, place) {
+                    s.loads.push(loc);
+                }
+            }
+            Instr::Call { callee, args, .. } => match callee {
+                Callee::Func(t) => {
+                    s.callees.insert(am.module.func(*t).name.clone());
+                }
+                Callee::Indirect(_) => {
+                    s.indirect_arities.insert(args.len());
+                }
+                Callee::Builtin(_) => {}
+            },
+            Instr::Const {
+                val: spex_ir::ConstVal::FuncRef(t),
+                ..
+            } => {
+                s.funcref_arities.insert(am.module.func(*t).params.len());
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Whether a cached slice is still exact after an edit: its roots are
+/// unchanged, none of its touched functions changed, and no edited
+/// function opens a new channel into it. Taint enters a function only by
+/// (a) loading memory the slice taints, (b) receiving a tainted argument
+/// from a touched function (impossible here — touched functions are
+/// unchanged, so their call sites are too), (c) receiving a tainted return
+/// by calling into a touched function, directly or through a function
+/// pointer, or (d) becoming an indirect-call target of a touched
+/// function. Each channel has a matching conservative check below.
+fn slice_survives_edit(
+    cached: &CachedSlice,
+    roots: &[TaintRoot],
+    dirty: &BTreeSet<String>,
+    summaries: &[DirtyFnSummary],
+) -> bool {
+    if cached.roots != roots {
+        return false;
+    }
+    if cached.touched.iter().any(|n| dirty.contains(n)) {
+        return false;
+    }
+    summaries.iter().all(|s| {
+        s.callees.is_disjoint(&cached.touched)
+            && s.indirect_arities.is_disjoint(&cached.touched_arities)
+            && !cached.indirect_arities.contains(&s.param_count)
+            && s.funcref_arities.is_disjoint(&cached.indirect_arities)
+            && !s
+                .loads
+                .iter()
+                .any(|l| cached.taint.mem.keys().any(|m| m.may_alias(l)))
+    })
+}
+
+/// Builds the [`CachedSlice`] bookkeeping for a freshly computed (or
+/// carried-over) slice.
+fn cache_slice(am: &AnalyzedModule, roots: &[TaintRoot], taint: &Arc<TaintResult>) -> CachedSlice {
+    let mut touched = BTreeSet::new();
+    let mut touched_arities = BTreeSet::new();
+    let mut indirect_arities = BTreeSet::new();
+    for fid in taint.touched_functions() {
+        let f = am.module.func(fid);
+        touched.insert(f.name.clone());
+        touched_arities.insert(f.params.len());
+        for (_, _, instr, _) in f.iter_instrs() {
+            if let Instr::Call {
+                callee: Callee::Indirect(_),
+                args,
+                ..
+            } = instr
+            {
+                indirect_arities.insert(args.len());
+            }
+        }
+    }
+    CachedSlice {
+        roots: roots.to_vec(),
+        taint: Arc::clone(taint),
+        touched,
+        touched_arities,
+        indirect_arities,
+    }
+}
+
+/// Deterministic fingerprint of an annotation set (defensive cache key:
+/// callers are expected to clear the cache on annotation changes anyway).
+fn ann_fingerprint(anns: &[Annotation]) -> u64 {
+    crate::fingerprint::fnv1a(format!("{anns:?}").as_bytes())
+}
+
+/// Whether the cached generation's id space is compatible with `module`:
+/// same globals (name and order) and the old function table a prefix of
+/// the new one, so every `FuncId`/`GlobalId` embedded in cached artifacts
+/// still resolves to the same entity.
+fn ids_stable(prev: &Module, next: &Module) -> bool {
+    prev.functions.len() <= next.functions.len()
+        && prev
+            .functions
+            .iter()
+            .zip(&next.functions)
+            .all(|(a, b)| a.name == b.name)
+        && prev.globals.len() == next.globals.len()
+        && prev
+            .globals
+            .iter()
+            .zip(&next.globals)
+            .all(|(a, b)| a.name == b.name)
+}
+
 /// Entry point of the SPEX analysis.
 pub struct Spex;
 
@@ -153,28 +381,202 @@ impl Spex {
     /// Analyzes a module with a custom API registry (the paper imported
     /// Storage-A's proprietary APIs this way).
     pub fn analyze_with_spec(module: Module, anns: &[Annotation], spec: ApiSpec) -> SpexAnalysis {
-        Self::analyze_scoped(module, anns, spec, None)
+        Self::analyze_scoped(&module, anns, spec, None)
     }
 
-    /// Analyzes a module, optionally restricted to a change [`InferScope`].
+    /// Analyzes a borrowed module, optionally restricted to a change
+    /// [`InferScope`]. The module is never deep-cloned: function bodies
+    /// are promoted to SSA straight off the reference.
     ///
     /// With `scope = None` this is the classic full analysis. With a scope,
     /// mapping extraction and taint tracking still run for every parameter
-    /// (they are cheap and needed to decide scope membership), but the five
+    /// (they are needed to decide scope membership), but the five
     /// constraint-inference passes run only for in-scope parameters; the
     /// rest come back as [`stale`](ParamReport::stale) reports. Incremental
     /// callers merge the fresh constraints into a persisted database.
     pub fn analyze_scoped(
-        module: Module,
+        module: &Module,
         anns: &[Annotation],
         spec: ApiSpec,
         scope: Option<&InferScope>,
     ) -> SpexAnalysis {
-        let am = AnalyzedModule::build(module);
-        let params = extract_mappings(&am, anns).unwrap_or_default();
-        let engine = TaintEngine::new(&am);
-        let taints: Vec<TaintResult> = params.iter().map(|p| engine.run(&p.roots)).collect();
+        Self::analyze_cached(module, anns, spec, scope, None, &mut PassCache::default())
+    }
 
+    /// Like [`analyze_scoped`](Spex::analyze_scoped), but consulting and
+    /// refilling a [`PassCache`] across calls.
+    ///
+    /// `dirty` names every function whose lowered IR changed since the
+    /// cache was last filled — changed, added *and* removed ones (the
+    /// fingerprint diff of the workspace). When it is `Some` and the
+    /// module header (globals, structs, enum constants) is unchanged, the
+    /// prepared module is incrementally rebuilt, the mapping extraction is
+    /// reused unless a dirty function could affect it, and each
+    /// parameter's taint slice is reused unless the edit could reach it —
+    /// see [`PassCounts`] for the hit/miss accounting. With `dirty = None`
+    /// (or a cold cache) everything is recomputed and the cache seeded.
+    pub fn analyze_cached(
+        module: &Module,
+        anns: &[Annotation],
+        spec: ApiSpec,
+        scope: Option<&InferScope>,
+        dirty: Option<&BTreeSet<String>>,
+        cache: &mut PassCache,
+    ) -> SpexAnalysis {
+        let mut passes = PassCounts::default();
+        let ann_fp = ann_fingerprint(anns);
+
+        // Reuse the previous generation's per-function state when the id
+        // space is compatible; otherwise run cold.
+        let warm = matches!(
+            (&cache.state, dirty),
+            (Some(state), Some(_))
+                if state.ann_fp == ann_fp && ids_stable(&state.am.module, module)
+        );
+        let am: Arc<AnalyzedModule> = if warm {
+            let state = cache.state.as_ref().expect("warm implies state");
+            let dirty = dirty.expect("warm implies dirty");
+            Arc::new(AnalyzedModule::rebuild(&state.am, module, &|name| {
+                dirty.contains(name)
+            }))
+        } else {
+            cache.state = None;
+            Arc::new(AnalyzedModule::build_ref(module))
+        };
+
+        // Mapping extraction: reusable only if no dirty function — in its
+        // old or new form — is mapping-relevant.
+        let params: Arc<Vec<MappedParam>> = if warm {
+            let state = cache.state.as_ref().expect("warm implies state");
+            let dirty = dirty.expect("warm implies dirty");
+            let unaffected = dirty.iter().all(|name| {
+                let old_ok = match state.am.module.function_by_name(name) {
+                    Some(fid) => !mapping_relevant(&state.am, fid, anns),
+                    None => true,
+                };
+                let new_ok = match am.module.function_by_name(name) {
+                    Some(fid) => !mapping_relevant(&am, fid, anns),
+                    None => true,
+                };
+                old_ok && new_ok
+            });
+            if unaffected {
+                passes.mapping_cache_hits += 1;
+                Arc::clone(&state.mappings)
+            } else {
+                passes.mapping_extractions += 1;
+                Arc::new(extract_mappings(&am, anns).unwrap_or_default())
+            }
+        } else {
+            passes.mapping_extractions += 1;
+            Arc::new(extract_mappings(&am, anns).unwrap_or_default())
+        };
+
+        // Taint slices: reuse every slice the edit provably cannot reach.
+        // A dirty function is summarized in both its old and its new form
+        // (mirroring the mapping check above): either could hold a channel
+        // into a cached slice — a removed channel (say, a dropped function
+        // pointer that used to feed a touched indirect call) shrinks the
+        // recomputed slice just as surely as an added one grows it.
+        let mut engine: Option<TaintEngine> = None;
+        let summaries: Vec<DirtyFnSummary> = if warm {
+            let state = cache.state.as_ref().expect("warm implies state");
+            dirty
+                .expect("warm implies dirty")
+                .iter()
+                .flat_map(|name| {
+                    let old = state
+                        .am
+                        .module
+                        .function_by_name(name)
+                        .map(|fid| summarize_dirty_fn(&state.am, fid));
+                    let new = am
+                        .module
+                        .function_by_name(name)
+                        .map(|fid| summarize_dirty_fn(&am, fid));
+                    old.into_iter().chain(new)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut slice_hit = vec![false; params.len()];
+        let taints: Vec<Arc<TaintResult>> = params
+            .iter()
+            .zip(&mut slice_hit)
+            .map(|(p, hit)| {
+                if warm {
+                    let state = cache.state.as_ref().expect("warm implies state");
+                    let dirty = dirty.expect("warm implies dirty");
+                    if let Some(cached) = state.slices.get(&p.name) {
+                        if slice_survives_edit(cached, &p.roots, dirty, &summaries) {
+                            passes.taint_cache_hits += 1;
+                            *hit = true;
+                            return Arc::clone(&cached.taint);
+                        }
+                    }
+                }
+                passes.taint_runs += 1;
+                let engine = engine.get_or_insert_with(|| TaintEngine::new(&am));
+                Arc::new(engine.run(&p.roots))
+            })
+            .collect();
+        drop(engine);
+
+        // Refill the cache for the next generation. A hit slice keeps its
+        // bookkeeping entry as-is — its touched functions are unchanged by
+        // construction, so re-deriving the summaries would walk the same
+        // instructions to the same answer; only recomputed slices are
+        // (re)summarized.
+        let mut old_slices = cache.state.take().map(|s| s.slices).unwrap_or_default();
+        cache.state = Some(CacheState {
+            am: Arc::clone(&am),
+            ann_fp,
+            mappings: Arc::clone(&params),
+            slices: params
+                .iter()
+                .zip(&taints)
+                .zip(&slice_hit)
+                .map(|((p, t), &hit)| {
+                    let entry = if hit {
+                        old_slices
+                            .remove(&p.name)
+                            .expect("a cache hit implies a cached slice")
+                    } else {
+                        cache_slice(&am, &p.roots, t)
+                    };
+                    (p.name.clone(), entry)
+                })
+                .collect(),
+        });
+
+        // A slice that missed the cache may differ from its previous
+        // generation — including slices that *shrank*, whose touched set no
+        // longer intersects the dirty functions (say, an edit removed the
+        // only function-pointer wiring a bound-checking callee in). Scope
+        // membership alone would leave such a parameter stale with its
+        // outdated constraints, so every recomputed slice forces its
+        // parameter into scope.
+        let recomputed = dirty
+            .is_some()
+            .then(|| slice_hit.iter().map(|&h| !h).collect());
+
+        Self::infer_from_slices(am, params, taints, spec, scope, recomputed, passes)
+    }
+
+    /// The five inference passes over prepared slices (shared tail of the
+    /// cached and uncached entry points). `recomputed` marks parameters
+    /// whose slice was not served from the pass cache (cached runs only);
+    /// they are inferred even when outside `scope`.
+    fn infer_from_slices(
+        am: Arc<AnalyzedModule>,
+        params: Arc<Vec<MappedParam>>,
+        taints: Vec<Arc<TaintResult>>,
+        spec: ApiSpec,
+        scope: Option<&InferScope>,
+        recomputed: Option<Vec<bool>>,
+        mut passes: PassCounts,
+    ) -> SpexAnalysis {
         // Reverse index: tainted value -> parameter indices, for the
         // multi-parameter passes.
         let vindex = build_value_index(&taints);
@@ -186,17 +588,19 @@ impl Spex {
                 params
                     .iter()
                     .zip(taints.iter())
-                    .map(|(p, t)| {
+                    .enumerate()
+                    .map(|(i, (p, t))| {
                         s.params.contains(&p.name)
                             || t.touched_functions().iter().any(|fid| dirty.contains(fid))
+                            || recomputed.as_ref().is_some_and(|r| r[i])
                     })
                     .collect()
             }
         };
 
-        let mut passes = PassCounts::default();
         let mut reports: Vec<ParamReport> = params
-            .into_iter()
+            .iter()
+            .cloned()
             .zip(taints.iter().cloned())
             .zip(in_scope.iter().copied())
             .map(|((param, taint), live)| {
@@ -303,7 +707,9 @@ fn expand_dirty_functions(
 }
 
 /// Maps every tainted SSA value to the parameters whose flow reaches it.
-pub(crate) fn build_value_index(taints: &[TaintResult]) -> HashMap<(FuncId, ValueId), Vec<usize>> {
+pub(crate) fn build_value_index(
+    taints: &[Arc<TaintResult>],
+) -> HashMap<(FuncId, ValueId), Vec<usize>> {
     let mut index: HashMap<(FuncId, ValueId), Vec<usize>> = HashMap::new();
     for (pi, t) in taints.iter().enumerate() {
         for key in t.values.keys() {

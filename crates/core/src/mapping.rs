@@ -616,6 +616,75 @@ fn extract_getter(
     Ok(out)
 }
 
+// --- Incremental invalidation -------------------------------------------------
+
+/// Whether an edit to function `fid` could change the result of
+/// [`extract_mappings`] (conservative, for the pass-level cache).
+///
+/// Mapping extraction reads the module header (option tables, globals,
+/// struct layouts) — callers invalidate wholesale on header changes — plus
+/// a small set of function-body patterns. A function matters to extraction
+/// only when it:
+///
+/// * is named by a `@PARSER` or `@GETTER` annotation (its body is scanned
+///   directly);
+/// * may be a `@STRUCT`-table handler, i.e. its address is taken anywhere
+///   (handler bodies are scanned for out-parameter parse helpers);
+/// * contains a store through a runtime pointer while a direct-pointer
+///   table is annotated (the PostgreSQL-style generic dispatcher pattern);
+/// * calls an annotated getter (each literal-name call site is a mapping).
+///
+/// Anything else — arithmetic, guards, plain builtin calls — cannot alter
+/// what [`extract_mappings`] returns, so cached mappings stay valid.
+pub fn mapping_relevant(am: &AnalyzedModule, fid: FuncId, anns: &[Annotation]) -> bool {
+    let f = am.module.func(fid);
+    let mut has_struct_direct = false;
+    let mut has_struct_function = false;
+    let mut getters: Vec<&str> = Vec::new();
+    for ann in anns {
+        match ann {
+            Annotation::StructDirect { .. } => has_struct_direct = true,
+            Annotation::StructFunction { .. } => has_struct_function = true,
+            Annotation::Parser { function, .. } => {
+                if function == &f.name {
+                    return true;
+                }
+            }
+            Annotation::Getter { function, .. } => getters.push(function),
+        }
+    }
+    if has_struct_function
+        && am
+            .callgraph
+            .address_taken
+            .iter()
+            .any(|(taken, _)| *taken == fid)
+    {
+        return true;
+    }
+    for (_, _, instr, _) in f.iter_instrs() {
+        match instr {
+            Instr::Store { place, .. }
+                if has_struct_direct && matches!(place.base, PlaceBase::ValuePtr(_)) =>
+            {
+                return true;
+            }
+            Instr::Call { callee, .. } if !getters.is_empty() => {
+                let name = match callee {
+                    Callee::Func(t) => Some(am.module.func(*t).name.as_str()),
+                    Callee::Builtin(b) => Some(b.name()),
+                    Callee::Indirect(_) => None,
+                };
+                if name.is_some_and(|n| getters.contains(&n)) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
 // --- Constant resolution helpers ----------------------------------------------
 
 /// The string literal a value is defined as, if any.

@@ -43,40 +43,145 @@ pub use usedef::{UseDefs, UseSite};
 
 use spex_ir::cfg::Cfg;
 use spex_ir::dom::DomTree;
-use spex_ir::{promote_to_ssa, Module};
+use spex_ir::{promote_to_ssa, Function, Module};
+use std::sync::Arc;
 
 /// A module prepared for analysis: every function promoted to SSA, with CFG,
 /// dominator and use-def information precomputed and shared by all passes.
+///
+/// The per-function artifacts are `Arc`-shared so an incremental
+/// [`rebuild`](AnalyzedModule::rebuild) can carry the state of unchanged
+/// functions from one analysis generation to the next with a reference-count
+/// bump instead of a recomputation.
 pub struct AnalyzedModule {
     /// The module with all function bodies in SSA form.
-    pub module: Module,
+    pub module: Arc<Module>,
     /// CFG per function (indexed by function id).
-    pub cfgs: Vec<Cfg>,
+    pub cfgs: Vec<Arc<Cfg>>,
     /// Dominator tree per function.
-    pub doms: Vec<DomTree>,
+    pub doms: Vec<Arc<DomTree>>,
     /// Use-def chains per function.
-    pub usedefs: Vec<UseDefs>,
+    pub usedefs: Vec<Arc<UseDefs>>,
     /// Call graph over the whole module.
     pub callgraph: CallGraph,
+}
+
+/// SSA promotion plus the per-function analysis artifacts for one function.
+fn prepare_function(f: &Function) -> (Function, Arc<Cfg>, Arc<DomTree>, Arc<UseDefs>) {
+    let ssa = if f.is_ssa {
+        f.clone()
+    } else {
+        promote_to_ssa(f)
+    };
+    let cfg = Cfg::build(&ssa);
+    let dom = DomTree::build(&ssa, &cfg);
+    let ud = UseDefs::build(&ssa);
+    (ssa, Arc::new(cfg), Arc::new(dom), Arc::new(ud))
 }
 
 impl AnalyzedModule {
     /// Promotes every function to SSA and precomputes the analysis state.
     pub fn build(mut module: Module) -> AnalyzedModule {
+        let mut cfgs = Vec::with_capacity(module.functions.len());
+        let mut doms = Vec::with_capacity(module.functions.len());
+        let mut usedefs = Vec::with_capacity(module.functions.len());
         for f in &mut module.functions {
-            *f = promote_to_ssa(f);
+            let (ssa, cfg, dom, ud) = prepare_function(f);
+            *f = ssa;
+            cfgs.push(cfg);
+            doms.push(dom);
+            usedefs.push(ud);
         }
-        let cfgs: Vec<Cfg> = module.functions.iter().map(Cfg::build).collect();
-        let doms: Vec<DomTree> = module
-            .functions
-            .iter()
-            .zip(&cfgs)
-            .map(|(f, c)| DomTree::build(f, c))
-            .collect();
-        let usedefs: Vec<UseDefs> = module.functions.iter().map(UseDefs::build).collect();
         let callgraph = CallGraph::build(&module);
         AnalyzedModule {
-            module,
+            module: Arc::new(module),
+            cfgs,
+            doms,
+            usedefs,
+            callgraph,
+        }
+    }
+
+    /// Like [`build`](AnalyzedModule::build), but from a borrowed module:
+    /// function bodies are promoted straight off the reference (SSA
+    /// promotion copies per function anyway), so the caller's module is
+    /// never deep-cloned as a whole.
+    pub fn build_ref(module: &Module) -> AnalyzedModule {
+        AnalyzedModule::rebuild_inner(None, module, &|_| true)
+    }
+
+    /// Incrementally rebuilds the analysis state for a new module
+    /// generation, reusing the SSA body, CFG, dominator tree and use-def
+    /// chains of every function for which `dirty(name)` is false.
+    ///
+    /// Reuse is only sound when the unchanged functions are *identical*
+    /// (same lowered IR) **and** every id they embed still resolves to the
+    /// same entity. The caller guarantees the former (fingerprint
+    /// equality); this method verifies the latter and falls back to a full
+    /// [`build_ref`](AnalyzedModule::build_ref) when it cannot:
+    ///
+    /// * the previous function table must be a prefix of the new one
+    ///   (same names in the same order; additions only at the end), so
+    ///   every embedded [`spex_ir::FuncId`] is stable;
+    /// * globals, structs and enum constants must be unchanged (the caller
+    ///   invalidates wholesale on header changes), so every
+    ///   [`spex_ir::GlobalId`] is stable.
+    ///
+    /// The call graph is always rebuilt — it is whole-module and cheap
+    /// relative to SSA promotion.
+    pub fn rebuild(
+        prev: &AnalyzedModule,
+        module: &Module,
+        dirty: &dyn Fn(&str) -> bool,
+    ) -> AnalyzedModule {
+        let prefix_compatible = prev.module.functions.len() <= module.functions.len()
+            && prev
+                .module
+                .functions
+                .iter()
+                .zip(&module.functions)
+                .all(|(a, b)| a.name == b.name);
+        if !prefix_compatible {
+            return AnalyzedModule::build_ref(module);
+        }
+        AnalyzedModule::rebuild_inner(Some(prev), module, dirty)
+    }
+
+    fn rebuild_inner(
+        prev: Option<&AnalyzedModule>,
+        module: &Module,
+        dirty: &dyn Fn(&str) -> bool,
+    ) -> AnalyzedModule {
+        let mut functions = Vec::with_capacity(module.functions.len());
+        let mut cfgs = Vec::with_capacity(module.functions.len());
+        let mut doms = Vec::with_capacity(module.functions.len());
+        let mut usedefs = Vec::with_capacity(module.functions.len());
+        for (i, f) in module.functions.iter().enumerate() {
+            match prev {
+                Some(p) if i < p.module.functions.len() && !dirty(&f.name) => {
+                    functions.push(p.module.functions[i].clone());
+                    cfgs.push(Arc::clone(&p.cfgs[i]));
+                    doms.push(Arc::clone(&p.doms[i]));
+                    usedefs.push(Arc::clone(&p.usedefs[i]));
+                }
+                _ => {
+                    let (ssa, cfg, dom, ud) = prepare_function(f);
+                    functions.push(ssa);
+                    cfgs.push(cfg);
+                    doms.push(dom);
+                    usedefs.push(ud);
+                }
+            }
+        }
+        let module = Module::from_parts(
+            module.structs.clone(),
+            module.globals.clone(),
+            functions,
+            module.enum_consts.clone(),
+        );
+        let callgraph = CallGraph::build(&module);
+        AnalyzedModule {
+            module: Arc::new(module),
             cfgs,
             doms,
             usedefs,

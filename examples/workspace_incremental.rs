@@ -80,6 +80,26 @@ fn main() {
         r.passes.total(),
     );
 
+    // The pass-level cache made the warm run cheap: the edit touched only
+    // `reaper`, so `listener-threads`'s taint slice and the mapping
+    // extraction were served from the fingerprint-keyed cache, and the
+    // stored module was shared into the analysis, never deep-cloned.
+    println!(
+        "  pass cache: {} slice hit(s), {} slice recompute(s), {} mapping hit(s); \
+         module deep-clones: {}",
+        r.passes.taint_cache_hits,
+        r.passes.taint_runs,
+        r.passes.mapping_cache_hits,
+        ws.module_clones(),
+    );
+    let cache_ok = r.passes.taint_cache_hits >= 1
+        && r.passes.mapping_cache_hits >= 1
+        && ws.module_clones() == 0;
+    println!(
+        "  pass-cache self-check: {}",
+        if cache_ok { "OK" } else { "FAILED" }
+    );
+
     // The same config is now caught before deployment. Checking runs on
     // the workspace's cached borrowed session: the database was not
     // cloned for this (or any) check, and the cache was rebuilt exactly

@@ -471,6 +471,180 @@ fn cached_checking_performs_zero_db_clones() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// The pass-cache acceptance criterion, part 1: `reanalyze` — first full
+/// run, warm incremental runs and no-op runs alike — never deep-clones a
+/// stored `Module` (the analysis borrows it), asserted via the lineage
+/// clone counter mirroring PR 3's `ConstraintDb::clone_count`.
+#[test]
+fn reanalyze_performs_zero_module_deep_clones() {
+    let mut ws = workspace_over(BASE);
+    assert_eq!(ws.module_clones(), 0);
+    ws.reanalyze();
+    assert_eq!(ws.module_clones(), 0, "the full analysis borrows");
+
+    ws.update_module("main.c", EDITED).unwrap();
+    ws.reanalyze();
+    assert_eq!(ws.module_clones(), 0, "the incremental analysis borrows");
+
+    ws.update_module("main.c", &format!("// note\n{EDITED}"))
+        .unwrap();
+    ws.reanalyze();
+    assert_eq!(ws.module_clones(), 0, "a no-op reanalyze touches nothing");
+}
+
+/// The pass-cache acceptance criterion, part 2: after an edit that adds an
+/// isolated function (same fingerprints for everything else), the warm
+/// `reanalyze` serves every cacheable artifact — the mapping extraction
+/// and every parameter's taint slice — from the fingerprint-keyed cache:
+/// 100% hits, zero recomputations, zero inference passes.
+#[test]
+fn no_op_edit_yields_full_cache_hits() {
+    let mut ws = workspace_over(BASE);
+    let cold = ws.reanalyze();
+    assert_eq!(cold.passes.mapping_extractions, 1, "cold run extracts");
+    assert_eq!(cold.passes.taint_runs, 2, "cold run slices both params");
+    assert_eq!(cold.passes.mapping_cache_hits, 0);
+    assert_eq!(cold.passes.taint_cache_hits, 0);
+
+    // An added function no parameter's flow touches: everything cacheable
+    // must hit.
+    let probed = format!("{BASE}\nvoid probe() {{ exit(1); }}\n");
+    let diff = ws.update_module("main.c", &probed).unwrap();
+    assert_eq!(diff.added, vec!["probe".to_string()]);
+    let warm = ws.reanalyze();
+    assert_eq!(warm.passes.mapping_cache_hits, 1, "mapping reused");
+    assert_eq!(warm.passes.taint_cache_hits, 2, "both slices reused");
+    assert_eq!(warm.passes.mapping_extractions, 0);
+    assert_eq!(warm.passes.taint_runs, 0);
+    assert_eq!(warm.passes.cache_hit_rate(), Some(1.0), "100% cache hits");
+    assert_eq!(warm.passes.total(), 0, "no inference pass re-ran");
+    assert_eq!(warm.params_reinferred, 0);
+
+    // A same-fingerprint (comment-only) edit does not even analyze.
+    let diff = ws
+        .update_module("main.c", &format!("// audit\n{probed}"))
+        .unwrap();
+    assert!(diff.is_empty());
+    let noop = ws.reanalyze();
+    assert_eq!(noop.modules_analyzed, 0);
+
+    // The caches never went stale: the incremental database still equals
+    // a from-scratch analysis of the final source.
+    let mut fresh = workspace_over(&probed);
+    fresh.reanalyze();
+    assert_eq!(ws.db(), fresh.db());
+}
+
+/// A warm edit that touches one function recomputes only the slices the
+/// edit can reach and reuses the rest, while still converging on the
+/// from-scratch database.
+#[test]
+fn warm_edit_reuses_unaffected_slices() {
+    let mut ws = workspace_over(BASE);
+    ws.reanalyze();
+
+    // `napper` edited: `nap`'s slice must be recomputed, `threads`'s
+    // (disjoint functions, disjoint globals) must be reused.
+    ws.update_module("main.c", EDITED).unwrap();
+    let warm = ws.reanalyze();
+    assert_eq!(warm.passes.taint_cache_hits, 1, "`threads` slice reused");
+    assert_eq!(warm.passes.taint_runs, 1, "`nap` slice recomputed");
+    assert_eq!(
+        warm.passes.mapping_cache_hits, 1,
+        "no mapping pattern touched"
+    );
+    assert_eq!(warm.params_reinferred, 1);
+
+    let mut fresh = workspace_over(EDITED);
+    fresh.reanalyze();
+    assert_eq!(ws.db(), fresh.db());
+    assert_eq!(ws.db().save_to_string(), fresh.db().save_to_string());
+}
+
+/// The cache's soundness edge: an *added* function can expand an existing
+/// slice (here, by loading a parameter's backing global), so that slice
+/// must be recomputed even though no previously touched function changed.
+#[test]
+fn warm_edit_opening_a_new_channel_recomputes_the_slice() {
+    let mut ws = workspace_over(BASE);
+    ws.reanalyze();
+    assert!(
+        ws.check_text("threads = 10\n").is_empty(),
+        "10 ≤ 16 is fine"
+    );
+
+    // `extra` tightens the bound on `threads` from a brand-new function:
+    // the old slice never touched `extra`, but the fresh one must.
+    let extended = format!("{BASE}\nvoid extra() {{ if (threads > 8) {{ exit(1); }} }}\n");
+    let diff = ws.update_module("main.c", &extended).unwrap();
+    assert_eq!(diff.added, vec!["extra".to_string()]);
+    let warm = ws.reanalyze();
+    assert_eq!(
+        warm.passes.taint_runs, 1,
+        "`threads` slice must miss the cache (new load of its global)"
+    );
+    assert_eq!(warm.passes.taint_cache_hits, 1, "`nap` is unaffected");
+    assert_eq!(warm.params_reinferred, 1);
+
+    // The tightened range is live and equal to a from-scratch analysis.
+    assert_eq!(ws.check_text("threads = 10\n").len(), 1);
+    let mut fresh = workspace_over(&extended);
+    fresh.reanalyze();
+    assert_eq!(ws.db(), fresh.db());
+    assert_eq!(ws.db().save_to_string(), fresh.db().save_to_string());
+}
+
+/// The symmetric soundness edge: an edit that *removes* a channel must
+/// also invalidate the slice it fed. Here `wire` holds the only address
+/// of `check_thr`, which `dispatch`'s indirect call reaches with the
+/// tainted `threads`; emptying `wire` severs that edge, so the cached
+/// (larger) slice — and the `> 8` bound it carried — must not be reused.
+#[test]
+fn warm_edit_removing_a_channel_recomputes_the_slice() {
+    let wired = r#"
+        int threads = 4;
+        struct opt { char* name; int* var; };
+        struct opt options[] = { { "threads", &threads } };
+        void check_thr(int t) { if (t > 8) { exit(1); } }
+        void wire() { fnptr p = check_thr; p(0); }
+        void dispatch(fnptr f) { f(threads); }
+    "#;
+    let unwired = r#"
+        int threads = 4;
+        struct opt { char* name; int* var; };
+        struct opt options[] = { { "threads", &threads } };
+        void check_thr(int t) { if (t > 8) { exit(1); } }
+        void wire() { }
+        void dispatch(fnptr f) { f(threads); }
+    "#;
+    let mut ws = workspace_over(wired);
+    ws.reanalyze();
+    assert_eq!(
+        ws.check_text("threads = 10\n").len(),
+        1,
+        "the wired bound flags 10 > 8"
+    );
+
+    // `wire` edited: the old form took `check_thr`'s address (an arity-1
+    // indirect target), so `threads`'s slice must miss even though no
+    // slice-touched function changed and the *new* `wire` is inert.
+    let diff = ws.update_module("main.c", unwired).unwrap();
+    assert_eq!(diff.changed, vec!["wire".to_string()]);
+    let warm = ws.reanalyze();
+    assert_eq!(
+        warm.passes.taint_runs, 1,
+        "`threads` slice must be recomputed after the channel was removed"
+    );
+
+    // The stale bound is gone and the database equals a from-scratch run.
+    assert!(ws.check_text("threads = 10\n").is_empty());
+    let mut fresh = workspace_over(unwired);
+    fresh.reanalyze();
+    assert_eq!(ws.db(), fresh.db());
+    assert_eq!(ws.db().save_to_string(), fresh.db().save_to_string());
+    assert_eq!(ws.module_clones(), 0);
+}
+
 /// `merge_db` folds a shard into the owned database and invalidates the
 /// cached session, so merged constraints are immediately checkable.
 #[test]
