@@ -13,7 +13,9 @@
 //!   validation throughput over the persisted constraint databases.
 //!
 //! Run all with `cargo bench`, or filter: `cargo bench --bench spex_bench
-//! -- check`.
+//! -- check`. Pass `--json` to append every result to the per-group
+//! `BENCH_<group>.json` trajectory files at the workspace root (see
+//! `spex_bench::harness::Runner::write_trajectory`).
 
 use spex_bench::harness::{black_box, Runner};
 use spex_bench::make_target;
@@ -335,6 +337,97 @@ fn bench_workspace(r: &Runner) {
     std::fs::remove_dir_all(&fleet).ok();
 }
 
+fn bench_telemetry(r: &Runner) {
+    // Telemetry must be pay-for-what-you-use: a workspace that never
+    // enabled it takes the one-branch no-op path (no clocks, no
+    // allocations, no recorded spans), and an instrumented workspace stays
+    // within a few percent of it. Interleave the two warm-reanalyze loops
+    // so both see the same machine state, take best-of-N, and assert both
+    // properties.
+    if !r.selected("workspace/telemetry_overhead") {
+        return;
+    }
+    let spec = spex_systems::system_by_name("OpenLDAP").unwrap();
+    let built = BuiltSystem::build(spec);
+    let variants = [
+        format!(
+            "{}\nvoid spex_obs_probe() {{ exit(1); }}\n",
+            built.gen.source
+        ),
+        format!(
+            "{}\nvoid spex_obs_probe() {{ exit(2); }}\n",
+            built.gen.source
+        ),
+    ];
+    let make_ws = |telemetry: bool| {
+        let mut ws = Workspace::new("OpenLDAP", built.gen.dialect);
+        if telemetry {
+            ws.enable_telemetry();
+        }
+        ws.add_module("gen.c", &built.gen.source, &built.gen.annotations)
+            .unwrap();
+        ws.reanalyze();
+        ws
+    };
+    let mut plain = make_ws(false);
+    let mut instrumented = make_ws(true);
+
+    const ROUNDS: usize = 30;
+    // [disabled, enabled] nanoseconds.
+    let mut best = [u128::MAX; 2];
+    let mut total = [0u128; 2];
+    for round in 0..ROUNDS {
+        for (slot, ws) in [(0usize, &mut plain), (1, &mut instrumented)] {
+            ws.update_module("gen.c", &variants[round % 2]).unwrap();
+            let spans_before = spex_obs::probe::thread_spans_recorded();
+            let start = std::time::Instant::now();
+            black_box(ws.reanalyze());
+            let dt = start.elapsed().as_nanos();
+            if slot == 0 {
+                assert_eq!(
+                    spex_obs::probe::thread_spans_recorded(),
+                    spans_before,
+                    "a workspace without telemetry must record zero spans"
+                );
+            }
+            best[slot] = best[slot].min(dt);
+            total[slot] += dt;
+        }
+    }
+    let (disabled, enabled) = (best[0], best[1]);
+    // < 5% relative, plus a small absolute floor so a sub-millisecond
+    // baseline doesn't turn scheduler jitter into a failure.
+    let budget = disabled + disabled / 20 + 25_000;
+    assert!(
+        enabled <= budget,
+        "telemetry overhead too high: enabled best {enabled} ns vs disabled best {disabled} ns"
+    );
+    let snap = instrumented.telemetry();
+    assert!(!snap.is_empty(), "instrumented workspace recorded nothing");
+    assert!(
+        snap.span_count("workspace.reanalyze") >= ROUNDS as u64,
+        "every warm reanalyze must leave a span"
+    );
+    r.record(
+        "workspace/telemetry_overhead_disabled",
+        total[0] / ROUNDS as u128,
+        disabled,
+        ROUNDS,
+    );
+    r.record(
+        "workspace/telemetry_overhead_enabled",
+        total[1] / ROUNDS as u128,
+        enabled,
+        ROUNDS,
+    );
+    println!(
+        "workspace/telemetry_overhead self-check: OK \
+         (enabled best {enabled} ns vs disabled best {disabled} ns, \
+         {} spans recorded)",
+        snap.span_count("workspace.reanalyze"),
+    );
+}
+
 fn main() {
     let r = Runner::from_args();
     bench_frontend(&r);
@@ -344,4 +437,6 @@ fn main() {
     bench_mapping(&r);
     bench_check(&r);
     bench_workspace(&r);
+    bench_telemetry(&r);
+    r.write_trajectory();
 }

@@ -387,6 +387,11 @@ pub fn misconfig_mix(misconfigs: &[Misconfig]) -> HashMap<&'static str, usize> {
 /// A dependency-free micro-benchmark harness (the container has no network,
 /// so Criterion is unavailable; this provides the subset the benches need).
 pub mod harness {
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    use std::io::Write as _;
+    use std::path::PathBuf;
     use std::time::{Duration, Instant};
 
     /// Re-export of the compiler fence against dead-code elimination.
@@ -394,20 +399,57 @@ pub mod harness {
         std::hint::black_box(x)
     }
 
+    /// One measured benchmark, as recorded for the trajectory files.
+    #[derive(Debug, Clone)]
+    pub struct BenchResult {
+        /// Full bench name (`group/case`).
+        pub name: String,
+        /// Mean latency per iteration, in nanoseconds.
+        pub mean_ns: u128,
+        /// Best single iteration, in nanoseconds.
+        pub best_ns: u128,
+        /// Iterations measured.
+        pub iters: usize,
+    }
+
     /// Runs registered benchmarks, honouring an optional name filter passed
-    /// on the command line (flags such as `--bench` are ignored).
+    /// on the command line (flags such as `--bench` are ignored). With
+    /// `--json` it also appends every result to a per-group
+    /// `BENCH_<group>.json` trajectory file (see `write_trajectory`).
     pub struct Runner {
         filter: Option<String>,
+        json: bool,
+        stamp: Option<String>,
+        results: RefCell<Vec<BenchResult>>,
         /// Target measurement time per benchmark.
         pub budget: Duration,
     }
 
     impl Runner {
         /// A runner configured from `std::env::args`.
+        ///
+        /// Recognised flags: `--json` (write trajectory files) and
+        /// `--stamp=<s>` (override the timestamp recorded in them, for
+        /// reproducible CI runs). The first non-flag argument is the name
+        /// filter.
         pub fn from_args() -> Runner {
-            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+            let mut filter = None;
+            let mut json = false;
+            let mut stamp = None;
+            for a in std::env::args().skip(1) {
+                if a == "--json" {
+                    json = true;
+                } else if let Some(s) = a.strip_prefix("--stamp=") {
+                    stamp = Some(s.to_string());
+                } else if !a.starts_with('-') && filter.is_none() {
+                    filter = Some(a);
+                }
+            }
             Runner {
                 filter,
+                json,
+                stamp,
+                results: RefCell::new(Vec::new()),
                 budget: Duration::from_millis(300),
             }
         }
@@ -459,7 +501,132 @@ pub mod harness {
                 fmt_duration(mean),
                 fmt_duration(best),
             );
+            self.record(name, mean.as_nanos(), best.as_nanos(), iters);
         }
+
+        /// Records an externally measured result so it lands in the
+        /// trajectory files (used by self-check benches that time their
+        /// iterations by hand).
+        pub fn record(&self, name: &str, mean_ns: u128, best_ns: u128, iters: usize) {
+            self.results.borrow_mut().push(BenchResult {
+                name: name.to_string(),
+                mean_ns,
+                best_ns,
+                iters,
+            });
+        }
+
+        /// Appends every recorded result to `BENCH_<group>.json` (JSON
+        /// Lines, one metric per line), where `group` is the bench-name
+        /// prefix before the first `/`. Each line carries the git revision,
+        /// a timestamp, the bench name, a metric name, the value and its
+        /// unit, so successive runs accumulate a perf trajectory that can
+        /// be diffed or plotted across commits.
+        ///
+        /// No-op unless the runner was given `--json`. Files are written
+        /// next to the workspace root (override with `SPEX_BENCH_DIR`),
+        /// then re-validated whole with
+        /// `spex_obs::json::validate_trajectory`; a malformed file is a
+        /// panic, not a warning.
+        pub fn write_trajectory(&self) -> Vec<PathBuf> {
+            if !self.json {
+                return Vec::new();
+            }
+            let results = self.results.borrow();
+            let rev = git_rev();
+            let stamp = self.stamp.clone().unwrap_or_else(default_stamp);
+            let mut groups: BTreeMap<String, String> = BTreeMap::new();
+            for r in results.iter() {
+                let group = r.name.split('/').next().unwrap_or("misc").to_string();
+                let buf = groups.entry(group).or_default();
+                for (metric, value, unit) in [
+                    ("mean_ns", r.mean_ns, "ns"),
+                    ("best_ns", r.best_ns, "ns"),
+                    ("iters", r.iters as u128, "count"),
+                ] {
+                    let _ = writeln!(
+                        buf,
+                        "{{\"rev\":{},\"stamp\":{},\"bench\":{},\"metric\":{},\
+                         \"value\":{},\"unit\":{}}}",
+                        quote(&rev),
+                        quote(&stamp),
+                        quote(&r.name),
+                        quote(metric),
+                        value,
+                        quote(unit),
+                    );
+                }
+            }
+            let dir = trajectory_dir();
+            let mut written = Vec::new();
+            let mut lines = 0;
+            for (group, body) in groups {
+                let path = dir.join(format!("BENCH_{group}.json"));
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("open {}: {e}", path.display()));
+                file.write_all(body.as_bytes())
+                    .unwrap_or_else(|e| panic!("append {}: {e}", path.display()));
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("re-read {}: {e}", path.display()));
+                match spex_obs::json::validate_trajectory(&text) {
+                    Ok(n) => lines += n,
+                    Err(e) => panic!("{} failed validation: {e}", path.display()),
+                }
+                written.push(path);
+            }
+            println!(
+                "BENCH json self-check: OK ({lines} trajectory line(s) across {} file(s))",
+                written.len()
+            );
+            written
+        }
+    }
+
+    /// JSON string quoting (shared with the obs snapshot renderer).
+    fn quote(s: &str) -> String {
+        spex_obs::json::quote(s)
+    }
+
+    fn git_rev() -> String {
+        if let Ok(rev) = std::env::var("SPEX_GIT_REV") {
+            return rev;
+        }
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    }
+
+    fn default_stamp() -> String {
+        if let Ok(s) = std::env::var("SPEX_BENCH_STAMP") {
+            return s;
+        }
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs().to_string())
+            .unwrap_or_else(|_| "0".to_string())
+    }
+
+    /// Directory trajectory files land in: `SPEX_BENCH_DIR` if set, else
+    /// the workspace root (two levels above this crate's manifest).
+    fn trajectory_dir() -> PathBuf {
+        if let Ok(dir) = std::env::var("SPEX_BENCH_DIR") {
+            return PathBuf::from(dir);
+        }
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
     }
 
     fn fmt_duration(d: Duration) -> String {

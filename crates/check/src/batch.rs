@@ -150,7 +150,7 @@ impl BatchEngine {
     /// aggregate statistics.
     pub fn run(&self, jobs: &[BatchJob]) -> (Vec<FileReport>, BatchStats) {
         let sessions = self.sessions();
-        let reports = pool::run_indexed(self.threads, jobs.len(), |i| {
+        let reports = pool::run_indexed(self.threads, jobs.len(), None, |i| {
             let job = &jobs[i];
             Self::check_text(&sessions, &job.system, &job.file, &job.text)
         });

@@ -71,7 +71,7 @@ pub mod checker;
 pub mod db;
 pub mod diag;
 pub mod env;
-pub mod json;
+pub use spex_obs::json;
 mod pool;
 pub mod report;
 pub mod session;

@@ -473,8 +473,13 @@ impl Renderer for JsonLinesRenderer {
     }
 }
 
-/// A SARIF-style JSON document (one run, rules from the stable code
-/// namespace, one result per finding) for code-scanning UIs.
+/// A SARIF 2.1.0 JSON document (one run, rules from the stable code
+/// namespace, an `artifacts` entry per checked file, one result per
+/// finding with a stable `fingerprints` member) for code-scanning UIs.
+///
+/// The fingerprint (`spexFingerprint/v1`) hashes the semantic identity of
+/// a finding — system, file, rule, parameter and value — so scanning UIs
+/// can track a result across runs even when line numbers shift.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SarifRenderer;
 
@@ -493,36 +498,59 @@ impl Renderer for SarifRenderer {
                 quote(code.summary()),
             );
         }
-        out.push_str("]}},\"results\":[");
-        let mut first = true;
-        for (f, d) in report.findings() {
-            if !first {
+        out.push_str("]}},\"artifacts\":[");
+        for (i, f) in report.files.iter().enumerate() {
+            if i > 0 {
                 out.push(',');
             }
-            first = false;
-            let level = match d.severity {
-                Severity::Error => "error",
-                Severity::Warning => "warning",
-            };
-            let _ = write!(
-                out,
-                "{{\"ruleId\":{rule},\"level\":{level},\"message\":{{\"text\":{msg}}},\
-                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{uri}}}",
-                rule = quote(d.code.as_str()),
-                level = quote(level),
-                msg = quote(&format!("\"{}\" = \"{}\": {}", d.param, d.value, d.message)),
-                uri = quote(&f.file),
-            );
-            if let Some(line) = d.line {
-                let _ = write!(out, ",\"region\":{{\"startLine\":{line}}}");
+            let _ = write!(out, "{{\"location\":{{\"uri\":{}}}}}", quote(&f.file));
+        }
+        out.push_str("],\"results\":[");
+        let mut first = true;
+        for (idx, f) in report.files.iter().enumerate() {
+            for d in &f.diagnostics {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let level = match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                };
+                let _ = write!(
+                    out,
+                    "{{\"ruleId\":{rule},\"level\":{level},\"message\":{{\"text\":{msg}}},\
+                     \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                     {{\"uri\":{uri},\"index\":{idx}}}",
+                    rule = quote(d.code.as_str()),
+                    level = quote(level),
+                    msg = quote(&format!("\"{}\" = \"{}\": {}", d.param, d.value, d.message)),
+                    uri = quote(&f.file),
+                );
+                if let Some(line) = d.line {
+                    let _ = write!(out, ",\"region\":{{\"startLine\":{line}}}");
+                }
+                let fp = spex_core::fingerprint::fnv1a(
+                    format!(
+                        "{}|{}|{}|{}|{}",
+                        f.system,
+                        f.file,
+                        d.code.as_str(),
+                        d.param,
+                        d.value
+                    )
+                    .as_bytes(),
+                );
+                let _ = write!(
+                    out,
+                    "}}}}],\"fingerprints\":{{\"spexFingerprint/v1\":{}}},\
+                     \"properties\":{{\"system\":{},\"param\":{},\"value\":{}}}}}",
+                    quote(&format!("{fp:016x}")),
+                    quote(&f.system),
+                    quote(&d.param),
+                    quote(&d.value),
+                );
             }
-            let _ = write!(
-                out,
-                "}}}}],\"properties\":{{\"system\":{},\"param\":{},\"value\":{}}}}}",
-                quote(&f.system),
-                quote(&d.param),
-                quote(&d.value),
-            );
         }
         out.push_str("],\"invocations\":[{\"executionSuccessful\":true");
         let troubles: Vec<&FileReport> = report
@@ -672,12 +700,47 @@ mod tests {
             .and_then(Json::as_array)
             .unwrap();
         assert_eq!(rules.len(), DiagCode::ALL.len());
+        let artifacts = run.get("artifacts").and_then(Json::as_array).unwrap();
+        assert_eq!(artifacts.len(), 3, "one artifact per checked file");
+        assert_eq!(
+            artifacts[1]
+                .get("location")
+                .and_then(|l| l.get("uri"))
+                .and_then(Json::as_str),
+            Some("bad \"quoted\".conf")
+        );
         let results = run.get("results").and_then(Json::as_array).unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(
             results[0].get("ruleId").and_then(Json::as_str),
             Some("SPEX-R003")
         );
+        // Each result's artifactLocation indexes into the artifacts array.
+        let loc = results[0]
+            .get("locations")
+            .and_then(Json::as_array)
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("artifactLocation"))
+            .unwrap();
+        assert_eq!(loc.get("index").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            loc.get("uri").and_then(Json::as_str),
+            artifacts[1]
+                .get("location")
+                .and_then(|l| l.get("uri"))
+                .and_then(Json::as_str),
+        );
+        // Fingerprints are stable across renders and distinct per finding.
+        let fp = |r: &Json| {
+            r.get("fingerprints")
+                .and_then(|f| f.get("spexFingerprint/v1"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .expect("every result carries a fingerprint")
+        };
+        assert_ne!(fp(&results[0]), fp(&results[1]));
+        let again = SarifRenderer.render(&sample_report());
+        assert_eq!(text, again, "renders are deterministic");
         let notifications = run
             .get("invocations")
             .and_then(Json::as_array)

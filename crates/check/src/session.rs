@@ -126,6 +126,7 @@ pub struct CheckSession<'db> {
     threads: usize,
     max_suggest_distance: usize,
     case_insensitive_keys: bool,
+    recorder: Option<Arc<spex_obs::Recorder>>,
 }
 
 /// One setting occurrence in the file, with its serialized line number.
@@ -153,7 +154,18 @@ impl<'db> CheckSession<'db> {
                 .unwrap_or(1),
             max_suggest_distance: 3,
             case_insensitive_keys: false,
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder: every check run through this session
+    /// records per-file spans, per-constraint-kind timings and
+    /// diagnostics-emitted counters into it, including work done on the
+    /// multi-file worker pool. Without one, checking records nothing
+    /// (beyond whatever recorder the calling thread itself installed).
+    pub fn with_recorder(mut self, recorder: Arc<spex_obs::Recorder>) -> CheckSession<'db> {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Attaches an environment model enabling existence checks.
@@ -222,6 +234,12 @@ impl<'db> CheckSession<'db> {
     /// ships) are attached to the constrained setting — the dependent or
     /// left-hand side — wherever it appears in the file.
     pub fn check(&self, conf: &ConfFile) -> Vec<Diagnostic> {
+        // Installing here (not only in the batch entry points) keeps the
+        // span tree identical whether a file is checked inline or on a
+        // worker: `check.file` is always a fresh top-level span.
+        let _telemetry = self.recorder.as_ref().map(spex_obs::install);
+        let _span = spex_obs::span("check.file");
+        let started = spex_obs::clock();
         let occurrences: Vec<Occurrence> = conf
             .entries
             .iter()
@@ -243,6 +261,15 @@ impl<'db> CheckSession<'db> {
                 None => out.push(self.unknown_key(occ)),
             }
         }
+        if spex_obs::enabled() {
+            spex_obs::counter("check.files", 1);
+            spex_obs::counter("check.settings", occurrences.len() as u64);
+            spex_obs::counter("check.diagnostics", out.len() as u64);
+            for d in &out {
+                spex_obs::counter(&format!("check.diag.{}", d.code.as_str()), 1);
+            }
+            spex_obs::observe_elapsed("check.file_ns", started);
+        }
         out
     }
 
@@ -261,7 +288,9 @@ impl<'db> CheckSession<'db> {
         L: AsRef<str> + Sync,
         T: AsRef<str> + Sync,
     {
-        let reports = pool::run_indexed(self.threads, files.len(), |i| {
+        let _telemetry = self.recorder.as_ref().map(spex_obs::install);
+        let _span = spex_obs::span("check.batch");
+        let reports = pool::run_indexed(self.threads, files.len(), self.recorder.as_ref(), |i| {
             let (label, text) = &files[i];
             self.check_file(label.as_ref(), text.as_ref())
         });
@@ -278,8 +307,10 @@ impl<'db> CheckSession<'db> {
     /// [`read_error`](FileReport::read_error) set rather than aborting
     /// the run. Only nonexistent roots are a hard error.
     pub fn check_paths<P: AsRef<Path>>(&self, roots: &[P]) -> std::io::Result<Report> {
+        let _telemetry = self.recorder.as_ref().map(spex_obs::install);
+        let _span = spex_obs::span("check.paths");
         let files = pool::walk_roots(roots)?;
-        let reports = pool::run_indexed(self.threads, files.len(), |i| {
+        let reports = pool::run_indexed(self.threads, files.len(), self.recorder.as_ref(), |i| {
             let entry = &files[i];
             let label = entry.path.display().to_string();
             let unreadable = |message: String| FileReport {
@@ -392,6 +423,7 @@ impl<'db> CheckSession<'db> {
         });
 
         for (c, module) in entry.with_provenance() {
+            let started = spex_obs::clock();
             let diag = match &c.kind {
                 ConstraintKind::BasicType(bt) => {
                     if word_ok {
@@ -412,6 +444,7 @@ impl<'db> CheckSession<'db> {
                 ConstraintKind::ControlDep(d) => self.check_control_dep(d, occ, all),
                 ConstraintKind::ValueRel(r) => self.check_value_rel(r, occ, all),
             };
+            spex_obs::observe_elapsed(kind_timing_metric(&c.kind), started);
             if let Some(d) = diag {
                 out.push(
                     d.at_line(occ.line)
@@ -1005,6 +1038,19 @@ impl<'db> CheckSession<'db> {
                 rel.lhs, rel.op, rel.rhs
             )),
         )
+    }
+}
+
+/// The per-constraint-kind timing histogram a `check_setting` dispatch
+/// records into (static names: no allocation on the hot path).
+fn kind_timing_metric(kind: &ConstraintKind) -> &'static str {
+    match kind {
+        ConstraintKind::BasicType(_) => "check.kind.basic_type_ns",
+        ConstraintKind::SemanticType(_) => "check.kind.semantic_type_ns",
+        ConstraintKind::Range(_) => "check.kind.range_ns",
+        ConstraintKind::EnumRange(_) => "check.kind.enum_range_ns",
+        ConstraintKind::ControlDep(_) => "check.kind.control_dep_ns",
+        ConstraintKind::ValueRel(_) => "check.kind.value_rel_ns",
     }
 }
 

@@ -222,6 +222,9 @@ pub struct Workspace {
     /// The cached parameter index checking sessions are built from
     /// (interior-mutable: `check_*` take `&self`).
     cache: Mutex<SessionCache>,
+    /// The telemetry sink, when observability is enabled — see
+    /// [`enable_telemetry`](Workspace::enable_telemetry).
+    telemetry: Option<Arc<spex_obs::Recorder>>,
 }
 
 /// The lazily (re)built state behind [`Workspace::session`].
@@ -253,6 +256,7 @@ impl Workspace {
             noted: BTreeSet::new(),
             db_version: 0,
             cache: Mutex::new(SessionCache::default()),
+            telemetry: None,
         }
     }
 
@@ -299,6 +303,37 @@ impl Workspace {
     /// Attaches the real host's filesystem as the environment model.
     pub fn with_fs_env(self) -> Workspace {
         self.with_env(Arc::new(FsEnv::new()))
+    }
+
+    /// Builder form of [`enable_telemetry`](Workspace::enable_telemetry).
+    pub fn with_telemetry(mut self) -> Workspace {
+        self.enable_telemetry();
+        self
+    }
+
+    /// Turns observability on: from now on every
+    /// [`reanalyze`](Workspace::reanalyze),
+    /// [`update_module`](Workspace::update_module) and check call records
+    /// spans and metrics into this workspace's [`spex_obs::Recorder`],
+    /// readable at any time via [`telemetry`](Workspace::telemetry).
+    /// Idempotent. With telemetry off (the default), the instrumented
+    /// paths cost one atomic load each and record nothing.
+    pub fn enable_telemetry(&mut self) -> Arc<spex_obs::Recorder> {
+        Arc::clone(
+            self.telemetry
+                .get_or_insert_with(|| Arc::new(spex_obs::Recorder::new())),
+        )
+    }
+
+    /// A snapshot of everything recorded since telemetry was enabled (or
+    /// an empty snapshot when it never was): the span tree over the
+    /// inference passes and the check path, plus the pass/cache counters,
+    /// pool gauges and timing histograms.
+    pub fn telemetry(&self) -> spex_obs::TelemetrySnapshot {
+        self.telemetry
+            .as_ref()
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
     }
 
     /// The system this workspace analyzes.
@@ -410,6 +445,8 @@ impl Workspace {
         name: &str,
         source: &str,
     ) -> Result<FingerprintDiff, WorkspaceError> {
+        let _telemetry = self.telemetry.as_ref().map(spex_obs::install);
+        let _span = spex_obs::span("workspace.update_module");
         let module = Self::parse_source(name, source)?;
         let entry = self
             .modules
@@ -494,9 +531,12 @@ impl Workspace {
     /// accounting). The stored module is shared into the analysis and
     /// never deep-cloned ([`Workspace::module_clones`] stays flat).
     pub fn reanalyze(&mut self) -> ReanalyzeReport {
+        let _telemetry = self.telemetry.as_ref().map(spex_obs::install);
+        let _span = spex_obs::span("workspace.reanalyze");
         let mut report = ReanalyzeReport::default();
         let names: Vec<String> = self.modules.keys().cloned().collect();
         for name in names {
+            let _module_span = spex_obs::span!("workspace.module", module = name);
             let entry = self.modules.get_mut(&name).expect("listed above");
             let (scope, dirty_fns) = match &entry.dirty {
                 Dirty::Clean => continue,
@@ -642,6 +682,9 @@ impl Workspace {
         let mut session = CheckSession::with_index(&self.db, index).with_threads(self.threads);
         if let Some(env) = &self.env {
             session = session.with_env(env.as_ref());
+        }
+        if let Some(rec) = &self.telemetry {
+            session = session.with_recorder(Arc::clone(rec));
         }
         session
     }

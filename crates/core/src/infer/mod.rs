@@ -86,10 +86,48 @@ impl PassCounts {
 
     /// Fraction of cacheable artifacts (mappings + taint slices) served
     /// from the cache, or `None` when nothing cacheable was requested.
-    pub fn cache_hit_rate(&self) -> Option<f64> {
+    pub fn cached_fraction(&self) -> Option<f64> {
         let hits = self.mapping_cache_hits + self.taint_cache_hits;
         let total = hits + self.mapping_extractions + self.taint_runs;
         (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Compatibility shim for the pre-obs name of
+    /// [`cached_fraction`](PassCounts::cached_fraction); the same numbers
+    /// are now also published to the telemetry registry as the
+    /// `infer.cache.{mapping,taint}.{hits,misses}` counters.
+    #[deprecated(
+        since = "0.3.0",
+        note = "renamed to `cached_fraction`; the telemetry registry's \
+                `infer.cache.*` counters carry the same information"
+    )]
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.cached_fraction()
+    }
+
+    /// Publishes the counts into the installed telemetry recorder (no-op
+    /// when telemetry is disabled): one `infer.pass.*` counter per
+    /// inference pass and the `infer.cache.{mapping,taint}.{hits,misses}`
+    /// cache counters.
+    pub fn record_metrics(&self) {
+        if !spex_obs::enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("infer.pass.basic_type", self.basic_type),
+            ("infer.pass.semantic_type", self.semantic_type),
+            ("infer.pass.range", self.range),
+            ("infer.pass.control_dep", self.control_dep),
+            ("infer.pass.value_rel", self.value_rel),
+            ("infer.cache.mapping.hits", self.mapping_cache_hits),
+            ("infer.cache.mapping.misses", self.mapping_extractions),
+            ("infer.cache.taint.hits", self.taint_cache_hits),
+            ("infer.cache.taint.misses", self.taint_runs),
+        ] {
+            if value > 0 {
+                spex_obs::counter(name, value as u64);
+            }
+        }
     }
 
     /// Accumulates another run's counts.
@@ -465,10 +503,12 @@ impl Spex {
                 Arc::clone(&state.mappings)
             } else {
                 passes.mapping_extractions += 1;
+                let _span = spex_obs::span("infer.mapping");
                 Arc::new(extract_mappings(&am, anns).unwrap_or_default())
             }
         } else {
             passes.mapping_extractions += 1;
+            let _span = spex_obs::span("infer.mapping");
             Arc::new(extract_mappings(&am, anns).unwrap_or_default())
         };
 
@@ -518,6 +558,7 @@ impl Spex {
                 }
                 passes.taint_runs += 1;
                 let engine = engine.get_or_insert_with(|| TaintEngine::new(&am));
+                let _span = spex_obs::span!("infer.taint", param = p.name);
                 Arc::new(engine.run(&p.roots))
             })
             .collect();
@@ -613,13 +654,23 @@ impl Spex {
                         stale: true,
                     };
                 }
+                let _param_span = spex_obs::span!("infer.param", name = param.name);
                 let mut constraints = Vec::new();
                 passes.basic_type += 1;
-                constraints.extend(basic_type::infer(&am, &param, &taint));
+                {
+                    let _span = spex_obs::span("infer.basic_type");
+                    constraints.extend(basic_type::infer(&am, &param, &taint));
+                }
                 passes.semantic_type += 1;
-                constraints.extend(semantic_type::infer(&am, &spec, &param, &taint));
+                {
+                    let _span = spex_obs::span("infer.semantic_type");
+                    constraints.extend(semantic_type::infer(&am, &spec, &param, &taint));
+                }
                 passes.range += 1;
-                constraints.extend(range::infer(&am, &param, &taint));
+                {
+                    let _span = spex_obs::span("infer.range");
+                    constraints.extend(range::infer(&am, &param, &taint));
+                }
                 let evidence = evidence::collect(&am, &param, &taint);
                 ParamReport {
                     param,
@@ -638,7 +689,9 @@ impl Spex {
         if in_scope.iter().any(|live| *live) {
             let names: Vec<String> = reports.iter().map(|r| r.param.name.clone()).collect();
             passes.control_dep += 1;
+            let cd_span = spex_obs::span("infer.control_dep");
             let deps = control_dep::infer(&am, &names, &taints, &vindex);
+            drop(cd_span);
             for c in deps {
                 if let crate::constraint::ConstraintKind::ControlDep(d) = &c.kind {
                     if let Some(r) = reports
@@ -650,7 +703,9 @@ impl Spex {
                 }
             }
             passes.value_rel += 1;
+            let vr_span = spex_obs::span("infer.value_rel");
             let rels = value_rel::infer(&am, &names, &vindex);
+            drop(vr_span);
             for c in rels {
                 if let crate::constraint::ConstraintKind::ValueRel(v) = &c.kind {
                     if let Some(r) = reports
@@ -663,6 +718,7 @@ impl Spex {
             }
         }
 
+        passes.record_metrics();
         SpexAnalysis {
             am,
             reports,

@@ -82,6 +82,7 @@ fn prepare_function(f: &Function) -> (Function, Arc<Cfg>, Arc<DomTree>, Arc<UseD
 impl AnalyzedModule {
     /// Promotes every function to SSA and precomputes the analysis state.
     pub fn build(mut module: Module) -> AnalyzedModule {
+        let _span = spex_obs::span("dataflow.prepare");
         let mut cfgs = Vec::with_capacity(module.functions.len());
         let mut doms = Vec::with_capacity(module.functions.len());
         let mut usedefs = Vec::with_capacity(module.functions.len());
@@ -152,6 +153,7 @@ impl AnalyzedModule {
         module: &Module,
         dirty: &dyn Fn(&str) -> bool,
     ) -> AnalyzedModule {
+        let _span = spex_obs::span("dataflow.prepare");
         let mut functions = Vec::with_capacity(module.functions.len());
         let mut cfgs = Vec::with_capacity(module.functions.len());
         let mut doms = Vec::with_capacity(module.functions.len());

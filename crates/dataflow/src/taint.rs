@@ -119,6 +119,7 @@ impl<'a> TaintEngine<'a> {
 
     /// Runs taint propagation from the given roots.
     pub fn run(&self, roots: &[TaintRoot]) -> TaintResult {
+        let _span = spex_obs::span("dataflow.taint");
         let mut result = TaintResult::default();
         let mut queue: VecDeque<(Item, u32)> = VecDeque::new();
 

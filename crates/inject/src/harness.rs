@@ -174,11 +174,24 @@ impl<'m> InjectionCampaign<'m> {
 
     /// Runs every misconfiguration and returns per-run outcomes.
     pub fn run(&self, misconfigs: &[Misconfig]) -> Vec<RunOutcome> {
-        misconfigs.iter().map(|m| self.run_one(m)).collect()
+        let _span = spex_obs::span("inject.campaign");
+        let outcomes: Vec<RunOutcome> = misconfigs.iter().map(|m| self.run_one(m)).collect();
+        if spex_obs::enabled() {
+            spex_obs::counter("inject.injections", outcomes.len() as u64);
+            spex_obs::counter(
+                "inject.vulnerabilities",
+                outcomes
+                    .iter()
+                    .filter(|o| o.reaction.is_vulnerability())
+                    .count() as u64,
+            );
+        }
+        outcomes
     }
 
     /// Runs a single misconfiguration end to end.
     pub fn run_one(&self, m: &Misconfig) -> RunOutcome {
+        let _span = spex_obs::span!("inject.run", param = m.param);
         let mut conf = ConfFile::parse(&self.target.template_conf, self.target.dialect);
         conf.set(&m.param, &m.value);
         for (p, v) in &m.also_set {

@@ -94,6 +94,31 @@ pub fn quote(s: &str) -> String {
     out
 }
 
+/// Validates a `BENCH_*.json` perf-trajectory file: JSON Lines, one
+/// sample per line, each an object with string `rev`, `stamp`, `bench`,
+/// `metric`, `unit` members and a numeric `value`. Returns the number of
+/// samples, or the first offending line's error. Blank lines are allowed
+/// (the file is append-only across PRs).
+pub fn validate_trajectory(text: &str) -> Result<usize, String> {
+    let mut samples = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        for key in ["rev", "stamp", "bench", "metric", "unit"] {
+            if doc.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("line {}: missing string member {key:?}", i + 1));
+            }
+        }
+        if doc.get("value").and_then(Json::as_f64).is_none() {
+            return Err(format!("line {}: missing numeric member \"value\"", i + 1));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
     while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
@@ -295,6 +320,41 @@ mod tests {
                 "{quoted}"
             );
         }
+    }
+
+    #[test]
+    fn trajectory_validation_accepts_well_formed_lines() {
+        let good = concat!(
+            r#"{"rev":"abc1234","stamp":"1700000000","bench":"workspace/reanalyze_warm","metric":"mean_ns","value":290000,"unit":"ns"}"#,
+            "\n\n",
+            r#"{"rev":"abc1234","stamp":"1700000000","bench":"check/db_save","metric":"best_ns","value":1.5e4,"unit":"ns"}"#,
+            "\n",
+        );
+        assert_eq!(validate_trajectory(good), Ok(2));
+        assert_eq!(validate_trajectory(""), Ok(0));
+    }
+
+    #[test]
+    fn trajectory_validation_rejects_bad_lines() {
+        let missing_key = r#"{"rev":"abc","stamp":"1","bench":"b","metric":"m","value":1}"#;
+        assert!(validate_trajectory(missing_key)
+            .unwrap_err()
+            .contains("unit"));
+        let string_value =
+            r#"{"rev":"a","stamp":"1","bench":"b","metric":"m","value":"1","unit":"ns"}"#;
+        assert!(validate_trajectory(string_value)
+            .unwrap_err()
+            .contains("value"));
+        assert!(validate_trajectory("not json")
+            .unwrap_err()
+            .starts_with("line 1"));
+        let bad_second = concat!(
+            r#"{"rev":"a","stamp":"1","bench":"b","metric":"m","value":1,"unit":"ns"}"#,
+            "\n{",
+        );
+        assert!(validate_trajectory(bad_second)
+            .unwrap_err()
+            .starts_with("line 2"));
     }
 
     #[test]

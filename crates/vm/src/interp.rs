@@ -88,7 +88,22 @@ impl<'m> Vm<'m> {
             .module
             .function_by_name(name)
             .ok_or_else(|| VmHalt::Internal(format!("no function `{name}`")))?;
-        self.exec(f, args.to_vec())
+        // Telemetry is per-call, not per-instruction: the `steps` counter
+        // is already maintained by the dispatch loop, so one delta here
+        // keeps the interpreter's hot loop untouched.
+        let steps_before = self.steps;
+        let result = self.exec(f, args.to_vec());
+        if spex_obs::enabled() {
+            spex_obs::counter("vm.calls", 1);
+            spex_obs::counter("vm.instructions", self.steps - steps_before);
+        }
+        result
+    }
+
+    /// Instructions executed over this VM's lifetime (the hang budget
+    /// counts the same steps).
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// Reads the current value of a global by name (used by the injection

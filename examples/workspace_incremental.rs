@@ -52,8 +52,10 @@ const V2_SOURCE: &str = r#"
 "#;
 
 fn main() {
-    // Release 1: the initial analysis is necessarily full.
-    let mut ws = Workspace::new("demo", Dialect::KeyValue);
+    // Release 1: the initial analysis is necessarily full. Telemetry is
+    // opt-in per workspace; enabled here so the run can be replayed from
+    // its span tree below.
+    let mut ws = Workspace::new("demo", Dialect::KeyValue).with_telemetry();
     ws.add_module("main.c", V1_SOURCE, ANN).expect("v1 parses");
     let r = ws.reanalyze();
     println!(
@@ -118,6 +120,30 @@ fn main() {
     print!(
         "\nas JSON Lines:\n{}",
         report.render(&spex::JsonLinesRenderer)
+    );
+
+    // Everything above left a trace: the telemetry snapshot is the whole
+    // session as a span tree (what ran, how often, how long) plus the
+    // pass/cache/diagnostic counters — the text rendering is the
+    // "explain what my edit cost" view.
+    let snap = ws.telemetry();
+    print!("\ntelemetry:\n{}", snap.render_text());
+    let passes_covered = [
+        "infer.basic_type",
+        "infer.semantic_type",
+        "infer.range",
+        "infer.control_dep",
+        "infer.value_rel",
+    ]
+    .iter()
+    .all(|p| snap.span_count(p) > 0);
+    let telemetry_ok = passes_covered
+        && snap.span_count("workspace.reanalyze") == 2
+        && snap.span_count("check.file") > 0
+        && snap.counter("check.diagnostics") > 0;
+    println!(
+        "telemetry self-check: {}",
+        if telemetry_ok { "OK" } else { "FAILED" }
     );
 
     // The database persists (v2 format, with provenance) for the fleet's

@@ -19,7 +19,11 @@
 //! * [`design`] — the error-prone-design detectors;
 //! * [`systems`] — the seven generated subject systems of the evaluation;
 //! * [`check`] — the constraint-driven configuration validation engine
-//!   (infer → persist → check).
+//!   (infer → persist → check);
+//! * [`obs`] — std-only telemetry: structured spans, a metrics registry,
+//!   and snapshot renderers, threaded through the whole stack (enable it
+//!   per workspace with [`Workspace::enable_telemetry`] and read it back
+//!   with [`Workspace::telemetry`]).
 //!
 //! # The primary entry point: [`Workspace`]
 //!
@@ -75,6 +79,7 @@ pub use spex_design as design;
 pub use spex_inj as inject;
 pub use spex_ir as ir;
 pub use spex_lang as lang;
+pub use spex_obs as obs;
 pub use spex_systems as systems;
 pub use spex_vm as vm;
 
@@ -82,6 +87,7 @@ pub use spex_check::{
     CheckSession, DiagCode, HumanRenderer, JsonLinesRenderer, ReanalyzeReport, Renderer, Report,
     SarifRenderer, Workspace, WorkspaceError,
 };
+pub use spex_obs::{Recorder, TelemetrySnapshot};
 
 /// One-shot whole-module analysis with the standard API registry.
 ///
