@@ -9,6 +9,8 @@
 //!   including the §3.1 optimization ablation (stop-at-first-failure and
 //!   shortest-test-first on/off);
 //! * `mapping` — the annotation toolkits alone;
+//! * `react` — static reaction classification (`spex-react`) latency per
+//!   system and per-parameter throughput over the catalog;
 //! * `check` — `spex-check` single-file validation latency and batch
 //!   validation throughput over the persisted constraint databases.
 //!
@@ -126,6 +128,54 @@ fn bench_mapping(r: &Runner) {
     r.bench("mapping/extraction_squid", || {
         spex_core::mapping::extract_mappings(&am, &anns).unwrap()
     });
+}
+
+fn bench_react(r: &Runner) {
+    // Static reaction classification (`spex-react`) must stay cheap
+    // relative to inference: it only re-walks the taint slices the
+    // analysis already computed, so the whole catalog classifies in the
+    // time one injection test takes to run.
+    let mut analyses = Vec::new();
+    for name in ["OpenLDAP", "Apache", "VSFTP"] {
+        let spec = spex_systems::system_by_name(name).unwrap();
+        let built = BuiltSystem::build(spec);
+        let anns = Annotation::parse(&built.gen.annotations).unwrap();
+        let analysis = Spex::analyze(built.module.clone(), &anns);
+        r.bench(&format!("react/classify_analysis_{name}"), || {
+            black_box(spex_react::classify_analysis(&analysis))
+        });
+        analyses.push(analysis);
+    }
+
+    // Throughput over the whole catalog, recorded as per-parameter
+    // latency so it lands in the trajectory next to the latency benches.
+    if r.selected("react/classify_per_param") {
+        let params: usize = analyses
+            .iter()
+            .map(|a| spex_react::classify_analysis(a).len())
+            .sum();
+        assert!(params > 0, "catalog must yield classifiable parameters");
+        const ROUNDS: usize = 20;
+        let mut total = 0u128;
+        let mut best = u128::MAX;
+        for _ in 0..ROUNDS {
+            let start = std::time::Instant::now();
+            for a in &analyses {
+                black_box(spex_react::classify_analysis(a));
+            }
+            let dt = start.elapsed().as_nanos();
+            total += dt;
+            best = best.min(dt);
+        }
+        let mean = total / ROUNDS as u128;
+        let (mean_pp, best_pp) = (mean / params as u128, best / params as u128);
+        r.record("react/classify_per_param", mean_pp, best_pp, ROUNDS);
+        let params_per_sec = 1_000_000_000u128 / mean_pp.max(1);
+        println!(
+            "react/classify_per_param self-check: OK \
+             ({params} params, {params_per_sec} params/sec, {mean_pp} ns/param)"
+        );
+    }
 }
 
 fn bench_check(r: &Runner) {
@@ -435,6 +485,7 @@ fn main() {
     bench_taint(&r);
     bench_injection(&r);
     bench_mapping(&r);
+    bench_react(&r);
     bench_check(&r);
     bench_workspace(&r);
     bench_telemetry(&r);

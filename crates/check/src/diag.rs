@@ -287,4 +287,99 @@ mod tests {
         }
         .apply(&mut conf));
     }
+
+    #[test]
+    fn adjacent_fixes_do_not_invalidate_each_other() {
+        // Fixes address entries by key, not by byte span, so repairing
+        // one line never invalidates a fix aimed at its neighbour — no
+        // span re-computation between applications.
+        let mut conf = ConfFile::parse(
+            "threads = 9999\nlog_lvl = info\nnap_s = 30\n",
+            Dialect::KeyValue,
+        );
+        let fixes = [
+            Fix::ReplaceValue {
+                param: "threads".into(),
+                value: "16".into(),
+            },
+            Fix::RenameKey {
+                from: "log_lvl".into(),
+                to: "log_level".into(),
+            },
+            Fix::ReplaceValue {
+                param: "nap_s".into(),
+                value: "60".into(),
+            },
+        ];
+        for f in &fixes {
+            assert!(f.apply(&mut conf), "{f}");
+        }
+        assert_eq!(
+            conf.serialize(),
+            "threads = 16\nlog_level = info\nnap_s = 60\n"
+        );
+        // Positions survive: the renamed key still sits on line 2.
+        assert_eq!(conf.line_of("log_level"), Some(2));
+    }
+
+    #[test]
+    fn overlapping_fixes_on_one_key_apply_in_diagnostic_order() {
+        // A rename and a value replacement can target the same entry
+        // (misspelled key *and* bad value). Applied in diagnostic order —
+        // rename first — the replacement finds the corrected key and the
+        // file ends up with exactly one, clean entry.
+        let text = "thread = 9999\n";
+        let rename = Fix::RenameKey {
+            from: "thread".into(),
+            to: "threads".into(),
+        };
+        let replace = Fix::ReplaceValue {
+            param: "threads".into(),
+            value: "16".into(),
+        };
+        let mut conf = ConfFile::parse(text, Dialect::KeyValue);
+        assert!(rename.apply(&mut conf));
+        assert!(replace.apply(&mut conf));
+        assert_eq!(conf.serialize(), "threads = 16\n");
+
+        // The reverse order is NOT equivalent: the replacement appends a
+        // fresh `threads` entry (its target key does not exist yet,
+        // `ConfFile::set` reports no existing entry was replaced), and
+        // the rename then produces a duplicate key. Callers applying fix
+        // batches must keep diagnostic order.
+        let mut conf = ConfFile::parse(text, Dialect::KeyValue);
+        assert!(!replace.apply(&mut conf));
+        assert!(rename.apply(&mut conf));
+        assert_eq!(conf.serialize(), "threads = 9999\nthreads = 16\n");
+        assert_eq!(conf.settings().filter(|(n, _)| *n == "threads").count(), 2);
+    }
+
+    #[test]
+    fn repeated_fixes_on_one_param_are_last_writer_wins() {
+        let mut conf = ConfFile::parse("threads = 9999\n", Dialect::KeyValue);
+        for value in ["64", "16"] {
+            assert!(Fix::ReplaceValue {
+                param: "threads".into(),
+                value: value.into(),
+            }
+            .apply(&mut conf));
+        }
+        assert_eq!(conf.get("threads"), Some("16"));
+        assert_eq!(conf.serialize(), "threads = 16\n");
+    }
+
+    #[test]
+    fn rename_onto_an_existing_key_keeps_first_occurrence_authoritative() {
+        // Colliding repairs (renaming onto a key the file already has)
+        // leave both entries in place; lookups read the first, so the
+        // original setting stays authoritative and nothing is lost.
+        let mut conf = ConfFile::parse("threads = 8\nthread = 4\n", Dialect::KeyValue);
+        assert!(Fix::RenameKey {
+            from: "thread".into(),
+            to: "threads".into(),
+        }
+        .apply(&mut conf));
+        assert_eq!(conf.get("threads"), Some("8"));
+        assert_eq!(conf.serialize(), "threads = 8\nthreads = 4\n");
+    }
 }

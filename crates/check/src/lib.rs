@@ -89,4 +89,5 @@ pub use report::{
 };
 pub use session::CheckSession;
 pub use spex_core::constraint::DiagCode;
+pub use spex_react::{ReactionClass, ReactionFinding, Sink, SinkKind};
 pub use workspace::{ReanalyzeReport, Workspace, WorkspaceError};

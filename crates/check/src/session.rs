@@ -57,7 +57,7 @@ use crate::pool;
 use crate::report::{FileReport, Report};
 use spex_conf::{ConfFile, Entry};
 use spex_core::constraint::{
-    BasicType, ConstraintKind, DiagCode, EnumValue, SemType, SizeUnit, TimeUnit,
+    BasicType, CmpOp, ConstraintKind, DiagCode, EnumValue, SemType, SizeUnit, TimeUnit,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -984,28 +984,50 @@ impl<'db> CheckSession<'db> {
         if dep.op.eval(cv, dep.value) {
             return None;
         }
-        Some(
-            Diagnostic::new(
-                Severity::Warning,
-                occ.name,
-                occ.value,
-                format!(
-                    "takes effect only when \"{}\" {} {}, but line {} sets \"{}\" to \
-                     \"{}\" — this setting will be silently ignored",
-                    dep.controller,
-                    dep.op,
-                    dep.value,
-                    controller.line,
-                    dep.controller,
-                    controller.value,
-                ),
-                DiagCode::ControlDep,
-            )
-            .suggest(format!(
-                "enable \"{}\" or remove this setting",
-                dep.controller
-            )),
+        let mut d = Diagnostic::new(
+            Severity::Warning,
+            occ.name,
+            occ.value,
+            format!(
+                "takes effect only when \"{}\" {} {}, but line {} sets \"{}\" to \
+                 \"{}\" — this setting will be silently ignored",
+                dep.controller,
+                dep.op,
+                dep.value,
+                controller.line,
+                dep.controller,
+                controller.value,
+            ),
+            DiagCode::ControlDep,
         )
+        .suggest(format!(
+            "enable \"{}\" or remove this setting",
+            dep.controller
+        ));
+        // The machine repair touches the *controller*, not the violation
+        // site: rewrite its value to the nearest one satisfying the
+        // guard, rendered in the style the file already uses (bool word
+        // vs. plain integer), and only when the new value checks clean
+        // against the controller's own constraints.
+        let target = match dep.op {
+            CmpOp::Eq | CmpOp::Ge | CmpOp::Le => dep.value,
+            CmpOp::Ne | CmpOp::Gt => dep.value + 1,
+            CmpOp::Lt => dep.value - 1,
+        };
+        if self.fix_value_is_clean(&dep.controller, target) {
+            let wrote_bool_word = parse_plain_int(controller.value).is_none()
+                && parse_bool_word(controller.value).is_some();
+            let value = if wrote_bool_word && (target == 0 || target == 1) {
+                if target == 1 { "on" } else { "off" }.to_string()
+            } else {
+                target.to_string()
+            };
+            d = d.with_fix(Fix::ReplaceValue {
+                param: dep.controller.clone(),
+                value,
+            });
+        }
+        Some(d)
     }
 
     fn check_value_rel(
@@ -1559,6 +1581,32 @@ mod tests {
         assert_eq!(ds[0].severity, Severity::Warning);
         assert_eq!(ds[0].code, DiagCode::ControlDep);
         assert!(ds[0].message.contains("silently ignored"));
+        // The machine repair targets the *controller*, not the violation
+        // site, and matches the style the file wrote the value in.
+        assert_eq!(
+            ds[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "fsync".into(),
+                value: "on".into(),
+            })
+        );
+        let ds = check("commit_siblings = 5\nfsync = 0\n");
+        assert_eq!(
+            ds[0].fix,
+            Some(Fix::ReplaceValue {
+                param: "fsync".into(),
+                value: "1".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn control_dep_fix_applies_to_the_controller() {
+        let ds = check("commit_siblings = 5\nfsync = off\n");
+        let mut conf = ConfFile::parse("commit_siblings = 5\nfsync = off\n", Dialect::KeyValue);
+        assert!(ds[0].fix.as_ref().unwrap().apply(&mut conf));
+        let db = db();
+        assert!(CheckSession::new(&db).check(&conf).is_empty());
     }
 
     #[test]

@@ -50,9 +50,9 @@
 //! ```
 
 use crate::db::{ConstraintDb, MergeError, MergeReport};
-use crate::diag::Diagnostic;
+use crate::diag::{Diagnostic, Severity};
 use crate::env::{Environment, FsEnv, StaticEnv};
-use crate::report::Report;
+use crate::report::{FileReport, Report};
 use crate::session::{CheckSession, ParamIndex};
 use spex_conf::{ConfFile, Dialect};
 use spex_core::apispec::ApiSpec;
@@ -62,6 +62,7 @@ use spex_core::fingerprint::{
 use spex_core::infer::{InferScope, PassCache, PassCounts, Spex};
 use spex_core::Annotation;
 use spex_ir::Module;
+use spex_react::{ReactionClass, ReactionFinding};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::Path;
@@ -117,6 +118,10 @@ struct SourceModule {
     /// callees (whose inherited guards may have vanished with the call),
     /// while the core closes over the *new* edges symmetrically.
     callees: BTreeMap<String, BTreeSet<String>>,
+    /// From the last analysis: each parameter's static reaction verdict.
+    /// Stale slices keep their cached finding; only dirty-slice
+    /// parameters are re-classified.
+    reactions: BTreeMap<String, ReactionFinding>,
 }
 
 /// Transitive closure of `names` over a caller → callees edge map.
@@ -431,6 +436,7 @@ impl Workspace {
                 dirty: Dirty::All,
                 touched: BTreeMap::new(),
                 callees: BTreeMap::new(),
+                reactions: BTreeMap::new(),
             },
         );
         Ok(())
@@ -593,7 +599,18 @@ impl Workspace {
             report.passes.accumulate(&analysis.passes);
             report.params_total += analysis.reports.len();
 
-            // Fold the fresh results into the database.
+            // Fold the fresh results into the database, re-classifying
+            // the reaction path for every re-inferred slice and keeping
+            // the cached verdict for stale ones.
+            let mut old_reactions = std::mem::take(
+                &mut self
+                    .modules
+                    .get_mut(&name)
+                    .expect("still present")
+                    .reactions,
+            );
+            let mut react_hits = 0u64;
+            let mut reactions: BTreeMap<String, ReactionFinding> = BTreeMap::new();
             let mut touched: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
             for r in &analysis.reports {
                 touched.insert(
@@ -606,8 +623,15 @@ impl Workspace {
                 );
                 self.db.note_param(&r.param.name);
                 if r.stale {
+                    if let Some(f) = old_reactions.remove(&r.param.name) {
+                        report.passes.react_cache_hits += 1;
+                        react_hits += 1;
+                        reactions.insert(r.param.name.clone(), f);
+                    }
                     continue;
                 }
+                report.passes.react_runs += 1;
+                reactions.insert(r.param.name.clone(), spex_react::classify(&analysis.am, r));
                 report.params_reinferred += 1;
                 let (removed, added) =
                     self.db
@@ -644,9 +668,13 @@ impl Workspace {
                         .insert(callee_name.clone());
                 }
             }
+            if react_hits > 0 {
+                spex_obs::counter("react.cache.hits", react_hits);
+            }
             let entry = self.modules.get_mut(&name).expect("still present");
             entry.touched = touched;
             entry.callees = callees;
+            entry.reactions = reactions;
             entry.dirty = Dirty::Clean;
             for param in gone {
                 report.constraints_removed += self.db.remove_source_param(&name, &param);
@@ -655,6 +683,52 @@ impl Workspace {
         }
         self.db_version += 1;
         report
+    }
+
+    // -- Reaction analysis ----------------------------------------------
+
+    /// Every parameter's static reaction verdict as of the last
+    /// [`reanalyze`](Workspace::reanalyze), as `(module, finding)` pairs
+    /// sorted by module then parameter name. Covers all four classes;
+    /// filter on [`ReactionClass::is_vulnerability`] for the
+    /// vulnerability view.
+    pub fn reaction_findings(&self) -> Vec<(&str, &ReactionFinding)> {
+        self.modules
+            .iter()
+            .flat_map(|(name, m)| m.reactions.values().map(move |f| (name.as_str(), f)))
+            .collect()
+    }
+
+    /// The vulnerability view of the last analysis's reaction verdicts as
+    /// a renderable [`Report`] (one [`FileReport`] per module, in module
+    /// order). Late detections are errors — an invalid value crashes or
+    /// corrupts the system instead of producing a message — while silent
+    /// fallbacks and unchecked parameters are warnings; parameters that
+    /// are checked with a message do not appear (they are the desired
+    /// reaction). Each diagnostic carries the `SPEX-V` code and `Origin`
+    /// provenance, so the JSON-Lines and SARIF renderers work unchanged.
+    pub fn reaction_report(&self) -> Report {
+        let files = self
+            .modules
+            .iter()
+            .map(|(name, m)| {
+                let diags = m
+                    .reactions
+                    .values()
+                    .filter(|f| f.class.is_vulnerability())
+                    .map(|f| {
+                        let severity = match f.class {
+                            ReactionClass::LateDetection => Severity::Error,
+                            _ => Severity::Warning,
+                        };
+                        Diagnostic::new(severity, &f.param, "", f.detail.clone(), f.code())
+                            .from_origin(name, &f.in_function, f.span)
+                    })
+                    .collect();
+                FileReport::new(self.system.clone(), name.clone(), diags)
+            })
+            .collect();
+        Report::from_files(files)
     }
 
     // -- Checking -------------------------------------------------------

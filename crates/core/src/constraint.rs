@@ -453,12 +453,13 @@ impl fmt::Display for ValueRel {
     }
 }
 
-/// A stable diagnostic code in the `SPEX-Rxxx` namespace.
+/// A stable diagnostic code in the `SPEX-Rxxx` / `SPEX-Vxxx` namespaces.
 ///
 /// Every finding the checking layer emits carries exactly one code, so
 /// machine consumers (CI gates, dashboards, SARIF viewers) can filter and
-/// suppress findings without parsing prose. One code exists per
-/// constraint/check kind.
+/// suppress findings without parsing prose. The `SPEX-R` family has one
+/// code per constraint/check kind; the `SPEX-V` family carries the static
+/// reaction-analysis verdicts (one code per predicted reaction class).
 ///
 /// # Stability guarantees
 ///
@@ -466,10 +467,10 @@ impl fmt::Display for ValueRel {
 ///
 /// * a code is **never renumbered, reused or re-purposed** — `SPEX-R003`
 ///   means "numeric-range violation" forever;
-/// * new check kinds get **new** codes at the end of the namespace;
-/// * the string form is always `SPEX-R` followed by three digits, and
-///   [`DiagCode::parse`] accepts exactly the strings [`DiagCode::as_str`]
-///   produces.
+/// * new check kinds get **new** codes at the end of their namespace;
+/// * the string form is always `SPEX-R` or `SPEX-V` followed by three
+///   digits, and [`DiagCode::parse`] accepts exactly the strings
+///   [`DiagCode::as_str`] produces.
 ///
 /// Renderers must preserve the code verbatim; it is the primary key for
 /// deduplicating and tracking findings across tool versions.
@@ -497,11 +498,25 @@ pub enum DiagCode {
     ValueRel,
     /// `SPEX-R007` — the key names no known parameter.
     UnknownKey,
+    /// `SPEX-V001` — a validation branch dominates the parameter's uses
+    /// and its failure arm reaches a message-emitting or aborting call
+    /// (the desired reaction to an invalid value).
+    ReactChecked,
+    /// `SPEX-V002` — the failure arm of the parameter's validation branch
+    /// silently overwrites the value with a default and emits no message.
+    ReactSilentFallback,
+    /// `SPEX-V003` — the parameter flows into a dangerous sink (unsafe
+    /// parse API, divisor, allocation size, sleep duration, array index)
+    /// before any dominating check; an invalid value is detected late, as
+    /// a crash or hang, if at all.
+    ReactLateDetection,
+    /// `SPEX-V004` — no validation branch guards the parameter at all.
+    ReactUnchecked,
 }
 
 impl DiagCode {
     /// Every code, in namespace order.
-    pub const ALL: [DiagCode; 7] = [
+    pub const ALL: [DiagCode; 11] = [
         DiagCode::BasicType,
         DiagCode::SemanticType,
         DiagCode::Range,
@@ -509,6 +524,10 @@ impl DiagCode {
         DiagCode::ControlDep,
         DiagCode::ValueRel,
         DiagCode::UnknownKey,
+        DiagCode::ReactChecked,
+        DiagCode::ReactSilentFallback,
+        DiagCode::ReactLateDetection,
+        DiagCode::ReactUnchecked,
     ];
 
     /// The stable string form (`"SPEX-R003"`).
@@ -521,6 +540,10 @@ impl DiagCode {
             DiagCode::ControlDep => "SPEX-R005",
             DiagCode::ValueRel => "SPEX-R006",
             DiagCode::UnknownKey => "SPEX-R007",
+            DiagCode::ReactChecked => "SPEX-V001",
+            DiagCode::ReactSilentFallback => "SPEX-V002",
+            DiagCode::ReactLateDetection => "SPEX-V003",
+            DiagCode::ReactUnchecked => "SPEX-V004",
         }
     }
 
@@ -540,6 +563,10 @@ impl DiagCode {
             DiagCode::ControlDep => "control-dep",
             DiagCode::ValueRel => "value-rel",
             DiagCode::UnknownKey => "unknown-key",
+            DiagCode::ReactChecked
+            | DiagCode::ReactSilentFallback
+            | DiagCode::ReactLateDetection
+            | DiagCode::ReactUnchecked => "reaction",
         }
     }
 
@@ -553,6 +580,14 @@ impl DiagCode {
             DiagCode::ControlDep => "setting is disabled by its controlling parameter",
             DiagCode::ValueRel => "value violates a cross-parameter relationship",
             DiagCode::UnknownKey => "key names no known configuration parameter",
+            DiagCode::ReactChecked => "invalid values are rejected with a message before any use",
+            DiagCode::ReactSilentFallback => {
+                "invalid values are silently overwritten with a default"
+            }
+            DiagCode::ReactLateDetection => {
+                "parameter reaches a dangerous sink before any dominating check"
+            }
+            DiagCode::ReactUnchecked => "parameter is used without any validation branch",
         }
     }
 }
@@ -749,15 +784,21 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for code in DiagCode::ALL {
             let s = code.as_str();
-            assert!(s.starts_with("SPEX-R") && s.len() == 9, "{s}");
+            assert!(
+                (s.starts_with("SPEX-R") || s.starts_with("SPEX-V")) && s.len() == 9,
+                "{s}"
+            );
             assert!(s[6..].chars().all(|c| c.is_ascii_digit()), "{s}");
             assert!(seen.insert(s), "duplicate code {s}");
             assert_eq!(DiagCode::parse(s), Some(code));
         }
         assert_eq!(DiagCode::parse("SPEX-R999"), None);
         assert_eq!(DiagCode::parse("spex-r003"), None, "codes are exact");
-        // The documented anchor: R003 is and stays the range violation.
+        // The documented anchors: R003 is and stays the range violation,
+        // V003 is and stays the late-detection verdict.
         assert_eq!(DiagCode::Range.as_str(), "SPEX-R003");
         assert_eq!(DiagCode::Range.category(), "data-range");
+        assert_eq!(DiagCode::ReactLateDetection.as_str(), "SPEX-V003");
+        assert_eq!(DiagCode::ReactLateDetection.category(), "reaction");
     }
 }

@@ -76,6 +76,12 @@ pub struct PassCounts {
     pub taint_runs: usize,
     /// Taint slices reused from the cache (per parameter).
     pub taint_cache_hits: usize,
+    /// Reaction classifications that actually ran (per parameter). The
+    /// reaction pass lives downstream in `spex-react`; the workspace layer
+    /// accounts for it here so one struct carries the whole story.
+    pub react_runs: usize,
+    /// Reaction findings reused for stale slices (per parameter).
+    pub react_cache_hits: usize,
 }
 
 impl PassCounts {
@@ -123,6 +129,8 @@ impl PassCounts {
             ("infer.cache.mapping.misses", self.mapping_extractions),
             ("infer.cache.taint.hits", self.taint_cache_hits),
             ("infer.cache.taint.misses", self.taint_runs),
+            ("react.cache.hits", self.react_cache_hits),
+            ("react.cache.misses", self.react_runs),
         ] {
             if value > 0 {
                 spex_obs::counter(name, value as u64);
@@ -141,6 +149,8 @@ impl PassCounts {
         self.mapping_cache_hits += other.mapping_cache_hits;
         self.taint_runs += other.taint_runs;
         self.taint_cache_hits += other.taint_cache_hits;
+        self.react_runs += other.react_runs;
+        self.react_cache_hits += other.react_cache_hits;
     }
 }
 

@@ -1,0 +1,130 @@
+//! Static reaction analysis: predict how a system would react to an
+//! invalid config value — without injecting a single misconfiguration.
+//!
+//! One subject program exhibits all four reaction classes
+//! (`SPEX-V001..V004`); the workspace classifies every parameter from
+//! the IR, renders the predicted vulnerabilities as an ordinary coded
+//! [`Report`], and then demonstrates that a warm `reanalyze()` after an
+//! edit re-classifies only the parameters whose taint slice the edit
+//! touched. The example validates its own machine output and exits
+//! nonzero if any contract is broken — CI runs it for that.
+//!
+//! ```text
+//! cargo run --example reaction_analysis
+//! ```
+
+use spex::check::JsonLinesRenderer;
+use spex::conf::Dialect;
+use spex::react::ReactionClass;
+use spex::{HumanRenderer, Workspace};
+
+/// Four parameters, one per reaction class.
+const SOURCE: &str = r#"
+    int listener_threads = 8;
+    int cache_mb = 64;
+    int nap_seconds = 5;
+    int banner_width = 16;
+    struct opt { char* name; int* var; };
+    struct opt options[] = {
+        { "listener-threads", &listener_threads },
+        { "cache-mb", &cache_mb },
+        { "nap-seconds", &nap_seconds },
+        { "banner-width", &banner_width }
+    };
+    void startup() {
+        if (listener_threads < 1) { exit(1); }
+        if (listener_threads > 64) { exit(1); }
+        if (cache_mb > 1024) { cache_mb = 64; }
+    }
+    void worker_loop() {
+        sleep(nap_seconds);
+    }
+    void banner() {
+        int pad = banner_width * 2;
+    }
+"#;
+
+/// The same program after a fix: the sleep duration gains a rejecting
+/// guard, so `nap-seconds` flips from late-detection to checked.
+const EDITED: &str = r#"
+    int listener_threads = 8;
+    int cache_mb = 64;
+    int nap_seconds = 5;
+    int banner_width = 16;
+    struct opt { char* name; int* var; };
+    struct opt options[] = {
+        { "listener-threads", &listener_threads },
+        { "cache-mb", &cache_mb },
+        { "nap-seconds", &nap_seconds },
+        { "banner-width", &banner_width }
+    };
+    void startup() {
+        if (listener_threads < 1) { exit(1); }
+        if (listener_threads > 64) { exit(1); }
+        if (cache_mb > 1024) { cache_mb = 64; }
+    }
+    void worker_loop() {
+        if (nap_seconds > 3600) { exit(1); }
+        sleep(nap_seconds);
+    }
+    void banner() {
+        int pad = banner_width * 2;
+    }
+"#;
+
+const ANN: &str = "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }";
+
+fn main() {
+    let mut ws = Workspace::new("demo", Dialect::KeyValue);
+    ws.add_module("server.c", SOURCE, ANN).expect("parses");
+    let cold = ws.reanalyze();
+    assert_eq!(cold.passes.react_runs, 4, "cold run classifies everything");
+
+    // Every parameter gets a prediction; one of each class here.
+    println!("== predicted reaction per parameter ==");
+    for (module, f) in ws.reaction_findings() {
+        println!("{module}: {f}");
+    }
+    fn class_of(ws: &Workspace, param: &str) -> ReactionClass {
+        ws.reaction_findings()
+            .iter()
+            .find(|(_, f)| f.param == param)
+            .map(|(_, f)| f.class)
+            .expect("classified")
+    }
+    assert_eq!(
+        class_of(&ws, "listener-threads"),
+        ReactionClass::CheckedWithMessage
+    );
+    assert_eq!(class_of(&ws, "cache-mb"), ReactionClass::SilentFallback);
+    assert_eq!(class_of(&ws, "nap-seconds"), ReactionClass::LateDetection);
+    assert_eq!(class_of(&ws, "banner-width"), ReactionClass::Unchecked);
+
+    // Predicted vulnerabilities leave the system as an ordinary coded
+    // report: same renderers, same provenance, same machine contract.
+    let report = ws.reaction_report();
+    println!("\n== human terminal text ==");
+    print!("{}", report.render(&HumanRenderer));
+    let jsonl = report.render(&JsonLinesRenderer);
+    let findings = JsonLinesRenderer::validate(&jsonl).expect("machine output validates");
+    assert_eq!(findings, 3, "three of the four classes are vulnerabilities");
+    assert!(jsonl.contains("SPEX-V003"), "late detection is an error");
+
+    // Fix the sleep guard and reanalyze warm: only the parameter whose
+    // slice the edit touched is re-classified; the rest are cache hits.
+    ws.update_module("server.c", EDITED).expect("parses");
+    let warm = ws.reanalyze();
+    assert_eq!(warm.passes.react_runs, 1, "only nap-seconds re-classified");
+    assert_eq!(warm.passes.react_cache_hits, 3, "the rest served cached");
+    assert_eq!(
+        class_of(&ws, "nap-seconds"),
+        ReactionClass::CheckedWithMessage
+    );
+    println!(
+        "\nafter the fix: nap-seconds is {} ({} re-classified, {} cached)",
+        class_of(&ws, "nap-seconds"),
+        warm.passes.react_runs,
+        warm.passes.react_cache_hits
+    );
+    println!("reaction analysis self-check: OK");
+}

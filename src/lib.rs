@@ -18,6 +18,9 @@
 //! * [`inject`] — SPEX-INJ: generation, injection, reaction classification;
 //! * [`design`] — the error-prone-design detectors;
 //! * [`systems`] — the seven generated subject systems of the evaluation;
+//! * [`react`] — static reaction analysis: predicts each parameter's
+//!   reaction path for invalid values (`SPEX-V001..V004`) from the IR,
+//!   no injection run required;
 //! * [`check`] — the constraint-driven configuration validation engine
 //!   (infer → persist → check);
 //! * [`obs`] — std-only telemetry: structured spans, a metrics registry,
@@ -80,6 +83,7 @@ pub use spex_inj as inject;
 pub use spex_ir as ir;
 pub use spex_lang as lang;
 pub use spex_obs as obs;
+pub use spex_react as react;
 pub use spex_systems as systems;
 pub use spex_vm as vm;
 

@@ -8,13 +8,21 @@
 //! vulnerability row the checker flags is a crash/hang/silent-violation a
 //! user never gets blamed for.
 //!
-//! The summary table is asserted byte-for-byte — the campaign, the
+//! The third axis is `spex-react`: its *static* reaction prediction
+//! (SPEX-V001..V004) claims to know how the system will react without
+//! running a single injection. Each campaign outcome is replayed against
+//! the prediction for its parameter; predictions must be compatible with
+//! the observed reaction for a large majority of parameters on every
+//! catalog system.
+//!
+//! The summary tables are asserted byte-for-byte — the campaign, the
 //! generation rules and the checker are all deterministic, so any drift
 //! in either side must be a conscious change.
 
 use spex::check::{CheckSession, ConstraintDb, StaticEnv};
 use spex::core::{Annotation, Spex};
 use spex::inject::{genrule, standard_rules, InjectionCampaign, Misconfig, Reaction, TestTarget};
+use spex::react::{classify_analysis, ReactionClass};
 use spex::systems::BuiltSystem;
 use std::collections::BTreeMap;
 
@@ -86,6 +94,36 @@ fn class_of(reaction: &Reaction) -> &'static str {
     })
 }
 
+/// Whether a static reaction prediction is compatible with one observed
+/// injection outcome.
+///
+/// The mapping is deliberately forgiving in one direction: a predicted
+/// vulnerability class is compatible with any observed reaction it could
+/// *manifest* as (a late detection may crash, hang, or terminate the
+/// process; an unchecked value may be silently wrong or functionally
+/// fail), and `Benign` is compatible with everything — many injected
+/// values happen to be legal, so the reaction path never runs. What a
+/// prediction is **not** allowed to do is invert the check verdict:
+/// `CheckedWithMessage` is incompatible with every silent outcome, and
+/// the silent classes are incompatible with `GoodReaction`.
+fn compatible(pred: ReactionClass, r: &Reaction) -> bool {
+    use Reaction::*;
+    match pred {
+        ReactionClass::CheckedWithMessage => {
+            matches!(r, GoodReaction | Benign | EarlyTermination)
+        }
+        ReactionClass::SilentFallback => matches!(r, SilentViolation | Benign),
+        ReactionClass::LateDetection => matches!(
+            r,
+            Crash(_) | Hang | EarlyTermination | FunctionalFailure | Benign
+        ),
+        ReactionClass::Unchecked => matches!(
+            r,
+            SilentIgnorance | SilentViolation | FunctionalFailure | Benign
+        ),
+    }
+}
+
 /// Renders the cross-validation table: one row per reaction class, the
 /// checker verdict split into flagged (caught before deployment) and
 /// missed.
@@ -101,12 +139,25 @@ fn render_table(rows: &BTreeMap<&'static str, (usize, usize)>) -> String {
     out
 }
 
-#[test]
-fn checker_verdicts_cross_validate_against_injection_reactions() {
-    let spec = spex::systems::system_by_name("OpenLDAP").unwrap();
+/// Runs the full cross-validation for one catalog system: injection
+/// campaign over a deterministic misconfiguration sample, checker verdict
+/// per outcome (snapshot table + zero-missed-vulnerability invariant),
+/// and static reaction-prediction agreement per parameter.
+fn cross_validate(system: &str, expected_table: &str) {
+    let spec = spex::systems::system_by_name(system).unwrap();
     let built = BuiltSystem::build(spec);
     let anns = Annotation::parse(&built.gen.annotations).expect("annotations parse");
     let analysis = Spex::analyze(built.module.clone(), &anns);
+
+    // Static side A: the reaction prediction per parameter, computed from
+    // the IR alone — no injection involved.
+    let predictions: BTreeMap<String, ReactionClass> = classify_analysis(&analysis)
+        .into_iter()
+        .map(|f| (f.param.clone(), f.class))
+        .collect();
+
+    // Static side B: the deployment-time checker over the persisted
+    // constraint database.
     let mut db = ConstraintDb::from_analysis(built.spec.name, built.gen.dialect, &analysis);
     db.note_params(built.spec.params.iter().map(|p| p.name.as_str()));
     let db = ConstraintDb::load_from_str(&db.save_to_string()).expect("db round-trips");
@@ -132,8 +183,11 @@ fn checker_verdicts_cross_validate_against_injection_reactions() {
     assert_eq!(outcomes.len(), sample.len());
 
     // Checker side: would the same misconfiguration have been caught
-    // before deployment? Cross the verdicts per reaction class.
+    // before deployment? Cross the verdicts per reaction class, and
+    // gather the observed reactions per parameter for the prediction
+    // check below.
     let mut rows: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    let mut per_param: BTreeMap<&str, Vec<&Reaction>> = BTreeMap::new();
     for outcome in &outcomes {
         let flagged = !session
             .check_text(&corrupt(&built, &outcome.misconfig))
@@ -144,22 +198,19 @@ fn checker_verdicts_cross_validate_against_injection_reactions() {
         } else {
             row.1 += 1;
         }
+        per_param
+            .entry(outcome.misconfig.param.as_str())
+            .or_default()
+            .push(&outcome.reaction);
     }
     let table = render_table(&rows);
 
     // The campaign and the checker are deterministic: the table is a
     // stable artifact (update it consciously when rules change).
-    let expected = "\
-reaction class       flagged  missed
-benign                    57       0
-crash-hang                13       0
-early-termination          4       0
-functional-failure        10       0
-good-reaction             32       0
-silent-violation          41       0
-total                    157       0
-";
-    assert_eq!(table, expected, "cross-validation table drifted:\n{table}");
+    assert_eq!(
+        table, expected_table,
+        "{system}: cross-validation table drifted:\n{table}"
+    );
 
     // Structural invariants behind the snapshot: every *vulnerability*
     // (a reaction a user would be blamed for) is caught by the checker —
@@ -175,9 +226,90 @@ total                    157       0
         .filter(|(class, _)| !matches!(**class, "good-reaction" | "benign"))
         .map(|(_, (_, m))| m)
         .sum();
-    assert!(vulnerable > 0, "the campaign must expose vulnerabilities");
+    assert!(
+        vulnerable > 0,
+        "{system}: the campaign must expose vulnerabilities"
+    );
     assert_eq!(
         vulnerable_missed, 0,
-        "a vulnerability the checker misses is exactly the paper's blamed user:\n{table}"
+        "{system}: a vulnerability the checker misses is exactly the paper's blamed user:\n{table}"
+    );
+
+    // Reaction-prediction side: for every injected parameter the static
+    // classifier must have produced a prediction, and for >= 80% of the
+    // parameters the prediction must be compatible with the *majority* of
+    // observed reactions (one parameter sees several injected values, and
+    // a benign value exercises no reaction path at all).
+    let mut agree = 0usize;
+    let mut disagreements = Vec::new();
+    for (param, reactions) in &per_param {
+        let pred = *predictions
+            .get(*param)
+            .unwrap_or_else(|| panic!("{system}: no static prediction for `{param}`"));
+        let ok = reactions.iter().filter(|r| compatible(pred, r)).count();
+        if ok * 2 >= reactions.len() {
+            agree += 1;
+        } else {
+            let obs: Vec<&str> = reactions.iter().map(|r| class_of(r)).collect();
+            disagreements.push(format!("  {param}: predicted {pred}, observed {obs:?}"));
+        }
+    }
+    let total = per_param.len();
+    assert!(
+        agree * 5 >= total * 4,
+        "{system}: static reaction prediction agrees on only {agree}/{total} parameters:\n{}",
+        disagreements.join("\n")
+    );
+}
+
+#[test]
+fn openldap_cross_validates_against_injection_reactions() {
+    cross_validate(
+        "OpenLDAP",
+        "\
+reaction class       flagged  missed
+benign                    57       0
+crash-hang                13       0
+early-termination          4       0
+functional-failure        10       0
+good-reaction             32       0
+silent-violation          41       0
+total                    157       0
+",
+    );
+}
+
+#[test]
+fn apache_cross_validates_against_injection_reactions() {
+    cross_validate(
+        "Apache",
+        "\
+reaction class       flagged  missed
+benign                    32       0
+crash-hang                10       0
+early-termination         11       0
+functional-failure        18       0
+good-reaction             36       0
+silent-violation          47       0
+total                    154       0
+",
+    );
+}
+
+#[test]
+fn vsftp_cross_validates_against_injection_reactions() {
+    cross_validate(
+        "VSFTP",
+        "\
+reaction class       flagged  missed
+benign                    45       0
+crash-hang                 8       0
+early-termination         12       0
+functional-failure        14       0
+good-reaction             30       0
+silent-ignorance          30       0
+silent-violation          23       0
+total                    162       0
+",
     );
 }

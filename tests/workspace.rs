@@ -649,6 +649,62 @@ fn warm_edit_removing_a_channel_recomputes_the_slice() {
     assert_eq!(ws.module_clones(), 0);
 }
 
+/// The reaction-pass acceptance criterion: a warm `reanalyze` re-runs the
+/// static reaction classifier only for dirty-slice parameters; everything
+/// else is served from the per-module finding cache (and the cached
+/// verdicts stay correct).
+#[test]
+fn warm_reanalyze_reclassifies_only_dirty_slices() {
+    use spex::check::ReactionClass;
+
+    let mut ws = workspace_over(BASE);
+    let cold = ws.reanalyze();
+    assert_eq!(cold.passes.react_runs, 2, "cold run classifies every param");
+    assert_eq!(cold.passes.react_cache_hits, 0);
+
+    // BASE: `threads` is exit-guarded, `nap` flows into `sleep` unchecked.
+    let class_of = |ws: &Workspace, param: &str| {
+        ws.reaction_findings()
+            .iter()
+            .find(|(_, f)| f.param == param)
+            .map(|(_, f)| f.class)
+            .unwrap()
+    };
+    assert_eq!(class_of(&ws, "threads"), ReactionClass::CheckedWithMessage);
+    assert_eq!(class_of(&ws, "nap"), ReactionClass::LateDetection);
+    let report = ws.reaction_report();
+    assert_eq!(report.stats.errors, 1, "one late detection");
+    assert!(report
+        .files
+        .iter()
+        .flat_map(|f| &f.diagnostics)
+        .any(|d| { d.param == "nap" && d.code.as_str() == "SPEX-V003" && d.origin.is_some() }));
+
+    // `napper` edited: only `nap`'s slice is dirty, so only `nap` is
+    // reclassified; `threads` keeps its cached verdict.
+    ws.update_module("main.c", EDITED).unwrap();
+    let warm = ws.reanalyze();
+    assert_eq!(warm.passes.react_runs, 1, "`nap` reclassified");
+    assert_eq!(warm.passes.react_cache_hits, 1, "`threads` verdict reused");
+    assert_eq!(
+        class_of(&ws, "nap"),
+        ReactionClass::CheckedWithMessage,
+        "the new dominating guard flips the verdict"
+    );
+    assert_eq!(class_of(&ws, "threads"), ReactionClass::CheckedWithMessage);
+    assert_eq!(ws.reaction_report().stats.errors, 0);
+
+    // An isolated added function dirties no slice: every verdict cached.
+    ws.update_module(
+        "main.c",
+        &format!("{EDITED}\nvoid probe() {{ exit(1); }}\n"),
+    )
+    .unwrap();
+    let warm = ws.reanalyze();
+    assert_eq!(warm.passes.react_runs, 0, "no slice dirty, no classify");
+    assert_eq!(warm.passes.react_cache_hits, 2, "both verdicts reused");
+}
+
 /// `merge_db` folds a shard into the owned database and invalidates the
 /// cached session, so merged constraints are immediately checkable.
 #[test]
