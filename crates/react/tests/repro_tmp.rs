@@ -1,0 +1,34 @@
+use spex_core::{annotations::Annotation, Spex};
+use spex_react::{classify, ReactionClass, SinkKind};
+
+#[test]
+fn undominated_divisor_with_unsafe_parse_and_check() {
+    let src = r#"
+        char* raw = "100";
+        int flag = 0;
+        struct opt { char* name; char* var; };
+        struct opt options[] = { { "max_ranges", &raw } };
+        void apply() {
+            int v = atoi(raw);
+            if (flag) {
+                if (v > 16) { fprintf(stderr, "bad"); exit(1); }
+            }
+            int y = 100 / v;
+            listen(0, y);
+        }
+    "#;
+    let p = spex_lang::parse_program(src).unwrap();
+    let m = spex_ir::lower_program(&p).unwrap();
+    let anns =
+        Annotation::parse("{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }").unwrap();
+    let a = Spex::analyze(m, &anns);
+    let r = a.param("max_ranges").unwrap();
+    let f = classify(&a.am, r);
+    eprintln!("class = {:?}, checks = {}, sinks = {:?}", f.class, f.checks,
+        f.sinks.iter().map(|s| s.kind).collect::<Vec<_>>());
+    // The divisor sink is NOT dominated by the check (the check sits
+    // behind `if (flag)`), so this must be late-detection.
+    assert!(f.sinks.iter().any(|s| s.kind == SinkKind::Divisor));
+    assert!(f.checks > 0, "the guarded comparison must count as a check");
+    assert_eq!(f.class, ReactionClass::LateDetection);
+}
