@@ -338,6 +338,12 @@ fn bench_workspace(r: &Runner) {
                 0,
                 "warm reanalyze must not clone the module"
             );
+            assert_eq!(
+                ws.function_clones(),
+                0,
+                "warm reanalyze must not copy any function body \
+                 (the zero-copy Arc-sharing contract)"
+            );
             assert!(
                 last.taint_cache_hits > 0 && last.taint_runs == 0,
                 "warm reanalyze must serve every slice from the cache \
@@ -347,7 +353,8 @@ fn bench_workspace(r: &Runner) {
             );
             assert_eq!(last.mapping_extractions, 0, "mapping must be cached");
             println!(
-                "workspace/reanalyze_warm self-check: OK ({} slice hits, {} mapping hits, 0 module clones)",
+                "workspace/reanalyze_warm self-check: OK ({} slice hits, {} mapping hits, \
+                 0 module clones, 0 function clones)",
                 last.taint_cache_hits, last.mapping_cache_hits,
             );
         }
@@ -478,6 +485,125 @@ fn bench_telemetry(r: &Runner) {
     );
 }
 
+fn bench_fleet(r: &Runner) {
+    // Fleet-scale throughput: thousands of generated modules analyzed
+    // through one workspace, then ~100k staged config files checked
+    // against the merged constraint database. The self-check asserts the
+    // tentpole contract — the parallel run's persisted database is
+    // byte-identical to the serial baseline's, and (given ≥4 cores) at
+    // least 2× faster at 4 threads.
+    if !r.selected("fleet") {
+        return;
+    }
+    let spec = spex_systems::fleet::FleetSpec {
+        modules: std::env::var("SPEX_FLEET_MODULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2048),
+        ..Default::default()
+    };
+    let fleet = spex_systems::fleet::generate_fleet(&spec);
+    println!(
+        "fleet: {} modules, {} parameters, {} config files",
+        fleet.len(),
+        fleet.iter().map(|m| m.params).sum::<usize>(),
+        fleet.len() * spec.configs_per_module,
+    );
+
+    // Building the workspace (parse, lower, fingerprint) is setup; only
+    // cold full inference over every module is measured, best-of-N per
+    // thread count so scheduler noise cannot flip the comparison.
+    const ROUNDS: usize = 3;
+    let run_at = |threads: usize| -> (u128, u128, String) {
+        let mut best = u128::MAX;
+        let mut total = 0u128;
+        let mut db = String::new();
+        for _ in 0..ROUNDS {
+            let mut ws =
+                Workspace::new("Fleet", spex_conf::Dialect::KeyValue).with_threads(threads);
+            for m in &fleet {
+                ws.add_module(&m.name, &m.source, &m.annotations).unwrap();
+            }
+            let start = std::time::Instant::now();
+            black_box(ws.reanalyze());
+            let dt = start.elapsed().as_nanos();
+            best = best.min(dt);
+            total += dt;
+            db = ws.db().save_to_string();
+        }
+        (total / ROUNDS as u128, best, db)
+    };
+    let (serial_mean, serial_best, serial_db) = run_at(1);
+    let (par_mean, par_best, par_db) = run_at(4);
+    r.record(
+        "fleet/analyze_corpus_1_thread",
+        serial_mean,
+        serial_best,
+        ROUNDS,
+    );
+    r.record("fleet/analyze_corpus_4_threads", par_mean, par_best, ROUNDS);
+
+    assert_eq!(
+        serial_db, par_db,
+        "parallel fleet analysis must persist a byte-identical database"
+    );
+    let speedup = serial_best as f64 / par_best.max(1) as f64;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "fleet analysis at 4 threads must be ≥2× the serial baseline \
+             (got {speedup:.2}× on {cores} cores)"
+        );
+    }
+    let analyses_per_sec = |ns: u128| fleet.len() as u128 * 1_000_000_000 / ns.max(1);
+    println!(
+        "fleet/throughput self-check: OK (db byte-identical; \
+         {} analyses/sec serial, {} at 4 threads, {speedup:.2}x speedup{})",
+        analyses_per_sec(serial_best),
+        analyses_per_sec(par_best),
+        if cores >= 4 {
+            ""
+        } else {
+            "; speedup assert skipped, <4 cores"
+        },
+    );
+
+    // Checking: the deployment corpus against the merged database, through
+    // the same borrowed-session batch path deployments use.
+    let mut ws = Workspace::new("Fleet", spex_conf::Dialect::KeyValue).with_threads(4);
+    for m in &fleet {
+        ws.add_module(&m.name, &m.source, &m.annotations).unwrap();
+    }
+    ws.reanalyze();
+    let corpus = spex_systems::fleet::config_corpus(&fleet, &spec);
+    let session = CheckSession::new(ws.db()).with_threads(4);
+    let mut check_best = u128::MAX;
+    let mut check_total = 0u128;
+    let mut flagged = 0usize;
+    for _ in 0..ROUNDS {
+        let start = std::time::Instant::now();
+        let report = black_box(session.check_texts(&corpus));
+        check_best = check_best.min(start.elapsed().as_nanos());
+        check_total += start.elapsed().as_nanos();
+        flagged = report.stats.flagged_files;
+    }
+    r.record(
+        "fleet/check_corpus_4_threads",
+        check_total / ROUNDS as u128,
+        check_best,
+        ROUNDS,
+    );
+    assert!(
+        flagged >= fleet.len(),
+        "every unknown-key corruption must be flagged ({flagged} flagged)"
+    );
+    println!(
+        "fleet/check self-check: OK ({} checks/sec at 4 threads, {flagged} files flagged)",
+        corpus.len() as u128 * 1_000_000_000 / check_best.max(1),
+    );
+}
+
 fn main() {
     let r = Runner::from_args();
     bench_frontend(&r);
@@ -489,5 +615,6 @@ fn main() {
     bench_check(&r);
     bench_workspace(&r);
     bench_telemetry(&r);
+    bench_fleet(&r);
     r.write_trajectory();
 }

@@ -30,8 +30,9 @@
 //! [`Workspace`] ties it together as a long-lived session: incremental
 //! re-inference on edit, a cached `CheckSession` invalidated only when
 //! the database changes, and database merging for sharded analysis.
-//! (The pre-0.3 [`BatchEngine`]/`Checker` front-ends remain as thin
-//! deprecated wrappers; see the README's migration notes.)
+//! (The pre-0.3 `BatchEngine`/`Checker` wrappers were removed in 0.4;
+//! batch work goes through [`CheckSession::check_texts`] /
+//! [`CheckSession::check_paths`] or the workspace equivalents.)
 //!
 //! # Examples
 //!
@@ -66,8 +67,6 @@
 //! assert!(diags[0].to_string().contains("[1, 16]"));
 //! ```
 
-pub mod batch;
-pub mod checker;
 pub mod db;
 pub mod diag;
 pub mod env;
@@ -77,10 +76,6 @@ pub mod report;
 pub mod session;
 pub mod workspace;
 
-#[allow(deprecated)]
-pub use batch::{BatchEngine, BatchJob};
-#[allow(deprecated)]
-pub use checker::Checker;
 pub use db::{ConstraintDb, DbError, MergeConflict, MergeError, MergeReport, ParamEntry};
 pub use diag::{Diagnostic, Fix, Origin, Severity};
 pub use env::{Environment, FsEnv, StaticEnv};

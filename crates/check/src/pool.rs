@@ -1,95 +1,13 @@
-//! The shared scoped-thread worker pool and the deterministic directory
-//! walk, used by both [`CheckSession`](crate::CheckSession) and the
-//! legacy [`BatchEngine`](crate::BatchEngine) front-end.
+//! The deterministic directory walk used by
+//! [`CheckSession::check_paths`](crate::CheckSession::check_paths), plus
+//! this crate's view of the shared worker pool (the pool itself lives in
+//! `spex-pool`, below `spex-core`, so the inference passes fan across the
+//! same primitive).
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
-/// Produces `n` results with `make` on up to `threads` scoped workers,
-/// sharing an atomic cursor and writing results back by index so output
-/// order is deterministic regardless of scheduling.
-///
-/// When a `recorder` is given, each worker installs it for its lifetime
-/// (thread-locals do not cross `spawn`, so the caller's install alone
-/// would leave workers silent) and reports per-worker job counts and
-/// utilization, queue-depth samples, and pool-wide totals into it. The
-/// per-worker gauges are scheduling-dependent by nature; everything
-/// deterministic about the run is carried by the counters.
-pub(crate) fn run_indexed<T, F>(
-    threads: usize,
-    n: usize,
-    recorder: Option<&Arc<spex_obs::Recorder>>,
-    make: F,
-) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = threads.max(1).min(n.max(1));
-    if let Some(rec) = recorder {
-        let _telemetry = spex_obs::install(rec);
-        spex_obs::counter("pool.runs", 1);
-        spex_obs::counter("pool.jobs", n as u64);
-        spex_obs::gauge("pool.workers", workers as i64);
-    }
-    if workers <= 1 {
-        let _telemetry = recorder.map(spex_obs::install);
-        return (0..n).map(make).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            scope.spawn({
-                let cursor = &cursor;
-                let slots = &slots;
-                let make = &make;
-                move || {
-                    let _telemetry = recorder.map(spex_obs::install);
-                    let started = spex_obs::clock();
-                    let mut jobs = 0u64;
-                    let mut busy_ns = 0u128;
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        spex_obs::observe("pool.queue.depth", (n - i.min(n)) as u64);
-                        let job_start = spex_obs::clock();
-                        let result = make(i);
-                        *slots[i].lock().unwrap() = Some(result);
-                        jobs += 1;
-                        if let Some(t) = job_start {
-                            busy_ns += t.elapsed().as_nanos();
-                        }
-                    }
-                    if let Some(started) = started {
-                        report_worker(w, jobs, busy_ns, started);
-                    }
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
-        .collect()
-}
-
-/// Publishes one worker's lifetime stats: how many jobs it took and what
-/// fraction of its wall-clock it spent inside them.
-fn report_worker(worker: usize, jobs: u64, busy_ns: u128, started: Instant) {
-    let wall_ns = started.elapsed().as_nanos().max(1);
-    let utilization = (busy_ns.min(wall_ns) * 100 / wall_ns) as i64;
-    spex_obs::gauge(&format!("pool.worker.{worker}.jobs"), jobs as i64);
-    spex_obs::gauge(
-        &format!("pool.worker.{worker}.utilization_pct"),
-        utilization,
-    );
-}
+pub(crate) use spex_pool::run_indexed;
 
 /// One discovered path: a candidate file, or a location the walk could
 /// not descend (reported as unreadable rather than aborting the batch).

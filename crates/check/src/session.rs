@@ -4,10 +4,9 @@
 //! A `CheckSession<'db>` *borrows* its [`ConstraintDb`] — constructing one
 //! builds a name index but never clones a constraint, so "check on every
 //! edit" costs per-file work only. It is the single implementation behind
-//! [`Workspace::check_text`](crate::Workspace::check_text),
+//! [`Workspace::check_text`](crate::Workspace::check_text) and
 //! [`Workspace::check_paths`](crate::Workspace::check_paths) (which cache
-//! a session until the database changes) and the legacy
-//! [`BatchEngine`](crate::BatchEngine) wrapper.
+//! a session until the database changes).
 //!
 //! Each setting in a file is vetted against every constraint inferred for
 //! its parameter: basic-type conformance, semantic-type plausibility

@@ -59,7 +59,7 @@ use spex_core::apispec::ApiSpec;
 use spex_core::fingerprint::{
     diff_fingerprints, function_fingerprints, header_fingerprint, FingerprintDiff,
 };
-use spex_core::infer::{InferScope, PassCache, PassCounts, Spex};
+use spex_core::infer::{InferScope, PassCache, PassCounts, Spex, SpexAnalysis};
 use spex_core::Annotation;
 use spex_ir::Module;
 use spex_react::{ReactionClass, ReactionFinding};
@@ -453,7 +453,7 @@ impl Workspace {
     ) -> Result<FingerprintDiff, WorkspaceError> {
         let _telemetry = self.telemetry.as_ref().map(spex_obs::install);
         let _span = spex_obs::span("workspace.update_module");
-        let module = Self::parse_source(name, source)?;
+        let mut module = Self::parse_source(name, source)?;
         let entry = self
             .modules
             .get_mut(name)
@@ -467,6 +467,22 @@ impl Workspace {
             entry.dirty = Dirty::All;
         } else if !diff.is_empty() {
             entry.dirty.absorb_functions(diff.dirty_names());
+        }
+        // Swap the freshly parsed body of every *unchanged* function for
+        // the previous generation's allocation: the fingerprint says they
+        // are identical, so untouched functions stay pointer-equal across
+        // generations (`Arc::ptr_eq`) and downstream reuse — SSA state,
+        // slices — keeps sharing one body instead of re-anchoring on a
+        // duplicate. Only sound when the header is stable too (embedded
+        // global/struct ids unchanged).
+        if header_fp == entry.header_fp {
+            for f in &mut module.functions {
+                if entry.fn_fps.get(&f.name) == fn_fps.get(&f.name) {
+                    if let Some(old) = entry.module.functions.iter().find(|o| o.name == f.name) {
+                        *f = Arc::clone(old);
+                    }
+                }
+            }
         }
         entry.module = Arc::new(module);
         entry.fn_fps = fn_fps;
@@ -540,9 +556,25 @@ impl Workspace {
         let _telemetry = self.telemetry.as_ref().map(spex_obs::install);
         let _span = spex_obs::span("workspace.reanalyze");
         let mut report = ReanalyzeReport::default();
+
+        /// One dirty module's analysis input, detached from the workspace
+        /// borrow: the module is `Arc`-shared (no function body is copied
+        /// — the zero-copy invariant `function_clones` tracks), the pass
+        /// cache is taken out of the entry and handed back after the run.
+        struct Job {
+            name: String,
+            module: Arc<Module>,
+            anns: Vec<Annotation>,
+            cache: Mutex<PassCache>,
+            scope: Option<InferScope>,
+            dirty_fns: Option<BTreeSet<String>>,
+        }
+
+        // Phase 1 (serial, module-name order): snapshot every dirty
+        // module's inputs and change scope.
         let names: Vec<String> = self.modules.keys().cloned().collect();
+        let mut jobs: Vec<Job> = Vec::new();
         for name in names {
-            let _module_span = spex_obs::span!("workspace.module", module = name);
             let entry = self.modules.get_mut(&name).expect("listed above");
             let (scope, dirty_fns) = match &entry.dirty {
                 Dirty::Clean => continue,
@@ -579,23 +611,51 @@ impl Workspace {
                 }
             };
             report.modules_analyzed += 1;
-            let analysis = {
-                let spec = self.spec.clone();
-                let SourceModule {
-                    module,
-                    anns,
-                    cache,
-                    ..
-                } = entry;
-                Spex::analyze_cached(
-                    module,
-                    anns,
-                    spec,
-                    scope.as_ref(),
-                    dirty_fns.as_ref(),
-                    cache,
-                )
-            };
+            jobs.push(Job {
+                name: name.clone(),
+                module: Arc::clone(&entry.module),
+                anns: entry.anns.clone(),
+                cache: Mutex::new(std::mem::take(&mut entry.cache)),
+                scope,
+                dirty_fns,
+            });
+        }
+
+        // Phase 2: analyze. With several dirty modules the pool fans out at
+        // module granularity and each job runs its parameter passes inline
+        // (nesting pools would oversubscribe); with a single dirty module
+        // the parameter-level fan-out inside the core gets all the threads.
+        // Routing on the workload keeps telemetry thread-count-independent.
+        let spec = &self.spec;
+        let analyze_job = |job: &Job, threads: usize| {
+            let _module_span = spex_obs::span!("workspace.module", module = job.name);
+            let mut cache = job.cache.lock().expect("job cache lock");
+            Spex::analyze_cached_threaded(
+                &job.module,
+                &job.anns,
+                spec.clone(),
+                job.scope.as_ref(),
+                job.dirty_fns.as_ref(),
+                &mut cache,
+                threads,
+            )
+        };
+        let analyses: Vec<SpexAnalysis> = if jobs.len() > 1 {
+            crate::pool::run_indexed(self.threads, jobs.len(), self.telemetry.as_ref(), |i| {
+                analyze_job(&jobs[i], 1)
+            })
+        } else {
+            jobs.iter().map(|j| analyze_job(j, self.threads)).collect()
+        };
+
+        // Phase 3 (serial, same order): fold every result into the
+        // database. The fold order is what makes the persisted constraints
+        // byte-identical to the serial run at any thread count; the pass
+        // counters are commutative sums, so they match too.
+        for (job, analysis) in jobs.into_iter().zip(analyses) {
+            let name = job.name;
+            self.modules.get_mut(&name).expect("still present").cache =
+                job.cache.into_inner().expect("job cache lock");
             report.passes.accumulate(&analysis.passes);
             report.params_total += analysis.reports.len();
 
@@ -779,6 +839,19 @@ impl Workspace {
         self.modules.values().map(|m| m.module.clone_count()).sum()
     }
 
+    /// Total deep-clone count across the lineages of every *function body*
+    /// the stored modules hold (see `Function::clone_count` in `spex-ir`).
+    /// With `Module` sharing functions (`Vec<Arc<Function>>`), no path in
+    /// analysis, re-analysis or checking should ever copy a body — warm
+    /// generations bump refcounts only — and the zero-copy regression
+    /// tests assert this stays at zero.
+    pub fn function_clones(&self) -> usize {
+        self.modules
+            .values()
+            .map(|m| m.module.function_clones())
+            .sum()
+    }
+
     /// Checks one config text against the current database.
     pub fn check_text(&self, text: &str) -> Vec<Diagnostic> {
         self.check_conf(&ConfFile::parse(text, self.dialect))
@@ -853,6 +926,48 @@ mod tests {
         let ds = ws.check_text("threads = 64\n");
         assert_eq!(ds.len(), 1);
         assert!(ds[0].message.contains("[1, 16]"), "{}", ds[0]);
+    }
+
+    #[test]
+    fn update_module_swaps_only_edited_function_arcs() {
+        // The zero-copy contract at the `update_module` boundary: an edit
+        // allocates a fresh `Arc` only for the functions it changed;
+        // every untouched function is the *same* allocation across
+        // generations, and no function body is ever deep-copied.
+        let mut ws = ws();
+        ws.reanalyze();
+        let before: std::collections::BTreeMap<String, Arc<spex_ir::Function>> = ws.modules
+            ["main.c"]
+            .module
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), Arc::clone(f)))
+            .collect();
+
+        let edited = BASE.replace("sleep(nap)", "sleep(nap + 0)");
+        assert_ne!(edited, BASE, "the probe edit must change the source");
+        ws.update_module("main.c", &edited).unwrap();
+        let after = &ws.modules["main.c"].module;
+        assert_eq!(after.functions.len(), before.len());
+        for f in &after.functions {
+            let old = &before[&f.name];
+            if f.name == "napper" {
+                assert!(
+                    !Arc::ptr_eq(old, f),
+                    "the edited function must get a fresh Arc"
+                );
+            } else {
+                assert!(
+                    Arc::ptr_eq(old, f),
+                    "{}: untouched functions must be pointer-equal across generations",
+                    f.name
+                );
+            }
+        }
+
+        ws.reanalyze();
+        assert_eq!(ws.function_clones(), 0, "no function body may be copied");
+        assert_eq!(ws.module_clones(), 0, "no module may be deep-cloned");
     }
 
     #[test]

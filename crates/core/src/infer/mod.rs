@@ -98,19 +98,6 @@ impl PassCounts {
         (total > 0).then(|| hits as f64 / total as f64)
     }
 
-    /// Compatibility shim for the pre-obs name of
-    /// [`cached_fraction`](PassCounts::cached_fraction); the same numbers
-    /// are now also published to the telemetry registry as the
-    /// `infer.cache.{mapping,taint}.{hits,misses}` counters.
-    #[deprecated(
-        since = "0.3.0",
-        note = "renamed to `cached_fraction`; the telemetry registry's \
-                `infer.cache.*` counters carry the same information"
-    )]
-    pub fn cache_hit_rate(&self) -> Option<f64> {
-        self.cached_fraction()
-    }
-
     /// Publishes the counts into the installed telemetry recorder (no-op
     /// when telemetry is disabled): one `infer.pass.*` counter per
     /// inference pass and the `infer.cache.{mapping,taint}.{hits,misses}`
@@ -471,6 +458,30 @@ impl Spex {
         dirty: Option<&BTreeSet<String>>,
         cache: &mut PassCache,
     ) -> SpexAnalysis {
+        Self::analyze_cached_threaded(module, anns, spec, scope, dirty, cache, 1)
+    }
+
+    /// Like [`analyze_cached`](Spex::analyze_cached), with the
+    /// per-parameter inference passes fanned across up to `threads`
+    /// scoped workers (the `spex-pool` primitive).
+    ///
+    /// The output is **byte-identical to the serial run** at every thread
+    /// count: results come back in parameter index order, the pass
+    /// counters are derived from the in-scope set rather than loop order,
+    /// and the multi-parameter passes (control dependencies, value
+    /// relationships) stay serial — they scan branch sites once for the
+    /// whole module and their merge order is what makes
+    /// [`SpexAnalysis::reports`] deterministic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn analyze_cached_threaded(
+        module: &Module,
+        anns: &[Annotation],
+        spec: ApiSpec,
+        scope: Option<&InferScope>,
+        dirty: Option<&BTreeSet<String>>,
+        cache: &mut PassCache,
+        threads: usize,
+    ) -> SpexAnalysis {
         let mut passes = PassCounts::default();
         let ann_fp = ann_fingerprint(anns);
 
@@ -612,13 +623,20 @@ impl Spex {
             .is_some()
             .then(|| slice_hit.iter().map(|&h| !h).collect());
 
-        Self::infer_from_slices(am, params, taints, spec, scope, recomputed, passes)
+        Self::infer_from_slices(am, params, taints, spec, scope, recomputed, passes, threads)
     }
 
     /// The five inference passes over prepared slices (shared tail of the
     /// cached and uncached entry points). `recomputed` marks parameters
     /// whose slice was not served from the pass cache (cached runs only);
     /// they are inferred even when outside `scope`.
+    ///
+    /// The per-parameter passes fan across up to `threads` pool workers
+    /// whenever more than one parameter is live. Routing on the *workload*
+    /// rather than the thread count keeps the telemetry count signature
+    /// thread-count-independent: a warm single-dirty-parameter reanalyze
+    /// never touches the pool, a cold run always does, at any `threads`.
+    #[allow(clippy::too_many_arguments)]
     fn infer_from_slices(
         am: Arc<AnalyzedModule>,
         params: Arc<Vec<MappedParam>>,
@@ -627,6 +645,7 @@ impl Spex {
         scope: Option<&InferScope>,
         recomputed: Option<Vec<bool>>,
         mut passes: PassCounts,
+        threads: usize,
     ) -> SpexAnalysis {
         // Reverse index: tainted value -> parameter indices, for the
         // multi-parameter passes.
@@ -649,48 +668,61 @@ impl Spex {
             }
         };
 
-        let mut reports: Vec<ParamReport> = params
-            .iter()
-            .cloned()
-            .zip(taints.iter().cloned())
-            .zip(in_scope.iter().copied())
-            .map(|((param, taint), live)| {
-                if !live {
-                    return ParamReport {
-                        param,
-                        taint,
-                        constraints: Vec::new(),
-                        evidence: Evidence::default(),
-                        stale: true,
-                    };
-                }
-                let _param_span = spex_obs::span!("infer.param", name = param.name);
-                let mut constraints = Vec::new();
-                passes.basic_type += 1;
-                {
-                    let _span = spex_obs::span("infer.basic_type");
-                    constraints.extend(basic_type::infer(&am, &param, &taint));
-                }
-                passes.semantic_type += 1;
-                {
-                    let _span = spex_obs::span("infer.semantic_type");
-                    constraints.extend(semantic_type::infer(&am, &spec, &param, &taint));
-                }
-                passes.range += 1;
-                {
-                    let _span = spex_obs::span("infer.range");
-                    constraints.extend(range::infer(&am, &param, &taint));
-                }
-                let evidence = evidence::collect(&am, &param, &taint);
-                ParamReport {
+        // First pass group: the three per-parameter passes plus evidence
+        // collection are embarrassingly parallel — each job reads the
+        // shared `AnalyzedModule` and its own slice, nothing else. Results
+        // land by index, so the report order (and therefore every
+        // downstream serialization) is byte-identical to the serial run.
+        let live_total = in_scope.iter().filter(|&&live| live).count();
+        let infer_one = |i: usize| -> ParamReport {
+            let param = params[i].clone();
+            let taint = Arc::clone(&taints[i]);
+            if !in_scope[i] {
+                return ParamReport {
                     param,
                     taint,
-                    constraints,
-                    evidence,
-                    stale: false,
-                }
-            })
-            .collect();
+                    constraints: Vec::new(),
+                    evidence: Evidence::default(),
+                    stale: true,
+                };
+            }
+            let _param_span = spex_obs::span!("infer.param", name = param.name);
+            let mut constraints = Vec::new();
+            {
+                let _span = spex_obs::span("infer.basic_type");
+                constraints.extend(basic_type::infer(&am, &param, &taint));
+            }
+            {
+                let _span = spex_obs::span("infer.semantic_type");
+                constraints.extend(semantic_type::infer(&am, &spec, &param, &taint));
+            }
+            {
+                let _span = spex_obs::span("infer.range");
+                constraints.extend(range::infer(&am, &param, &taint));
+            }
+            let evidence = evidence::collect(&am, &param, &taint);
+            ParamReport {
+                param,
+                taint,
+                constraints,
+                evidence,
+                stale: false,
+            }
+        };
+        let mut reports: Vec<ParamReport> = if live_total > 1 {
+            // Hand the caller's recorder across the pool boundary so worker
+            // spans and counters land in the same sink (thread-locals do
+            // not cross `spawn`); `None` stays silent on every path.
+            let recorder = spex_obs::current_recorder();
+            spex_pool::run_indexed(threads, params.len(), recorder.as_ref(), infer_one)
+        } else {
+            (0..params.len()).map(infer_one).collect()
+        };
+        // Pass counters derive from the live set, not loop order — the
+        // exact tallies the serial loop would have accumulated.
+        passes.basic_type += live_total;
+        passes.semantic_type += live_total;
+        passes.range += live_total;
 
         // Second pass: multi-parameter constraints over the slices. These
         // scan branch sites once for the whole module; constraints are

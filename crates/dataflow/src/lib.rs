@@ -67,11 +67,12 @@ pub struct AnalyzedModule {
 }
 
 /// SSA promotion plus the per-function analysis artifacts for one function.
-fn prepare_function(f: &Function) -> (Function, Arc<Cfg>, Arc<DomTree>, Arc<UseDefs>) {
+/// An already-SSA body is shared as-is (refcount bump, no copy).
+fn prepare_function(f: &Arc<Function>) -> (Arc<Function>, Arc<Cfg>, Arc<DomTree>, Arc<UseDefs>) {
     let ssa = if f.is_ssa {
-        f.clone()
+        Arc::clone(f)
     } else {
-        promote_to_ssa(f)
+        Arc::new(promote_to_ssa(f))
     };
     let cfg = Cfg::build(&ssa);
     let dom = DomTree::build(&ssa, &cfg);
@@ -81,26 +82,8 @@ fn prepare_function(f: &Function) -> (Function, Arc<Cfg>, Arc<DomTree>, Arc<UseD
 
 impl AnalyzedModule {
     /// Promotes every function to SSA and precomputes the analysis state.
-    pub fn build(mut module: Module) -> AnalyzedModule {
-        let _span = spex_obs::span("dataflow.prepare");
-        let mut cfgs = Vec::with_capacity(module.functions.len());
-        let mut doms = Vec::with_capacity(module.functions.len());
-        let mut usedefs = Vec::with_capacity(module.functions.len());
-        for f in &mut module.functions {
-            let (ssa, cfg, dom, ud) = prepare_function(f);
-            *f = ssa;
-            cfgs.push(cfg);
-            doms.push(dom);
-            usedefs.push(ud);
-        }
-        let callgraph = CallGraph::build(&module);
-        AnalyzedModule {
-            module: Arc::new(module),
-            cfgs,
-            doms,
-            usedefs,
-            callgraph,
-        }
+    pub fn build(module: Module) -> AnalyzedModule {
+        AnalyzedModule::build_ref(&module)
     }
 
     /// Like [`build`](AnalyzedModule::build), but from a borrowed module:
@@ -161,7 +144,7 @@ impl AnalyzedModule {
         for (i, f) in module.functions.iter().enumerate() {
             match prev {
                 Some(p) if i < p.module.functions.len() && !dirty(&f.name) => {
-                    functions.push(p.module.functions[i].clone());
+                    functions.push(Arc::clone(&p.module.functions[i]));
                     cfgs.push(Arc::clone(&p.cfgs[i]));
                     doms.push(Arc::clone(&p.doms[i]));
                     usedefs.push(Arc::clone(&p.usedefs[i]));

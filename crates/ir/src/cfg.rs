@@ -71,7 +71,7 @@ mod tests {
     use super::*;
     use crate::lower_program;
 
-    fn cfg_of(src: &str, func: &str) -> (crate::module::Function, Cfg) {
+    fn cfg_of(src: &str, func: &str) -> (std::sync::Arc<crate::module::Function>, Cfg) {
         let p = spex_lang::parse_program(src).unwrap();
         let m = lower_program(&p).unwrap();
         let id = m.function_by_name(func).unwrap();

@@ -140,7 +140,7 @@ mod tests {
     use super::*;
     use crate::lower_program;
 
-    fn dom_of(src: &str, func: &str) -> (crate::module::Function, Cfg, DomTree) {
+    fn dom_of(src: &str, func: &str) -> (std::sync::Arc<crate::module::Function>, Cfg, DomTree) {
         let p = spex_lang::parse_program(src).unwrap();
         let m = lower_program(&p).unwrap();
         let id = m.function_by_name(func).unwrap();

@@ -73,7 +73,7 @@ pub fn lower_program(program: &Program) -> Result<Module, Diagnostic> {
 
     for f in &program.functions {
         let lowered = FuncLowerer::new(&module, &global_ids, &func_ids, &fn_rets, f).lower()?;
-        module.functions.push(lowered);
+        module.functions.push(std::sync::Arc::new(lowered));
     }
     Ok(module)
 }
@@ -299,6 +299,7 @@ impl<'a> FuncLowerer<'a> {
             value_types: self.value_types,
             is_ssa: false,
             span: self.ast.span,
+            clones: Default::default(),
         })
     }
 

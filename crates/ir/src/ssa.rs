@@ -18,7 +18,7 @@ use std::collections::{HashMap, HashSet};
 /// The original function is left untouched (the interpreter executes the
 /// pre-SSA form); analyses use the returned function.
 pub fn promote_to_ssa(f: &Function) -> Function {
-    let mut f = f.clone();
+    let mut f = f.body_copy();
     let cfg = Cfg::build(&f);
     let dom = DomTree::build(&f, &cfg);
 

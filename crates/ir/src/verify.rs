@@ -253,6 +253,7 @@ mod tests {
             value_types: vec![CType::int()],
             is_ssa: false,
             span: Span::unknown(),
+            clones: Default::default(),
         };
         let errs = verify_function(&f);
         assert!(errs.iter().any(|e| e.message.contains("more than once")));

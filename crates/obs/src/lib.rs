@@ -143,6 +143,16 @@ pub fn install(recorder: &Arc<Recorder>) -> InstallGuard {
     InstallGuard { prev }
 }
 
+/// The recorder installed on the current thread, if any — for handing the
+/// sink across a worker-pool boundary (thread-locals do not cross `spawn`,
+/// so a pool must capture the caller's recorder and [`install`] it on each
+/// worker).
+pub fn current_recorder() -> Option<Arc<Recorder>> {
+    CURRENT
+        .try_with(|c| c.borrow().as_ref().map(|ctx| Arc::clone(&ctx.recorder)))
+        .unwrap_or(None)
+}
+
 /// Reverts an [`install`] on drop.
 pub struct InstallGuard {
     prev: Option<ThreadCtx>,

@@ -1,0 +1,255 @@
+//! Fleet-scale corpus generation.
+//!
+//! The paper's checker earns its keep at datacenter scale: one inference
+//! run per *program*, then constraint checking over every staged config
+//! file of every host. This module expands that setting into a synthetic
+//! fleet — thousands of small, independently generated configuration
+//! modules (each a [`SystemSpec`] expanded through the shared
+//! [`generate`](crate::generate) path) plus a config-file corpus on the
+//! order of 100k files. The `fleet` bench group drives analyses/sec and
+//! checks/sec numbers from it; the generation itself is deterministic for
+//! a seed, so serial and parallel runs are comparable byte-for-byte.
+
+use crate::rng::SplitMix64;
+use crate::spec::{MappingStyle, ParamSpec, Role, SystemSpec};
+use spex_conf::Dialect;
+
+/// Shape of a generated fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of configuration modules (programs) in the fleet.
+    pub modules: usize,
+    /// Config files generated per module (the deployment corpus).
+    pub configs_per_module: usize,
+    /// Seed for every sampled choice.
+    pub seed: u64,
+}
+
+impl Default for FleetSpec {
+    /// The bench-scale fleet: 2048 modules × 48 configs ≈ 100k files.
+    fn default() -> FleetSpec {
+        FleetSpec {
+            modules: 2048,
+            configs_per_module: 48,
+            seed: 0xf1ee7,
+        }
+    }
+}
+
+/// One generated fleet member: a module plus its deployment template.
+pub struct FleetModule {
+    /// Module name (unique within the fleet, usable as a workspace key).
+    pub name: String,
+    /// Mini-C source of the member's configuration-handling code.
+    pub source: String,
+    /// SPEX annotations for the member.
+    pub annotations: String,
+    /// The member's pristine template config.
+    pub template_conf: String,
+    /// Number of configuration parameters the member declares.
+    pub params: usize,
+}
+
+/// Generates the fleet. Deterministic for a [`FleetSpec`]: the same spec
+/// always yields the same sources, annotations and templates.
+///
+/// Every member gets a globally unique parameter-name prefix, so the whole
+/// fleet can share one workspace (and one merged constraint database)
+/// without cross-module parameter collisions.
+pub fn generate_fleet(spec: &FleetSpec) -> Vec<FleetModule> {
+    let mut rng = SplitMix64::seed_from_u64(spec.seed);
+    (0..spec.modules)
+        .map(|i| {
+            let sys = member_spec(i, &mut rng);
+            let params = sys.params.len();
+            let out = crate::generate(&sys);
+            FleetModule {
+                name: format!("m{i:04}.c"),
+                source: out.source,
+                annotations: out.annotations,
+                template_conf: out.template_conf,
+                params,
+            }
+        })
+        .collect()
+}
+
+/// Samples one member's parameter population. Members are intentionally
+/// small (5–9 parameters): fleet throughput is about *many* programs, not
+/// one big one, and the role mix keeps all five constraint kinds alive
+/// across the corpus (ranges, semantic types, booleans/enums, control
+/// dependencies).
+fn member_spec(index: usize, rng: &mut SplitMix64) -> SystemSpec {
+    let n = rng.gen_range(5, 10) as usize;
+    let mut params = Vec::with_capacity(n);
+    let mut controller: Option<String> = None;
+    for p in 0..n {
+        let name = format!("f{index:04}_p{p}");
+        let role = match rng.gen_range(0, 10) {
+            0 => Role::Arith,
+            1 => {
+                let min = rng.gen_range(0, 8);
+                Role::RangeTable {
+                    min,
+                    max: min + rng.gen_range(8, 4096),
+                }
+            }
+            2 => {
+                let min = rng.gen_range(1, 16);
+                Role::RangeExit {
+                    min,
+                    max: min + rng.gen_range(16, 1024),
+                    log: rng.gen_range(0, 2) == 0,
+                }
+            }
+            3 => Role::File {
+                checked: true,
+                log: rng.gen_range(0, 2) == 0,
+            },
+            4 => Role::Port {
+                checked: rng.gen_range(0, 2) == 0,
+                log: true,
+            },
+            5 => Role::TimeSleep {
+                scale: [1, 1000][rng.gen_range(0, 2) as usize],
+                micro: rng.gen_range(0, 2) == 0,
+            },
+            6 => Role::SizeAlloc {
+                scale: [1, 1024][rng.gen_range(0, 2) as usize],
+                checked: true,
+            },
+            7 => {
+                let strict = rng.gen_range(0, 2) == 0;
+                controller.get_or_insert_with(|| name.clone());
+                Role::BoolFlag { strict }
+            }
+            8 => Role::Switch {
+                n: rng.gen_range(2, 6),
+                loud_default: rng.gen_range(0, 2) == 0,
+            },
+            _ => match &controller {
+                Some(c) => Role::DependentOn {
+                    controller: c.clone(),
+                },
+                None => Role::Arith,
+            },
+        };
+        params.push(ParamSpec::new(name, role));
+    }
+    SystemSpec {
+        name: "Fleet",
+        mapping: MappingStyle::StructDirect,
+        dialect: Dialect::KeyValue,
+        safe_dispatcher: true,
+        params,
+    }
+}
+
+/// Expands the fleet into its deployment config corpus:
+/// `configs_per_module` files per member, most of them the pristine
+/// template and roughly one in seven corrupted with an unknown key — a
+/// violation the persisted constraints flag regardless of which roles the
+/// member sampled, so flagged-file counts are stable across fleets.
+pub fn config_corpus(fleet: &[FleetModule], spec: &FleetSpec) -> Vec<(String, String)> {
+    let mut rng = SplitMix64::seed_from_u64(spec.seed ^ 0xc0f1);
+    let mut files = Vec::with_capacity(fleet.len() * spec.configs_per_module);
+    for m in fleet {
+        for j in 0..spec.configs_per_module {
+            let stem = m.name.trim_end_matches(".c");
+            let name = format!("{stem}/host{j:02}.conf");
+            let text = if j % 7 == 3 {
+                format!(
+                    "{}{stem}_bogus{} = 1\n",
+                    m.template_conf,
+                    rng.next_u64() % 100
+                )
+            } else {
+                m.template_conf.clone()
+            };
+            files.push((name, text));
+        }
+    }
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetSpec {
+        FleetSpec {
+            modules: 12,
+            configs_per_module: 7,
+            seed: 0xf1ee7,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_fleet(&small());
+        let b = generate_fleet(&small());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.annotations, y.annotations);
+            assert_eq!(x.template_conf, y.template_conf);
+        }
+    }
+
+    #[test]
+    fn members_parse_lower_and_infer() {
+        for m in generate_fleet(&small()).iter().take(6) {
+            let program = spex_lang::parse_program(&m.source)
+                .unwrap_or_else(|e| panic!("{}: does not parse: {e}", m.name));
+            let module = spex_ir::lower_program(&program)
+                .unwrap_or_else(|e| panic!("{}: does not lower: {e}", m.name));
+            assert!(
+                !module.functions.is_empty(),
+                "{}: no functions generated",
+                m.name
+            );
+            assert!(m.params >= 5, "{}: undersized member", m.name);
+        }
+    }
+
+    #[test]
+    fn parameter_names_are_fleet_unique() {
+        // The template sets only a representative subset of each member's
+        // parameters (mirroring real deployments), but every key it does
+        // set must carry its member's unique prefix — that is what lets
+        // the whole fleet share one merged constraint database.
+        let fleet = generate_fleet(&small());
+        let mut seen = std::collections::BTreeSet::new();
+        let mut keys = 0usize;
+        for (i, m) in fleet.iter().enumerate() {
+            for line in m.template_conf.lines() {
+                let key = line.split_whitespace().next().unwrap_or("");
+                if !key.is_empty() {
+                    keys += 1;
+                    assert!(
+                        key.starts_with(&format!("f{i:04}_")),
+                        "{key} missing member prefix"
+                    );
+                    assert!(seen.insert(key.to_string()), "duplicate key {key}");
+                }
+            }
+        }
+        assert!(keys > 0, "no template keys generated at all");
+    }
+
+    #[test]
+    fn corpus_has_the_requested_shape() {
+        let spec = small();
+        let fleet = generate_fleet(&spec);
+        let corpus = config_corpus(&fleet, &spec);
+        assert_eq!(corpus.len(), spec.modules * spec.configs_per_module);
+        let corrupted = corpus
+            .iter()
+            .filter(|(_, text)| text.contains("_bogus"))
+            .count();
+        assert_eq!(corrupted, spec.modules, "one corrupted file per 7");
+        let again = config_corpus(&fleet, &spec);
+        assert_eq!(corpus, again, "corpus generation is deterministic");
+    }
+}

@@ -17,6 +17,7 @@
 pub mod catalog;
 pub mod corpus;
 pub mod figures;
+pub mod fleet;
 pub mod gen;
 pub mod rng;
 pub mod spec;

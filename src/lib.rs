@@ -70,9 +70,8 @@
 //! Lines or a SARIF-style document (see [`Renderer`]).
 //!
 //! The one-shot pipeline (`Spex::analyze` on a hand-lowered module) is
-//! still available through [`core`] and the deprecated [`analyze`] shim,
-//! but new code should hold a `Workspace` so re-analysis stays
-//! proportional to the change.
+//! still available through [`core`], but new code should hold a
+//! `Workspace` so re-analysis stays proportional to the change.
 
 pub use spex_check as check;
 pub use spex_conf as conf;
@@ -92,28 +91,3 @@ pub use spex_check::{
     SarifRenderer, Workspace, WorkspaceError,
 };
 pub use spex_obs::{Recorder, TelemetrySnapshot};
-
-/// One-shot whole-module analysis with the standard API registry.
-///
-/// Thin shim over [`core::Spex::analyze`] for pre-workspace callers.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `spex::Workspace`, `add_module` your sources, and call \
-            `reanalyze` — it persists constraints and re-infers incrementally"
-)]
-pub fn analyze(module: ir::Module, anns: &[core::Annotation]) -> core::SpexAnalysis {
-    core::Spex::analyze(module, anns)
-}
-
-/// A fresh in-memory batch engine.
-///
-/// Thin shim over [`check::BatchEngine::new`] for pre-workspace callers.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `spex::Workspace::check_paths` — it streams files with \
-            bounded memory and always checks against the current database"
-)]
-#[allow(deprecated)]
-pub fn batch_engine() -> check::BatchEngine {
-    check::BatchEngine::new()
-}

@@ -280,30 +280,29 @@ fn unknown_key_suggestions_survive_persistence() {
     );
 }
 
-/// The deprecated multi-system front-end still answers, and agrees with
-/// the borrowed sessions it wraps.
-#[allow(deprecated)]
+/// Batch checking through the session is deterministic across thread
+/// counts: the same files produce byte-identical reports whether one
+/// worker or eight drain the queue.
 #[test]
-fn legacy_batch_engine_agrees_with_sessions() {
-    use spex::check::{BatchEngine, BatchJob};
+fn batch_report_is_identical_across_thread_counts() {
     let spec = spex::systems::system_by_name("Apache").unwrap();
     let built = BuiltSystem::build(spec);
     let (db, env) = infer_and_persist(&built);
-    let system = built.spec.name.to_string();
     let broken = format!("{}zzz_unknown_key 1\n", built.gen.template_conf);
+    let files: Vec<(String, String)> = (0..16)
+        .map(|i| (format!("conf-{i:02}"), broken.clone()))
+        .collect();
 
-    let session_report: Report = CheckSession::new(&db)
+    let serial: Report = CheckSession::new(&db)
         .with_env(&env)
-        .check_texts(&[("a".to_string(), broken.clone())]);
-
-    let mut engine = BatchEngine::new();
-    engine.add_db(db.clone());
-    engine.add_env(&system, env.clone());
-    let (reports, stats) = engine.run(&[BatchJob {
-        system: system.clone(),
-        file: "a".into(),
-        text: broken,
-    }]);
-    assert_eq!(reports, session_report.files);
-    assert_eq!(stats, session_report.stats);
+        .with_threads(1)
+        .check_texts(&files);
+    for threads in [2, 8] {
+        let parallel: Report = CheckSession::new(&db)
+            .with_env(&env)
+            .with_threads(threads)
+            .check_texts(&files);
+        assert_eq!(parallel.files, serial.files, "at {threads} threads");
+        assert_eq!(parallel.stats, serial.stats);
+    }
 }

@@ -1,0 +1,116 @@
+//! Determinism and zero-copy contracts of the parallel analysis path.
+//!
+//! The tentpole guarantee: fanning the inference passes across the worker
+//! pool — at parameter granularity inside one module, at module
+//! granularity across a workspace — must be invisible in the output.
+//! Byte-identical persisted constraints, identical pass counters, at any
+//! thread count. And the shared-function IR must make warmth free: a warm
+//! reanalyze generation copies no function bodies at all.
+
+use spex::check::Workspace;
+use spex::conf::Dialect;
+use spex::core::infer::PassCounts;
+use spex::systems::fleet::{generate_fleet, FleetSpec};
+use spex::systems::BuiltSystem;
+
+/// Cold-analyzes one catalog system, applies a warm probe edit, and
+/// returns the persisted database bytes plus pass counters of both
+/// generations.
+fn catalog_run(name: &str, threads: usize) -> (String, PassCounts, String, PassCounts) {
+    let spec = spex::systems::system_by_name(name).unwrap();
+    let built = BuiltSystem::build(spec);
+    let mut ws = Workspace::new(name, built.gen.dialect).with_threads(threads);
+    ws.add_module("gen.c", &built.gen.source, &built.gen.annotations)
+        .unwrap();
+    let cold = ws.reanalyze();
+    let cold_db = ws.db().save_to_string();
+
+    let edited = format!(
+        "{}\nvoid spex_par_probe() {{ exit(1); }}\n",
+        built.gen.source
+    );
+    ws.update_module("gen.c", &edited).unwrap();
+    let warm = ws.reanalyze();
+    (cold_db, cold.passes, ws.db().save_to_string(), warm.passes)
+}
+
+#[test]
+fn catalog_analysis_is_byte_identical_across_thread_counts() {
+    for name in ["OpenLDAP", "Apache"] {
+        let baseline = catalog_run(name, 1);
+        for threads in [2, 8] {
+            let run = catalog_run(name, threads);
+            assert_eq!(
+                run.0, baseline.0,
+                "{name}: cold ConstraintDb differs at {threads} threads"
+            );
+            assert_eq!(
+                run.1, baseline.1,
+                "{name}: cold PassCounts differ at {threads} threads"
+            );
+            assert_eq!(
+                run.2, baseline.2,
+                "{name}: warm ConstraintDb differs at {threads} threads"
+            );
+            assert_eq!(
+                run.3, baseline.3,
+                "{name}: warm PassCounts differ at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Module-granularity fan-out: a workspace holding many small modules
+/// (the fleet regime) persists the same bytes however its dirty modules
+/// land on workers.
+#[test]
+fn fleet_workspace_is_byte_identical_across_thread_counts() {
+    let spec = FleetSpec {
+        modules: 12,
+        configs_per_module: 1,
+        seed: 0xf1ee7,
+    };
+    let fleet = generate_fleet(&spec);
+    let run = |threads: usize| {
+        let mut ws = Workspace::new("Fleet", Dialect::KeyValue).with_threads(threads);
+        for m in &fleet {
+            ws.add_module(&m.name, &m.source, &m.annotations).unwrap();
+        }
+        let report = ws.reanalyze();
+        (ws.db().save_to_string(), report.passes, report.params_total)
+    };
+    let baseline = run(1);
+    assert!(baseline.2 > 0, "the fleet must yield parameters");
+    for threads in [2, 8] {
+        assert_eq!(run(threads), baseline, "at {threads} threads");
+    }
+}
+
+/// The zero-copy contract end to end: cold analysis, warm edits and
+/// re-analysis at several thread counts never copy a function body or
+/// deep-clone a module.
+#[test]
+fn no_function_bodies_are_copied_at_any_thread_count() {
+    let spec = spex::systems::system_by_name("VSFTP").unwrap();
+    let built = BuiltSystem::build(spec);
+    for threads in [1, 4] {
+        let mut ws = Workspace::new("VSFTP", built.gen.dialect).with_threads(threads);
+        ws.add_module("gen.c", &built.gen.source, &built.gen.annotations)
+            .unwrap();
+        ws.reanalyze();
+        for round in 0..2 {
+            let edited = format!(
+                "{}\nvoid spex_zero_copy_probe() {{ exit({round}); }}\n",
+                built.gen.source
+            );
+            ws.update_module("gen.c", &edited).unwrap();
+            ws.reanalyze();
+        }
+        assert_eq!(
+            ws.function_clones(),
+            0,
+            "function bodies copied at {threads} threads"
+        );
+        assert_eq!(ws.module_clones(), 0, "module cloned at {threads} threads");
+    }
+}

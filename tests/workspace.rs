@@ -517,10 +517,6 @@ fn no_op_edit_yields_full_cache_hits() {
     assert_eq!(warm.passes.mapping_extractions, 0);
     assert_eq!(warm.passes.taint_runs, 0);
     assert_eq!(warm.passes.cached_fraction(), Some(1.0), "100% cache hits");
-    #[allow(deprecated)] // the renamed shim must keep answering the same
-    {
-        assert_eq!(warm.passes.cache_hit_rate(), Some(1.0));
-    }
     assert_eq!(warm.passes.total(), 0, "no inference pass re-ran");
     assert_eq!(warm.params_reinferred, 0);
 
