@@ -462,11 +462,21 @@ impl ConstraintDb {
         std::fs::write(path, self.save_to_string())
     }
 
-    /// Reads a database from a file.
+    /// Reads a database from a file. Every failure — unreadable file or
+    /// malformed record — names the file; parse failures also carry the
+    /// 1-based line of the offending record (`<path>: constraint db line
+    /// <n>: <why>`), so a fleet job churning through hundreds of databases
+    /// pinpoints the bad one without re-running anything.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<ConstraintDb> {
-        let text = std::fs::read_to_string(path)?;
-        ConstraintDb::load_from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        ConstraintDb::load_from_str(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
     }
 
     // -- Merging --------------------------------------------------------
@@ -737,6 +747,50 @@ pub struct MergeReport {
     pub deduped: usize,
     /// Same-class conflicts and how each was resolved.
     pub conflicts: Vec<MergeConflict>,
+}
+
+impl MergeReport {
+    /// Folds another merge's outcome into this one (a coordinator merging
+    /// several shard databases reports one combined tally).
+    pub fn absorb(&mut self, other: MergeReport) {
+        self.params_added += other.params_added;
+        self.added += other.added;
+        self.deduped += other.deduped;
+        self.conflicts.extend(other.conflicts);
+    }
+
+    /// Renders the merge outcome as human text: the headline counts, then
+    /// one audit line per resolved conflict saying which constraint
+    /// survived and where both sides came from.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} new parameter(s), {} constraint(s) added, {} duplicate(s) dropped, \
+             {} conflict(s) resolved\n",
+            self.params_added,
+            self.added,
+            self.deduped,
+            self.conflicts.len(),
+        );
+        let from = |m: &str| {
+            if m.is_empty() {
+                "<hand-built>".to_string()
+            } else {
+                m.to_string()
+            }
+        };
+        for c in &self.conflicts {
+            out.push_str(&format!(
+                "  \"{}\" ({}): kept {} (from {}), dropped {} (from {})\n",
+                c.param,
+                c.category,
+                c.kept,
+                from(&c.kept_from),
+                c.dropped,
+                from(&c.dropped_from),
+            ));
+        }
+        out
+    }
 }
 
 /// The canonical sort key of one constraint row: the serialized kind
@@ -1297,6 +1351,159 @@ mod tests {
         text.push_str("c basic bool | f 1 1\n");
         let err = ConstraintDb::load_from_str(&text).unwrap_err();
         assert!(err.message.contains("provenance"), "{err}");
+    }
+
+    #[test]
+    fn every_load_error_class_carries_its_one_based_line() {
+        // One probe per error class `load_from_str` can produce; each
+        // asserts both the complaint and the exact 1-based line of the
+        // malformed record, which is what operators grep for when a fleet
+        // job rejects one database out of hundreds.
+        const HEADER: &str = "spex-constraint-db v2\nsystem X\ndialect key-value\n";
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 1, "empty file"),
+            ("not a db\n", 1, "bad magic"),
+            ("spex-constraint-db v2", 2, "missing system line"),
+            ("spex-constraint-db v2\nsys X\n", 2, "expected `system"),
+            ("spex-constraint-db v2\nsystem X", 3, "missing dialect line"),
+            (
+                "spex-constraint-db v2\nsystem X\ndialect toml\n",
+                3,
+                "expected `dialect",
+            ),
+            // Body records: the header occupies lines 1–3, so every
+            // offence below sits on line 4.
+            (
+                "c basic bool | f 1 1 | %_\n",
+                4,
+                "constraint before any `param`",
+            ),
+            (
+                "param p\nc basic bool\n",
+                5,
+                "missing ` | ` origin separator",
+            ),
+            (
+                "param p\nc basic bool | f 1 1\n",
+                5,
+                "missing ` | <module>` provenance",
+            ),
+            (
+                "param p\nc basic bool | f 1 1 | m | extra\n",
+                5,
+                "too many ` | ` fields",
+            ),
+            (
+                "param p\nc bogus tokens | f 1 1 | %_\n",
+                5,
+                "malformed constraint",
+            ),
+            (
+                "param p\nc basic bool | f 1 | %_\n",
+                5,
+                "origin must be `<func> <line> <col>`",
+            ),
+            ("param p\nc basic bool | f x 1 | %_\n", 5, "bad origin line"),
+            ("param p\nc basic bool | f 1 x | %_\n", 5, "bad origin col"),
+            ("what is this\n", 4, "unrecognised line"),
+        ];
+        for (body, line, needle) in cases {
+            // Header-level probes (offence on lines 1–3) are complete
+            // texts; body probes get the valid three-line header prefixed.
+            let text = if *line <= 3 {
+                body.to_string()
+            } else {
+                format!("{HEADER}{body}")
+            };
+            let err = ConstraintDb::load_from_str(&text).unwrap_err();
+            assert_eq!(err.line, *line, "{needle}: wrong line in {err}");
+            assert!(err.message.contains(needle), "{needle}: got {err}");
+            // And the Display form carries the line for free.
+            assert!(err.to_string().contains(&format!("line {line}")), "{err}");
+        }
+    }
+
+    #[test]
+    fn load_errors_name_the_file_and_the_line() {
+        let dir = std::env::temp_dir().join(format!("spex-db-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.spexdb");
+        std::fs::write(
+            &path,
+            "spex-constraint-db v2\nsystem X\ndialect key-value\nparam p\nc basic bool | f 1 1\n",
+        )
+        .unwrap();
+        let err = ConstraintDb::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("broken.spexdb"), "path missing: {msg}");
+        assert!(msg.contains("line 5"), "line missing: {msg}");
+        // A file that cannot be read at all also names itself.
+        let gone = dir.join("nonexistent.spexdb");
+        let err = ConstraintDb::load(&gone).unwrap_err();
+        assert!(err.to_string().contains("nonexistent.spexdb"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_report_renders_counts_and_conflicts() {
+        let mut ours = sample_db();
+        let mut theirs = ConstraintDb::new("Test", Dialect::KeyValue);
+        // A tighter range for an existing parameter (conflict) plus a
+        // brand-new parameter (clean addition).
+        theirs.add_from(
+            Constraint {
+                param: "threads".into(),
+                kind: ConstraintKind::Range(NumericRange {
+                    cutpoints: vec![1, 8],
+                    segments: vec![
+                        RangeSegment {
+                            lo: None,
+                            hi: Some(0),
+                            valid: false,
+                        },
+                        RangeSegment {
+                            lo: Some(1),
+                            hi: Some(8),
+                            valid: true,
+                        },
+                        RangeSegment {
+                            lo: Some(9),
+                            hi: None,
+                            valid: false,
+                        },
+                    ],
+                }),
+                in_function: "startup".into(),
+                span: Span::new(7, 1),
+            },
+            "shard1.c",
+        );
+        theirs.add_from(
+            Constraint {
+                param: "fresh".into(),
+                kind: ConstraintKind::BasicType(BasicType::Bool),
+                in_function: "init".into(),
+                span: Span::new(2, 1),
+            },
+            "shard1.c",
+        );
+        let report = ours.merge(&theirs).unwrap();
+        let text = report.render();
+        assert!(
+            text.starts_with("1 new parameter(s), 1 constraint(s) added,"),
+            "{text}"
+        );
+        assert!(text.contains("conflict(s) resolved"), "{text}");
+        for needle in ["\"threads\" (data-range): kept", "from shard1.c"] {
+            assert!(text.contains(needle), "{needle} missing in {text}");
+        }
+        // Absorbing two reports sums the tallies.
+        let mut combined = MergeReport::default();
+        combined.absorb(report.clone());
+        combined.absorb(report.clone());
+        assert_eq!(combined.params_added, 2 * report.params_added);
+        assert_eq!(combined.conflicts.len(), 2 * report.conflicts.len());
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub use db::{ConstraintDb, DbError, MergeConflict, MergeError, MergeReport, Para
 pub use diag::{Diagnostic, Fix, Origin, Severity};
 pub use env::{Environment, FsEnv, StaticEnv};
 pub use report::{
-    BatchStats, FileReport, HumanRenderer, JsonLinesRenderer, Renderer, Report, SarifRenderer,
+    BatchStats, ColorMode, FileReport, HumanRenderer, JsonLinesRenderer, Renderer, Report,
+    SarifRenderer,
 };
 pub use session::CheckSession;
 pub use spex_core::constraint::DiagCode;

@@ -52,6 +52,7 @@ use crate::json::{quote, Json};
 use spex_core::constraint::DiagCode;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::IsTerminal as _;
 
 /// Validation result for one file.
 #[derive(Debug, Clone, PartialEq)]
@@ -253,32 +254,119 @@ pub trait Renderer {
     fn render(&self, report: &Report) -> String;
 }
 
+/// When terminal output may carry ANSI color escapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColorMode {
+    /// Color only when stdout is a terminal and the `NO_COLOR`
+    /// environment variable (<https://no-color.org>) is unset or empty.
+    #[default]
+    Auto,
+    /// Always color. An explicit user request (`--color always`)
+    /// overrides `NO_COLOR`, per the convention the spec documents.
+    Always,
+    /// Never color.
+    Never,
+}
+
+impl ColorMode {
+    /// Parses the conventional `auto`/`always`/`never` spellings.
+    pub fn parse(s: &str) -> Option<ColorMode> {
+        match s {
+            "auto" => Some(ColorMode::Auto),
+            "always" => Some(ColorMode::Always),
+            "never" => Some(ColorMode::Never),
+            _ => None,
+        }
+    }
+
+    /// Resolves the mode against the process environment: whether output
+    /// rendered *now*, for stdout, should carry escapes.
+    pub fn enabled(self) -> bool {
+        match self {
+            ColorMode::Always => true,
+            ColorMode::Never => false,
+            ColorMode::Auto => auto_color(
+                std::io::stdout().is_terminal(),
+                std::env::var("NO_COLOR").ok().as_deref(),
+            ),
+        }
+    }
+}
+
+/// The `Auto` resolution rule, pure for testability: color iff stdout is
+/// a terminal and `NO_COLOR` is absent or set to the empty string.
+fn auto_color(stdout_is_terminal: bool, no_color: Option<&str>) -> bool {
+    stdout_is_terminal && no_color.is_none_or(str::is_empty)
+}
+
 /// Human-oriented terminal text: flagged files with their findings in the
-/// paper's pinpointing style, then the summary table.
+/// paper's pinpointing style, then the summary table. Optionally colored
+/// (severity-tinted findings, bold file headers) under the [`ColorMode`]
+/// rules — the default `Auto` detects a tty and honors `NO_COLOR`, so
+/// piped output never needs post-processing.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct HumanRenderer;
+pub struct HumanRenderer {
+    /// When to emit ANSI escapes.
+    pub color: ColorMode,
+}
+
+impl HumanRenderer {
+    /// A renderer with an explicit color policy.
+    pub fn with_color(color: ColorMode) -> HumanRenderer {
+        HumanRenderer { color }
+    }
+
+    /// A renderer that never colors (byte-stable output for goldens).
+    pub fn plain() -> HumanRenderer {
+        HumanRenderer::with_color(ColorMode::Never)
+    }
+}
 
 impl Renderer for HumanRenderer {
     fn render(&self, report: &Report) -> String {
+        let color = self.color.enabled();
+        let paint = |sgr: &str, text: &str| {
+            if color {
+                format!("\x1b[{sgr}m{text}\x1b[0m")
+            } else {
+                text.to_string()
+            }
+        };
         let mut out = String::new();
         for f in &report.files {
             if f.is_clean() {
                 continue;
             }
-            out.push_str(&f.file);
+            out.push_str(&paint("1", &f.file));
             out.push('\n');
             if f.unknown_system {
                 let _ = writeln!(
                     out,
-                    "  error: no constraint database for system \"{}\"",
+                    "  {}: no constraint database for system \"{}\"",
+                    paint("31;1", "error"),
                     f.system
                 );
             }
             if let Some(e) = &f.read_error {
-                let _ = writeln!(out, "  error: unreadable: {e}");
+                let _ = writeln!(out, "  {}: unreadable: {e}", paint("31;1", "error"));
             }
             for d in &f.diagnostics {
-                let _ = writeln!(out, "  {d}");
+                let line = d.to_string();
+                // Tint the stable `severity[CODE]` prefix the diagnostic
+                // renders itself with; the body stays plain.
+                let prefix = format!("{}[{}]", d.severity, d.code);
+                match (color, line.strip_prefix(&prefix)) {
+                    (true, Some(rest)) => {
+                        let sgr = match d.severity {
+                            Severity::Error => "31;1",
+                            Severity::Warning => "33;1",
+                        };
+                        let _ = writeln!(out, "  {}{rest}", paint(sgr, &prefix));
+                    }
+                    _ => {
+                        let _ = writeln!(out, "  {line}");
+                    }
+                }
             }
         }
         out.push_str(&report.stats.render());
@@ -645,11 +733,62 @@ mod tests {
 
     #[test]
     fn human_renderer_shows_findings_and_summary() {
-        let text = HumanRenderer.render(&sample_report());
+        let text = HumanRenderer::plain().render(&sample_report());
         assert!(text.contains("error[SPEX-R003]"), "{text}");
         assert!(text.contains("checked 3 file(s)"), "{text}");
         assert!(!text.contains("clean.conf"), "clean files stay quiet");
         assert!(text.contains("unreadable: not a regular file"), "{text}");
+    }
+
+    #[test]
+    fn human_renderer_colors_only_when_asked() {
+        let plain = HumanRenderer::plain().render(&sample_report());
+        assert!(!plain.contains('\x1b'), "never-mode output stays clean");
+        // Auto under a captured (non-terminal) stdout must also be clean.
+        let auto = HumanRenderer::default().render(&sample_report());
+        assert_eq!(auto, plain, "auto without a tty matches plain output");
+        let colored = HumanRenderer::with_color(ColorMode::Always).render(&sample_report());
+        assert!(
+            colored.contains("\x1b[31;1merror[SPEX-R003]\x1b[0m"),
+            "{colored}"
+        );
+        assert!(
+            colored.contains("\x1b[33;1mwarning[SPEX-R005]\x1b[0m"),
+            "{colored}"
+        );
+        assert!(
+            colored.contains("\x1b[1mbad \"quoted\".conf\x1b[0m"),
+            "file headers are bold: {colored}"
+        );
+        // Stripping the escapes recovers the plain rendering exactly.
+        let mut stripped = String::new();
+        let mut rest = colored.as_str();
+        while let Some(i) = rest.find('\x1b') {
+            stripped.push_str(&rest[..i]);
+            let m = rest[i..].find('m').expect("CSI sequence ends with m");
+            rest = &rest[i + m + 1..];
+        }
+        stripped.push_str(rest);
+        assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn auto_color_honors_no_color_and_tty() {
+        assert!(auto_color(true, None), "tty with NO_COLOR unset colors");
+        assert!(!auto_color(true, Some("1")), "NO_COLOR disables");
+        assert!(
+            auto_color(true, Some("")),
+            "empty NO_COLOR does not count (per the spec)"
+        );
+        assert!(!auto_color(false, None), "piped output never auto-colors");
+        // Explicit modes ignore the environment entirely.
+        assert!(ColorMode::Always.enabled());
+        assert!(!ColorMode::Never.enabled());
+        // And the conventional spellings parse.
+        assert_eq!(ColorMode::parse("auto"), Some(ColorMode::Auto));
+        assert_eq!(ColorMode::parse("always"), Some(ColorMode::Always));
+        assert_eq!(ColorMode::parse("never"), Some(ColorMode::Never));
+        assert_eq!(ColorMode::parse("sometimes"), None);
     }
 
     #[test]

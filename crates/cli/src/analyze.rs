@@ -1,0 +1,120 @@
+//! `spex analyze` — infer constraints from source and persist a database —
+//! and `spex react` — the static reaction-analysis report.
+
+use std::path::PathBuf;
+
+use crate::driver::{
+    analyze_sources, collect_sources, parse_color, parse_dialect, parse_format, render_reanalyze,
+    render_report, value_of, CliError, CliResult, OutFormat,
+};
+use spex::conf::Dialect;
+use spex::ColorMode;
+
+/// Options shared by `analyze` and `react`: the workspace shape plus the
+/// source set.
+pub struct AnalyzeOpts {
+    /// Subject-system name recorded in the database header.
+    pub system: String,
+    /// Config-file dialect of the subject system.
+    pub dialect: Dialect,
+    /// Worker threads for inference (`0` = workspace default).
+    pub threads: usize,
+    /// Whether to record and print the telemetry span tree.
+    pub telemetry: bool,
+    /// Suppress the analysis summary (shard workers set this).
+    pub quiet: bool,
+    /// Database output path (`analyze` only; empty = don't persist).
+    pub db: Option<PathBuf>,
+    /// Report format (`react` only).
+    pub format: OutFormat,
+    /// Color mode for human output (`react` only).
+    pub color: ColorMode,
+    /// Source files and directories.
+    pub src: Vec<PathBuf>,
+}
+
+/// Parses the option stream shared by `analyze` and `react`.
+pub fn parse_opts(mut args: std::vec::IntoIter<String>) -> Result<AnalyzeOpts, CliError> {
+    let mut opts = AnalyzeOpts {
+        system: "spex".into(),
+        dialect: Dialect::KeyValue,
+        threads: 0,
+        telemetry: false,
+        quiet: false,
+        db: None,
+        format: OutFormat::Human,
+        color: ColorMode::Auto,
+        src: Vec::new(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--system" => opts.system = value_of("--system", &mut args)?,
+            "--dialect" => opts.dialect = parse_dialect(&value_of("--dialect", &mut args)?)?,
+            "--threads" => {
+                let v = value_of("--threads", &mut args)?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--threads: not a number: {v:?}")))?;
+            }
+            "--telemetry" => opts.telemetry = true,
+            "--quiet" => opts.quiet = true,
+            "--db" => opts.db = Some(PathBuf::from(value_of("--db", &mut args)?)),
+            "--format" => opts.format = parse_format(&value_of("--format", &mut args)?)?,
+            "--color" => opts.color = parse_color(&value_of("--color", &mut args)?)?,
+            other if other.starts_with('-') => {
+                return Err(CliError(format!("unknown option {other:?}")))
+            }
+            _ => opts.src.push(PathBuf::from(arg)),
+        }
+    }
+    if opts.src.is_empty() {
+        return Err(CliError("no source files or directories given".into()));
+    }
+    Ok(opts)
+}
+
+/// Runs `spex analyze`.
+pub fn run(args: std::vec::IntoIter<String>) -> CliResult {
+    let opts = parse_opts(args)?;
+    let sources = collect_sources(&opts.src)?;
+    let (ws, report) = analyze_sources(
+        &opts.system,
+        opts.dialect,
+        opts.threads,
+        opts.telemetry,
+        &sources,
+    )?;
+    if !opts.quiet {
+        print!("{}", render_reanalyze(&ws, &report));
+    }
+    if let Some(db) = &opts.db {
+        ws.save_db(db)
+            .map_err(|e| CliError(format!("db {}: {e}", db.display())))?;
+        if !opts.quiet {
+            println!("db: {}", db.display());
+        }
+    }
+    if opts.telemetry {
+        print!("{}", ws.telemetry().render_text());
+    }
+    Ok(0)
+}
+
+/// Runs `spex react`.
+pub fn run_react(args: std::vec::IntoIter<String>) -> CliResult {
+    let opts = parse_opts(args)?;
+    let sources = collect_sources(&opts.src)?;
+    let (ws, _) = analyze_sources(
+        &opts.system,
+        opts.dialect,
+        opts.threads,
+        opts.telemetry,
+        &sources,
+    )?;
+    let report = ws.reaction_report();
+    print!("{}", render_report(&report, opts.format, opts.color));
+    if opts.telemetry {
+        print!("{}", ws.telemetry().render_text());
+    }
+    Ok(report.exit_code())
+}

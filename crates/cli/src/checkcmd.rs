@@ -1,0 +1,39 @@
+//! `spex check` — validate configuration files against a persisted
+//! constraint database.
+
+use std::path::PathBuf;
+
+use crate::driver::{
+    parse_color, parse_format, render_report, value_of, CliError, CliResult, OutFormat,
+};
+use spex::check::{CheckSession, ConstraintDb};
+use spex::ColorMode;
+
+/// Runs `spex check`.
+pub fn run(mut args: std::vec::IntoIter<String>) -> CliResult {
+    let mut db_path: Option<PathBuf> = None;
+    let mut format = OutFormat::Human;
+    let mut color = ColorMode::Auto;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--db" => db_path = Some(PathBuf::from(value_of("--db", &mut args)?)),
+            "--format" => format = parse_format(&value_of("--format", &mut args)?)?,
+            "--color" => color = parse_color(&value_of("--color", &mut args)?)?,
+            other if other.starts_with('-') => {
+                return Err(CliError(format!("unknown option {other:?}")))
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+    let db_path = db_path.ok_or_else(|| CliError("--db is required".into()))?;
+    if paths.is_empty() {
+        return Err(CliError(
+            "no configuration files or directories given".into(),
+        ));
+    }
+    let db = ConstraintDb::load(&db_path)?;
+    let report = CheckSession::new(&db).check_paths(&paths)?;
+    print!("{}", render_report(&report, format, color));
+    Ok(report.exit_code())
+}

@@ -1,0 +1,384 @@
+//! `spex daemon` — a warm [`Workspace`] behind a versioned JSON-Lines
+//! protocol (see `docs/protocol.md`). One request per line; every reply
+//! starts with a single header object, and `check`/`react` replies are
+//! followed by the report's raw JSON-Lines body — byte-identical to the
+//! one-shot `spex check --format jsonl` / `spex react --format jsonl`
+//! output for the same database state and the same file labels.
+//!
+//! Transports: `--stdio` (EOF means shutdown) or `--socket PATH` (Unix
+//! domain socket; connections are served sequentially against the same
+//! warm workspace until a `shutdown` request arrives).
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+
+use crate::driver::{parse_dialect, value_of, CliError, CliResult};
+use spex::check::json::{quote, Json};
+use spex::check::{ConstraintDb, ReanalyzeReport};
+use spex::conf::Dialect;
+use spex::{JsonLinesRenderer, Workspace};
+
+/// The daemon protocol version this binary speaks.
+const PROTOCOL: u32 = 1;
+
+/// The warm state a daemon serves from.
+struct DaemonState {
+    ws: Workspace,
+    /// Names of modules fed through `analyze` requests (the workspace
+    /// doesn't expose its module set).
+    modules: BTreeSet<String>,
+    /// Counters from the most recent `analyze` request.
+    last: ReanalyzeReport,
+    /// Field-wise sums over every `analyze` request.
+    total: ReanalyzeReport,
+    /// Number of `check` requests served.
+    checks: usize,
+}
+
+/// Runs `spex daemon`.
+pub fn run(mut args: std::vec::IntoIter<String>) -> CliResult {
+    let mut system = String::from("spex");
+    let mut dialect = Dialect::KeyValue;
+    let mut threads = 0usize;
+    let mut stdio = false;
+    let mut socket: Option<PathBuf> = None;
+    let mut db: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--socket" => socket = Some(PathBuf::from(value_of("--socket", &mut args)?)),
+            "--system" => system = value_of("--system", &mut args)?,
+            "--dialect" => dialect = parse_dialect(&value_of("--dialect", &mut args)?)?,
+            "--threads" => {
+                let v = value_of("--threads", &mut args)?;
+                threads = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--threads: not a number: {v:?}")))?;
+            }
+            "--db" => db = Some(PathBuf::from(value_of("--db", &mut args)?)),
+            other => return Err(CliError(format!("unknown option {other:?}"))),
+        }
+    }
+    if stdio == socket.is_some() {
+        return Err(CliError(
+            "daemon needs exactly one of --stdio or --socket PATH".into(),
+        ));
+    }
+    let mut ws = match &db {
+        Some(path) => Workspace::from_db(ConstraintDb::load(path)?),
+        None => Workspace::new(system, dialect),
+    };
+    if threads > 0 {
+        ws = ws.with_threads(threads);
+    }
+    let mut state = DaemonState {
+        ws,
+        modules: BTreeSet::new(),
+        last: ReanalyzeReport::default(),
+        total: ReanalyzeReport::default(),
+        checks: 0,
+    };
+    if stdio {
+        eprintln!("spex daemon: ready (stdio, protocol v{PROTOCOL})");
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        serve(&mut state, stdin.lock(), &mut stdout.lock())?;
+        return Ok(0);
+    }
+    serve_socket(&mut state, &socket.expect("checked above"))
+}
+
+/// Accept loop for `--socket`. Unix-only: domain sockets have no std
+/// equivalent elsewhere.
+#[cfg(unix)]
+fn serve_socket(state: &mut DaemonState, path: &PathBuf) -> CliResult {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .map_err(|e| CliError(format!("socket {}: {e}", path.display())))?;
+    eprintln!(
+        "spex daemon: listening on {} (protocol v{PROTOCOL})",
+        path.display()
+    );
+    for conn in listener.incoming() {
+        let conn = conn.map_err(|e| CliError(format!("accept: {e}")))?;
+        let reader = BufReader::new(
+            conn.try_clone()
+                .map_err(|e| CliError(format!("socket clone: {e}")))?,
+        );
+        let mut writer = conn;
+        if serve(state, reader, &mut writer)? {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(0)
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_state: &mut DaemonState, _path: &PathBuf) -> CliResult {
+    Err(CliError(
+        "--socket requires a Unix platform; use --stdio".into(),
+    ))
+}
+
+/// Serves one request stream. Returns `Ok(true)` when a `shutdown`
+/// request ended the session (as opposed to EOF closing the transport).
+fn serve(
+    state: &mut DaemonState,
+    reader: impl BufRead,
+    writer: &mut impl Write,
+) -> Result<bool, CliError> {
+    for line in reader.lines() {
+        let line = line.map_err(|e| CliError(format!("read: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, shutdown) = handle_line(state, &line);
+        writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| CliError(format!("write: {e}")))?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Renders a request id for a reply header (`null` when the request never
+/// carried a usable one).
+fn id_json(id: Option<i64>) -> String {
+    id.map_or_else(|| "null".into(), |v| v.to_string())
+}
+
+/// One protocol error reply.
+fn error_reply(id: Option<i64>, msg: &str) -> String {
+    format!(
+        "{{\"v\":{PROTOCOL},\"id\":{},\"ok\":false,\"error\":{}}}\n",
+        id_json(id),
+        quote(msg)
+    )
+}
+
+/// Parses and dispatches one request line; never panics on bad input.
+/// Returns the full reply (header plus any body lines) and whether the
+/// daemon should shut down.
+fn handle_line(state: &mut DaemonState, line: &str) -> (String, bool) {
+    let req = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_reply(None, &format!("malformed request: {e}")), false),
+    };
+    let id = req.get("id").and_then(Json::as_f64).map(|v| v as i64);
+    match req.get("v").and_then(Json::as_f64) {
+        Some(v) if v as u32 == PROTOCOL => {}
+        Some(v) => {
+            return (
+                error_reply(id, &format!("unsupported protocol version {v}")),
+                false,
+            )
+        }
+        None => return (error_reply(id, "missing protocol version \"v\""), false),
+    }
+    let Some(op) = req.get("op").and_then(Json::as_str) else {
+        return (error_reply(id, "missing \"op\""), false);
+    };
+    match op {
+        "analyze" => (op_analyze(state, id, &req), false),
+        "check" => (op_check(state, id, &req), false),
+        "react" => (op_react(state, id), false),
+        "status" => (op_status(state, id), false),
+        "shutdown" => (
+            format!(
+                "{{\"v\":{PROTOCOL},\"id\":{},\"op\":\"shutdown\",\"ok\":true}}\n",
+                id_json(id)
+            ),
+            true,
+        ),
+        other => (error_reply(id, &format!("unknown op {other:?}")), false),
+    }
+}
+
+/// `analyze`: add or update the given modules, then re-infer whatever the
+/// change dirtied. New modules are added; a module the daemon has seen
+/// before is updated (fingerprint-diffed, so unchanged functions stay
+/// warm), and its annotations are only replaced when the request carries
+/// an `annotations` field.
+fn op_analyze(state: &mut DaemonState, id: Option<i64>, req: &Json) -> String {
+    let Some(modules) = req.get("modules").and_then(Json::as_array) else {
+        return error_reply(id, "analyze: missing \"modules\" array");
+    };
+    for m in modules {
+        let Some(name) = m.get("name").and_then(Json::as_str) else {
+            return error_reply(id, "analyze: module without a \"name\"");
+        };
+        let Some(source) = m.get("source").and_then(Json::as_str) else {
+            return error_reply(id, &format!("analyze: module {name:?} without \"source\""));
+        };
+        let annotations = m.get("annotations").and_then(Json::as_str);
+        let result = if state.modules.contains(name) {
+            state
+                .ws
+                .update_module(name, source)
+                .map(|_| ())
+                .and_then(|()| match annotations {
+                    Some(a) => state.ws.update_annotations(name, a),
+                    None => Ok(()),
+                })
+        } else {
+            state
+                .ws
+                .add_module(name.to_string(), source, annotations.unwrap_or(""))
+                .map(|()| {
+                    state.modules.insert(name.to_string());
+                })
+        };
+        if let Err(e) = result {
+            return error_reply(id, &e.to_string());
+        }
+    }
+    let r = state.ws.reanalyze();
+    absorb(&mut state.total, &r);
+    state.last = r.clone();
+    format!(
+        "{{\"v\":{PROTOCOL},\"id\":{},\"op\":\"analyze\",\"ok\":true,\
+         \"modules_analyzed\":{},\"params_total\":{},\"params_reinferred\":{},\
+         \"constraints_added\":{},\"constraints_removed\":{},\
+         \"params\":{},\"constraints\":{}}}\n",
+        id_json(id),
+        r.modules_analyzed,
+        r.params_total,
+        r.params_reinferred,
+        r.constraints_added,
+        r.constraints_removed,
+        state.ws.db().param_names().count(),
+        state.ws.db().constraint_count(),
+    )
+}
+
+/// `check`: validate in-memory config texts (`configs`) and/or config
+/// trees on disk (`paths`) against the warm database. The body after the
+/// header is the report's JSON-Lines rendering, verbatim.
+fn op_check(state: &mut DaemonState, id: Option<i64>, req: &Json) -> String {
+    let configs = req.get("configs").and_then(Json::as_array);
+    let paths = req.get("paths").and_then(Json::as_array);
+    let report = match (configs, paths) {
+        (Some(configs), None) => {
+            let mut texts: Vec<(String, String)> = Vec::with_capacity(configs.len());
+            for c in configs {
+                let (Some(name), Some(text)) = (
+                    c.get("name").and_then(Json::as_str),
+                    c.get("text").and_then(Json::as_str),
+                ) else {
+                    return error_reply(id, "check: each config needs \"name\" and \"text\"");
+                };
+                texts.push((name.to_string(), text.to_string()));
+            }
+            state.ws.check_texts(&texts)
+        }
+        (None, Some(paths)) => {
+            let mut roots: Vec<PathBuf> = Vec::with_capacity(paths.len());
+            for p in paths {
+                let Some(p) = p.as_str() else {
+                    return error_reply(id, "check: \"paths\" must be strings");
+                };
+                roots.push(PathBuf::from(p));
+            }
+            match state.ws.check_paths(&roots) {
+                Ok(r) => r,
+                Err(e) => return error_reply(id, &format!("check: {e}")),
+            }
+        }
+        _ => {
+            return error_reply(id, "check: need exactly one of \"configs\" or \"paths\"");
+        }
+    };
+    state.checks += 1;
+    let body = report.render(&JsonLinesRenderer);
+    format!(
+        "{{\"v\":{PROTOCOL},\"id\":{},\"op\":\"check\",\"ok\":true,\"exit_code\":{},\"lines\":{}}}\n{body}",
+        id_json(id),
+        report.exit_code(),
+        body.lines().count(),
+    )
+}
+
+/// `react`: the static reaction-analysis report, JSON-Lines body after
+/// the header.
+fn op_react(state: &mut DaemonState, id: Option<i64>) -> String {
+    let report = state.ws.reaction_report();
+    let body = report.render(&JsonLinesRenderer);
+    format!(
+        "{{\"v\":{PROTOCOL},\"id\":{},\"op\":\"react\",\"ok\":true,\"exit_code\":{},\"lines\":{}}}\n{body}",
+        id_json(id),
+        report.exit_code(),
+        body.lines().count(),
+    )
+}
+
+/// `status`: warm-state introspection — database shape, cache
+/// effectiveness counters, and the pass accounting for the last and the
+/// cumulative `analyze` requests.
+fn op_status(state: &mut DaemonState, id: Option<i64>) -> String {
+    let db = state.ws.db();
+    format!(
+        "{{\"v\":{PROTOCOL},\"id\":{},\"op\":\"status\",\"ok\":true,\
+         \"system\":{},\"modules\":{},\"params\":{},\"constraints\":{},\
+         \"checks\":{},\"session_rebuilds\":{},\"module_clones\":{},\"function_clones\":{},\
+         \"last\":{},\"total\":{}}}\n",
+        id_json(id),
+        quote(state.ws.system()),
+        state.modules.len(),
+        db.param_names().count(),
+        db.constraint_count(),
+        state.checks,
+        state.ws.session_rebuilds(),
+        state.ws.module_clones(),
+        state.ws.function_clones(),
+        report_json(&state.last),
+        report_json(&state.total),
+    )
+}
+
+/// Serializes one [`ReanalyzeReport`] — inference work plus the
+/// pass-cache counters the incremental acceptance tests assert on.
+fn report_json(r: &ReanalyzeReport) -> String {
+    format!(
+        "{{\"modules_analyzed\":{},\"params_total\":{},\"params_reinferred\":{},\
+         \"constraints_added\":{},\"constraints_removed\":{},\
+         \"mapping_extractions\":{},\"mapping_cache_hits\":{},\
+         \"taint_runs\":{},\"taint_cache_hits\":{},\
+         \"react_runs\":{},\"react_cache_hits\":{}}}",
+        r.modules_analyzed,
+        r.params_total,
+        r.params_reinferred,
+        r.constraints_added,
+        r.constraints_removed,
+        r.passes.mapping_extractions,
+        r.passes.mapping_cache_hits,
+        r.passes.taint_runs,
+        r.passes.taint_cache_hits,
+        r.passes.react_runs,
+        r.passes.react_cache_hits,
+    )
+}
+
+/// Field-wise accumulation for the `total` block of `status`.
+fn absorb(total: &mut ReanalyzeReport, r: &ReanalyzeReport) {
+    total.modules_analyzed += r.modules_analyzed;
+    total.params_total += r.params_total;
+    total.params_reinferred += r.params_reinferred;
+    total.constraints_added += r.constraints_added;
+    total.constraints_removed += r.constraints_removed;
+    total.passes.basic_type += r.passes.basic_type;
+    total.passes.semantic_type += r.passes.semantic_type;
+    total.passes.range += r.passes.range;
+    total.passes.control_dep += r.passes.control_dep;
+    total.passes.value_rel += r.passes.value_rel;
+    total.passes.mapping_extractions += r.passes.mapping_extractions;
+    total.passes.mapping_cache_hits += r.passes.mapping_cache_hits;
+    total.passes.taint_runs += r.passes.taint_runs;
+    total.passes.taint_cache_hits += r.passes.taint_cache_hits;
+    total.passes.react_runs += r.passes.react_runs;
+    total.passes.react_cache_hits += r.passes.react_cache_hits;
+}

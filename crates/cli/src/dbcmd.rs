@@ -1,0 +1,55 @@
+//! `spex db` — operations on persisted constraint databases. Today that
+//! is `merge`: fold N databases into one, tightest constraint winning.
+
+use std::path::PathBuf;
+
+use crate::driver::{value_of, CliError, CliResult};
+use spex::check::{ConstraintDb, MergeReport};
+
+/// Runs `spex db <verb>`.
+pub fn run(mut args: std::vec::IntoIter<String>) -> CliResult {
+    match args.next().as_deref() {
+        Some("merge") => merge(args),
+        Some(other) => Err(CliError(format!(
+            "unknown db verb {other:?} (expected merge)"
+        ))),
+        None => Err(CliError("db requires a verb (expected merge)".into())),
+    }
+}
+
+/// `spex db merge --out OUT IN...` — loads every input, merges them in
+/// argument order into the first, prints the rendered [`MergeReport`] and
+/// persists the result.
+fn merge(mut args: std::vec::IntoIter<String>) -> CliResult {
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(value_of("--out", &mut args)?)),
+            other if other.starts_with('-') => {
+                return Err(CliError(format!("unknown option {other:?}")))
+            }
+            _ => inputs.push(PathBuf::from(arg)),
+        }
+    }
+    let out = out.ok_or_else(|| CliError("--out is required".into()))?;
+    if inputs.len() < 2 {
+        return Err(CliError(
+            "db merge needs at least two input databases".into(),
+        ));
+    }
+    let mut base = ConstraintDb::load(&inputs[0])?;
+    let mut report = MergeReport::default();
+    for path in &inputs[1..] {
+        let next = ConstraintDb::load(path)?;
+        let r = base
+            .merge(&next)
+            .map_err(|e| CliError(format!("merge {}: {e}", path.display())))?;
+        report.absorb(r);
+    }
+    print!("{}", report.render());
+    base.save(&out)
+        .map_err(|e| CliError(format!("db {}: {e}", out.display())))?;
+    println!("db: {}", out.display());
+    Ok(0)
+}

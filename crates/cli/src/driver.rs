@@ -1,0 +1,238 @@
+//! The shared driver layer: operational errors, argument helpers, source
+//! collection, workspace construction and report rendering — everything
+//! more than one subcommand needs.
+
+use std::path::{Path, PathBuf};
+
+use spex::check::ReanalyzeReport;
+use spex::conf::Dialect;
+use spex::{ColorMode, HumanRenderer, JsonLinesRenderer, Report, SarifRenderer, Workspace};
+
+/// A usage or operational failure. Rendered as `spex: error: {msg}` on
+/// stderr and mapped to exit code 3, keeping 0/1/2 reserved for
+/// validation verdicts ([`Report::exit_code`]).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError(msg)
+    }
+}
+
+impl From<spex::WorkspaceError> for CliError {
+    fn from(e: spex::WorkspaceError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+/// Everything a subcommand returns: `Ok(exit_code)` or an operational
+/// failure.
+pub type CliResult = Result<i32, CliError>;
+
+/// Pulls the value of option `flag` out of the argument stream, erroring
+/// with the flag's name when the stream ends instead.
+pub fn value_of(flag: &str, args: &mut std::vec::IntoIter<String>) -> Result<String, CliError> {
+    args.next()
+        .ok_or_else(|| CliError(format!("{flag} requires a value")))
+}
+
+/// Parses the `--dialect` spellings, which match the constraint-database
+/// tags: `key-value`, `directive`, `space`.
+pub fn parse_dialect(s: &str) -> Result<Dialect, CliError> {
+    match s {
+        "key-value" => Ok(Dialect::KeyValue),
+        "directive" => Ok(Dialect::Directive),
+        "space" => Ok(Dialect::SpaceSeparated),
+        other => Err(CliError(format!(
+            "unknown dialect {other:?} (expected key-value, directive or space)"
+        ))),
+    }
+}
+
+/// The persisted tag for a dialect — what `shard` forwards to its worker
+/// processes.
+pub fn dialect_tag(d: Dialect) -> &'static str {
+    match d {
+        Dialect::KeyValue => "key-value",
+        Dialect::Directive => "directive",
+        Dialect::SpaceSeparated => "space",
+    }
+}
+
+/// Parses the `--color` spellings.
+pub fn parse_color(s: &str) -> Result<ColorMode, CliError> {
+    ColorMode::parse(s).ok_or_else(|| {
+        CliError(format!(
+            "unknown color mode {s:?} (expected auto, always, never)"
+        ))
+    })
+}
+
+/// The report output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutFormat {
+    /// Human-readable text, optionally colored.
+    #[default]
+    Human,
+    /// One JSON object per line, summary last.
+    Jsonl,
+    /// A SARIF-style document.
+    Sarif,
+}
+
+/// Parses the `--format` spellings.
+pub fn parse_format(s: &str) -> Result<OutFormat, CliError> {
+    match s {
+        "human" => Ok(OutFormat::Human),
+        "jsonl" => Ok(OutFormat::Jsonl),
+        "sarif" => Ok(OutFormat::Sarif),
+        other => Err(CliError(format!(
+            "unknown format {other:?} (expected human, jsonl or sarif)"
+        ))),
+    }
+}
+
+/// Renders a report in the selected format; `color` only affects
+/// [`OutFormat::Human`].
+pub fn render_report(report: &Report, format: OutFormat, color: ColorMode) -> String {
+    match format {
+        OutFormat::Human => report.render(&HumanRenderer::with_color(color)),
+        OutFormat::Jsonl => report.render(&JsonLinesRenderer),
+        OutFormat::Sarif => report.render(&SarifRenderer),
+    }
+}
+
+/// One source module ready for [`Workspace::add_module`]: the module name
+/// (its path as given), the mini-C text, and its sibling annotations.
+pub struct SourceFile {
+    /// Module name — the source path's display string, so constraint
+    /// provenance matches across single-process and sharded runs fed the
+    /// same paths.
+    pub name: String,
+    /// The module's mini-C source text.
+    pub source: String,
+    /// The sibling `.spex` annotation block, or empty when there is none.
+    pub annotations: String,
+}
+
+/// Expands `--src` arguments into modules: files are taken as given,
+/// directories are walked recursively for `*.c`. Each module's
+/// annotations come from the sibling file with the `.spex` extension
+/// (absent sibling = no annotations). The result is sorted by name so
+/// every run — serial, threaded, sharded — feeds the workspace in one
+/// canonical order.
+pub fn collect_sources(paths: &[PathBuf]) -> Result<Vec<SourceFile>, CliError> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        let meta =
+            std::fs::metadata(p).map_err(|e| CliError(format!("source {}: {e}", p.display())))?;
+        if meta.is_dir() {
+            walk_c_files(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| CliError(format!("source {}: {e}", path.display())))?;
+        let sibling = path.with_extension("spex");
+        let annotations = match std::fs::read_to_string(&sibling) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(CliError(format!("annotations {}: {e}", sibling.display()))),
+        };
+        out.push(SourceFile {
+            name: path.display().to_string(),
+            source,
+            annotations,
+        });
+    }
+    Ok(out)
+}
+
+fn walk_c_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), CliError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| CliError(format!("source {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError(format!("source {}: {e}", dir.display())))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_c_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "c") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Builds a workspace over collected sources and runs the first analysis.
+pub fn analyze_sources(
+    system: &str,
+    dialect: Dialect,
+    threads: usize,
+    telemetry: bool,
+    sources: &[SourceFile],
+) -> Result<(Workspace, ReanalyzeReport), CliError> {
+    let mut ws = Workspace::new(system, dialect);
+    if threads > 0 {
+        ws = ws.with_threads(threads);
+    }
+    if telemetry {
+        ws.enable_telemetry();
+    }
+    for s in sources {
+        ws.add_module(s.name.clone(), &s.source, &s.annotations)?;
+    }
+    let report = ws.reanalyze();
+    Ok((ws, report))
+}
+
+/// The analysis summary `analyze`, `shard` and `watch` print: one line of
+/// headline counts plus the pass/cache accounting.
+pub fn render_reanalyze(ws: &Workspace, r: &ReanalyzeReport) -> String {
+    let db = ws.db();
+    let mut out = format!(
+        "analyzed {} module(s): {} parameter(s), {} constraint(s)\n",
+        r.modules_analyzed,
+        db.param_names().count(),
+        db.constraint_count(),
+    );
+    out.push_str(&format!(
+        "re-inferred {}/{} parameter(s), constraints +{}/-{}\n",
+        r.params_reinferred, r.params_total, r.constraints_added, r.constraints_removed,
+    ));
+    out.push_str(&format!(
+        "passes: basic {}, semantic {}, range {}, control-dep {}, value-rel {}\n",
+        r.passes.basic_type,
+        r.passes.semantic_type,
+        r.passes.range,
+        r.passes.control_dep,
+        r.passes.value_rel,
+    ));
+    out.push_str(&format!(
+        "cache: mapping {} hit(s)/{} run(s), taint {} hit(s)/{} run(s), react {} hit(s)/{} run(s)\n",
+        r.passes.mapping_cache_hits,
+        r.passes.mapping_extractions,
+        r.passes.taint_cache_hits,
+        r.passes.taint_runs,
+        r.passes.react_cache_hits,
+        r.passes.react_runs,
+    ));
+    out
+}

@@ -133,7 +133,7 @@ fn main() {
     if let Some(first_bad) = report.files.iter().find(|f| !f.is_clean()) {
         print!(
             "{}",
-            Report::single(first_bad.clone()).render(&HumanRenderer)
+            Report::single(first_bad.clone()).render(&HumanRenderer::plain())
         );
     }
     std::fs::remove_dir_all(&fleet).ok();

@@ -104,7 +104,7 @@ fn main() {
     // report: same renderers, same provenance, same machine contract.
     let report = ws.reaction_report();
     println!("\n== human terminal text ==");
-    print!("{}", report.render(&HumanRenderer));
+    print!("{}", report.render(&HumanRenderer::plain()));
     let jsonl = report.render(&JsonLinesRenderer);
     let findings = JsonLinesRenderer::validate(&jsonl).expect("machine output validates");
     assert_eq!(findings, 3, "three of the four classes are vulnerabilities");

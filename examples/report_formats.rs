@@ -62,7 +62,7 @@ fn main() {
     let report = ws.check_texts(&files);
 
     println!("== human terminal text ==");
-    print!("{}", report.render(&HumanRenderer));
+    print!("{}", report.render(&HumanRenderer::plain()));
 
     println!("\n== JSON Lines (one finding per line) ==");
     let jsonl = report.render(&JsonLinesRenderer);

@@ -87,7 +87,7 @@ pub use spex_systems as systems;
 pub use spex_vm as vm;
 
 pub use spex_check::{
-    CheckSession, DiagCode, HumanRenderer, JsonLinesRenderer, ReanalyzeReport, Renderer, Report,
-    SarifRenderer, Workspace, WorkspaceError,
+    CheckSession, ColorMode, DiagCode, HumanRenderer, JsonLinesRenderer, ReanalyzeReport, Renderer,
+    Report, SarifRenderer, Workspace, WorkspaceError,
 };
 pub use spex_obs::{Recorder, TelemetrySnapshot};
