@@ -9,6 +9,8 @@
 //!   including the §3.1 optimization ablation (stop-at-first-failure and
 //!   shortest-test-first on/off);
 //! * `mapping` — the annotation toolkits alone;
+//! * `summaries` — interprocedural function summaries: cold whole-module
+//!   evaluation vs warm SCC-incremental reuse after a one-function edit;
 //! * `react` — static reaction classification (`spex-react`) latency per
 //!   system and per-parameter throughput over the catalog;
 //! * `check` — `spex-check` single-file validation latency and batch
@@ -23,7 +25,7 @@ use spex_bench::harness::{black_box, Runner};
 use spex_bench::make_target;
 use spex_check::{CheckSession, ConstraintDb, Workspace};
 use spex_core::{Annotation, Spex};
-use spex_dataflow::{AnalyzedModule, TaintEngine};
+use spex_dataflow::{AnalyzedModule, Condensation, ModuleSummaries, TaintEngine};
 use spex_inj::{genrule, standard_rules, CampaignOptions, InjectionCampaign};
 use spex_systems::BuiltSystem;
 
@@ -128,6 +130,63 @@ fn bench_mapping(r: &Runner) {
     r.bench("mapping/extraction_squid", || {
         spex_core::mapping::extract_mappings(&am, &anns).unwrap()
     });
+}
+
+fn bench_summaries(r: &Runner) {
+    // Interprocedural summaries, cold vs warm: the SCC-incremental path
+    // must make a single-function edit cheap — only the dirty component
+    // and its transitive callers re-summarize, every other component is
+    // reused by clone.
+    let spec = spex_systems::system_by_name("OpenLDAP").unwrap();
+    let built = BuiltSystem::build(spec);
+    let am = AnalyzedModule::build(built.module.clone());
+    r.bench("summaries/compute_cold_openldap", || {
+        black_box(ModuleSummaries::compute(&am))
+    });
+
+    if r.selected("summaries/incremental_warm_openldap") {
+        let (prev, cold) = ModuleSummaries::compute(&am);
+        let n = am.module.functions.len();
+        assert_eq!(cold.runs, n, "cold evaluation summarizes every function");
+        // Dirty the last-emitted component (a call-graph root, so it has
+        // no dependents): the warm path re-runs exactly that component —
+        // the steady-state regime an editor loop runs in.
+        let scc = Condensation::build(&am.module);
+        let mut dirty = vec![false; n];
+        for f in scc.components.last().expect("non-empty module") {
+            dirty[f.index()] = true;
+        }
+        const ROUNDS: usize = 30;
+        let mut total = 0u128;
+        let mut best = u128::MAX;
+        let mut warm_stats = None;
+        for _ in 0..ROUNDS {
+            let start = std::time::Instant::now();
+            let (_, stats) = black_box(ModuleSummaries::compute_incremental(
+                &am,
+                Some((&prev, &dirty)),
+            ));
+            let dt = start.elapsed().as_nanos();
+            total += dt;
+            best = best.min(dt);
+            warm_stats = Some(stats);
+        }
+        let warm = warm_stats.expect("ROUNDS > 0");
+        assert!(warm.hits > 0, "warm evaluation must reuse clean components");
+        assert!(warm.runs < n, "warm evaluation must not re-run everything");
+        assert_eq!(warm.runs + warm.hits, n, "every function accounted for");
+        r.record(
+            "summaries/incremental_warm_openldap",
+            total / ROUNDS as u128,
+            best,
+            ROUNDS,
+        );
+        println!(
+            "summaries/incremental_warm self-check: OK \
+             ({} of {n} summaries reused, {} re-run)",
+            warm.hits, warm.runs,
+        );
+    }
 }
 
 fn bench_react(r: &Runner) {
@@ -611,6 +670,7 @@ fn main() {
     bench_taint(&r);
     bench_injection(&r);
     bench_mapping(&r);
+    bench_summaries(&r);
     bench_react(&r);
     bench_check(&r);
     bench_workspace(&r);

@@ -691,7 +691,10 @@ impl Workspace {
                     continue;
                 }
                 report.passes.react_runs += 1;
-                reactions.insert(r.param.name.clone(), spex_react::classify(&analysis.am, r));
+                reactions.insert(
+                    r.param.name.clone(),
+                    spex_react::classify_with_summaries(&analysis.am, &analysis.summaries, r),
+                );
                 report.params_reinferred += 1;
                 let (removed, added) =
                     self.db

@@ -52,9 +52,17 @@ pub fn parse_opts(mut args: std::vec::IntoIter<String>) -> Result<AnalyzeOpts, C
             "--dialect" => opts.dialect = parse_dialect(&value_of("--dialect", &mut args)?)?,
             "--threads" => {
                 let v = value_of("--threads", &mut args)?;
-                opts.threads = v
+                let n: usize = v
                     .parse()
                     .map_err(|_| CliError(format!("--threads: not a number: {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError(
+                        "--threads: must be at least 1 \
+                         (omit the flag to use the workspace default)"
+                            .into(),
+                    ));
+                }
+                opts.threads = n;
             }
             "--telemetry" => opts.telemetry = true,
             "--quiet" => opts.quiet = true,

@@ -347,6 +347,7 @@ fn report_json(r: &ReanalyzeReport) -> String {
         "{{\"modules_analyzed\":{},\"params_total\":{},\"params_reinferred\":{},\
          \"constraints_added\":{},\"constraints_removed\":{},\
          \"mapping_extractions\":{},\"mapping_cache_hits\":{},\
+         \"summary_runs\":{},\"summary_cache_hits\":{},\
          \"taint_runs\":{},\"taint_cache_hits\":{},\
          \"react_runs\":{},\"react_cache_hits\":{}}}",
         r.modules_analyzed,
@@ -356,6 +357,8 @@ fn report_json(r: &ReanalyzeReport) -> String {
         r.constraints_removed,
         r.passes.mapping_extractions,
         r.passes.mapping_cache_hits,
+        r.passes.summary_runs,
+        r.passes.summary_cache_hits,
         r.passes.taint_runs,
         r.passes.taint_cache_hits,
         r.passes.react_runs,
@@ -377,6 +380,8 @@ fn absorb(total: &mut ReanalyzeReport, r: &ReanalyzeReport) {
     total.passes.value_rel += r.passes.value_rel;
     total.passes.mapping_extractions += r.passes.mapping_extractions;
     total.passes.mapping_cache_hits += r.passes.mapping_cache_hits;
+    total.passes.summary_runs += r.passes.summary_runs;
+    total.passes.summary_cache_hits += r.passes.summary_cache_hits;
     total.passes.taint_runs += r.passes.taint_runs;
     total.passes.taint_cache_hits += r.passes.taint_cache_hits;
     total.passes.react_runs += r.passes.react_runs;

@@ -226,9 +226,12 @@ pub fn render_reanalyze(ws: &Workspace, r: &ReanalyzeReport) -> String {
         r.passes.value_rel,
     ));
     out.push_str(&format!(
-        "cache: mapping {} hit(s)/{} run(s), taint {} hit(s)/{} run(s), react {} hit(s)/{} run(s)\n",
+        "cache: mapping {} hit(s)/{} run(s), summary {} hit(s)/{} run(s), \
+         taint {} hit(s)/{} run(s), react {} hit(s)/{} run(s)\n",
         r.passes.mapping_cache_hits,
         r.passes.mapping_extractions,
+        r.passes.summary_cache_hits,
+        r.passes.summary_runs,
         r.passes.taint_cache_hits,
         r.passes.taint_runs,
         r.passes.react_cache_hits,

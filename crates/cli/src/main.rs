@@ -89,6 +89,7 @@ fn sub_help(cmd: &str) -> Option<&'static str> {
              OPTIONS:\n\
              \x20   --db PATH        Merged database output (required)\n\
              \x20   --workers N      Worker process count [default: 4]\n\
+             \x20   --jobs N         Inference threads per worker [default: all cores]\n\
              \x20   --system NAME    Subject-system name [default: spex]\n\
              \x20   --dialect D      key-value | directive | space [default: key-value]\n\
              \x20   --self-check     Also analyze single-process in-process and fail\n\

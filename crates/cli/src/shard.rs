@@ -18,6 +18,9 @@ pub fn run(mut args: std::vec::IntoIter<String>) -> CliResult {
     let mut system = String::from("spex");
     let mut dialect = Dialect::KeyValue;
     let mut workers = 4usize;
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut out: Option<PathBuf> = None;
     let mut self_check = false;
     let mut src: Vec<PathBuf> = Vec::new();
@@ -30,6 +33,15 @@ pub fn run(mut args: std::vec::IntoIter<String>) -> CliResult {
                 workers = v
                     .parse()
                     .map_err(|_| CliError(format!("--workers: not a number: {v:?}")))?;
+            }
+            "--jobs" => {
+                let v = value_of("--jobs", &mut args)?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| CliError(format!("--jobs: not a number: {v:?}")))?;
+                if jobs == 0 {
+                    return Err(CliError("--jobs must be at least 1".into()));
+                }
             }
             "--db" => out = Some(PathBuf::from(value_of("--db", &mut args)?)),
             "--self-check" => self_check = true,
@@ -67,7 +79,7 @@ pub fn run(mut args: std::vec::IntoIter<String>) -> CliResult {
     std::fs::create_dir_all(&tmp)
         .map_err(|e| CliError(format!("shard dir {}: {e}", tmp.display())))?;
     let result = drive(
-        &exe, &tmp, &system, dialect, &parts, &out, self_check, &sources,
+        &exe, &tmp, &system, dialect, jobs, &parts, &out, self_check, &sources,
     );
     let _ = std::fs::remove_dir_all(&tmp);
     result
@@ -80,6 +92,7 @@ fn drive(
     tmp: &Path,
     system: &str,
     dialect: Dialect,
+    jobs: usize,
     parts: &[Vec<String>],
     out: &Path,
     self_check: bool,
@@ -93,6 +106,7 @@ fn drive(
             .arg("--quiet")
             .args(["--system", system])
             .args(["--dialect", dialect_tag(dialect)])
+            .args(["--threads", &jobs.to_string()])
             .arg("--db")
             .arg(&shard_db)
             .args(part)
@@ -140,7 +154,7 @@ fn drive(
     println!("db: {}", out.display());
 
     if self_check {
-        let (ws, _) = analyze_sources(system, dialect, 0, false, sources)?;
+        let (ws, _) = analyze_sources(system, dialect, jobs, false, sources)?;
         let single = ws.db().save_to_string();
         let sharded = merged.save_to_string();
         if single == sharded {

@@ -8,7 +8,7 @@
 
 use crate::constraint::{BasicType, Constraint, ConstraintKind};
 use crate::mapping::MappedParam;
-use spex_dataflow::{AnalyzedModule, TaintResult, UseSite};
+use spex_dataflow::{AnalyzedModule, ModuleSummaries, ReturnTransfer, TaintResult, UseSite};
 use spex_ir::{Callee, FuncId, Instr, ValueId};
 use spex_lang::diag::Span;
 use spex_lang::types::CType;
@@ -23,8 +23,13 @@ struct ConversionEvent {
 }
 
 /// Infers the basic-type constraint for one parameter.
-pub fn infer(am: &AnalyzedModule, param: &MappedParam, taint: &TaintResult) -> Option<Constraint> {
-    let event = first_conversion(am, taint);
+pub fn infer(
+    am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
+    param: &MappedParam,
+    taint: &TaintResult,
+) -> Option<Constraint> {
+    let event = first_conversion(am, summaries, taint);
     if let Some(ev) = event {
         // Follow one refinement step: a conversion result immediately cast
         // or stored into a narrower location takes that location's type
@@ -61,7 +66,11 @@ fn shallowest_type(am: &AnalyzedModule, taint: &TaintResult) -> Option<CType> {
         .map(|((f, v), _)| am.module.func(*f).value_type(*v).clone())
 }
 
-fn first_conversion(am: &AnalyzedModule, taint: &TaintResult) -> Option<ConversionEvent> {
+fn first_conversion(
+    am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
+    taint: &TaintResult,
+) -> Option<ConversionEvent> {
     let mut best: Option<ConversionEvent> = None;
     let mut consider = |ev: ConversionEvent| {
         if best.as_ref().map(|b| ev.depth < b.depth).unwrap_or(true) {
@@ -90,6 +99,32 @@ fn first_conversion(am: &AnalyzedModule, taint: &TaintResult) -> Option<Conversi
                     callee: Callee::Builtin(b),
                     args,
                 } if b.is_numeric_conversion() => {
+                    if let Some(arg) = args.first() {
+                        if taint.is_tainted(fid, *arg) {
+                            consider(ConversionEvent {
+                                depth: taint.depth(fid, *arg).unwrap_or(u32::MAX),
+                                ty: b.ret_type(),
+                                func: fid,
+                                span,
+                                dst: *dst,
+                            });
+                        }
+                    }
+                }
+                // A summarised wrapper around a numeric conversion acts as
+                // the conversion itself at the call site; using the caller's
+                // destination lets a caller-side store refine the type.
+                Instr::Call {
+                    dst,
+                    callee: Callee::Func(g),
+                    args,
+                } => {
+                    let Some(ReturnTransfer::Builtin(b)) = &summaries.get(*g).ret else {
+                        continue;
+                    };
+                    if !b.is_numeric_conversion() {
+                        continue;
+                    }
                     if let Some(arg) = args.first() {
                         if taint.is_tainted(fid, *arg) {
                             consider(ConversionEvent {

@@ -21,7 +21,7 @@
 
 use crate::constraint::{CmpOp, Constraint, ConstraintKind, ControlDep};
 use crate::mapping::const_int;
-use spex_dataflow::{AnalyzedModule, TaintResult, UseSite};
+use spex_dataflow::{AnalyzedModule, ModuleSummaries, ReturnTransfer, TaintResult, UseSite};
 use spex_ir::{BlockId, Callee, FuncId, Instr, Terminator, ValueId};
 use spex_lang::diag::Span;
 use std::collections::{HashMap, HashSet};
@@ -40,11 +40,12 @@ struct Guard {
 /// Infers all control dependencies across the parameter set.
 pub fn infer(
     am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
     names: &[String],
     taints: &[std::sync::Arc<TaintResult>],
     vindex: &HashMap<(FuncId, ValueId), Vec<usize>>,
 ) -> Vec<Constraint> {
-    let mut intra = IntraGuards::compute(am, vindex);
+    let mut intra = IntraGuards::compute(am, summaries, vindex);
     let inherited = compute_inherited_guards(am, &mut intra);
 
     let mut out = Vec::new();
@@ -129,6 +130,7 @@ fn usage_sites(am: &AnalyzedModule, taint: &TaintResult) -> Vec<(FuncId, BlockId
 /// memoised per block (guards are parameter-independent, and large startup
 /// functions have thousands of usage sites sharing dominator chains).
 struct IntraGuards<'a> {
+    summaries: &'a ModuleSummaries,
     vindex: &'a HashMap<(FuncId, ValueId), Vec<usize>>,
     cache: HashMap<(FuncId, BlockId), HashSet<Guard>>,
 }
@@ -136,9 +138,11 @@ struct IntraGuards<'a> {
 impl<'a> IntraGuards<'a> {
     fn compute(
         _am: &AnalyzedModule,
+        summaries: &'a ModuleSummaries,
         vindex: &'a HashMap<(FuncId, ValueId), Vec<usize>>,
     ) -> IntraGuards<'a> {
         IntraGuards {
+            summaries,
             vindex,
             cache: HashMap::new(),
         }
@@ -234,6 +238,42 @@ impl<'a> IntraGuards<'a> {
                 ..
             }) => {
                 return self.guards_from_condition(am, f, *operand, !side);
+            }
+            // A branch on the result of a summarised predicate helper is a
+            // guard on the argument passed to it: the predicate holds on the
+            // taken side iff its conjunction of conditions holds.
+            Some(Instr::Call {
+                callee: Callee::Func(g),
+                args,
+                ..
+            }) => {
+                if let Some(ReturnTransfer::Predicate { param, conds }) =
+                    &self.summaries.get(*g).ret
+                {
+                    let arg = args.get(*param as usize);
+                    let params = arg.and_then(|a| self.vindex.get(&(f, *a)));
+                    if let Some(params) = params {
+                        // On the false side the negation of a multi-condition
+                        // conjunction is a disjunction, which a Guard cannot
+                        // express; only single-condition predicates negate.
+                        if side || conds.len() == 1 {
+                            for &(op, v) in conds {
+                                let Some(cmp) = CmpOp::from_binop(op) else {
+                                    continue;
+                                };
+                                let op = if side { cmp } else { cmp.negated() };
+                                for &p in params {
+                                    out.push(Guard {
+                                        param: p,
+                                        value: v,
+                                        op,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    return out;
+                }
             }
             _ => {}
         }

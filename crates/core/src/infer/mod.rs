@@ -17,8 +17,10 @@ pub mod value_rel;
 use crate::annotations::Annotation;
 use crate::apispec::ApiSpec;
 use crate::constraint::Constraint;
-use crate::mapping::{extract_mappings, mapping_relevant, MappedParam};
-use spex_dataflow::{AnalyzedModule, MemLoc, TaintEngine, TaintResult, TaintRoot};
+use crate::mapping::{
+    extract_annotation, mapping_relevant, merge_mappings, MappedParam, MappingError,
+};
+use spex_dataflow::{AnalyzedModule, MemLoc, ModuleSummaries, TaintEngine, TaintResult, TaintRoot};
 use spex_ir::{Callee, FuncId, Instr, Module, ValueId};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -82,6 +84,10 @@ pub struct PassCounts {
     pub react_runs: usize,
     /// Reaction findings reused for stale slices (per parameter).
     pub react_cache_hits: usize,
+    /// Function summaries (re)computed (per function).
+    pub summary_runs: usize,
+    /// Function summaries reused from the cache (per function).
+    pub summary_cache_hits: usize,
 }
 
 impl PassCounts {
@@ -118,6 +124,8 @@ impl PassCounts {
             ("infer.cache.taint.misses", self.taint_runs),
             ("react.cache.hits", self.react_cache_hits),
             ("react.cache.misses", self.react_runs),
+            ("infer.summary.hits", self.summary_cache_hits),
+            ("infer.summary.runs", self.summary_runs),
         ] {
             if value > 0 {
                 spex_obs::counter(name, value as u64);
@@ -138,6 +146,8 @@ impl PassCounts {
         self.taint_cache_hits += other.taint_cache_hits;
         self.react_runs += other.react_runs;
         self.react_cache_hits += other.react_cache_hits;
+        self.summary_runs += other.summary_runs;
+        self.summary_cache_hits += other.summary_cache_hits;
     }
 }
 
@@ -180,6 +190,9 @@ pub struct SpexAnalysis {
     pub am: Arc<AnalyzedModule>,
     /// One report per configuration parameter, in mapping order.
     pub reports: Vec<ParamReport>,
+    /// Interprocedural function summaries the passes consumed, shared with
+    /// the [`PassCache`] and with the downstream reaction analysis.
+    pub summaries: Arc<ModuleSummaries>,
     /// How many times each inference pass ran (see [`PassCounts`]).
     pub passes: PassCounts,
 }
@@ -239,8 +252,12 @@ struct CacheState {
     am: Arc<AnalyzedModule>,
     /// Fingerprint of the annotations the artifacts were extracted under.
     ann_fp: u64,
-    /// Cached mapping-extraction result.
-    mappings: Arc<Vec<MappedParam>>,
+    /// Cached per-annotation extraction results, aligned with the
+    /// annotation set the fingerprint covers (`Err` is cached too, so a
+    /// failing annotation is not re-extracted every warm run).
+    ann_mappings: Vec<Arc<Result<Vec<MappedParam>, MappingError>>>,
+    /// Cached per-function interprocedural summaries.
+    summaries: Arc<ModuleSummaries>,
     /// Cached per-parameter slices, by parameter name.
     slices: HashMap<String, CachedSlice>,
 }
@@ -503,34 +520,93 @@ impl Spex {
             Arc::new(AnalyzedModule::build_ref(module))
         };
 
-        // Mapping extraction: reusable only if no dirty function — in its
-        // old or new form — is mapping-relevant.
-        let params: Arc<Vec<MappedParam>> = if warm {
-            let state = cache.state.as_ref().expect("warm implies state");
-            let dirty = dirty.expect("warm implies dirty");
-            let unaffected = dirty.iter().all(|name| {
-                let old_ok = match state.am.module.function_by_name(name) {
-                    Some(fid) => !mapping_relevant(&state.am, fid, anns),
-                    None => true,
-                };
-                let new_ok = match am.module.function_by_name(name) {
-                    Some(fid) => !mapping_relevant(&am, fid, anns),
-                    None => true,
-                };
-                old_ok && new_ok
-            });
-            if unaffected {
+        // Mapping extraction, cached per annotation: one annotation's
+        // cached result stays valid unless a dirty function — in its old
+        // or new form — is relevant to *that* annotation, so an edit to a
+        // parser named by one annotation no longer re-extracts its
+        // neighbours. A module without annotations counts one trivial
+        // extraction, preserving the historical accounting shape.
+        let mut ann_mappings: Vec<Arc<Result<Vec<MappedParam>, MappingError>>> =
+            Vec::with_capacity(anns.len());
+        for (j, ann) in anns.iter().enumerate() {
+            let one = std::slice::from_ref(ann);
+            let cached = if warm {
+                let state = cache.state.as_ref().expect("warm implies state");
+                let dirty = dirty.expect("warm implies dirty");
+                let unaffected = dirty.iter().all(|name| {
+                    let old_ok = match state.am.module.function_by_name(name) {
+                        Some(fid) => !mapping_relevant(&state.am, fid, one),
+                        None => true,
+                    };
+                    let new_ok = match am.module.function_by_name(name) {
+                        Some(fid) => !mapping_relevant(&am, fid, one),
+                        None => true,
+                    };
+                    old_ok && new_ok
+                });
+                if unaffected {
+                    state.ann_mappings.get(j).cloned()
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            match cached {
+                Some(m) => {
+                    passes.mapping_cache_hits += 1;
+                    ann_mappings.push(m);
+                }
+                None => {
+                    passes.mapping_extractions += 1;
+                    let _span = spex_obs::span("infer.mapping");
+                    ann_mappings.push(Arc::new(extract_annotation(&am, ann)));
+                }
+            }
+        }
+        if anns.is_empty() {
+            if warm {
                 passes.mapping_cache_hits += 1;
-                Arc::clone(&state.mappings)
             } else {
                 passes.mapping_extractions += 1;
-                let _span = spex_obs::span("infer.mapping");
-                Arc::new(extract_mappings(&am, anns).unwrap_or_default())
             }
+        }
+        // Any failing annotation empties the whole mapping, exactly as the
+        // all-at-once extraction did.
+        let params: Arc<Vec<MappedParam>> = if ann_mappings.iter().any(|r| r.is_err()) {
+            Arc::new(Vec::new())
         } else {
-            passes.mapping_extractions += 1;
-            let _span = spex_obs::span("infer.mapping");
-            Arc::new(extract_mappings(&am, anns).unwrap_or_default())
+            Arc::new(merge_mappings(ann_mappings.iter().map(|r| {
+                r.as_ref().as_ref().expect("errors filtered above").clone()
+            })))
+        };
+
+        // Interprocedural function summaries, SCC-granular: a dirty
+        // function invalidates exactly its component plus the components
+        // that (transitively) call into it; every other component is
+        // reused from the previous generation by clone.
+        let module_summaries: Arc<ModuleSummaries> = {
+            let _span = spex_obs::span("infer.summary");
+            let prev = if warm {
+                let state = cache.state.as_ref().expect("warm implies state");
+                let dirty = dirty.expect("warm implies dirty");
+                let dirty_fns: Vec<bool> = am
+                    .module
+                    .functions
+                    .iter()
+                    .map(|f| dirty.contains(&f.name))
+                    .collect();
+                Some((Arc::clone(&state.summaries), dirty_fns))
+            } else {
+                None
+            };
+            let (s, stats) = ModuleSummaries::compute_incremental(
+                &am,
+                prev.as_ref().map(|(p, d)| (p.as_ref(), d.as_slice())),
+            );
+            passes.summary_runs += stats.runs;
+            passes.summary_cache_hits += stats.hits;
+            Arc::new(s)
         };
 
         // Taint slices: reuse every slice the edit provably cannot reach.
@@ -594,7 +670,8 @@ impl Spex {
         cache.state = Some(CacheState {
             am: Arc::clone(&am),
             ann_fp,
-            mappings: Arc::clone(&params),
+            ann_mappings,
+            summaries: Arc::clone(&module_summaries),
             slices: params
                 .iter()
                 .zip(&taints)
@@ -623,7 +700,17 @@ impl Spex {
             .is_some()
             .then(|| slice_hit.iter().map(|&h| !h).collect());
 
-        Self::infer_from_slices(am, params, taints, spec, scope, recomputed, passes, threads)
+        Self::infer_from_slices(
+            am,
+            params,
+            taints,
+            module_summaries,
+            spec,
+            scope,
+            recomputed,
+            passes,
+            threads,
+        )
     }
 
     /// The five inference passes over prepared slices (shared tail of the
@@ -641,6 +728,7 @@ impl Spex {
         am: Arc<AnalyzedModule>,
         params: Arc<Vec<MappedParam>>,
         taints: Vec<Arc<TaintResult>>,
+        summaries: Arc<ModuleSummaries>,
         spec: ApiSpec,
         scope: Option<&InferScope>,
         recomputed: Option<Vec<bool>>,
@@ -690,15 +778,15 @@ impl Spex {
             let mut constraints = Vec::new();
             {
                 let _span = spex_obs::span("infer.basic_type");
-                constraints.extend(basic_type::infer(&am, &param, &taint));
+                constraints.extend(basic_type::infer(&am, &summaries, &param, &taint));
             }
             {
                 let _span = spex_obs::span("infer.semantic_type");
-                constraints.extend(semantic_type::infer(&am, &spec, &param, &taint));
+                constraints.extend(semantic_type::infer(&am, &summaries, &spec, &param, &taint));
             }
             {
                 let _span = spex_obs::span("infer.range");
-                constraints.extend(range::infer(&am, &param, &taint));
+                constraints.extend(range::infer(&am, &summaries, &param, &taint));
             }
             let evidence = evidence::collect(&am, &param, &taint);
             ParamReport {
@@ -732,7 +820,7 @@ impl Spex {
             let names: Vec<String> = reports.iter().map(|r| r.param.name.clone()).collect();
             passes.control_dep += 1;
             let cd_span = spex_obs::span("infer.control_dep");
-            let deps = control_dep::infer(&am, &names, &taints, &vindex);
+            let deps = control_dep::infer(&am, &summaries, &names, &taints, &vindex);
             drop(cd_span);
             for c in deps {
                 if let crate::constraint::ConstraintKind::ControlDep(d) = &c.kind {
@@ -746,7 +834,7 @@ impl Spex {
             }
             passes.value_rel += 1;
             let vr_span = spex_obs::span("infer.value_rel");
-            let rels = value_rel::infer(&am, &names, &vindex);
+            let rels = value_rel::infer(&am, &summaries, &names, &vindex);
             drop(vr_span);
             for c in rels {
                 if let crate::constraint::ConstraintKind::ValueRel(v) = &c.kind {
@@ -764,6 +852,7 @@ impl Spex {
         SpexAnalysis {
             am,
             reports,
+            summaries,
             passes,
         }
     }

@@ -18,7 +18,7 @@ use crate::constraint::{
 };
 use crate::infer::branch::{branch_sides, classify_region, BranchBehavior};
 use crate::mapping::{const_int, const_str, MappedParam};
-use spex_dataflow::{AnalyzedModule, TaintResult};
+use spex_dataflow::{AnalyzedModule, ModuleSummaries, ReturnTransfer, TaintResult};
 use spex_ir::{Callee, ConstVal, FuncId, Instr, PlaceBase, PlaceElem, Terminator, ValueId};
 use spex_lang::diag::Span;
 
@@ -34,9 +34,14 @@ struct CondFact {
 }
 
 /// Infers range constraints (numeric and enumerative) for one parameter.
-pub fn infer(am: &AnalyzedModule, param: &MappedParam, taint: &TaintResult) -> Vec<Constraint> {
+pub fn infer(
+    am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
+    param: &MappedParam,
+    taint: &TaintResult,
+) -> Vec<Constraint> {
     let mut out = Vec::new();
-    if let Some(c) = infer_numeric(am, param, taint) {
+    if let Some(c) = infer_numeric(am, summaries, param, taint) {
         out.push(c);
     }
     out.extend(infer_switch(am, param, taint));
@@ -48,6 +53,7 @@ pub fn infer(am: &AnalyzedModule, param: &MappedParam, taint: &TaintResult) -> V
 
 fn infer_numeric(
     am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
     param: &MappedParam,
     taint: &TaintResult,
 ) -> Option<Constraint> {
@@ -107,6 +113,12 @@ fn infer_numeric(
             }
         }
     }
+    // Interprocedural facts from callee summaries: a call passing the
+    // tainted value to a summarised check or predicate helper contributes
+    // the callee's comparisons as if they happened at the call site. These
+    // are appended *after* the intra-procedural facts so the anchoring
+    // (first invalid fact) of purely intra-procedural fixtures is stable.
+    collect_summary_facts(am, summaries, taint, &mut facts);
     if facts.is_empty() || !facts.iter().any(|f| f.invalid_when_true) {
         return None;
     }
@@ -121,6 +133,112 @@ fn infer_numeric(
         in_function: am.module.func(first.func).name.clone(),
         span: first.span,
     })
+}
+
+/// Collects range facts implied by calls into summarised helpers: check
+/// summaries fire directly ("if `argᵢ ⋄ V` the callee errors out"), and
+/// predicate return-transfers are combined with the classification of the
+/// caller's branch on the returned truth value.
+fn collect_summary_facts(
+    am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
+    taint: &TaintResult,
+    facts: &mut Vec<CondFact>,
+) {
+    for fid in taint.touched_functions() {
+        let func = am.module.func(fid);
+        for (_, _, instr, span) in func.iter_instrs() {
+            let Instr::Call {
+                dst,
+                callee: Callee::Func(g),
+                args,
+            } = instr
+            else {
+                continue;
+            };
+            let sum = summaries.get(*g);
+            for cs in &sum.checks {
+                let Some(&arg) = args.get(cs.param as usize) else {
+                    continue;
+                };
+                if !taint.is_tainted(fid, arg) {
+                    continue;
+                }
+                let Some(op) = crate::constraint::CmpOp::from_binop(cs.op) else {
+                    continue;
+                };
+                facts.push(CondFact {
+                    op,
+                    value: cs.value,
+                    invalid_when_true: true,
+                    span,
+                    func: fid,
+                });
+            }
+            let Some(ReturnTransfer::Predicate { param: pi, conds }) = &sum.ret else {
+                continue;
+            };
+            let Some(&arg) = args.get(*pi as usize) else {
+                continue;
+            };
+            if !taint.is_tainted(fid, arg) {
+                continue;
+            }
+            let Some(dst) = dst else {
+                continue;
+            };
+            let Some((true_bb, false_bb)) = branch_sides(am, fid, *dst) else {
+                continue;
+            };
+            let t_inv = classify_region(am, fid, true_bb, taint).is_invalid();
+            let f_inv = classify_region(am, fid, false_bb, taint).is_invalid();
+            let cmp_conds: Vec<(crate::constraint::CmpOp, i64)> = conds
+                .iter()
+                .filter_map(|&(op, v)| crate::constraint::CmpOp::from_binop(op).map(|c| (c, v)))
+                .collect();
+            if cmp_conds.len() != conds.len() {
+                continue;
+            }
+            if f_inv {
+                // Predicate false ⇒ invalid. The predicate holds when the
+                // conjunction of its conditions holds, so the invalid set is
+                // the union of the negations (De Morgan); facts are OR-ed
+                // during segment sampling, which models exactly that union.
+                for &(op, v) in &cmp_conds {
+                    facts.push(CondFact {
+                        op: op.negated(),
+                        value: v,
+                        invalid_when_true: true,
+                        span,
+                        func: fid,
+                    });
+                }
+            }
+            if t_inv && cmp_conds.len() == 1 {
+                // Predicate true ⇒ invalid; only expressible as a fact
+                // union for a single-condition predicate.
+                let (op, v) = cmp_conds[0];
+                facts.push(CondFact {
+                    op,
+                    value: v,
+                    invalid_when_true: true,
+                    span,
+                    func: fid,
+                });
+            }
+            if !t_inv && !f_inv {
+                for &(op, v) in &cmp_conds {
+                    facts.push(CondFact {
+                        op,
+                        value: v,
+                        invalid_when_true: false,
+                        span,
+                        func: fid,
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// Resolves a comparison operand to a constant: a literal, or a constant

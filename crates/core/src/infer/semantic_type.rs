@@ -14,7 +14,7 @@
 use crate::apispec::ApiSpec;
 use crate::constraint::{Constraint, ConstraintKind, SemType};
 use crate::mapping::MappedParam;
-use spex_dataflow::{AnalyzedModule, TaintResult};
+use spex_dataflow::{AnalyzedModule, ModuleSummaries, ReturnTransfer, TaintResult};
 use spex_ir::{Callee, ConstVal, FuncId, Instr, ValueId};
 use spex_lang::ast::BinOp;
 
@@ -22,6 +22,7 @@ use spex_lang::ast::BinOp;
 /// distinct types).
 pub fn infer(
     am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
     spec: &ApiSpec,
     param: &MappedParam,
     taint: &TaintResult,
@@ -56,7 +57,7 @@ pub fn infer(
                         if !taint.is_tainted(fid, *side) {
                             continue;
                         }
-                        if let Some(sem) = known_ret_sem(am, spec, fid, *other) {
+                        if let Some(sem) = known_ret_sem(am, summaries, spec, fid, *other) {
                             let depth = taint.depth(fid, *side).unwrap_or(u32::MAX);
                             found.push((sem, depth, fid, span));
                         }
@@ -90,15 +91,30 @@ fn is_comparison(op: BinOp) -> bool {
     op.is_comparison()
 }
 
-/// The semantic type of a value defined by a known call (`time()` etc.).
-fn known_ret_sem(am: &AnalyzedModule, spec: &ApiSpec, fid: FuncId, v: ValueId) -> Option<SemType> {
+/// The semantic type of a value defined by a known call (`time()` etc.),
+/// either directly or through a summarised wrapper function whose return
+/// value is the builtin's (`long now() { return time(0); }`).
+fn known_ret_sem(
+    am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
+    spec: &ApiSpec,
+    fid: FuncId,
+    v: ValueId,
+) -> Option<SemType> {
     let func = am.module.func(fid);
     match am.usedefs[fid.index()].def_instr(func, v)? {
         Instr::Call {
             callee: Callee::Builtin(b),
             ..
         } => spec.builtin_ret(*b),
-        Instr::Cast { operand, .. } => known_ret_sem(am, spec, fid, *operand),
+        Instr::Call {
+            callee: Callee::Func(g),
+            ..
+        } => match &summaries.get(*g).ret {
+            Some(ReturnTransfer::Builtin(b)) => spec.builtin_ret(*b),
+            _ => None,
+        },
+        Instr::Cast { operand, .. } => known_ret_sem(am, summaries, spec, fid, *operand),
         _ => None,
     }
 }

@@ -13,8 +13,8 @@
 
 use crate::constraint::{CmpOp, Constraint, ConstraintKind, ValueRel};
 use crate::infer::branch::{branch_sides, classify_region};
-use spex_dataflow::{AnalyzedModule, TaintResult};
-use spex_ir::{FuncId, Instr, ValueId};
+use spex_dataflow::{AnalyzedModule, ModuleSummaries, ReturnTransfer, TaintResult};
+use spex_ir::{Callee, FuncId, Instr, ValueId};
 use spex_lang::diag::Span;
 use std::collections::HashMap;
 
@@ -41,6 +41,7 @@ enum Side {
 /// Infers value relationships across the parameter set.
 pub fn infer(
     am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
     names: &[String],
     vindex: &HashMap<(FuncId, ValueId), Vec<usize>>,
 ) -> Vec<Constraint> {
@@ -49,6 +50,50 @@ pub fn infer(
     for (fi, func) in am.module.functions.iter().enumerate() {
         let f = FuncId(fi as u32);
         for (_, _, instr, span) in func.iter_instrs() {
+            // A call into a summarised param-vs-param predicate helper is a
+            // comparison of its arguments performed one frame down; surface
+            // it here as an ordinary observation on the caller's values.
+            if let Instr::Call {
+                dst,
+                callee: Callee::Func(g),
+                args,
+            } = instr
+            {
+                let Some(ReturnTransfer::ParamPredicate { left, op, right }) =
+                    &summaries.get(*g).ret
+                else {
+                    continue;
+                };
+                let Some(cmp) = CmpOp::from_binop(*op) else {
+                    continue;
+                };
+                let (Some(&la), Some(&ra)) = (args.get(*left as usize), args.get(*right as usize))
+                else {
+                    continue;
+                };
+                let lp = vindex.get(&(f, la));
+                let rp = vindex.get(&(f, ra));
+                if lp.is_none() && rp.is_none() {
+                    continue;
+                }
+                let true_side_invalid = dst
+                    .and_then(|d| branch_sides(am, f, d))
+                    .map(|(t, _)| classify_region(am, f, t, &TaintResult::default()).is_invalid())
+                    .unwrap_or(false);
+                let side = |v: ValueId, params: Option<&Vec<usize>>| match params {
+                    Some(ps) if !ps.is_empty() => Side::Param(ps[0]),
+                    _ => Side::Other(v),
+                };
+                obs.push(Observation {
+                    func: f,
+                    left: side(la, lp),
+                    op: cmp,
+                    right: side(ra, rp),
+                    span,
+                    true_side_invalid,
+                });
+                continue;
+            }
             let Instr::Bin { dst, op, lhs, rhs } = instr else {
                 continue;
             };

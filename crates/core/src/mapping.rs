@@ -61,26 +61,49 @@ pub fn extract_mappings(
     am: &AnalyzedModule,
     anns: &[Annotation],
 ) -> Result<Vec<MappedParam>, MappingError> {
+    let mut per_ann = Vec::with_capacity(anns.len());
+    for ann in anns {
+        per_ann.push(extract_annotation(am, ann)?);
+    }
+    Ok(merge_mappings(per_ann))
+}
+
+/// Runs one annotation against the module — the per-annotation unit the
+/// pass cache stores, so an edit invalidates only the annotations it is
+/// relevant to.
+pub fn extract_annotation(
+    am: &AnalyzedModule,
+    ann: &Annotation,
+) -> Result<Vec<MappedParam>, MappingError> {
+    match ann {
+        Annotation::StructDirect {
+            table,
+            par_field,
+            var_field,
+            ..
+        } => extract_struct_direct(am, table, *par_field, *var_field),
+        Annotation::StructFunction {
+            table,
+            par_field,
+            handler_field,
+            value_arg,
+            ..
+        } => extract_struct_function(am, table, *par_field, *handler_field, value_arg),
+        Annotation::Parser { function, par, var } => extract_parser(am, function, par, var),
+        Annotation::Getter { function, par_arg } => extract_getter(am, function, *par_arg - 1),
+    }
+}
+
+/// Merges per-annotation extraction results by parameter name, first
+/// occurrence winning the slot and later occurrences contributing extra
+/// roots (and a declared type when the first had none).
+pub fn merge_mappings<I>(per_ann: I) -> Vec<MappedParam>
+where
+    I: IntoIterator<Item = Vec<MappedParam>>,
+{
     let mut by_name: HashMap<String, MappedParam> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
-    for ann in anns {
-        let found = match ann {
-            Annotation::StructDirect {
-                table,
-                par_field,
-                var_field,
-                ..
-            } => extract_struct_direct(am, table, *par_field, *var_field)?,
-            Annotation::StructFunction {
-                table,
-                par_field,
-                handler_field,
-                value_arg,
-                ..
-            } => extract_struct_function(am, table, *par_field, *handler_field, value_arg)?,
-            Annotation::Parser { function, par, var } => extract_parser(am, function, par, var)?,
-            Annotation::Getter { function, par_arg } => extract_getter(am, function, *par_arg - 1)?,
-        };
+    for found in per_ann {
         for p in found {
             match by_name.get_mut(&p.name) {
                 Some(existing) => {
@@ -96,10 +119,10 @@ pub fn extract_mappings(
             }
         }
     }
-    Ok(order
+    order
         .into_iter()
         .map(|n| by_name.remove(&n).expect("ordered name exists"))
-        .collect())
+        .collect()
 }
 
 // --- Structure-based (direct pointer) --------------------------------------

@@ -32,12 +32,18 @@
 
 pub mod callgraph;
 pub mod memloc;
+pub mod scc;
 pub mod slice;
+pub mod summary;
 pub mod taint;
 pub mod usedef;
 
 pub use callgraph::CallGraph;
 pub use memloc::{AccessElem, MemLoc};
+pub use scc::Condensation;
+pub use summary::{
+    CheckSummary, FunctionSummary, ModuleSummaries, ReturnTransfer, SummaryBehavior, SummaryStats,
+};
 pub use taint::{TaintEngine, TaintResult, TaintRoot};
 pub use usedef::{UseDefs, UseSite};
 

@@ -51,7 +51,7 @@
 use spex_core::constraint::DiagCode;
 use spex_core::infer::branch::{branch_sides, classify_region, BranchBehavior};
 use spex_core::infer::{ParamReport, SpexAnalysis};
-use spex_dataflow::{AnalyzedModule, TaintResult};
+use spex_dataflow::{AnalyzedModule, ModuleSummaries, ReturnTransfer, TaintResult};
 use spex_ir::{BlockId, Callee, FuncId, Instr, PlaceElem, Terminator, ValueId};
 use spex_lang::ast::BinOp;
 use spex_lang::builtins::Builtin;
@@ -304,6 +304,62 @@ fn find_checks(am: &AnalyzedModule, taint: &TaintResult) -> Vec<Check> {
     checks
 }
 
+/// Finds the validation branches whose comparison lives in a *callee*: the
+/// caller branches on the result of a summarised predicate helper
+/// (`if (!valid_port(port)) exit(1);`). The helper's own comparisons feed
+/// its return value, not a branch, so intraprocedural [`find_checks`] sees
+/// nothing there — the check summary is what turns such parameters from
+/// unchecked (`SPEX-V004`) into checked (`SPEX-V001`).
+fn find_summary_checks(
+    am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
+    taint: &TaintResult,
+) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for fid in taint.touched_functions() {
+        let func = am.module.func(fid);
+        for (b, _, instr, span) in func.iter_instrs() {
+            let Instr::Call {
+                dst: Some(dst),
+                callee: Callee::Func(g),
+                args,
+            } = instr
+            else {
+                continue;
+            };
+            let Some(ReturnTransfer::Predicate { param, .. }) = &summaries.get(*g).ret else {
+                continue;
+            };
+            let Some(&arg) = args.get(*param as usize) else {
+                continue;
+            };
+            if !taint.is_tainted(fid, arg) {
+                continue;
+            }
+            let Some((t_bb, e_bb)) = branch_sides(am, fid, *dst) else {
+                continue;
+            };
+            let t_beh = classify_region(am, fid, t_bb, taint);
+            let e_beh = classify_region(am, fid, e_bb, taint);
+            let behavior = if behavior_rank(&t_beh) >= behavior_rank(&e_beh) {
+                t_beh
+            } else {
+                e_beh
+            };
+            if behavior.is_invalid() {
+                checks.push(Check {
+                    behavior,
+                    in_function: func.name.clone(),
+                    span,
+                    fid,
+                    block: b,
+                });
+            }
+        }
+    }
+    checks
+}
+
 /// Finds every dangerous sink the parameter's value reaches.
 fn find_sinks(am: &AnalyzedModule, report: &ParamReport) -> Vec<Sink> {
     let taint = &report.taint;
@@ -429,8 +485,22 @@ fn sink_dominated(am: &AnalyzedModule, checks: &[Check], sink: &Sink) -> bool {
 /// [`LateDetection`](ReactionClass::LateDetection); everything else is
 /// [`Unchecked`](ReactionClass::Unchecked).
 pub fn classify(am: &AnalyzedModule, report: &ParamReport) -> ReactionFinding {
+    let (summaries, _) = ModuleSummaries::compute(am);
+    classify_with_summaries(am, &summaries, report)
+}
+
+/// Like [`classify`], but consuming precomputed interprocedural function
+/// summaries instead of deriving them on the spot — the form the cached
+/// analysis pipeline uses ([`SpexAnalysis`] carries the summaries it
+/// computed during inference).
+pub fn classify_with_summaries(
+    am: &AnalyzedModule,
+    summaries: &ModuleSummaries,
+    report: &ParamReport,
+) -> ReactionFinding {
     let _span = spex_obs::span!("react.classify", param = report.param.name);
-    let checks = find_checks(am, &report.taint);
+    let mut checks = find_checks(am, &report.taint);
+    checks.extend(find_summary_checks(am, summaries, &report.taint));
     let sinks = find_sinks(am, report);
     spex_obs::counter("react.checks.found", checks.len() as u64);
     spex_obs::counter("react.sinks.found", sinks.len() as u64);
@@ -523,7 +593,7 @@ pub fn classify_analysis(analysis: &SpexAnalysis) -> Vec<ReactionFinding> {
         .reports
         .iter()
         .filter(|r| !r.stale)
-        .map(|r| classify(&analysis.am, r))
+        .map(|r| classify_with_summaries(&analysis.am, &analysis.summaries, r))
         .collect();
     spex_obs::counter("react.params.classified", findings.len() as u64);
     findings

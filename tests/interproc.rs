@@ -1,0 +1,251 @@
+//! Integration tests for the interprocedural summary layer: a range
+//! check living in a helper callee must constrain the caller's parameter
+//! exactly as the inline check would, the reaction analysis must credit
+//! that helper check, and warm re-analysis must re-summarize only the
+//! edited SCC plus its dependents.
+
+use spex::check::Workspace;
+use spex::conf::Dialect;
+use spex::core::{Annotation, ConstraintKind, Spex, SpexAnalysis};
+use spex::react::{classify_analysis, ReactionClass};
+
+const ANN: &str = "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }";
+
+fn analyze(source: &str) -> SpexAnalysis {
+    let program = spex::lang::parse_program(source).unwrap();
+    let module = spex::ir::lower_program(&program).unwrap();
+    let anns = Annotation::parse(ANN).unwrap();
+    Spex::analyze(module, &anns)
+}
+
+/// The interval of the parameter's range constraint, if it has one.
+fn range_interval(analysis: &SpexAnalysis, param: &str) -> Option<(Option<i64>, Option<i64>)> {
+    analysis
+        .param(param)
+        .expect("parameter mapped")
+        .constraints
+        .iter()
+        .find_map(|c| match &c.kind {
+            ConstraintKind::Range(r) => r.valid_interval(),
+            _ => None,
+        })
+}
+
+/// The range check lives entirely inside a predicate helper; the caller
+/// only branches on its result.
+const HELPER_CHECK: &str = r#"
+    int listen_port = 8080;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "listen_port", &listen_port } };
+    int valid_port(int p) { return p >= 1 && p <= 65535; }
+    void startup() {
+        if (valid_port(listen_port) == 0) {
+            fprintf(stderr, "listen_port out of range");
+            exit(1);
+        }
+        bind(0, listen_port);
+    }
+"#;
+
+/// The same guard written inline — the intraprocedural baseline the
+/// helper variant must match.
+const INLINE_CHECK: &str = r#"
+    int listen_port = 8080;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "listen_port", &listen_port } };
+    void startup() {
+        if (listen_port < 1) {
+            fprintf(stderr, "listen_port out of range");
+            exit(1);
+        }
+        if (listen_port > 65535) {
+            fprintf(stderr, "listen_port out of range");
+            exit(1);
+        }
+        bind(0, listen_port);
+    }
+"#;
+
+/// The helper is called but its verdict is ignored — what the analysis
+/// sees when no call-site branch consumes the predicate. This is the
+/// intraprocedural result for [`HELPER_CHECK`]: without summaries the
+/// caller has no comparison on `listen_port` at all.
+const IGNORED_CHECK: &str = r#"
+    int listen_port = 8080;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "listen_port", &listen_port } };
+    int valid_port(int p) { return p >= 1 && p <= 65535; }
+    void startup() {
+        valid_port(listen_port);
+        bind(0, listen_port);
+    }
+"#;
+
+/// The tentpole acceptance criterion, range half: the predicate summary
+/// of `valid_port` turns the caller's branch into the same `[1, 65535]`
+/// range constraint the inline checks produce.
+#[test]
+fn helper_predicate_check_tightens_range_like_inline() {
+    let helper = analyze(HELPER_CHECK);
+    let inline = analyze(INLINE_CHECK);
+    let got = range_interval(&helper, "listen_port");
+    assert_eq!(
+        got,
+        Some((Some(1), Some(65535))),
+        "helper-guarded parameter gains the callee's bounds"
+    );
+    assert_eq!(
+        got,
+        range_interval(&inline, "listen_port"),
+        "summary-derived interval matches the inline-check baseline"
+    );
+
+    // Control: with the predicate's verdict discarded there is no
+    // call-site branch to interpret, so no range constraint appears —
+    // the delta above really comes from the check summary.
+    let ignored = analyze(IGNORED_CHECK);
+    assert_eq!(range_interval(&ignored, "listen_port"), None);
+}
+
+/// The tentpole acceptance criterion, reaction half: the same fixture
+/// flips `SPEX-V004` (unchecked) to `SPEX-V001` (checked with message)
+/// because the dominating check lives in the callee.
+#[test]
+fn helper_predicate_check_flips_reaction_to_checked() {
+    let class_of = |analysis: &SpexAnalysis| {
+        classify_analysis(analysis)
+            .into_iter()
+            .find(|f| f.param == "listen_port")
+            .expect("listen_port classified")
+            .class
+    };
+    assert_eq!(
+        class_of(&analyze(HELPER_CHECK)),
+        ReactionClass::CheckedWithMessage,
+        "call-site branch on the helper's verdict is a real check"
+    );
+    assert_eq!(
+        class_of(&analyze(IGNORED_CHECK)),
+        ReactionClass::Unchecked,
+        "discarding the verdict leaves the parameter unchecked"
+    );
+}
+
+/// A three-deep call chain plus one unrelated function. Editing the leaf
+/// must re-summarize exactly the leaf's SCC and its transitive callers,
+/// and re-infer only the parameter whose slice crosses the edit.
+const CHAIN_V1: &str = r#"
+    int knob = 8;
+    int other_knob = 2;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "knob", &knob }, { "other_knob", &other_knob } };
+    int leaf(int x) { return x > 4; }
+    int mid(int x) { return leaf(x); }
+    int top(int x) { return mid(x); }
+    void startup() {
+        if (top(knob) == 0) { fprintf(stderr, "bad knob"); exit(1); }
+        listen(0, knob);
+    }
+    void use_other() { sleep(other_knob); }
+"#;
+
+/// `leaf` edited: the bound changes, every caller of `leaf` is stale.
+const CHAIN_V2: &str = r#"
+    int knob = 8;
+    int other_knob = 2;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "knob", &knob }, { "other_knob", &other_knob } };
+    int leaf(int x) { return x > 9; }
+    int mid(int x) { return leaf(x); }
+    int top(int x) { return mid(x); }
+    void startup() {
+        if (top(knob) == 0) { fprintf(stderr, "bad knob"); exit(1); }
+        listen(0, knob);
+    }
+    void use_other() { sleep(other_knob); }
+"#;
+
+#[test]
+fn leaf_edit_resummarizes_only_dependent_sccs() {
+    let mut ws = Workspace::new("Test", Dialect::KeyValue);
+    ws.add_module("main.c", CHAIN_V1, ANN).unwrap();
+    let cold = ws.reanalyze();
+    assert_eq!(cold.passes.summary_runs, 5, "cold run summarizes all five");
+    assert_eq!(cold.passes.summary_cache_hits, 0);
+
+    let diff = ws.update_module("main.c", CHAIN_V2).unwrap();
+    assert_eq!(diff.changed, vec!["leaf".to_string()]);
+    let warm = ws.reanalyze();
+    assert_eq!(
+        warm.passes.summary_runs, 4,
+        "leaf, mid, top and startup re-summarized"
+    );
+    assert_eq!(
+        warm.passes.summary_cache_hits, 1,
+        "use_other's component reused"
+    );
+    assert_eq!(warm.passes.taint_runs, 1, "`knob` slice crosses the edit");
+    assert_eq!(warm.passes.taint_cache_hits, 1, "`other_knob` slice reused");
+    assert_eq!(warm.params_reinferred, 1);
+
+    // Scoped warm work still lands on the from-scratch database.
+    let mut fresh = Workspace::new("Test", Dialect::KeyValue);
+    fresh.add_module("main.c", CHAIN_V2, ANN).unwrap();
+    fresh.reanalyze();
+    assert_eq!(ws.db().save_to_string(), fresh.db().save_to_string());
+}
+
+/// A self-recursive helper: its SCC is cyclic, so the summary comes out
+/// of the bounded-widening fixpoint.
+const REC_V1: &str = r#"
+    int depth = 3;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "depth", &depth } };
+    int shrink(int x) {
+        if (x > 64) { return shrink(x - 1); }
+        return x > 0;
+    }
+    void startup() {
+        if (shrink(depth) == 0) { fprintf(stderr, "bad depth"); exit(1); }
+        listen(0, depth);
+    }
+"#;
+
+/// The recursion threshold changes; the cyclic SCC must refixpoint.
+const REC_V2: &str = r#"
+    int depth = 3;
+    struct opt { char* name; int* var; };
+    struct opt options[] = { { "depth", &depth } };
+    int shrink(int x) {
+        if (x > 32) { return shrink(x - 1); }
+        return x > 0;
+    }
+    void startup() {
+        if (shrink(depth) == 0) { fprintf(stderr, "bad depth"); exit(1); }
+        listen(0, depth);
+    }
+"#;
+
+#[test]
+fn recursive_helper_edit_converges_to_from_scratch_db() {
+    let mut ws = Workspace::new("Test", Dialect::KeyValue);
+    ws.add_module("main.c", REC_V1, ANN).unwrap();
+    ws.reanalyze();
+
+    let diff = ws.update_module("main.c", REC_V2).unwrap();
+    assert_eq!(diff.changed, vec!["shrink".to_string()]);
+    let warm = ws.reanalyze();
+    assert_eq!(
+        warm.passes.summary_runs, 2,
+        "the cyclic SCC and its caller re-ran"
+    );
+
+    let mut fresh = Workspace::new("Test", Dialect::KeyValue);
+    fresh.add_module("main.c", REC_V2, ANN).unwrap();
+    fresh.reanalyze();
+    assert_eq!(
+        ws.db().save_to_string(),
+        fresh.db().save_to_string(),
+        "incremental fixpoint equals the from-scratch result"
+    );
+}

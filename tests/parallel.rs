@@ -38,6 +38,14 @@ fn catalog_run(name: &str, threads: usize) -> (String, PassCounts, String, PassC
 fn catalog_analysis_is_byte_identical_across_thread_counts() {
     for name in ["OpenLDAP", "Apache"] {
         let baseline = catalog_run(name, 1);
+        assert!(
+            baseline.1.summary_runs > 0,
+            "{name}: cold run must compute function summaries"
+        );
+        assert!(
+            baseline.3.summary_cache_hits > 0,
+            "{name}: warm probe edit must reuse clean SCC summaries"
+        );
         for threads in [2, 8] {
             let run = catalog_run(name, threads);
             assert_eq!(

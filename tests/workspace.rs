@@ -503,8 +503,10 @@ fn no_op_edit_yields_full_cache_hits() {
     let cold = ws.reanalyze();
     assert_eq!(cold.passes.mapping_extractions, 1, "cold run extracts");
     assert_eq!(cold.passes.taint_runs, 2, "cold run slices both params");
+    assert_eq!(cold.passes.summary_runs, 2, "cold run summarizes both fns");
     assert_eq!(cold.passes.mapping_cache_hits, 0);
     assert_eq!(cold.passes.taint_cache_hits, 0);
+    assert_eq!(cold.passes.summary_cache_hits, 0);
 
     // An added function no parameter's flow touches: everything cacheable
     // must hit.
@@ -516,6 +518,8 @@ fn no_op_edit_yields_full_cache_hits() {
     assert_eq!(warm.passes.taint_cache_hits, 2, "both slices reused");
     assert_eq!(warm.passes.mapping_extractions, 0);
     assert_eq!(warm.passes.taint_runs, 0);
+    assert_eq!(warm.passes.summary_runs, 1, "only the added fn summarized");
+    assert_eq!(warm.passes.summary_cache_hits, 2, "old components reused");
     assert_eq!(warm.passes.cached_fraction(), Some(1.0), "100% cache hits");
     assert_eq!(warm.passes.total(), 0, "no inference pass re-ran");
     assert_eq!(warm.params_reinferred, 0);
@@ -558,6 +562,76 @@ fn warm_edit_reuses_unaffected_slices() {
     let mut fresh = workspace_over(EDITED);
     fresh.reanalyze();
     assert_eq!(ws.db(), fresh.db());
+    assert_eq!(ws.db().save_to_string(), fresh.db().save_to_string());
+}
+
+/// Mapping extraction is cached per annotation: a module mixing a
+/// structure-based table with a comparison-based parser re-extracts only
+/// the annotation the edit is relevant to, and serves the other from the
+/// cache.
+#[test]
+fn editing_a_parser_reextracts_only_its_annotation() {
+    const TWO_ANNS: &str = "{ @STRUCT = options\n @PAR = [opt, 1]\n @VAR = [opt, 2] }\n\
+                            { @PARSER = handle_config\n @PAR = $name\n @VAR = $value }";
+    const MIXED: &str = r#"
+        int threads = 4;
+        int nap = 30;
+        struct opt { char* name; int* var; };
+        struct opt options[] = { { "threads", &threads } };
+        int handle_config(char* name, char* value) {
+            if (strcmp(name, "nap") == 0) {
+                nap = atoi(value);
+                return 1;
+            }
+            return 0;
+        }
+        void startup() {
+            if (threads < 1) { exit(1); }
+            if (nap > 600) { exit(1); }
+            sleep(nap);
+        }
+    "#;
+    // `handle_config` edited (return code only): the comparison-based
+    // mapping must be re-derived, the table-based one must not.
+    const PARSER_EDITED: &str = r#"
+        int threads = 4;
+        int nap = 30;
+        struct opt { char* name; int* var; };
+        struct opt options[] = { { "threads", &threads } };
+        int handle_config(char* name, char* value) {
+            if (strcmp(name, "nap") == 0) {
+                nap = atoi(value);
+                return 2;
+            }
+            return 0;
+        }
+        void startup() {
+            if (threads < 1) { exit(1); }
+            if (nap > 600) { exit(1); }
+            sleep(nap);
+        }
+    "#;
+    let mut ws = Workspace::new("Test", Dialect::KeyValue);
+    ws.add_module("main.c", MIXED, TWO_ANNS).unwrap();
+    let cold = ws.reanalyze();
+    assert_eq!(cold.passes.mapping_extractions, 2, "one per annotation");
+    assert_eq!(cold.params_total, 2, "both conventions map a parameter");
+
+    let diff = ws.update_module("main.c", PARSER_EDITED).unwrap();
+    assert_eq!(diff.changed, vec!["handle_config".to_string()]);
+    let warm = ws.reanalyze();
+    assert_eq!(
+        warm.passes.mapping_extractions, 1,
+        "only the @PARSER annotation re-extracted"
+    );
+    assert_eq!(
+        warm.passes.mapping_cache_hits, 1,
+        "the @STRUCT annotation served from cache"
+    );
+
+    let mut fresh = Workspace::new("Test", Dialect::KeyValue);
+    fresh.add_module("main.c", PARSER_EDITED, TWO_ANNS).unwrap();
+    fresh.reanalyze();
     assert_eq!(ws.db().save_to_string(), fresh.db().save_to_string());
 }
 
